@@ -1,0 +1,156 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md`:
+//!
+//! * the marking strategy of the maximal-matching subroutine
+//!   (random = StackMR, heaviest-first = StackGreedyMR,
+//!   weight-proportional = the third variant the paper dismisses),
+//! * the slackness parameter ε (violation vs rounds trade-off),
+//! * prefix-filtering similarity join vs the brute-force baseline,
+//! * the thread count of the MapReduce engine (scaling of one GreedyMR
+//!   round).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smr_datagen::{DatasetPreset, RandomGraphConfig, WeightDistribution};
+use smr_graph::Capacities;
+use smr_mapreduce::JobConfig;
+use smr_matching::{GreedyMr, GreedyMrConfig, MarkingStrategy, StackMr, StackMrConfig};
+use smr_simjoin::{baseline_similarity_join, mapreduce_similarity_join, SimJoinConfig};
+use smr_text::{Corpus, TokenizerConfig};
+
+fn bench_graph(num_edges: usize, seed: u64) -> (smr_graph::BipartiteGraph, Capacities) {
+    let graph = RandomGraphConfig {
+        num_items: 250,
+        num_consumers: 100,
+        num_edges,
+        weights: WeightDistribution::Exponential {
+            min: 0.05,
+            rate: 8.0,
+            cap: 1.0,
+        },
+        popularity_exponent: 0.8,
+        seed,
+    }
+    .generate();
+    let caps = Capacities::uniform(&graph, 4, 3);
+    (graph, caps)
+}
+
+/// Marking-strategy ablation: the StackMR / StackGreedyMR /
+/// weight-proportional variants on the same instance.
+fn bench_marking_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_marking_strategy");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let (graph, caps) = bench_graph(2_000, 11);
+    for (name, strategy) in [
+        ("random", MarkingStrategy::Random),
+        ("heaviest_first", MarkingStrategy::HeaviestFirst),
+        ("weight_proportional", MarkingStrategy::WeightProportional),
+    ] {
+        group.bench_function(BenchmarkId::new("stack_mr", name), |b| {
+            b.iter(|| {
+                StackMr::new(
+                    StackMrConfig::default()
+                        .with_seed(5)
+                        .with_marking(strategy)
+                        .with_job(JobConfig::named("ablation")),
+                )
+                .run(&graph, &caps)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// ε ablation: thinner layers (small ε) trade more rounds for smaller
+/// capacity violations.
+fn bench_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_epsilon");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let (graph, caps) = bench_graph(2_000, 13);
+    for &epsilon in &[0.25f64, 0.5, 1.0, 2.0] {
+        group.bench_with_input(
+            BenchmarkId::new("stack_mr_eps", format!("{epsilon}")),
+            &epsilon,
+            |b, &eps| {
+                b.iter(|| {
+                    StackMr::new(
+                        StackMrConfig::default()
+                            .with_seed(5)
+                            .with_epsilon(eps)
+                            .with_job(JobConfig::named("ablation")),
+                    )
+                    .run(&graph, &caps)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Similarity-join ablation: prefix-filtering MapReduce join vs the
+/// brute-force all-pairs baseline.
+fn bench_simjoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_similarity_join");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let dataset = DatasetPreset::FlickrSmall.generate();
+    let items = Corpus::build(dataset.items.clone(), &TokenizerConfig::tags_only());
+    let consumers = Corpus::build(dataset.consumers.clone(), &TokenizerConfig::tags_only());
+    let sigma = DatasetPreset::FlickrSmall.default_sigma();
+    group.bench_function("mapreduce_prefix_filtering", |b| {
+        b.iter(|| {
+            mapreduce_similarity_join(
+                &items,
+                &consumers,
+                &SimJoinConfig::default()
+                    .with_threshold(sigma)
+                    .with_job(JobConfig::named("ablation-join")),
+            )
+        })
+    });
+    group.bench_function("brute_force_baseline", |b| {
+        b.iter(|| baseline_similarity_join(&items, &consumers, sigma))
+    });
+    group.finish();
+}
+
+/// Thread-count ablation of the MapReduce engine, measured on a full
+/// GreedyMR run.
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_engine_threads");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let (graph, caps) = bench_graph(3_000, 17);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("greedymr_threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    GreedyMr::new(
+                        GreedyMrConfig::default()
+                            .with_job(JobConfig::named("ablation").with_threads(t)),
+                    )
+                    .run(&graph, &caps)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablation_benches,
+    bench_marking_strategy,
+    bench_epsilon,
+    bench_simjoin,
+    bench_threads,
+);
+criterion_main!(ablation_benches);

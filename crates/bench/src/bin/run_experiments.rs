@@ -1,0 +1,174 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! run-experiments [EXPERIMENT ...] [--scale smoke|full] [--threads N] [--seed S]
+//!
+//! EXPERIMENT: table1 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | all
+//! ```
+
+use std::process::ExitCode;
+
+use smr_bench::experiments::{self, ExperimentScale, ExperimentSet};
+use smr_datagen::DatasetPreset;
+
+#[derive(Debug, Clone)]
+struct CliOptions {
+    experiments: Vec<String>,
+    scale: ExperimentScale,
+    threads: usize,
+    seed: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut options = CliOptions {
+        experiments: Vec::new(),
+        scale: ExperimentScale::Full,
+        threads: 0,
+        seed: 2011,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let value = args.get(i).ok_or("--scale needs a value")?;
+                options.scale = match value.as_str() {
+                    "smoke" => ExperimentScale::Smoke,
+                    "full" => ExperimentScale::Full,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--threads" => {
+                i += 1;
+                options.threads = args
+                    .get(i)
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+            }
+            "--seed" => {
+                i += 1;
+                options.seed = args
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            name => options.experiments.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if options.experiments.is_empty() {
+        options.experiments.push("all".to_string());
+    }
+    Ok(options)
+}
+
+fn usage() -> String {
+    "usage: run-experiments [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|all ...] \
+     [--scale smoke|full] [--threads N] [--seed S]"
+        .to_string()
+}
+
+fn run_experiment(name: &str, set: &mut ExperimentSet) -> Result<(), String> {
+    match name {
+        "table1" => println!("{}", experiments::table1(set)),
+        "fig1" => println!(
+            "{}",
+            experiments::quality_and_iterations(set, DatasetPreset::FlickrSmall)
+        ),
+        "fig2" => println!(
+            "{}",
+            experiments::quality_and_iterations(set, DatasetPreset::FlickrLarge)
+        ),
+        "fig3" => println!(
+            "{}",
+            experiments::quality_and_iterations(set, DatasetPreset::YahooAnswers)
+        ),
+        "fig4" => println!("{}", experiments::violations(set)),
+        "fig5" => println!("{}", experiments::anytime(set)),
+        "fig6" => {
+            for table in experiments::similarity_distribution(set) {
+                println!("{table}");
+            }
+        }
+        "fig7" => {
+            for table in experiments::capacity_distribution(set) {
+                println!("{table}");
+            }
+        }
+        "all" => {
+            let all = ["table1", "fig6", "fig7", "fig1", "fig2", "fig3", "fig4", "fig5"];
+            for exp in all {
+                run_experiment(exp, set)?;
+            }
+        }
+        other => return Err(format!("unknown experiment '{other}'\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let experiment_names = options.experiments.clone();
+    let mut set = ExperimentSet::new(options.scale, options.threads, options.seed);
+    for name in &experiment_names {
+        let started = std::time::Instant::now();
+        if let Err(message) = run_experiment(name, &mut set) {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[{name} finished in {:.1?}]", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_run_everything_at_full_scale() {
+        let options = parse_args(&[]).unwrap();
+        assert_eq!(options.experiments, vec!["all".to_string()]);
+        assert_eq!(options.scale, ExperimentScale::Full);
+        assert_eq!(options.seed, 2011);
+    }
+
+    #[test]
+    fn flags_are_parsed() {
+        let options = parse_args(&strings(&[
+            "fig1", "fig4", "--scale", "smoke", "--threads", "3", "--seed", "99",
+        ]))
+        .unwrap();
+        assert_eq!(options.experiments, vec!["fig1", "fig4"]);
+        assert_eq!(options.scale, ExperimentScale::Smoke);
+        assert_eq!(options.threads, 3);
+        assert_eq!(options.seed, 99);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse_args(&strings(&["--scale", "planetary"])).is_err());
+        assert!(parse_args(&strings(&["--threads", "many"])).is_err());
+        assert!(parse_args(&strings(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn unknown_experiments_are_rejected_at_run_time() {
+        let mut set = ExperimentSet::new(ExperimentScale::Smoke, 1, 1);
+        assert!(run_experiment("fig99", &mut set).is_err());
+    }
+}

@@ -1,0 +1,841 @@
+//! Maximal b-matching (the subroutine of StackMR).
+//!
+//! StackMR needs, in every push round, a *maximal* b-matching of the
+//! remaining graph: a b-matching not properly contained in any other
+//! b-matching (note: maximal, not maximum).  The paper uses the randomized
+//! parallel algorithm of Garrido, Jarominek, Lingas and Rytter, which runs
+//! in `O(log³ n)` rounds in expectation.  Each iteration has four stages,
+//! each of which is one MapReduce job here (Section 5.3):
+//!
+//! 1. **marking** — every node `v` marks `⌈c(v)/2⌉` of its incident edges
+//!    (uniformly at random for StackMR, heaviest-first for StackGreedyMR,
+//!    or weight-proportional for the third variant);
+//! 2. **selection** — every node selects up to `max(⌊c(v)/2⌋, 1)` edges
+//!    among those marked by its *neighbours*; selected edges form the set
+//!    `F`;
+//! 3. **matching** — a node with capacity 1 and two incident edges in `F`
+//!    drops one of them, making `F` a valid b-matching;
+//! 4. **cleanup** — `F` is added to the result and removed from the
+//!    working graph, capacities are decreased, and saturated nodes are
+//!    removed together with their incident edges.
+//!
+//! The iteration repeats until the working graph has no edges left.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use smr_graph::{EdgeId, NodeId};
+use smr_mapreduce::{Emitter, Job, JobConfig, JobMetrics, Mapper, Reducer};
+
+use crate::config::MarkingStrategy;
+use crate::state::{AdjEdge, NodeRecord};
+
+/// A per-edge annotation inside the working records of the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkEdge {
+    /// Global edge id.
+    pub edge: EdgeId,
+    /// The other endpoint.
+    pub other: NodeId,
+    /// Edge weight.
+    pub weight: f64,
+    /// Whether this node marked the edge in the current iteration.
+    pub marked_by_self: bool,
+    /// Whether the other endpoint marked the edge in the current iteration.
+    pub marked_by_other: bool,
+    /// Whether the edge is currently in the candidate set `F`.
+    pub in_f: bool,
+}
+
+impl WorkEdge {
+    fn from_adj(adj: &AdjEdge) -> Self {
+        WorkEdge {
+            edge: adj.edge,
+            other: adj.other,
+            weight: adj.weight,
+            marked_by_self: false,
+            marked_by_other: false,
+            in_f: false,
+        }
+    }
+}
+
+/// The working record of one node during the maximal-matching computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkRecord {
+    /// The node.
+    pub node: NodeId,
+    /// Remaining capacity `c(v)` inside this computation.
+    pub capacity: u64,
+    /// Live edges of the working graph.
+    pub edges: Vec<WorkEdge>,
+}
+
+/// The message exchanged by all four stage jobs: one endpoint's view of one
+/// edge, plus a per-node heartbeat (edge = `usize::MAX`) so records survive
+/// rounds in which a node has nothing to say.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMsg {
+    /// The edge the flag refers to (`usize::MAX` for heartbeats).
+    pub edge: EdgeId,
+    /// The sender of the message.
+    pub sender: NodeId,
+    /// Stage-specific flag (marked / selected / keep / in-F).
+    pub flag: bool,
+    /// The sender's working record, attached only to the self-addressed
+    /// heartbeat so that the reducer has its own state available.
+    pub record: Option<WorkRecord>,
+}
+
+impl StageMsg {
+    fn heartbeat(record: WorkRecord) -> (NodeId, StageMsg) {
+        (
+            record.node,
+            StageMsg {
+                edge: usize::MAX,
+                sender: record.node,
+                flag: false,
+                record: Some(record),
+            },
+        )
+    }
+
+}
+
+/// Result of one maximal b-matching computation.
+#[derive(Debug, Clone, Default)]
+pub struct MaximalResult {
+    /// The edges of the maximal b-matching.
+    pub edges: Vec<EdgeId>,
+    /// Number of Garrido-style iterations executed.
+    pub iterations: usize,
+    /// Number of MapReduce jobs executed (four per iteration).
+    pub jobs: usize,
+    /// Metrics of every job in order.
+    pub job_metrics: Vec<JobMetrics>,
+}
+
+/// Deterministic per-node RNG: the same `(seed, iteration, node)` triple
+/// always produces the same stream, which makes the randomized algorithm
+/// reproducible and independent of scheduling.
+fn node_rng(seed: u64, iteration: u64, node: NodeId) -> StdRng {
+    let node_code = match node {
+        NodeId::Item(t) => (t.0 as u64) << 1,
+        NodeId::Consumer(c) => ((c.0 as u64) << 1) | 1,
+    };
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ iteration.wrapping_mul(0xD1B5_4A32_D192_ED03)
+            ^ node_code.wrapping_mul(0x94D0_49BB_1331_11EB),
+    )
+}
+
+/// Picks `k` indices out of `candidates` according to the strategy.
+fn pick_edges(
+    strategy: MarkingStrategy,
+    rng: &mut StdRng,
+    candidates: &[(usize, f64)],
+    k: usize,
+) -> Vec<usize> {
+    if k == 0 || candidates.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(candidates.len());
+    match strategy {
+        MarkingStrategy::Random => {
+            let mut idx: Vec<usize> = candidates.iter().map(|&(i, _)| i).collect();
+            idx.shuffle(rng);
+            idx.truncate(k);
+            idx
+        }
+        MarkingStrategy::HeaviestFirst => {
+            let mut ordered: Vec<(usize, f64)> = candidates.to_vec();
+            ordered.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("edge weights are finite")
+                    .then(a.0.cmp(&b.0))
+            });
+            ordered.into_iter().take(k).map(|(i, _)| i).collect()
+        }
+        MarkingStrategy::WeightProportional => {
+            // Efraimidis–Spirakis weighted sampling without replacement:
+            // key = u^(1/w), take the k largest keys.
+            let mut keyed: Vec<(usize, f64)> = candidates
+                .iter()
+                .map(|&(i, w)| {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    (i, u.powf(1.0 / w.max(1e-12)))
+                })
+                .collect();
+            keyed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("keys are finite"));
+            keyed.into_iter().take(k).map(|(i, _)| i).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: marking
+// ---------------------------------------------------------------------------
+
+struct MarkMapper {
+    strategy: MarkingStrategy,
+    seed: u64,
+    iteration: u64,
+}
+
+impl Mapper for MarkMapper {
+    type InKey = NodeId;
+    type InValue = WorkRecord;
+    type OutKey = NodeId;
+    type OutValue = StageMsg;
+
+    fn map(&self, _node: &NodeId, record: &WorkRecord, out: &mut Emitter<NodeId, StageMsg>) {
+        let mut rng = node_rng(self.seed, self.iteration, record.node);
+        let to_mark = ((record.capacity as f64 / 2.0).ceil() as usize).max(1);
+        let candidates: Vec<(usize, f64)> = record
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.weight))
+            .collect();
+        let marked = pick_edges(self.strategy, &mut rng, &candidates, to_mark);
+        let marked_set: Vec<bool> = {
+            let mut v = vec![false; record.edges.len()];
+            for i in marked {
+                v[i] = true;
+            }
+            v
+        };
+        for (i, e) in record.edges.iter().enumerate() {
+            out.emit(
+                e.other,
+                StageMsg {
+                    edge: e.edge,
+                    sender: record.node,
+                    flag: marked_set[i],
+                    record: None,
+                },
+            );
+        }
+        // Self heartbeat with own marks recorded in the attached record.
+        let mut own = record.clone();
+        for (i, e) in own.edges.iter_mut().enumerate() {
+            e.marked_by_self = marked_set[i];
+        }
+        let (k, v) = StageMsg::heartbeat(own);
+        out.emit(k, v);
+    }
+}
+
+struct MarkReducer;
+
+impl Reducer for MarkReducer {
+    type Key = NodeId;
+    type InValue = StageMsg;
+    type OutKey = NodeId;
+    type OutValue = WorkRecord;
+
+    fn reduce(&self, node: &NodeId, msgs: &[StageMsg], out: &mut Emitter<NodeId, WorkRecord>) {
+        let Some(mut record) = own_record(msgs) else {
+            return;
+        };
+        let neighbour_flags = neighbour_flag_map(msgs, *node);
+        for e in &mut record.edges {
+            e.marked_by_other = neighbour_flags.get(&e.edge).copied().unwrap_or(false);
+        }
+        out.emit(*node, record);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: selection
+// ---------------------------------------------------------------------------
+
+struct SelectMapper {
+    seed: u64,
+    iteration: u64,
+}
+
+impl Mapper for SelectMapper {
+    type InKey = NodeId;
+    type InValue = WorkRecord;
+    type OutKey = NodeId;
+    type OutValue = StageMsg;
+
+    fn map(&self, _node: &NodeId, record: &WorkRecord, out: &mut Emitter<NodeId, StageMsg>) {
+        let mut rng = node_rng(self.seed, self.iteration.wrapping_add(0x5e1ec7), record.node);
+        let quota = ((record.capacity / 2) as usize).max(1);
+        let candidates: Vec<(usize, f64)> = record
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.marked_by_other)
+            .map(|(i, e)| (i, e.weight))
+            .collect();
+        // The selection stage of Garrido et al. picks uniformly at random
+        // among the neighbour-marked edges regardless of the marking
+        // strategy.
+        let selected = pick_edges(MarkingStrategy::Random, &mut rng, &candidates, quota);
+        let selected_set: Vec<bool> = {
+            let mut v = vec![false; record.edges.len()];
+            for i in selected {
+                v[i] = true;
+            }
+            v
+        };
+        for (i, e) in record.edges.iter().enumerate() {
+            out.emit(
+                e.other,
+                StageMsg {
+                    edge: e.edge,
+                    sender: record.node,
+                    flag: selected_set[i],
+                    record: None,
+                },
+            );
+        }
+        let mut own = record.clone();
+        for (i, e) in own.edges.iter_mut().enumerate() {
+            // An edge enters F if this node selected it (it was marked by
+            // the neighbour); the neighbour's selections arrive as messages.
+            e.in_f = selected_set[i];
+        }
+        let (k, v) = StageMsg::heartbeat(own);
+        out.emit(k, v);
+    }
+}
+
+struct SelectReducer;
+
+impl Reducer for SelectReducer {
+    type Key = NodeId;
+    type InValue = StageMsg;
+    type OutKey = NodeId;
+    type OutValue = WorkRecord;
+
+    fn reduce(&self, node: &NodeId, msgs: &[StageMsg], out: &mut Emitter<NodeId, WorkRecord>) {
+        let Some(mut record) = own_record(msgs) else {
+            return;
+        };
+        let neighbour_flags = neighbour_flag_map(msgs, *node);
+        for e in &mut record.edges {
+            let selected_by_other = neighbour_flags.get(&e.edge).copied().unwrap_or(false);
+            e.in_f = e.in_f || selected_by_other;
+        }
+        out.emit(*node, record);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: matching (capacity-1 conflict resolution)
+// ---------------------------------------------------------------------------
+
+struct MatchFixMapper {
+    seed: u64,
+    iteration: u64,
+}
+
+impl Mapper for MatchFixMapper {
+    type InKey = NodeId;
+    type InValue = WorkRecord;
+    type OutKey = NodeId;
+    type OutValue = StageMsg;
+
+    fn map(&self, _node: &NodeId, record: &WorkRecord, out: &mut Emitter<NodeId, StageMsg>) {
+        let mut rng = node_rng(self.seed, self.iteration.wrapping_add(0xf1f1f1), record.node);
+        let f_indices: Vec<usize> = record
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.in_f)
+            .map(|(i, _)| i)
+            .collect();
+        // A node of capacity 1 may keep only one F edge; it drops the rest.
+        let mut dropped = vec![false; record.edges.len()];
+        if record.capacity == 1 && f_indices.len() > 1 {
+            let keep = f_indices[rng.gen_range(0..f_indices.len())];
+            for &i in &f_indices {
+                if i != keep {
+                    dropped[i] = true;
+                }
+            }
+        }
+        for (i, e) in record.edges.iter().enumerate() {
+            if e.in_f {
+                out.emit(
+                    e.other,
+                    StageMsg {
+                        edge: e.edge,
+                        sender: record.node,
+                        flag: dropped[i],
+                        record: None,
+                    },
+                );
+            }
+        }
+        let mut own = record.clone();
+        for (i, e) in own.edges.iter_mut().enumerate() {
+            if dropped[i] {
+                e.in_f = false;
+            }
+        }
+        let (k, v) = StageMsg::heartbeat(own);
+        out.emit(k, v);
+    }
+}
+
+struct MatchFixReducer;
+
+impl Reducer for MatchFixReducer {
+    type Key = NodeId;
+    type InValue = StageMsg;
+    type OutKey = NodeId;
+    type OutValue = WorkRecord;
+
+    fn reduce(&self, node: &NodeId, msgs: &[StageMsg], out: &mut Emitter<NodeId, WorkRecord>) {
+        let Some(mut record) = own_record(msgs) else {
+            return;
+        };
+        // flag == true means "the sender dropped this edge from F".
+        let neighbour_drops = neighbour_flag_map(msgs, *node);
+        for e in &mut record.edges {
+            if neighbour_drops.get(&e.edge).copied().unwrap_or(false) {
+                e.in_f = false;
+            }
+        }
+        out.emit(*node, record);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 4: cleanup
+// ---------------------------------------------------------------------------
+
+struct CleanupMapper;
+
+impl Mapper for CleanupMapper {
+    type InKey = NodeId;
+    type InValue = WorkRecord;
+    type OutKey = NodeId;
+    type OutValue = StageMsg;
+
+    fn map(&self, _node: &NodeId, record: &WorkRecord, out: &mut Emitter<NodeId, StageMsg>) {
+        let matched = record.edges.iter().filter(|e| e.in_f).count() as u64;
+        let new_capacity = record.capacity.saturating_sub(matched);
+        for e in &record.edges {
+            // flag == true means "this edge survives at my end": it is not
+            // in F and I am not saturated after this iteration.
+            let survives = !e.in_f && new_capacity > 0;
+            out.emit(
+                e.other,
+                StageMsg {
+                    edge: e.edge,
+                    sender: record.node,
+                    flag: survives,
+                    record: None,
+                },
+            );
+        }
+        let (k, v) = StageMsg::heartbeat(record.clone());
+        out.emit(k, v);
+    }
+}
+
+/// The cleanup reducer's output: the updated working record plus the edges
+/// this node saw entering the matching this iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanupOutput {
+    /// Updated working record (possibly with an empty edge list).
+    pub record: WorkRecord,
+    /// Edges added to the maximal matching this iteration.
+    pub matched: Vec<EdgeId>,
+}
+
+struct CleanupReducer;
+
+impl Reducer for CleanupReducer {
+    type Key = NodeId;
+    type InValue = StageMsg;
+    type OutKey = NodeId;
+    type OutValue = CleanupOutput;
+
+    fn reduce(&self, node: &NodeId, msgs: &[StageMsg], out: &mut Emitter<NodeId, CleanupOutput>) {
+        let Some(record) = own_record(msgs) else {
+            return;
+        };
+        let neighbour_survives = neighbour_flag_map(msgs, *node);
+        let matched: Vec<EdgeId> = record
+            .edges
+            .iter()
+            .filter(|e| e.in_f)
+            .map(|e| e.edge)
+            .collect();
+        let new_capacity = record.capacity.saturating_sub(matched.len() as u64);
+        let surviving_edges: Vec<WorkEdge> = if new_capacity == 0 {
+            Vec::new()
+        } else {
+            record
+                .edges
+                .iter()
+                .filter(|e| {
+                    !e.in_f && neighbour_survives.get(&e.edge).copied().unwrap_or(false)
+                })
+                .map(|e| WorkEdge {
+                    marked_by_self: false,
+                    marked_by_other: false,
+                    in_f: false,
+                    ..*e
+                })
+                .collect()
+        };
+        out.emit(
+            *node,
+            CleanupOutput {
+                record: WorkRecord {
+                    node: *node,
+                    capacity: new_capacity,
+                    edges: surviving_edges,
+                },
+                matched,
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared reducer helpers
+// ---------------------------------------------------------------------------
+
+/// Extracts the node's own record from the heartbeat message.
+fn own_record(msgs: &[StageMsg]) -> Option<WorkRecord> {
+    msgs.iter().find_map(|m| m.record.clone())
+}
+
+/// Builds an edge → flag map from the neighbours' messages.
+fn neighbour_flag_map(msgs: &[StageMsg], node: NodeId) -> HashMap<EdgeId, bool> {
+    let mut map = HashMap::new();
+    for m in msgs {
+        if m.sender != node && m.edge != usize::MAX {
+            // If both endpoints somehow message about the same edge the
+            // flag is OR-ed, which is the conservative choice for every
+            // stage that uses it.
+            let entry = map.entry(m.edge).or_insert(false);
+            *entry = *entry || m.flag;
+        }
+    }
+    map
+}
+
+// ---------------------------------------------------------------------------
+// The matcher driver
+// ---------------------------------------------------------------------------
+
+/// Computes maximal b-matchings with the four-stage MapReduce algorithm.
+#[derive(Debug, Clone)]
+pub struct MaximalMatcher {
+    /// Edge-selection strategy of the marking stage.
+    pub strategy: MarkingStrategy,
+    /// Seed for the per-node pseudo-random generators.
+    pub seed: u64,
+    /// MapReduce job configuration for every stage job.
+    pub job: JobConfig,
+    /// Safety bound on the number of iterations.
+    pub max_iterations: usize,
+}
+
+impl MaximalMatcher {
+    /// Creates a matcher.
+    pub fn new(strategy: MarkingStrategy, seed: u64, job: JobConfig) -> Self {
+        MaximalMatcher {
+            strategy,
+            seed,
+            job,
+            max_iterations: 10_000,
+        }
+    }
+
+    /// Computes a maximal b-matching of the subgraph described by
+    /// `records` (node, capacity `c(v)`, live adjacency).
+    pub fn compute(&self, records: &[(NodeId, NodeRecord)]) -> MaximalResult {
+        let mut work: Vec<(NodeId, WorkRecord)> = records
+            .iter()
+            .filter(|(_, r)| !r.adjacency.is_empty() && r.capacity > 0)
+            .map(|(n, r)| {
+                (
+                    *n,
+                    WorkRecord {
+                        node: r.node,
+                        capacity: r.capacity,
+                        edges: r.adjacency.iter().map(WorkEdge::from_adj).collect(),
+                    },
+                )
+            })
+            .collect();
+
+        let mut result = MaximalResult::default();
+        while !work.is_empty() && result.iterations < self.max_iterations {
+            let iteration = result.iterations as u64;
+            // Stage 1: marking.
+            let mark_job = Job::new(self.stage_config("mark", iteration));
+            let marked = mark_job.run(
+                &MarkMapper {
+                    strategy: self.strategy,
+                    seed: self.seed,
+                    iteration,
+                },
+                &MarkReducer,
+                work,
+            );
+            result.job_metrics.push(marked.metrics);
+
+            // Stage 2: selection.
+            let select_job = Job::new(self.stage_config("select", iteration));
+            let selected = select_job.run(
+                &SelectMapper {
+                    seed: self.seed,
+                    iteration,
+                },
+                &SelectReducer,
+                marked.output,
+            );
+            result.job_metrics.push(selected.metrics);
+
+            // Stage 3: matching fix-up.
+            let fix_job = Job::new(self.stage_config("match", iteration));
+            let fixed = fix_job.run(
+                &MatchFixMapper {
+                    seed: self.seed,
+                    iteration,
+                },
+                &MatchFixReducer,
+                selected.output,
+            );
+            result.job_metrics.push(fixed.metrics);
+
+            // Stage 4: cleanup.
+            let cleanup_job = Job::new(self.stage_config("cleanup", iteration));
+            let cleaned = cleanup_job.run(&CleanupMapper, &CleanupReducer, fixed.output);
+            result.job_metrics.push(cleaned.metrics);
+
+            result.jobs += 4;
+            result.iterations += 1;
+
+            let mut next: Vec<(NodeId, WorkRecord)> = Vec::new();
+            for (node, output) in cleaned.output {
+                result.edges.extend(output.matched);
+                if !output.record.edges.is_empty() && output.record.capacity > 0 {
+                    next.push((node, output.record));
+                }
+            }
+            work = next;
+        }
+        result.edges.sort_unstable();
+        result.edges.dedup();
+        result
+    }
+
+    fn stage_config(&self, stage: &str, iteration: u64) -> JobConfig {
+        self.job
+            .clone()
+            .with_name(format!("{}-{stage}-{iteration}", self.job.name))
+    }
+}
+
+/// A simple centralized maximal b-matching (greedy scan) used as a
+/// reference in tests: scan the live edges in id order and keep an edge
+/// whenever both endpoints still have residual capacity.
+pub fn maximal_b_matching_centralized(records: &[(NodeId, NodeRecord)]) -> Vec<EdgeId> {
+    let mut residual: HashMap<NodeId, u64> = records
+        .iter()
+        .map(|(n, r)| (*n, r.capacity))
+        .collect();
+    // Gather every live edge exactly once (it appears in both endpoint
+    // records).
+    let mut edges: Vec<(EdgeId, NodeId, NodeId)> = Vec::new();
+    for (node, record) in records {
+        for adj in &record.adjacency {
+            if *node < adj.other {
+                edges.push((adj.edge, *node, adj.other));
+            }
+        }
+    }
+    edges.sort_unstable_by_key(|(e, _, _)| *e);
+    let mut matched = Vec::new();
+    for (e, u, v) in edges {
+        let ru = residual.get(&u).copied().unwrap_or(0);
+        let rv = residual.get(&v).copied().unwrap_or(0);
+        if ru > 0 && rv > 0 {
+            residual.insert(u, ru - 1);
+            residual.insert(v, rv - 1);
+            matched.push(e);
+        }
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::build_node_records;
+    use smr_graph::{BipartiteGraph, Capacities, ConsumerId, Edge, ItemId, Matching};
+
+    fn grid_graph(items: usize, consumers: usize) -> BipartiteGraph {
+        let mut edges = Vec::new();
+        let mut w = 0.11_f64;
+        for t in 0..items {
+            for c in 0..consumers {
+                if (t + c) % 2 == 0 {
+                    w = (w * 31.7 + 0.7).fract().max(0.05);
+                    edges.push(Edge::new(ItemId(t as u32), ConsumerId(c as u32), w));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(items, consumers, edges)
+    }
+
+    /// Maximality check: every live edge must have at least one saturated
+    /// endpoint, and no node may exceed its capacity.
+    fn assert_maximal(
+        graph: &BipartiteGraph,
+        caps: &Capacities,
+        matched_edges: &[EdgeId],
+    ) {
+        let matching = Matching::from_edges(graph.num_edges(), matched_edges.iter().copied());
+        for v in graph.nodes() {
+            assert!(
+                matching.degree(graph, v) as u64 <= caps.of(v),
+                "node {v} exceeds its capacity"
+            );
+        }
+        for e in 0..graph.num_edges() {
+            if matching.contains(e) {
+                continue;
+            }
+            let edge = graph.edge(e);
+            let item_full = matching.degree(graph, NodeId::Item(edge.item)) as u64
+                >= caps.item(edge.item);
+            let consumer_full = matching.degree(graph, NodeId::Consumer(edge.consumer)) as u64
+                >= caps.consumer(edge.consumer);
+            assert!(
+                item_full || consumer_full,
+                "edge {e} could still be added: the matching is not maximal"
+            );
+        }
+    }
+
+    fn matcher(strategy: MarkingStrategy, seed: u64) -> MaximalMatcher {
+        MaximalMatcher::new(
+            strategy,
+            seed,
+            JobConfig::named("maximal-test").with_threads(2),
+        )
+    }
+
+    #[test]
+    fn produces_a_maximal_matching_with_unit_capacities() {
+        let g = grid_graph(6, 6);
+        let caps = Capacities::uniform(&g, 1, 1);
+        let records = build_node_records(&g, &caps);
+        let result = matcher(MarkingStrategy::Random, 1).compute(&records);
+        assert_maximal(&g, &caps, &result.edges);
+        assert!(result.iterations >= 1);
+        assert_eq!(result.jobs, result.iterations * 4);
+    }
+
+    #[test]
+    fn produces_a_maximal_matching_with_larger_capacities() {
+        let g = grid_graph(5, 7);
+        let caps = Capacities::uniform(&g, 3, 2);
+        let records = build_node_records(&g, &caps);
+        let result = matcher(MarkingStrategy::Random, 7).compute(&records);
+        assert_maximal(&g, &caps, &result.edges);
+    }
+
+    #[test]
+    fn heaviest_first_marking_also_yields_maximal_matchings() {
+        let g = grid_graph(6, 5);
+        let caps = Capacities::uniform(&g, 2, 2);
+        let records = build_node_records(&g, &caps);
+        let result = matcher(MarkingStrategy::HeaviestFirst, 3).compute(&records);
+        assert_maximal(&g, &caps, &result.edges);
+    }
+
+    #[test]
+    fn weight_proportional_marking_also_yields_maximal_matchings() {
+        let g = grid_graph(4, 6);
+        let caps = Capacities::uniform(&g, 2, 1);
+        let records = build_node_records(&g, &caps);
+        let result = matcher(MarkingStrategy::WeightProportional, 11).compute(&records);
+        assert_maximal(&g, &caps, &result.edges);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_fixed_seed() {
+        let g = grid_graph(6, 6);
+        let caps = Capacities::uniform(&g, 2, 2);
+        let records = build_node_records(&g, &caps);
+        let a = matcher(MarkingStrategy::Random, 99).compute(&records);
+        let b = matcher(MarkingStrategy::Random, 99).compute(&records);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.iterations, b.iterations);
+        let c = matcher(MarkingStrategy::Random, 100).compute(&records);
+        // A different seed is allowed to (and almost surely does) produce a
+        // different maximal matching, but both must be maximal.
+        assert_maximal(&g, &caps, &c.edges);
+    }
+
+    #[test]
+    fn empty_input_terminates_immediately() {
+        let result = matcher(MarkingStrategy::Random, 0).compute(&[]);
+        assert!(result.edges.is_empty());
+        assert_eq!(result.iterations, 0);
+        assert_eq!(result.jobs, 0);
+    }
+
+    #[test]
+    fn centralized_reference_is_maximal_too() {
+        let g = grid_graph(6, 6);
+        let caps = Capacities::uniform(&g, 2, 2);
+        let records = build_node_records(&g, &caps);
+        let edges = maximal_b_matching_centralized(&records);
+        assert_maximal(&g, &caps, &edges);
+    }
+
+    #[test]
+    fn pick_edges_respects_the_quota_for_every_strategy() {
+        let mut rng = node_rng(1, 2, NodeId::item(3));
+        let candidates: Vec<(usize, f64)> = (0..10).map(|i| (i, (i + 1) as f64)).collect();
+        for strategy in [
+            MarkingStrategy::Random,
+            MarkingStrategy::HeaviestFirst,
+            MarkingStrategy::WeightProportional,
+        ] {
+            let picked = pick_edges(strategy, &mut rng, &candidates, 4);
+            assert_eq!(picked.len(), 4, "{strategy:?}");
+            let picked_all = pick_edges(strategy, &mut rng, &candidates, 100);
+            assert_eq!(picked_all.len(), 10, "{strategy:?}");
+            assert!(pick_edges(strategy, &mut rng, &candidates, 0).is_empty());
+            assert!(pick_edges(strategy, &mut rng, &[], 3).is_empty());
+        }
+    }
+
+    #[test]
+    fn heaviest_first_picks_the_heaviest_edges() {
+        let mut rng = node_rng(5, 5, NodeId::consumer(1));
+        let candidates = vec![(0, 1.0), (1, 5.0), (2, 3.0)];
+        let picked = pick_edges(MarkingStrategy::HeaviestFirst, &mut rng, &candidates, 2);
+        assert_eq!(picked, vec![1, 2]);
+    }
+
+    #[test]
+    fn node_rng_is_deterministic_and_node_dependent() {
+        let a: u64 = node_rng(1, 2, NodeId::item(3)).gen();
+        let b: u64 = node_rng(1, 2, NodeId::item(3)).gen();
+        let c: u64 = node_rng(1, 2, NodeId::consumer(3)).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

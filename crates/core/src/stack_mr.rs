@@ -1,0 +1,634 @@
+//! StackMR and StackGreedyMR: the primal-dual stack algorithm in MapReduce
+//! (Sections 5.2 and 5.3, Algorithm 2).
+//!
+//! The algorithm maintains a dual variable `y_v` per node and a distributed
+//! stack of *layers*.  Each **push round**:
+//!
+//! 1. removes every edge that has become *weakly covered*
+//!    (`y_u/b(u) + y_v/b(v) ≥ w(e)/(3+2ε)`, Definition 1) — one MapReduce
+//!    job exchanging the dual values along the edges;
+//! 2. computes a maximal b-matching of the remaining graph with per-node
+//!    capacity `max(1, ⌈ε·b(v)⌉)` using the four-stage randomized algorithm
+//!    of [`crate::maximal`] — four MapReduce jobs per Garrido iteration;
+//! 3. pushes the matching on the stack as a new layer and raises the dual
+//!    variables of its edges by `δ(e) = (w(e) − y_u/b(u) − y_v/b(v))/2` —
+//!    one MapReduce job.
+//!
+//! When no edge is left, the **pop phase** pops layers from the top; the
+//! edges of a layer are included in the solution in parallel provided both
+//! endpoints still have residual capacity; nodes whose capacity is
+//! exhausted (or exceeded) drop out together with their remaining stacked
+//! edges — one MapReduce job per layer.
+//!
+//! Because a popped layer can add up to `⌈ε·b(v)⌉` edges to a node that
+//! still had one unit of residual capacity, capacities can be violated by a
+//! factor of at most `(1+ε)`; the approximation guarantee is `1/(6+ε)`
+//! (Theorem 1).  With the paper's experimental setting ε = 1, observed
+//! violations stay in the single-digit percent range (Figure 4).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use smr_graph::{BipartiteGraph, Capacities, EdgeId, Matching, NodeId};
+use smr_mapreduce::{Emitter, Job, JobConfig, Mapper, Reducer};
+
+use crate::config::{MarkingStrategy, StackMrConfig};
+use crate::maximal::MaximalMatcher;
+use crate::result::{AlgorithmKind, MatchingRun};
+use crate::state::{build_node_records, AdjEdge, NodeRecord};
+
+// ---------------------------------------------------------------------------
+// Push-phase records and messages
+// ---------------------------------------------------------------------------
+
+/// The push-phase state of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackNodeRecord {
+    /// The node.
+    pub node: NodeId,
+    /// The node's capacity `b(v)` (never changes during the push phase).
+    pub capacity: u64,
+    /// The dual variable `y_v`.
+    pub dual: f64,
+    /// Live (not yet weakly covered) incident edges.
+    pub adjacency: Vec<AdjEdge>,
+}
+
+/// Message of the coverage and push jobs: one endpoint's `y/b` value for
+/// one edge, or a self-addressed heartbeat carrying the full record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DualMsg {
+    /// The edge (or `usize::MAX` for the heartbeat).
+    pub edge: EdgeId,
+    /// Sender node.
+    pub sender: NodeId,
+    /// The sender's `y_v / b(v)`.
+    pub dual_over_capacity: f64,
+    /// Attached record (heartbeat only).
+    pub record: Option<StackNodeRecord>,
+}
+
+/// A mapper that sends `y/b` along every live edge (used by both the
+/// coverage job and the push job; the push job additionally restricts the
+/// reducer-side update to the current layer).
+struct DualExchangeMapper;
+
+impl Mapper for DualExchangeMapper {
+    type InKey = NodeId;
+    type InValue = StackNodeRecord;
+    type OutKey = NodeId;
+    type OutValue = DualMsg;
+
+    fn map(&self, _node: &NodeId, record: &StackNodeRecord, out: &mut Emitter<NodeId, DualMsg>) {
+        let ratio = record.dual / record.capacity as f64;
+        for adj in &record.adjacency {
+            out.emit(
+                adj.other,
+                DualMsg {
+                    edge: adj.edge,
+                    sender: record.node,
+                    dual_over_capacity: ratio,
+                    record: None,
+                },
+            );
+        }
+        out.emit(
+            record.node,
+            DualMsg {
+                edge: usize::MAX,
+                sender: record.node,
+                dual_over_capacity: ratio,
+                record: Some(record.clone()),
+            },
+        );
+    }
+}
+
+/// Reducer of the coverage job: drops weakly covered edges.
+struct CoverageReducer {
+    weak_factor: f64,
+}
+
+impl Reducer for CoverageReducer {
+    type Key = NodeId;
+    type InValue = DualMsg;
+    type OutKey = NodeId;
+    type OutValue = StackNodeRecord;
+
+    fn reduce(&self, node: &NodeId, msgs: &[DualMsg], out: &mut Emitter<NodeId, StackNodeRecord>) {
+        let Some(record) = msgs.iter().find_map(|m| m.record.clone()) else {
+            return;
+        };
+        let own_ratio = record.dual / record.capacity as f64;
+        let neighbour_ratios: std::collections::HashMap<EdgeId, f64> = msgs
+            .iter()
+            .filter(|m| m.sender != *node && m.edge != usize::MAX)
+            .map(|m| (m.edge, m.dual_over_capacity))
+            .collect();
+        let mut surviving = Vec::with_capacity(record.adjacency.len());
+        for adj in &record.adjacency {
+            let neighbour = neighbour_ratios.get(&adj.edge);
+            match neighbour {
+                Some(&neighbour_ratio) => {
+                    let lhs = own_ratio + neighbour_ratio;
+                    let weakly_covered = lhs >= adj.weight * self.weak_factor - 1e-15;
+                    if !weakly_covered {
+                        surviving.push(*adj);
+                    }
+                }
+                None => {
+                    // The neighbour vanished (all of its edges were covered
+                    // in an earlier round); drop the edge.
+                }
+            }
+        }
+        out.emit(
+            *node,
+            StackNodeRecord {
+                adjacency: surviving,
+                ..record
+            },
+        );
+    }
+}
+
+/// Reducer of the push job: raises `y_v` by `Σ δ(e)` over the node's layer
+/// edges.
+struct PushReducer {
+    layer: Arc<HashSet<EdgeId>>,
+}
+
+impl Reducer for PushReducer {
+    type Key = NodeId;
+    type InValue = DualMsg;
+    type OutKey = NodeId;
+    type OutValue = StackNodeRecord;
+
+    fn reduce(&self, node: &NodeId, msgs: &[DualMsg], out: &mut Emitter<NodeId, StackNodeRecord>) {
+        let Some(record) = msgs.iter().find_map(|m| m.record.clone()) else {
+            return;
+        };
+        let own_ratio = record.dual / record.capacity as f64;
+        let neighbour_ratios: std::collections::HashMap<EdgeId, f64> = msgs
+            .iter()
+            .filter(|m| m.sender != *node && m.edge != usize::MAX)
+            .map(|m| (m.edge, m.dual_over_capacity))
+            .collect();
+        let mut increase = 0.0;
+        for adj in &record.adjacency {
+            if !self.layer.contains(&adj.edge) {
+                continue;
+            }
+            if let Some(&neighbour_ratio) = neighbour_ratios.get(&adj.edge) {
+                // δ(e) = (w(e) − y_u/b(u) − y_v/b(v)) / 2, computed with the
+                // dual values both endpoints held at the start of the round.
+                let delta = (adj.weight - own_ratio - neighbour_ratio) / 2.0;
+                if delta > 0.0 {
+                    increase += delta;
+                }
+            }
+        }
+        out.emit(
+            *node,
+            StackNodeRecord {
+                dual: record.dual + increase,
+                ..record
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pop-phase records and messages
+// ---------------------------------------------------------------------------
+
+/// The pop-phase state of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopNodeRecord {
+    /// The node.
+    pub node: NodeId,
+    /// Residual capacity; may go negative by at most `⌈ε·b(v)⌉ − 1` when a
+    /// layer overshoots, which is exactly the paper's (1+ε) violation.
+    pub residual: i64,
+    /// All edges of the node that appear somewhere on the stack.
+    pub adjacency: Vec<AdjEdge>,
+}
+
+/// Message of a pop job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopMsg {
+    /// The edge (or `usize::MAX` for the heartbeat).
+    pub edge: EdgeId,
+    /// Sender node.
+    pub sender: NodeId,
+    /// Attached record (heartbeat only).
+    pub record: Option<PopNodeRecord>,
+}
+
+/// Mapper of a pop job: an active node nominates its edges of the current
+/// layer that are not yet in the solution.
+struct PopMapper {
+    layer: Arc<HashSet<EdgeId>>,
+    already_included: Arc<HashSet<EdgeId>>,
+}
+
+impl Mapper for PopMapper {
+    type InKey = NodeId;
+    type InValue = PopNodeRecord;
+    type OutKey = NodeId;
+    type OutValue = PopMsg;
+
+    fn map(&self, _node: &NodeId, record: &PopNodeRecord, out: &mut Emitter<NodeId, PopMsg>) {
+        if record.residual > 0 {
+            for adj in &record.adjacency {
+                if self.layer.contains(&adj.edge) && !self.already_included.contains(&adj.edge) {
+                    out.emit(
+                        adj.other,
+                        PopMsg {
+                            edge: adj.edge,
+                            sender: record.node,
+                            record: None,
+                        },
+                    );
+                    out.emit(
+                        record.node,
+                        PopMsg {
+                            edge: adj.edge,
+                            sender: record.node,
+                            record: None,
+                        },
+                    );
+                }
+            }
+        }
+        out.emit(
+            record.node,
+            PopMsg {
+                edge: usize::MAX,
+                sender: record.node,
+                record: Some(record.clone()),
+            },
+        );
+    }
+}
+
+/// Output of a pop job for one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopOutput {
+    /// The node's updated record.
+    pub record: PopNodeRecord,
+    /// Edges of the popped layer included in the solution at this node.
+    pub included: Vec<EdgeId>,
+}
+
+/// Reducer of a pop job: an edge is included when *both* endpoints
+/// nominated it (i.e. both were still active).
+struct PopReducer;
+
+impl Reducer for PopReducer {
+    type Key = NodeId;
+    type InValue = PopMsg;
+    type OutKey = NodeId;
+    type OutValue = PopOutput;
+
+    fn reduce(&self, node: &NodeId, msgs: &[PopMsg], out: &mut Emitter<NodeId, PopOutput>) {
+        let Some(record) = msgs.iter().find_map(|m| m.record.clone()) else {
+            return;
+        };
+        let own_nominations: HashSet<EdgeId> = msgs
+            .iter()
+            .filter(|m| m.sender == *node && m.edge != usize::MAX)
+            .map(|m| m.edge)
+            .collect();
+        let mut included: Vec<EdgeId> = msgs
+            .iter()
+            .filter(|m| {
+                m.sender != *node && m.edge != usize::MAX && own_nominations.contains(&m.edge)
+            })
+            .map(|m| m.edge)
+            .collect();
+        included.sort_unstable();
+        included.dedup();
+        let new_residual = record.residual - included.len() as i64;
+        out.emit(
+            *node,
+            PopOutput {
+                record: PopNodeRecord {
+                    residual: new_residual,
+                    ..record
+                },
+                included,
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The algorithm driver
+// ---------------------------------------------------------------------------
+
+/// StackMR (and, with heaviest-first marking, StackGreedyMR).
+#[derive(Debug, Clone, Default)]
+pub struct StackMr {
+    config: StackMrConfig,
+}
+
+impl StackMr {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: StackMrConfig) -> Self {
+        StackMr { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StackMrConfig {
+        &self.config
+    }
+
+    /// Runs the algorithm.
+    pub fn run(&self, graph: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
+        let algorithm = match self.config.marking {
+            MarkingStrategy::HeaviestFirst => AlgorithmKind::StackGreedyMr,
+            _ => AlgorithmKind::StackMr,
+        };
+        let mut job_metrics = Vec::new();
+        let mut value_per_round = Vec::new();
+        let mut rounds = 0usize;
+
+        // ------------------------------------------------------------------
+        // Push phase.
+        // ------------------------------------------------------------------
+        let mut records: Vec<(NodeId, StackNodeRecord)> = build_node_records(graph, caps)
+            .into_iter()
+            .map(|(node, r)| {
+                (
+                    node,
+                    StackNodeRecord {
+                        node: r.node,
+                        capacity: r.capacity,
+                        dual: 0.0,
+                        adjacency: r.adjacency,
+                    },
+                )
+            })
+            .collect();
+        let weak_factor = self.config.weak_coverage_factor();
+        let mut layers: Vec<Vec<EdgeId>> = Vec::new();
+
+        for push_round in 0..self.config.max_push_rounds {
+            // (1) Remove weakly covered edges.
+            let coverage_job = Job::new(self.job_config(&format!("coverage-{push_round}")));
+            let covered = coverage_job.run(
+                &DualExchangeMapper,
+                &CoverageReducer { weak_factor },
+                records,
+            );
+            job_metrics.push(covered.metrics);
+            records = covered
+                .output
+                .into_iter()
+                .filter(|(_, r)| !r.adjacency.is_empty())
+                .collect();
+            if records.is_empty() {
+                break;
+            }
+            rounds += 1;
+            value_per_round.push(0.0);
+
+            // (2) Maximal b-matching with layer capacities max(1, ⌈ε·b(v)⌉).
+            let matcher_input: Vec<(NodeId, NodeRecord)> = records
+                .iter()
+                .map(|(node, r)| {
+                    (
+                        *node,
+                        NodeRecord::new(
+                            r.node,
+                            self.config.layer_capacity(r.capacity),
+                            r.adjacency.clone(),
+                        ),
+                    )
+                })
+                .collect();
+            let matcher = MaximalMatcher {
+                strategy: self.config.marking,
+                seed: self.config.seed.wrapping_add(push_round as u64),
+                job: self.job_config(&format!("maximal-{push_round}")),
+                max_iterations: self.config.max_maximal_iterations,
+            };
+            let maximal = matcher.compute(&matcher_input);
+            job_metrics.extend(maximal.job_metrics);
+            let layer: HashSet<EdgeId> = maximal.edges.iter().copied().collect();
+            if layer.is_empty() {
+                // No further progress is possible (should not happen while
+                // live edges remain, but guards against degenerate inputs).
+                break;
+            }
+
+            // (3) Push the layer: raise the duals of its edges.
+            let push_job = Job::new(self.job_config(&format!("push-{push_round}")));
+            let layer_arc = Arc::new(layer);
+            let pushed = push_job.run(
+                &DualExchangeMapper,
+                &PushReducer {
+                    layer: Arc::clone(&layer_arc),
+                },
+                records,
+            );
+            job_metrics.push(pushed.metrics);
+            records = pushed.output;
+            layers.push(maximal.edges);
+        }
+
+        // ------------------------------------------------------------------
+        // Pop phase: one job per layer, from the top of the stack.
+        // ------------------------------------------------------------------
+        let mut matching = Matching::new(graph.num_edges());
+        let mut pop_records: Vec<(NodeId, PopNodeRecord)> = build_node_records(graph, caps)
+            .into_iter()
+            .map(|(node, r)| {
+                (
+                    node,
+                    PopNodeRecord {
+                        node: r.node,
+                        residual: r.capacity as i64,
+                        adjacency: r.adjacency,
+                    },
+                )
+            })
+            .collect();
+        let mut included_so_far: HashSet<EdgeId> = HashSet::new();
+
+        for (layer_idx, layer) in layers.iter().enumerate().rev() {
+            let layer_set: Arc<HashSet<EdgeId>> = Arc::new(layer.iter().copied().collect());
+            let included_arc = Arc::new(included_so_far.clone());
+            let pop_job = Job::new(self.job_config(&format!("pop-{layer_idx}")));
+            let popped = pop_job.run(
+                &PopMapper {
+                    layer: layer_set,
+                    already_included: included_arc,
+                },
+                &PopReducer,
+                pop_records,
+            );
+            job_metrics.push(popped.metrics);
+            rounds += 1;
+
+            let mut next_records = Vec::new();
+            for (node, output) in popped.output {
+                for e in output.included {
+                    if matching.insert(e) {
+                        included_so_far.insert(e);
+                    }
+                }
+                next_records.push((node, output.record));
+            }
+            pop_records = next_records;
+            value_per_round.push(matching.value(graph));
+        }
+
+        let mr_jobs = job_metrics.len();
+        MatchingRun {
+            algorithm,
+            matching,
+            mr_jobs,
+            rounds,
+            value_per_round,
+            job_metrics,
+        }
+    }
+
+    fn job_config(&self, suffix: &str) -> JobConfig {
+        self.config
+            .job
+            .clone()
+            .with_name(format!("{}-{suffix}", self.config.job.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::optimal_matching;
+    use smr_graph::{ConsumerId, Edge, GraphBuilder, ItemId};
+
+    fn test_config(seed: u64) -> StackMrConfig {
+        StackMrConfig::default()
+            .with_seed(seed)
+            .with_job(JobConfig::named("stack-mr-test").with_threads(2))
+    }
+
+    fn random_graph(items: usize, consumers: usize, keep_mod: usize) -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        let its: Vec<ItemId> = (0..items).map(|i| b.add_item(format!("t{i}"))).collect();
+        let cons: Vec<ConsumerId> = (0..consumers)
+            .map(|i| b.add_consumer(format!("c{i}")))
+            .collect();
+        let mut w = 0.61_f64;
+        for (ti, &t) in its.iter().enumerate() {
+            for (ci, &c) in cons.iter().enumerate() {
+                if (ti * 7 + ci * 3) % keep_mod != 0 {
+                    w = (w * 53.17 + 0.31).fract().max(0.02);
+                    b.add_edge(t, c, w);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn produces_a_matching_within_the_violation_bound() {
+        let g = random_graph(6, 8, 3);
+        let caps = Capacities::uniform(&g, 2, 2);
+        let config = test_config(13);
+        let run = StackMr::new(config.clone()).run(&g, &caps);
+        assert!(!run.matching.is_empty());
+        // Per-node violation is bounded by ε = 1: degree ≤ (1+ε)·b = 2b.
+        let max_violation = run.matching.max_violation(&g, &caps);
+        assert!(
+            max_violation <= config.epsilon + 1e-9,
+            "violation {max_violation} exceeds epsilon {}",
+            config.epsilon
+        );
+    }
+
+    #[test]
+    fn achieves_the_approximation_guarantee_on_small_instances() {
+        let g = random_graph(5, 6, 4);
+        let caps = Capacities::uniform(&g, 2, 1);
+        let run = StackMr::new(test_config(7)).run(&g, &caps);
+        let opt = optimal_matching(&g, &caps);
+        let guarantee = 1.0 / (6.0 + 1.0);
+        assert!(
+            run.value(&g) >= guarantee * opt.value(&g) - 1e-9,
+            "StackMR value {} below 1/(6+ε) of optimum {}",
+            run.value(&g),
+            opt.value(&g)
+        );
+    }
+
+    #[test]
+    fn stack_greedy_variant_reports_its_own_algorithm_kind() {
+        let g = random_graph(4, 4, 5);
+        let caps = Capacities::uniform(&g, 1, 1);
+        let run = StackMr::new(test_config(3).stack_greedy()).run(&g, &caps);
+        assert_eq!(run.algorithm, AlgorithmKind::StackGreedyMr);
+        assert!(!run.matching.is_empty());
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_fixed_seed() {
+        let g = random_graph(5, 5, 3);
+        let caps = Capacities::uniform(&g, 2, 2);
+        let a = StackMr::new(test_config(21)).run(&g, &caps);
+        let b = StackMr::new(test_config(21)).run(&g, &caps);
+        assert_eq!(a.matching.to_edge_vec(), b.matching.to_edge_vec());
+        assert_eq!(a.mr_jobs, b.mr_jobs);
+    }
+
+    #[test]
+    fn counts_jobs_for_every_phase() {
+        let g = random_graph(4, 5, 3);
+        let caps = Capacities::uniform(&g, 1, 2);
+        let run = StackMr::new(test_config(5)).run(&g, &caps);
+        // At least one coverage job, four maximal-matching jobs, one push
+        // job and one pop job.
+        assert!(run.mr_jobs >= 7, "expected at least 7 jobs, got {}", run.mr_jobs);
+        assert_eq!(run.job_metrics.len(), run.mr_jobs);
+        assert!(run.rounds >= 2);
+        assert!(run.total_shuffled_records() > 0);
+    }
+
+    #[test]
+    fn empty_graph_terminates_with_no_layers() {
+        let g = BipartiteGraph::from_edges(3, 3, vec![]);
+        let caps = Capacities::uniform(&g, 1, 1);
+        let run = StackMr::new(test_config(1)).run(&g, &caps);
+        assert!(run.matching.is_empty());
+        assert_eq!(run.rounds, 0);
+    }
+
+    #[test]
+    fn smaller_epsilon_never_violates_more() {
+        let g = random_graph(6, 6, 4);
+        let caps = Capacities::uniform(&g, 3, 3);
+        let loose = StackMr::new(test_config(9).with_epsilon(1.0)).run(&g, &caps);
+        let tight = StackMr::new(test_config(9).with_epsilon(0.25)).run(&g, &caps);
+        let loose_violation = loose.matching.max_violation(&g, &caps);
+        let tight_violation = tight.matching.max_violation(&g, &caps);
+        assert!(loose_violation <= 1.0 + 1e-9);
+        assert!(tight_violation <= 0.25 + 1e-9 + 1.0 / 3.0); // ⌈εb⌉ rounding slack for b=3
+    }
+
+    #[test]
+    fn single_edge_graph_matches_it() {
+        let g = BipartiteGraph::from_edges(
+            1,
+            1,
+            vec![Edge::new(ItemId(0), ConsumerId(0), 5.0)],
+        );
+        let caps = Capacities::uniform(&g, 1, 1);
+        let run = StackMr::new(test_config(2)).run(&g, &caps);
+        assert_eq!(run.matching.to_edge_vec(), vec![0]);
+        assert!((run.value(&g) - 5.0).abs() < 1e-9);
+    }
+}

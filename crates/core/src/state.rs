@@ -1,0 +1,206 @@
+//! The node-centric graph representation shared by the MapReduce
+//! algorithms (Section 5.3 of the paper).
+//!
+//! Every record is keyed by a node and carries that node's local view of
+//! the graph: its residual capacity and the list of incident edges it still
+//! considers live.  Map functions make decisions locally to a node; reduce
+//! functions receive both endpoints' views of every edge and unify them,
+//! yielding a consistent graph representation as output.
+
+use serde::{Deserialize, Serialize};
+use smr_graph::{BipartiteGraph, Capacities, EdgeId, NodeId};
+
+/// One entry of a node's adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdjEdge {
+    /// Global edge identifier.
+    pub edge: EdgeId,
+    /// The other endpoint.
+    pub other: NodeId,
+    /// Edge weight.
+    pub weight: f64,
+}
+
+impl AdjEdge {
+    /// Creates an adjacency entry.
+    pub fn new(edge: EdgeId, other: NodeId, weight: f64) -> Self {
+        AdjEdge {
+            edge,
+            other,
+            weight,
+        }
+    }
+}
+
+/// A node's view of the current graph state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeRecord {
+    /// The node this record describes.
+    pub node: NodeId,
+    /// Remaining capacity of the node.
+    pub capacity: u64,
+    /// Incident edges the node still considers live.
+    pub adjacency: Vec<AdjEdge>,
+}
+
+impl NodeRecord {
+    /// Creates a record.
+    pub fn new(node: NodeId, capacity: u64, adjacency: Vec<AdjEdge>) -> Self {
+        NodeRecord {
+            node,
+            capacity,
+            adjacency,
+        }
+    }
+
+    /// Whether the node has no live incident edges.
+    pub fn is_isolated(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// The indices (into `adjacency`) of the node's `k` heaviest live
+    /// edges, ties broken by edge id so that the choice is deterministic.
+    pub fn heaviest_edges(&self, k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.adjacency.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ea = &self.adjacency[a];
+            let eb = &self.adjacency[b];
+            eb.weight
+                .partial_cmp(&ea.weight)
+                .expect("edge weights are finite")
+                .then(ea.edge.cmp(&eb.edge))
+        });
+        order.truncate(k);
+        order
+    }
+}
+
+/// Builds the initial node-centric representation of a graph: one record
+/// per non-isolated node, keyed by the node id.
+pub fn build_node_records(
+    graph: &BipartiteGraph,
+    caps: &Capacities,
+) -> Vec<(NodeId, NodeRecord)> {
+    assert!(
+        caps.matches(graph),
+        "capacities were built for a different graph"
+    );
+    graph
+        .nodes()
+        .filter(|&v| graph.degree(v) > 0)
+        .map(|v| {
+            let adjacency = graph
+                .incident_edges(v)
+                .iter()
+                .map(|&e| {
+                    let edge = graph.edge(e);
+                    AdjEdge::new(e, edge.other_endpoint(v), edge.weight)
+                })
+                .collect();
+            (v, NodeRecord::new(v, caps.of(v), adjacency))
+        })
+        .collect()
+}
+
+/// Total number of live edges across records.  Every edge is listed by both
+/// of its endpoints while both are present, so this is `2|E|` for a fully
+/// consistent state; it reaches zero exactly when no record lists any edge.
+pub fn total_live_edge_entries(records: &[(NodeId, NodeRecord)]) -> usize {
+    records.iter().map(|(_, r)| r.adjacency.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_graph::{ConsumerId, Edge, ItemId};
+
+    fn graph() -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            2,
+            2,
+            vec![
+                Edge::new(ItemId(0), ConsumerId(0), 1.0),
+                Edge::new(ItemId(0), ConsumerId(1), 3.0),
+                Edge::new(ItemId(1), ConsumerId(1), 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_node_records_covers_non_isolated_nodes() {
+        let g = graph();
+        let caps = Capacities::uniform(&g, 2, 1);
+        let records = build_node_records(&g, &caps);
+        assert_eq!(records.len(), 4);
+        let (key, item0) = records
+            .iter()
+            .find(|(k, _)| *k == NodeId::item(0))
+            .unwrap();
+        assert_eq!(*key, item0.node);
+        assert_eq!(item0.capacity, 2);
+        assert_eq!(item0.adjacency.len(), 2);
+        assert_eq!(item0.adjacency[0].other, NodeId::consumer(0));
+        assert_eq!(total_live_edge_entries(&records), 6); // 2 * |E|
+    }
+
+    #[test]
+    fn isolated_nodes_get_no_record() {
+        let g = BipartiteGraph::from_edges(
+            2,
+            1,
+            vec![Edge::new(ItemId(0), ConsumerId(0), 1.0)],
+        );
+        let caps = Capacities::uniform(&g, 1, 1);
+        let records = build_node_records(&g, &caps);
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|(k, _)| *k != NodeId::item(1)));
+    }
+
+    #[test]
+    fn heaviest_edges_orders_by_weight_then_id() {
+        let g = graph();
+        let caps = Capacities::uniform(&g, 2, 2);
+        let records = build_node_records(&g, &caps);
+        let (_, c1) = records
+            .iter()
+            .find(|(k, _)| *k == NodeId::consumer(1))
+            .unwrap();
+        // Consumer 1 has edges 1 (w=3.0) and 2 (w=2.0).
+        let top = c1.heaviest_edges(1);
+        assert_eq!(c1.adjacency[top[0]].edge, 1);
+        let both = c1.heaviest_edges(5);
+        assert_eq!(both.len(), 2);
+        assert_eq!(c1.adjacency[both[0]].edge, 1);
+        assert_eq!(c1.adjacency[both[1]].edge, 2);
+    }
+
+    #[test]
+    fn heaviest_edges_breaks_weight_ties_by_edge_id() {
+        let g = BipartiteGraph::from_edges(
+            1,
+            3,
+            vec![
+                Edge::new(ItemId(0), ConsumerId(0), 1.0),
+                Edge::new(ItemId(0), ConsumerId(1), 1.0),
+                Edge::new(ItemId(0), ConsumerId(2), 1.0),
+            ],
+        );
+        let caps = Capacities::uniform(&g, 2, 1);
+        let records = build_node_records(&g, &caps);
+        let (_, t0) = records
+            .iter()
+            .find(|(k, _)| *k == NodeId::item(0))
+            .unwrap();
+        let picks = t0.heaviest_edges(2);
+        assert_eq!(t0.adjacency[picks[0]].edge, 0);
+        assert_eq!(t0.adjacency[picks[1]].edge, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn mismatched_capacities_are_rejected() {
+        let g = graph();
+        let caps = Capacities::from_vectors(vec![1], vec![1]);
+        build_node_records(&g, &caps);
+    }
+}

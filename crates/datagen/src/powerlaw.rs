@@ -1,0 +1,167 @@
+//! Zipf and power-law samplers.
+//!
+//! Social-media quantities are heavy-tailed: tag/term popularity, user
+//! activity, photo favourites.  The generators draw them from a Zipf
+//! distribution over ranks and a discrete power law over values.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative distribution over ranks.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has no ranks (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative values are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Samples positive integers from a (truncated) discrete power law:
+/// `P(X = k) ∝ k^(−exponent)` for `k` in `[1, max_value]`.
+#[derive(Debug, Clone)]
+pub struct PowerLawSampler {
+    cumulative: Vec<f64>,
+}
+
+impl PowerLawSampler {
+    /// Creates a sampler for values `1..=max_value` with the given
+    /// exponent.
+    ///
+    /// # Panics
+    /// Panics if `max_value == 0` or `exponent <= 0`.
+    pub fn new(max_value: u64, exponent: f64) -> Self {
+        assert!(max_value > 0, "max_value must be positive");
+        assert!(exponent > 0.0, "exponent must be positive");
+        let mut cumulative = Vec::with_capacity(max_value as usize);
+        let mut total = 0.0;
+        for k in 1..=max_value {
+            total += (k as f64).powf(-exponent);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        PowerLawSampler { cumulative }
+    }
+
+    /// Draws one value in `1..=max_value`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative values are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        };
+        (idx + 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_favours_low_ranks() {
+        let sampler = ZipfSampler::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50] * 5);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_roughly_uniform() {
+        let sampler = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5000.0).abs() < 700.0, "count {c} too far from uniform");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_are_always_in_range() {
+        let sampler = ZipfSampler::new(7, 2.0);
+        assert_eq!(sampler.len(), 7);
+        assert!(!sampler.is_empty());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(sampler.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn power_law_produces_heavy_tail_but_mostly_small_values() {
+        let sampler = PowerLawSampler::new(1000, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<u64> = (0..20_000).map(|_| sampler.sample(&mut rng)).collect();
+        let ones = samples.iter().filter(|&&v| v == 1).count();
+        let large = samples.iter().filter(|&&v| v > 100).count();
+        assert!(ones > samples.len() / 2, "power law should be dominated by 1s");
+        assert!(large > 0, "the tail should still be reachable");
+        assert!(samples.iter().all(|&v| (1..=1000).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty_support() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn power_law_rejects_non_positive_exponent() {
+        PowerLawSampler::new(10, 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Laptop-scale stand-ins for the paper's three datasets.
+//!
+//! | Preset | Paper size (|T| / |C| / |E|) | This preset (|T| / |C|) |
+//! |---|---|---|
+//! | `flickr-small`   | 2 817 / 526 / 550 667            | 300 / 80   |
+//! | `flickr-large`   | 373 373 / 32 707 / 1 995 123 827 | 2 500 / 400 |
+//! | `yahoo-answers`  | 4 852 689 / 1 149 714 / 18 847 281 236 | 1 500 / 500 |
+//!
+//! The absolute sizes are scaled down by orders of magnitude so that the
+//! full pipeline (similarity join + matching + parameter sweeps) runs on a
+//! laptop in minutes; the *relative* characteristics the experiments
+//! depend on are preserved: flickr-large is much larger and has a much more
+//! skewed capacity distribution than flickr-small, and yahoo-answers has
+//! uniform item capacities with many more items than consumers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::answers::AnswersGenerator;
+use crate::flickr::FlickrGenerator;
+use crate::social::SocialDataset;
+
+/// The three datasets of the paper's evaluation, at laptop scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetPreset {
+    /// Scaled-down `flickr-small`.
+    FlickrSmall,
+    /// Scaled-down `flickr-large`.
+    FlickrLarge,
+    /// Scaled-down `yahoo-answers`.
+    YahooAnswers,
+}
+
+impl DatasetPreset {
+    /// All presets, in the order the paper presents them.
+    pub fn all() -> [DatasetPreset; 3] {
+        [
+            DatasetPreset::FlickrSmall,
+            DatasetPreset::FlickrLarge,
+            DatasetPreset::YahooAnswers,
+        ]
+    }
+
+    /// The dataset name used in reports (matches the paper's naming).
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetPreset::FlickrSmall => "flickr-small",
+            DatasetPreset::FlickrLarge => "flickr-large",
+            DatasetPreset::YahooAnswers => "yahoo-answers",
+        }
+    }
+
+    /// Default similarity thresholds σ swept by the experiments for this
+    /// preset (lower thresholds ⇒ more candidate edges), mirroring the
+    /// σ sweeps of Figures 1–3.
+    pub fn sigma_sweep(self) -> Vec<f64> {
+        match self {
+            DatasetPreset::FlickrSmall => vec![0.30, 0.22, 0.16, 0.11, 0.07],
+            DatasetPreset::FlickrLarge => vec![0.35, 0.27, 0.20, 0.14, 0.09],
+            DatasetPreset::YahooAnswers => vec![0.30, 0.22, 0.16, 0.11, 0.07],
+        }
+    }
+
+    /// The default σ used when a single instance of the preset is needed.
+    pub fn default_sigma(self) -> f64 {
+        self.sigma_sweep()[self.sigma_sweep().len() / 2]
+    }
+
+    /// Generates the documents, activity and quality signals of the
+    /// preset.
+    pub fn generate(self) -> SocialDataset {
+        self.generate_with_seed(2011)
+    }
+
+    /// Generates the preset with an explicit seed.
+    pub fn generate_with_seed(self, seed: u64) -> SocialDataset {
+        let mut dataset = match self {
+            DatasetPreset::FlickrSmall => FlickrGenerator {
+                num_photos: 300,
+                num_users: 80,
+                vocabulary: 250,
+                interests_per_user: 14,
+                tags_per_photo: 7,
+                topicality: 0.75,
+                seed,
+                ..FlickrGenerator::default()
+            }
+            .generate(),
+            DatasetPreset::FlickrLarge => FlickrGenerator {
+                num_photos: 2_500,
+                num_users: 400,
+                vocabulary: 900,
+                interests_per_user: 10,
+                tags_per_photo: 6,
+                topicality: 0.7,
+                activity_exponent: 1.4,
+                max_activity: 600,
+                favorites_exponent: 1.6,
+                max_favorites: 2_000,
+                seed,
+                ..FlickrGenerator::default()
+            }
+            .generate(),
+            DatasetPreset::YahooAnswers => AnswersGenerator {
+                num_questions: 1_500,
+                num_users: 500,
+                vocabulary: 1_200,
+                num_topics: 30,
+                seed,
+                ..AnswersGenerator::default()
+            }
+            .generate(),
+        };
+        dataset.name = self.name().to_string();
+        dataset
+    }
+}
+
+impl std::fmt::Display for DatasetPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DatasetPreset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flickr-small" => Ok(DatasetPreset::FlickrSmall),
+            "flickr-large" => Ok(DatasetPreset::FlickrLarge),
+            "yahoo-answers" => Ok(DatasetPreset::YahooAnswers),
+            other => Err(format!(
+                "unknown dataset preset '{other}' (expected flickr-small, flickr-large or yahoo-answers)"
+            )),
+        }
+    }
+}
+
+/// A fully generated preset instance: the dataset plus the α value used
+/// when deriving capacities.
+#[derive(Debug, Clone)]
+pub struct PresetInstance {
+    /// Which preset this is.
+    pub preset: DatasetPreset,
+    /// The generated dataset.
+    pub dataset: SocialDataset,
+    /// The activity multiplier α.
+    pub alpha: f64,
+}
+
+impl PresetInstance {
+    /// Generates a preset instance with the given α.
+    pub fn new(preset: DatasetPreset, alpha: f64) -> Self {
+        PresetInstance {
+            preset,
+            dataset: preset.generate(),
+            alpha,
+        }
+    }
+
+    /// Capacities of this instance.
+    pub fn capacities(&self) -> smr_graph::Capacities {
+        self.dataset.capacities(self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn presets_have_distinct_sizes_ordered_like_the_paper() {
+        let small = DatasetPreset::FlickrSmall.generate();
+        let large = DatasetPreset::FlickrLarge.generate();
+        let answers = DatasetPreset::YahooAnswers.generate();
+        assert!(large.num_items() > 5 * small.num_items());
+        assert!(large.num_consumers() > small.num_consumers());
+        assert!(answers.num_items() > answers.num_consumers());
+        assert_eq!(small.name, "flickr-small");
+        assert_eq!(large.name, "flickr-large");
+        assert_eq!(answers.name, "yahoo-answers");
+    }
+
+    #[test]
+    fn names_round_trip_through_fromstr_and_display() {
+        for preset in DatasetPreset::all() {
+            let parsed = DatasetPreset::from_str(&preset.to_string()).unwrap();
+            assert_eq!(parsed, preset);
+        }
+        assert!(DatasetPreset::from_str("imagenet").is_err());
+    }
+
+    #[test]
+    fn sigma_sweeps_are_decreasing() {
+        for preset in DatasetPreset::all() {
+            let sweep = preset.sigma_sweep();
+            assert!(sweep.len() >= 3);
+            for pair in sweep.windows(2) {
+                assert!(pair[1] < pair[0], "{preset}: sweep must be decreasing");
+            }
+            assert!(sweep.contains(&preset.default_sigma()));
+        }
+    }
+
+    #[test]
+    fn preset_instances_carry_consistent_capacities() {
+        let instance = PresetInstance::new(DatasetPreset::FlickrSmall, 1.0);
+        let caps = instance.capacities();
+        assert_eq!(caps.num_items(), instance.dataset.num_items());
+        assert_eq!(caps.num_consumers(), instance.dataset.num_consumers());
+    }
+
+    #[test]
+    fn generation_with_same_seed_is_reproducible() {
+        let a = DatasetPreset::YahooAnswers.generate_with_seed(5);
+        let b = DatasetPreset::YahooAnswers.generate_with_seed(5);
+        assert_eq!(a.items, b.items);
+    }
+}

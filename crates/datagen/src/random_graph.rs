@@ -1,0 +1,216 @@
+//! Direct generation of weighted candidate-edge graphs.
+//!
+//! The full pipeline (documents → similarity join → graph) is what the
+//! end-to-end experiments use, but many benchmarks only need "a bipartite
+//! graph whose weight and degree distributions look like the paper's
+//! candidate graphs".  This module generates such graphs directly, which
+//! keeps the matching benchmarks focused on the matching algorithms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use smr_graph::{BipartiteGraph, ConsumerId, Edge, ItemId};
+
+use crate::powerlaw::ZipfSampler;
+
+/// Edge-weight distributions.
+///
+/// The paper's similarity distributions (Figure 6) are heavily skewed
+/// towards small values; [`WeightDistribution::Exponential`] reproduces
+/// that shape, [`WeightDistribution::Uniform`] is the neutral baseline and
+/// [`WeightDistribution::PowerLaw`] gives an even heavier tail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WeightDistribution {
+    /// Uniform on `[min, max)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (exclusive).
+        max: f64,
+    },
+    /// `min + Exp(rate)`, truncated at `cap`; most similarities are near
+    /// the threshold with an exponentially decaying tail.
+    Exponential {
+        /// Lower bound (the similarity threshold σ).
+        min: f64,
+        /// Decay rate (larger ⇒ faster decay).
+        rate: f64,
+        /// Hard cap (similarities cannot exceed 1.0 for normalized
+        /// vectors).
+        cap: f64,
+    },
+    /// `min · u^(−1/(alpha−1))`, truncated at `cap`.
+    PowerLaw {
+        /// Lower bound.
+        min: f64,
+        /// Tail exponent (> 1).
+        alpha: f64,
+        /// Hard cap.
+        cap: f64,
+    },
+}
+
+impl WeightDistribution {
+    /// Draws one weight.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            WeightDistribution::Uniform { min, max } => rng.gen_range(min..max),
+            WeightDistribution::Exponential { min, rate, cap } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                (min + (-u.ln()) / rate).min(cap)
+            }
+            WeightDistribution::PowerLaw { min, alpha, cap } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                (min * u.powf(-1.0 / (alpha - 1.0))).min(cap)
+            }
+        }
+    }
+}
+
+/// Configuration of the direct graph generator.
+#[derive(Debug, Clone)]
+pub struct RandomGraphConfig {
+    /// Number of items.
+    pub num_items: usize,
+    /// Number of consumers.
+    pub num_consumers: usize,
+    /// Number of edges to generate (duplicates are merged, so the graph may
+    /// end up with slightly fewer).
+    pub num_edges: usize,
+    /// Weight distribution.
+    pub weights: WeightDistribution,
+    /// Zipf exponent of node popularity: larger values concentrate edges
+    /// on few popular items/consumers, mimicking the skewed degree
+    /// distributions of the real datasets.
+    pub popularity_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        RandomGraphConfig {
+            num_items: 200,
+            num_consumers: 100,
+            num_edges: 2000,
+            weights: WeightDistribution::Exponential {
+                min: 0.05,
+                rate: 8.0,
+                cap: 1.0,
+            },
+            popularity_exponent: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+impl RandomGraphConfig {
+    /// Generates the graph.
+    pub fn generate(&self) -> BipartiteGraph {
+        assert!(self.num_items > 0 && self.num_consumers > 0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let item_sampler = ZipfSampler::new(self.num_items, self.popularity_exponent);
+        let consumer_sampler = ZipfSampler::new(self.num_consumers, self.popularity_exponent);
+
+        // Collect unique (item, consumer) pairs.
+        let mut seen = std::collections::HashSet::with_capacity(self.num_edges);
+        let mut edges = Vec::with_capacity(self.num_edges);
+        let max_attempts = self.num_edges.saturating_mul(20).max(1000);
+        let mut attempts = 0usize;
+        while edges.len() < self.num_edges && attempts < max_attempts {
+            attempts += 1;
+            let t = item_sampler.sample(&mut rng) as u32;
+            let c = consumer_sampler.sample(&mut rng) as u32;
+            if seen.insert((t, c)) {
+                let w = self.weights.sample(&mut rng).max(1e-9);
+                edges.push(Edge::new(ItemId(t), ConsumerId(c), w));
+            }
+        }
+        BipartiteGraph::from_edges(self.num_items, self.num_consumers, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_the_requested_shape() {
+        let g = RandomGraphConfig {
+            num_items: 50,
+            num_consumers: 30,
+            num_edges: 300,
+            seed: 1,
+            ..RandomGraphConfig::default()
+        }
+        .generate();
+        assert_eq!(g.num_items(), 50);
+        assert_eq!(g.num_consumers(), 30);
+        assert!(g.num_edges() > 250, "should generate close to the requested edges");
+        assert!(g.edges().iter().all(|e| e.weight > 0.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = RandomGraphConfig::default().generate();
+        let b = RandomGraphConfig::default().generate();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.edge(0).item, b.edge(0).item);
+        let c = RandomGraphConfig {
+            seed: 7,
+            ..RandomGraphConfig::default()
+        }
+        .generate();
+        assert_eq!(c.num_items(), a.num_items());
+    }
+
+    #[test]
+    fn popularity_skews_degrees() {
+        let g = RandomGraphConfig {
+            num_items: 100,
+            num_consumers: 100,
+            num_edges: 2000,
+            popularity_exponent: 1.2,
+            seed: 3,
+            ..RandomGraphConfig::default()
+        }
+        .generate();
+        let first = g.degree(smr_graph::NodeId::item(0));
+        let last = g.degree(smr_graph::NodeId::item(99));
+        assert!(
+            first > last,
+            "rank-0 item should be much more popular ({first} vs {last})"
+        );
+    }
+
+    #[test]
+    fn exponential_weights_are_mostly_near_the_minimum() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dist = WeightDistribution::Exponential {
+            min: 0.1,
+            rate: 10.0,
+            cap: 1.0,
+        };
+        let samples: Vec<f64> = (0..5000).map(|_| dist.sample(&mut rng)).collect();
+        let near_min = samples.iter().filter(|&&w| w < 0.2).count();
+        assert!(near_min > samples.len() / 2);
+        assert!(samples.iter().all(|&w| (0.1..=1.0).contains(&w)));
+    }
+
+    #[test]
+    fn uniform_and_power_law_weights_respect_their_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let uniform = WeightDistribution::Uniform { min: 0.2, max: 0.8 };
+        let power = WeightDistribution::PowerLaw {
+            min: 0.1,
+            alpha: 2.5,
+            cap: 1.0,
+        };
+        for _ in 0..2000 {
+            let u = uniform.sample(&mut rng);
+            assert!((0.2..0.8).contains(&u));
+            let p = power.sample(&mut rng);
+            assert!((0.1..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! The weighted bipartite graph of Problem 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ConsumerId, ItemId, NodeId};
+
+/// Index of an edge in a [`BipartiteGraph`].
+pub type EdgeId = usize;
+
+/// A weighted edge between an item and a consumer.
+///
+/// Weights are the relevance scores `w(t, c) > 0` of the paper (for the
+/// social-content application they are tf·idf dot products produced by the
+/// similarity join).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The item endpoint.
+    pub item: ItemId,
+    /// The consumer endpoint.
+    pub consumer: ConsumerId,
+    /// The positive relevance score of delivering `item` to `consumer`.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(item: ItemId, consumer: ConsumerId, weight: f64) -> Self {
+        Edge {
+            item,
+            consumer,
+            weight,
+        }
+    }
+
+    /// The endpoint of this edge on the given side.
+    pub fn endpoint(&self, side_item: bool) -> NodeId {
+        if side_item {
+            NodeId::Item(self.item)
+        } else {
+            NodeId::Consumer(self.consumer)
+        }
+    }
+
+    /// The endpoint opposite to `node`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `node` is not an endpoint of this edge.
+    pub fn other_endpoint(&self, node: NodeId) -> NodeId {
+        match node {
+            NodeId::Item(t) => {
+                debug_assert_eq!(t, self.item);
+                NodeId::Consumer(self.consumer)
+            }
+            NodeId::Consumer(c) => {
+                debug_assert_eq!(c, self.consumer);
+                NodeId::Item(self.item)
+            }
+        }
+    }
+
+    /// Whether `node` is an endpoint of this edge.
+    pub fn touches(&self, node: NodeId) -> bool {
+        match node {
+            NodeId::Item(t) => t == self.item,
+            NodeId::Consumer(c) => c == self.consumer,
+        }
+    }
+}
+
+/// The undirected bipartite graph `G = (T, C, E)` with positive edge
+/// weights.
+///
+/// The edge list is the primary representation; adjacency (per-node lists
+/// of incident edge indices) is built once at construction so that both the
+/// centralized algorithms and the node-centric MapReduce jobs can iterate
+/// over neighbourhoods cheaply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    num_items: usize,
+    num_consumers: usize,
+    edges: Vec<Edge>,
+    item_labels: Vec<String>,
+    consumer_labels: Vec<String>,
+    /// `item_adj[t]` = indices of edges incident to item `t`.
+    item_adj: Vec<Vec<EdgeId>>,
+    /// `consumer_adj[c]` = indices of edges incident to consumer `c`.
+    consumer_adj: Vec<Vec<EdgeId>>,
+}
+
+impl BipartiteGraph {
+    /// Builds a graph from explicit side sizes and an edge list.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node outside the declared sides or
+    /// has a non-positive / non-finite weight.
+    pub fn from_edges(num_items: usize, num_consumers: usize, edges: Vec<Edge>) -> Self {
+        let item_labels = (0..num_items).map(|i| format!("t{i}")).collect();
+        let consumer_labels = (0..num_consumers).map(|i| format!("c{i}")).collect();
+        Self::from_edges_labelled(num_items, num_consumers, edges, item_labels, consumer_labels)
+    }
+
+    fn from_edges_labelled(
+        num_items: usize,
+        num_consumers: usize,
+        edges: Vec<Edge>,
+        item_labels: Vec<String>,
+        consumer_labels: Vec<String>,
+    ) -> Self {
+        assert_eq!(item_labels.len(), num_items);
+        assert_eq!(consumer_labels.len(), num_consumers);
+        let mut item_adj = vec![Vec::new(); num_items];
+        let mut consumer_adj = vec![Vec::new(); num_consumers];
+        for (idx, e) in edges.iter().enumerate() {
+            assert!(
+                e.item.index() < num_items,
+                "edge {idx} references item {} outside 0..{num_items}",
+                e.item
+            );
+            assert!(
+                e.consumer.index() < num_consumers,
+                "edge {idx} references consumer {} outside 0..{num_consumers}",
+                e.consumer
+            );
+            assert!(
+                e.weight.is_finite() && e.weight > 0.0,
+                "edge {idx} has non-positive or non-finite weight {}",
+                e.weight
+            );
+            item_adj[e.item.index()].push(idx);
+            consumer_adj[e.consumer.index()].push(idx);
+        }
+        BipartiteGraph {
+            num_items,
+            num_consumers,
+            edges,
+            item_labels,
+            consumer_labels,
+            item_adj,
+            consumer_adj,
+        }
+    }
+
+    /// Number of items `|T|`.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of consumers `|C|`.
+    pub fn num_consumers(&self) -> usize {
+        self.num_consumers
+    }
+
+    /// Number of nodes `|T| + |C|`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_items + self.num_consumers
+    }
+
+    /// Number of edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge with the given index.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id]
+    }
+
+    /// All edges, in index order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The label attached to an item (dataset-specific, e.g. a photo id).
+    pub fn item_label(&self, t: ItemId) -> &str {
+        &self.item_labels[t.index()]
+    }
+
+    /// The label attached to a consumer.
+    pub fn consumer_label(&self, c: ConsumerId) -> &str {
+        &self.consumer_labels[c.index()]
+    }
+
+    /// Indices of the edges incident to `node`.
+    pub fn incident_edges(&self, node: NodeId) -> &[EdgeId] {
+        match node {
+            NodeId::Item(t) => &self.item_adj[t.index()],
+            NodeId::Consumer(c) => &self.consumer_adj[c.index()],
+        }
+    }
+
+    /// Degree of `node` (number of incident candidate edges).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.incident_edges(node).len()
+    }
+
+    /// Iterator over every node of the graph (items first).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_items as u32)
+            .map(NodeId::item)
+            .chain((0..self.num_consumers as u32).map(NodeId::consumer))
+    }
+
+    /// Maximum edge weight (`w_max`), or `None` for an edgeless graph.
+    pub fn max_weight(&self) -> Option<f64> {
+        self.edges
+            .iter()
+            .map(|e| e.weight)
+            .max_by(|a, b| a.partial_cmp(b).expect("weights are finite"))
+    }
+
+    /// Minimum edge weight (`w_min`), or `None` for an edgeless graph.
+    pub fn min_weight(&self) -> Option<f64> {
+        self.edges
+            .iter()
+            .map(|e| e.weight)
+            .min_by(|a, b| a.partial_cmp(b).expect("weights are finite"))
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Returns a new graph containing only the edges with weight `>= sigma`.
+    ///
+    /// This is the σ-thresholding of Section 4 used to sweep the number of
+    /// candidate edges in the experiments.  Node sets (and labels) are kept
+    /// unchanged so that capacities remain comparable across thresholds.
+    pub fn filter_by_threshold(&self, sigma: f64) -> BipartiteGraph {
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| e.weight >= sigma)
+            .collect();
+        BipartiteGraph::from_edges_labelled(
+            self.num_items,
+            self.num_consumers,
+            edges,
+            self.item_labels.clone(),
+            self.consumer_labels.clone(),
+        )
+    }
+
+    /// The edge-weight values, useful for similarity-distribution plots.
+    pub fn weights(&self) -> Vec<f64> {
+        self.edges.iter().map(|e| e.weight).collect()
+    }
+}
+
+/// Incremental builder for [`BipartiteGraph`].
+///
+/// The similarity join and the dataset generators discover items, consumers
+/// and edges as they go; the builder assigns dense ids and validates edges
+/// at [`GraphBuilder::build`] time.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    item_labels: Vec<String>,
+    consumer_labels: Vec<String>,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Adds an item with the given label and returns its id.
+    pub fn add_item(&mut self, label: impl Into<String>) -> ItemId {
+        let id = ItemId(self.item_labels.len() as u32);
+        self.item_labels.push(label.into());
+        id
+    }
+
+    /// Adds a consumer with the given label and returns its id.
+    pub fn add_consumer(&mut self, label: impl Into<String>) -> ConsumerId {
+        let id = ConsumerId(self.consumer_labels.len() as u32);
+        self.consumer_labels.push(label.into());
+        id
+    }
+
+    /// Adds `count` anonymous items, returning the id of the first.
+    pub fn add_items(&mut self, count: usize) -> ItemId {
+        let first = ItemId(self.item_labels.len() as u32);
+        for i in 0..count {
+            self.add_item(format!("t{}", first.0 as usize + i));
+        }
+        first
+    }
+
+    /// Adds `count` anonymous consumers, returning the id of the first.
+    pub fn add_consumers(&mut self, count: usize) -> ConsumerId {
+        let first = ConsumerId(self.consumer_labels.len() as u32);
+        for i in 0..count {
+            self.add_consumer(format!("c{}", first.0 as usize + i));
+        }
+        first
+    }
+
+    /// Adds an edge between an already-added item and consumer.
+    pub fn add_edge(&mut self, item: ItemId, consumer: ConsumerId, weight: f64) -> &mut Self {
+        self.edges.push(Edge::new(item, consumer, weight));
+        self
+    }
+
+    /// Number of items added so far.
+    pub fn num_items(&self) -> usize {
+        self.item_labels.len()
+    }
+
+    /// Number of consumers added so far.
+    pub fn num_consumers(&self) -> usize {
+        self.consumer_labels.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Panics
+    /// Panics if any edge references an id that was never added or has a
+    /// non-positive weight.
+    pub fn build(self) -> BipartiteGraph {
+        BipartiteGraph::from_edges_labelled(
+            self.item_labels.len(),
+            self.consumer_labels.len(),
+            self.edges,
+            self.item_labels,
+            self.consumer_labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> BipartiteGraph {
+        // 2 items, 3 consumers, 4 edges.
+        BipartiteGraph::from_edges(
+            2,
+            3,
+            vec![
+                Edge::new(ItemId(0), ConsumerId(0), 1.0),
+                Edge::new(ItemId(0), ConsumerId(1), 0.5),
+                Edge::new(ItemId(1), ConsumerId(1), 2.0),
+                Edge::new(ItemId(1), ConsumerId(2), 0.25),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_adjacency() {
+        let g = sample_graph();
+        assert_eq!(g.num_items(), 2);
+        assert_eq!(g.num_consumers(), 3);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(NodeId::item(0)), 2);
+        assert_eq!(g.degree(NodeId::item(1)), 2);
+        assert_eq!(g.degree(NodeId::consumer(1)), 2);
+        assert_eq!(g.degree(NodeId::consumer(2)), 1);
+        assert_eq!(g.incident_edges(NodeId::consumer(1)), &[1, 2]);
+    }
+
+    #[test]
+    fn weight_extremes_and_total() {
+        let g = sample_graph();
+        assert_eq!(g.max_weight(), Some(2.0));
+        assert_eq!(g.min_weight(), Some(0.25));
+        assert!((g.total_weight() - 3.75).abs() < 1e-12);
+        let empty = BipartiteGraph::from_edges(1, 1, vec![]);
+        assert_eq!(empty.max_weight(), None);
+        assert_eq!(empty.min_weight(), None);
+    }
+
+    #[test]
+    fn threshold_filtering_keeps_nodes_and_drops_light_edges() {
+        let g = sample_graph();
+        let filtered = g.filter_by_threshold(0.5);
+        assert_eq!(filtered.num_items(), 2);
+        assert_eq!(filtered.num_consumers(), 3);
+        assert_eq!(filtered.num_edges(), 3);
+        assert!(filtered.edges().iter().all(|e| e.weight >= 0.5));
+        // Filtering with a threshold below the minimum keeps everything.
+        assert_eq!(g.filter_by_threshold(0.0).num_edges(), 4);
+        // Filtering above the maximum removes everything.
+        assert_eq!(g.filter_by_threshold(3.0).num_edges(), 0);
+    }
+
+    #[test]
+    fn edge_endpoint_helpers() {
+        let e = Edge::new(ItemId(3), ConsumerId(7), 1.5);
+        assert_eq!(e.other_endpoint(NodeId::item(3)), NodeId::consumer(7));
+        assert_eq!(e.other_endpoint(NodeId::consumer(7)), NodeId::item(3));
+        assert!(e.touches(NodeId::item(3)));
+        assert!(e.touches(NodeId::consumer(7)));
+        assert!(!e.touches(NodeId::item(4)));
+        assert_eq!(e.endpoint(true), NodeId::item(3));
+        assert_eq!(e.endpoint(false), NodeId::consumer(7));
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_item("photo-a");
+        let t1 = b.add_item("photo-b");
+        let c0 = b.add_consumer("user-a");
+        b.add_edge(t0, c0, 0.3);
+        b.add_edge(t1, c0, 0.6);
+        assert_eq!(b.num_items(), 2);
+        assert_eq!(b.num_consumers(), 1);
+        assert_eq!(b.num_edges(), 2);
+        let g = b.build();
+        assert_eq!(g.item_label(t0), "photo-a");
+        assert_eq!(g.item_label(t1), "photo-b");
+        assert_eq!(g.consumer_label(c0), "user-a");
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn builder_bulk_add() {
+        let mut b = GraphBuilder::new();
+        let first_item = b.add_items(3);
+        let first_consumer = b.add_consumers(2);
+        assert_eq!(first_item, ItemId(0));
+        assert_eq!(first_consumer, ConsumerId(0));
+        assert_eq!(b.num_items(), 3);
+        assert_eq!(b.num_consumers(), 2);
+        let more = b.add_items(2);
+        assert_eq!(more, ItemId(3));
+    }
+
+    #[test]
+    fn nodes_iterator_lists_items_then_consumers() {
+        let g = sample_graph();
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(nodes.len(), 5);
+        assert_eq!(nodes[0], NodeId::item(0));
+        assert_eq!(nodes[2], NodeId::consumer(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn zero_weight_edges_are_rejected() {
+        BipartiteGraph::from_edges(1, 1, vec![Edge::new(ItemId(0), ConsumerId(0), 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_edges_are_rejected() {
+        BipartiteGraph::from_edges(1, 1, vec![Edge::new(ItemId(5), ConsumerId(0), 1.0)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Plain-text persistence of graphs and capacities.
+//!
+//! The format is a simple line-oriented edge list so that generated
+//! datasets can be inspected, diffed and re-loaded:
+//!
+//! ```text
+//! # items <n> consumers <m>
+//! <item-index> <consumer-index> <weight>
+//! ...
+//! ```
+//!
+//! Capacities use one line per side:
+//!
+//! ```text
+//! items 3 1 4
+//! consumers 2 2
+//! ```
+
+use std::fmt::Write as _;
+use std::num::{ParseFloatError, ParseIntError};
+
+use crate::bipartite::{BipartiteGraph, Edge};
+use crate::capacity::Capacities;
+use crate::ids::{ConsumerId, ItemId};
+
+/// Errors produced while parsing the text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header line is missing or malformed.
+    MissingHeader,
+    /// A line did not have the expected number of fields.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing '# items <n> consumers <m>' header"),
+            ParseError::MalformedLine { line } => write!(f, "malformed line {line}"),
+            ParseError::BadNumber { line, token } => {
+                write!(f, "could not parse number '{token}' on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    fn bad_number(line: usize, token: &str) -> Self {
+        ParseError::BadNumber {
+            line,
+            token: token.to_string(),
+        }
+    }
+}
+
+fn parse_usize(line: usize, token: &str) -> Result<usize, ParseError> {
+    token
+        .parse::<usize>()
+        .map_err(|_: ParseIntError| ParseError::bad_number(line, token))
+}
+
+fn parse_u64(line: usize, token: &str) -> Result<u64, ParseError> {
+    token
+        .parse::<u64>()
+        .map_err(|_: ParseIntError| ParseError::bad_number(line, token))
+}
+
+fn parse_f64(line: usize, token: &str) -> Result<f64, ParseError> {
+    token
+        .parse::<f64>()
+        .map_err(|_: ParseFloatError| ParseError::bad_number(line, token))
+}
+
+/// Serializes a graph to the edge-list text format.
+pub fn graph_to_string(graph: &BipartiteGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# items {} consumers {}",
+        graph.num_items(),
+        graph.num_consumers()
+    );
+    for e in graph.edges() {
+        let _ = writeln!(out, "{} {} {}", e.item.0, e.consumer.0, e.weight);
+    }
+    out
+}
+
+/// Parses a graph from the edge-list text format.
+pub fn graph_from_string(text: &str) -> Result<BipartiteGraph, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .by_ref()
+        .find(|(_, l)| !l.trim().is_empty())
+        .ok_or(ParseError::MissingHeader)?;
+    let header_fields: Vec<&str> = header.split_whitespace().collect();
+    if header_fields.len() != 5
+        || header_fields[0] != "#"
+        || header_fields[1] != "items"
+        || header_fields[3] != "consumers"
+    {
+        return Err(ParseError::MissingHeader);
+    }
+    let num_items = parse_usize(1, header_fields[2])?;
+    let num_consumers = parse_usize(1, header_fields[4])?;
+
+    let mut edges = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(ParseError::MalformedLine { line: line_no });
+        }
+        let item = parse_usize(line_no, fields[0])? as u32;
+        let consumer = parse_usize(line_no, fields[1])? as u32;
+        let weight = parse_f64(line_no, fields[2])?;
+        edges.push(Edge::new(ItemId(item), ConsumerId(consumer), weight));
+    }
+    Ok(BipartiteGraph::from_edges(num_items, num_consumers, edges))
+}
+
+/// Serializes capacities to the two-line text format.
+pub fn capacities_to_string(caps: &Capacities) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "items");
+    for c in caps.item_capacities() {
+        let _ = write!(out, " {c}");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "consumers");
+    for c in caps.consumer_capacities() {
+        let _ = write!(out, " {c}");
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Parses capacities from the two-line text format.
+pub fn capacities_from_string(text: &str) -> Result<Capacities, ParseError> {
+    let mut item_caps = Vec::new();
+    let mut consumer_caps = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.is_empty() {
+            continue;
+        }
+        let target = match fields[0] {
+            "items" => &mut item_caps,
+            "consumers" => &mut consumer_caps,
+            _ => return Err(ParseError::MalformedLine { line: line_no }),
+        };
+        for token in &fields[1..] {
+            target.push(parse_u64(line_no, token)?);
+        }
+    }
+    Ok(Capacities::from_vectors(item_caps, consumer_caps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            2,
+            2,
+            vec![
+                Edge::new(ItemId(0), ConsumerId(1), 0.5),
+                Edge::new(ItemId(1), ConsumerId(0), 1.25),
+            ],
+        )
+    }
+
+    #[test]
+    fn graph_round_trips_through_text() {
+        let g = sample();
+        let text = graph_to_string(&g);
+        let parsed = graph_from_string(&text).unwrap();
+        assert_eq!(parsed.num_items(), 2);
+        assert_eq!(parsed.num_consumers(), 2);
+        assert_eq!(parsed.num_edges(), 2);
+        assert_eq!(parsed.edge(0).item, ItemId(0));
+        assert_eq!(parsed.edge(0).consumer, ConsumerId(1));
+        assert!((parsed.edge(1).weight - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "\n# items 1 consumers 1\n# a comment\n\n0 0 2.5\n";
+        let g = graph_from_string(text).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge(0).weight, 2.5);
+    }
+
+    #[test]
+    fn malformed_inputs_are_reported() {
+        assert!(matches!(
+            graph_from_string(""),
+            Err(ParseError::MissingHeader)
+        ));
+        assert!(matches!(
+            graph_from_string("# wrong header here x"),
+            Err(ParseError::MissingHeader)
+        ));
+        let missing_field = "# items 1 consumers 1\n0 0\n";
+        assert!(matches!(
+            graph_from_string(missing_field),
+            Err(ParseError::MalformedLine { line: 2 })
+        ));
+        let bad_number = "# items 1 consumers 1\n0 0 abc\n";
+        assert!(matches!(
+            graph_from_string(bad_number),
+            Err(ParseError::BadNumber { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn capacities_round_trip_through_text() {
+        let caps = Capacities::from_vectors(vec![3, 1], vec![2, 2, 5]);
+        let text = capacities_to_string(&caps);
+        let parsed = capacities_from_string(&text).unwrap();
+        assert_eq!(parsed, caps);
+    }
+
+    #[test]
+    fn capacity_parse_errors() {
+        assert!(matches!(
+            capacities_from_string("widgets 1 2\n"),
+            Err(ParseError::MalformedLine { line: 1 })
+        ));
+        assert!(matches!(
+            capacities_from_string("items 1 x\nconsumers 1\n"),
+            Err(ParseError::BadNumber { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_error_display_is_informative() {
+        let e = ParseError::BadNumber {
+            line: 3,
+            token: "zz".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(ParseError::MissingHeader.to_string().contains("header"));
+        assert!(ParseError::MalformedLine { line: 9 }
+            .to_string()
+            .contains('9'));
+    }
+}

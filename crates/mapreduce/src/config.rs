@@ -1,0 +1,145 @@
+//! Job configuration.
+
+/// Configuration of a single MapReduce job (and, via the driver, of every
+/// round of an iterative algorithm).
+///
+/// The defaults give a job that uses every available core, one map task per
+/// core and one reduce task per core, which is what the experiments use.
+/// Tests frequently pin `num_threads` to 1 or 2 to get deterministic
+/// scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobConfig {
+    /// Human-readable job name, used in metrics and logs.
+    pub name: String,
+    /// Number of worker threads.  `0` means "use all available
+    /// parallelism" (as reported by the OS).
+    pub num_threads: usize,
+    /// Number of map tasks the input is split into.  `0` means "one per
+    /// worker thread".
+    pub num_map_tasks: usize,
+    /// Number of reduce partitions.  `0` means "one per worker thread".
+    pub num_reduce_tasks: usize,
+    /// Whether reduce partitions are sorted by key before reducing
+    /// (Hadoop always sorts; disabling the sort is useful only for
+    /// benchmarking the shuffle itself).
+    pub sort_reduce_input: bool,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            name: "mapreduce-job".to_string(),
+            num_threads: 0,
+            num_map_tasks: 0,
+            num_reduce_tasks: 0,
+            sort_reduce_input: true,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Creates a configuration with the given name and all other fields at
+    /// their defaults.
+    pub fn named(name: impl Into<String>) -> Self {
+        JobConfig::default().with_name(name)
+    }
+
+    /// Sets the job name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the number of worker threads (0 = all cores).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Sets the number of map tasks (0 = one per worker).
+    pub fn with_map_tasks(mut self, n: usize) -> Self {
+        self.num_map_tasks = n;
+        self
+    }
+
+    /// Sets the number of reduce tasks (0 = one per worker).
+    pub fn with_reduce_tasks(mut self, n: usize) -> Self {
+        self.num_reduce_tasks = n;
+        self
+    }
+
+    /// Enables or disables sorting of reduce-partition input by key.
+    pub fn with_sorted_reduce_input(mut self, sort: bool) -> Self {
+        self.sort_reduce_input = sort;
+        self
+    }
+
+    /// Resolved number of worker threads.
+    pub fn effective_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        }
+    }
+
+    /// Resolved number of map tasks for an input of `input_len` records.
+    ///
+    /// Never more tasks than records (a task with no input is pointless)
+    /// and always at least one.
+    pub fn effective_map_tasks(&self, input_len: usize) -> usize {
+        let base = if self.num_map_tasks == 0 {
+            self.effective_threads()
+        } else {
+            self.num_map_tasks
+        };
+        base.clamp(1, input_len.max(1))
+    }
+
+    /// Resolved number of reduce partitions.
+    pub fn effective_reduce_tasks(&self) -> usize {
+        if self.num_reduce_tasks == 0 {
+            self.effective_threads()
+        } else {
+            self.num_reduce_tasks
+        }
+        .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve_to_positive_values() {
+        let c = JobConfig::default();
+        assert!(c.effective_threads() >= 1);
+        assert!(c.effective_map_tasks(100) >= 1);
+        assert!(c.effective_reduce_tasks() >= 1);
+        assert!(c.sort_reduce_input);
+    }
+
+    #[test]
+    fn builder_setters_are_applied() {
+        let c = JobConfig::named("x")
+            .with_threads(3)
+            .with_map_tasks(7)
+            .with_reduce_tasks(5)
+            .with_sorted_reduce_input(false);
+        assert_eq!(c.name, "x");
+        assert_eq!(c.effective_threads(), 3);
+        assert_eq!(c.effective_map_tasks(100), 7);
+        assert_eq!(c.effective_reduce_tasks(), 5);
+        assert!(!c.sort_reduce_input);
+    }
+
+    #[test]
+    fn map_tasks_never_exceed_input_length() {
+        let c = JobConfig::default().with_map_tasks(64);
+        assert_eq!(c.effective_map_tasks(3), 3);
+        assert_eq!(c.effective_map_tasks(0), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Driver for iterative MapReduce algorithms.
+//!
+//! GreedyMR and StackMR are *chains* of MapReduce jobs: each round runs one
+//! or more jobs over the current graph state and decides whether another
+//! round is needed.  The driver owns that loop, enforces a round budget,
+//! and accumulates per-round metrics so that the experiments can report the
+//! "number of MapReduce iterations" series of Figures 1–3 and the
+//! per-iteration solution values of Figure 5.
+
+use crate::metrics::JobMetrics;
+
+/// What an iterative job wants to do after a round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundOutcome {
+    /// Keep iterating.
+    Continue,
+    /// The algorithm converged (e.g. no edges remain); stop.
+    Converged,
+}
+
+/// One round of an iterative MapReduce algorithm.
+pub trait IterativeJob {
+    /// Executes round `round` (0-based) and reports whether to continue.
+    ///
+    /// The job returns the metrics of every MapReduce job it ran this
+    /// round; most rounds of the matching algorithms run one job, the
+    /// maximal-matching subroutine of StackMR runs four (mark, select,
+    /// match, cleanup).
+    fn run_round(&mut self, round: usize) -> (RoundOutcome, Vec<JobMetrics>);
+}
+
+/// Summary of a complete iterative run.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Number of rounds executed (driver-level iterations).
+    pub rounds: usize,
+    /// Number of underlying MapReduce jobs executed across all rounds.
+    pub jobs: usize,
+    /// Whether the algorithm converged (as opposed to hitting the round
+    /// budget).
+    pub converged: bool,
+    /// Metrics of every job in execution order.
+    pub job_metrics: Vec<JobMetrics>,
+    /// Accumulated totals over all jobs.
+    pub totals: JobMetrics,
+}
+
+impl RunSummary {
+    /// Total number of records shuffled across all jobs — the paper's
+    /// communication cost.
+    pub fn total_shuffled_records(&self) -> u64 {
+        self.totals.shuffle_records
+    }
+}
+
+/// Runs an [`IterativeJob`] until convergence or until `max_rounds`.
+#[derive(Debug, Clone)]
+pub struct IterativeDriver {
+    max_rounds: usize,
+}
+
+impl IterativeDriver {
+    /// Creates a driver with the given round budget.
+    pub fn new(max_rounds: usize) -> Self {
+        IterativeDriver { max_rounds }
+    }
+
+    /// The round budget.
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+
+    /// Runs `job` to convergence (or the round budget) and returns the
+    /// summary.
+    pub fn run<J: IterativeJob>(&self, job: &mut J) -> RunSummary {
+        let mut summary = RunSummary {
+            totals: JobMetrics {
+                job_name: "totals".to_string(),
+                ..JobMetrics::default()
+            },
+            ..RunSummary::default()
+        };
+        for round in 0..self.max_rounds {
+            let (outcome, metrics) = job.run_round(round);
+            summary.rounds = round + 1;
+            summary.jobs += metrics.len();
+            for m in &metrics {
+                summary.totals.accumulate(m);
+            }
+            summary.job_metrics.extend(metrics);
+            if outcome == RoundOutcome::Converged {
+                summary.converged = true;
+                break;
+            }
+        }
+        summary
+    }
+}
+
+impl Default for IterativeDriver {
+    fn default() -> Self {
+        // Generous budget: the algorithms in this workspace converge in far
+        // fewer rounds; the budget only guards against non-termination bugs.
+        IterativeDriver::new(10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A job that counts down and converges after `n` rounds, reporting one
+    /// job with `round + 1` shuffled records per round.
+    struct Countdown {
+        remaining: usize,
+    }
+
+    impl IterativeJob for Countdown {
+        fn run_round(&mut self, round: usize) -> (RoundOutcome, Vec<JobMetrics>) {
+            let metrics = JobMetrics {
+                job_name: format!("round-{round}"),
+                shuffle_records: (round + 1) as u64,
+                ..JobMetrics::default()
+            };
+            if self.remaining <= 1 {
+                self.remaining = 0;
+                (RoundOutcome::Converged, vec![metrics])
+            } else {
+                self.remaining -= 1;
+                (RoundOutcome::Continue, vec![metrics])
+            }
+        }
+    }
+
+    #[test]
+    fn driver_stops_on_convergence() {
+        let mut job = Countdown { remaining: 5 };
+        let summary = IterativeDriver::new(100).run(&mut job);
+        assert!(summary.converged);
+        assert_eq!(summary.rounds, 5);
+        assert_eq!(summary.jobs, 5);
+        // 1 + 2 + 3 + 4 + 5 records shuffled in total.
+        assert_eq!(summary.total_shuffled_records(), 15);
+    }
+
+    #[test]
+    fn driver_respects_round_budget() {
+        let mut job = Countdown { remaining: 1000 };
+        let summary = IterativeDriver::new(3).run(&mut job);
+        assert!(!summary.converged);
+        assert_eq!(summary.rounds, 3);
+    }
+
+    #[test]
+    fn multi_job_rounds_are_counted() {
+        struct FourJobs {
+            rounds_left: usize,
+        }
+        impl IterativeJob for FourJobs {
+            fn run_round(&mut self, _round: usize) -> (RoundOutcome, Vec<JobMetrics>) {
+                self.rounds_left -= 1;
+                let metrics = vec![JobMetrics::default(); 4];
+                if self.rounds_left == 0 {
+                    (RoundOutcome::Converged, metrics)
+                } else {
+                    (RoundOutcome::Continue, metrics)
+                }
+            }
+        }
+        let summary = IterativeDriver::default().run(&mut FourJobs { rounds_left: 2 });
+        assert_eq!(summary.rounds, 2);
+        assert_eq!(summary.jobs, 8);
+    }
+}

@@ -1,0 +1,541 @@
+//! The parallel job executor: map → combine → partition → sort → group →
+//! reduce.
+//!
+//! The executor is an in-process model of a Hadoop job.  The input is split
+//! into map tasks; worker threads execute map tasks, apply the optional
+//! combiner per task, and partition the intermediate pairs; the shuffle
+//! concatenates and sorts each reduce partition; worker threads then execute
+//! reduce tasks.  Record counts and per-phase wall time are recorded in
+//! [`JobMetrics`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::config::JobConfig;
+use crate::counters::{builtin, Counters};
+use crate::metrics::{JobMetrics, PhaseTimings};
+use crate::partition::{HashPartitioner, Partitioner};
+use crate::types::{Combiner, Emitter, Mapper, Reducer};
+
+/// The output of a completed job.
+#[derive(Debug, Clone)]
+pub struct JobResult<K, V> {
+    /// All pairs emitted by the reducers, in partition order (records within
+    /// a partition appear in key order when `sort_reduce_input` is set).
+    pub output: Vec<(K, V)>,
+    /// Engine-level metrics (record counts, timings).
+    pub metrics: JobMetrics,
+    /// The counter set shared with the tasks (includes built-in counters
+    /// and any user counters bumped from map/reduce code).
+    pub counters: Counters,
+}
+
+/// A configured MapReduce job, ready to run user functions over an input.
+#[derive(Debug, Clone, Default)]
+pub struct Job {
+    config: JobConfig,
+}
+
+impl Job {
+    /// Creates a job with the given configuration.
+    pub fn new(config: JobConfig) -> Self {
+        Job { config }
+    }
+
+    /// The job configuration.
+    pub fn config(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// Runs the job with no combiner and hash partitioning.
+    pub fn run<M, R>(
+        &self,
+        mapper: &M,
+        reducer: &R,
+        input: Vec<(M::InKey, M::InValue)>,
+    ) -> JobResult<R::OutKey, R::OutValue>
+    where
+        M: Mapper,
+        R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
+    {
+        self.run_full(
+            mapper,
+            None::<&crate::types::IdentityCombiner<M::OutKey, M::OutValue>>,
+            reducer,
+            &HashPartitioner::new(),
+            input,
+            Counters::new(),
+        )
+    }
+
+    /// Runs the job with a map-side combiner and hash partitioning.
+    pub fn run_with_combiner<M, C, R>(
+        &self,
+        mapper: &M,
+        combiner: &C,
+        reducer: &R,
+        input: Vec<(M::InKey, M::InValue)>,
+    ) -> JobResult<R::OutKey, R::OutValue>
+    where
+        M: Mapper,
+        C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+        R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
+    {
+        self.run_full(
+            mapper,
+            Some(combiner),
+            reducer,
+            &HashPartitioner::new(),
+            input,
+            Counters::new(),
+        )
+    }
+
+    /// Runs the job with every knob exposed: optional combiner, custom
+    /// partitioner and an externally supplied counter set (so iterative
+    /// algorithms can accumulate user counters across rounds).
+    pub fn run_full<M, C, R, P>(
+        &self,
+        mapper: &M,
+        combiner: Option<&C>,
+        reducer: &R,
+        partitioner: &P,
+        input: Vec<(M::InKey, M::InValue)>,
+        counters: Counters,
+    ) -> JobResult<R::OutKey, R::OutValue>
+    where
+        M: Mapper,
+        C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+        R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
+        P: Partitioner<M::OutKey>,
+    {
+        let num_threads = self.config.effective_threads();
+        let num_map_tasks = self.config.effective_map_tasks(input.len());
+        let num_reduce_tasks = self.config.effective_reduce_tasks();
+
+        let mut metrics = JobMetrics {
+            job_name: self.config.name.clone(),
+            map_tasks: num_map_tasks,
+            reduce_tasks: num_reduce_tasks,
+            ..JobMetrics::default()
+        };
+        counters.add(builtin::MAP_INPUT_RECORDS, input.len() as u64);
+        metrics.map_input_records = input.len() as u64;
+
+        // ------------------------------------------------------------------
+        // Map phase (parallel over map tasks).  Each task produces one
+        // bucket of (key, value) pairs per reduce partition.
+        // ------------------------------------------------------------------
+        let map_start = Instant::now();
+        let splits = split_input(input, num_map_tasks);
+        let task_outputs: Mutex<Vec<Vec<Vec<(M::OutKey, M::OutValue)>>>> =
+            Mutex::new(Vec::with_capacity(num_map_tasks));
+        let next_task = AtomicUsize::new(0);
+        let splits_ref = &splits;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..num_threads.min(num_map_tasks) {
+                scope.spawn(|_| loop {
+                    let idx = next_task.fetch_add(1, Ordering::Relaxed);
+                    if idx >= splits_ref.len() {
+                        break;
+                    }
+                    let split = &splits_ref[idx];
+                    let mut emitter = Emitter::new();
+                    for (k, v) in split {
+                        mapper.map(k, v, &mut emitter);
+                    }
+                    let emitted = emitter.into_pairs();
+                    counters.add(builtin::MAP_OUTPUT_RECORDS, emitted.len() as u64);
+
+                    let combined = match combiner {
+                        Some(c) => combine_task_output(c, emitted),
+                        None => emitted,
+                    };
+                    counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
+
+                    let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
+                        (0..num_reduce_tasks).map(|_| Vec::new()).collect();
+                    for (k, v) in combined {
+                        let p = partitioner.partition(&k, num_reduce_tasks);
+                        buckets[p].push((k, v));
+                    }
+                    task_outputs.lock().push(buckets);
+                });
+            }
+        })
+        .expect("map worker thread panicked");
+        metrics.timings.map = map_start.elapsed();
+
+        // ------------------------------------------------------------------
+        // Shuffle: merge the per-task buckets into per-partition runs,
+        // sort by key and group.
+        // ------------------------------------------------------------------
+        let shuffle_start = Instant::now();
+        let task_outputs = task_outputs.into_inner();
+        let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
+            (0..num_reduce_tasks).map(|_| Vec::new()).collect();
+        for buckets in task_outputs {
+            for (p, bucket) in buckets.into_iter().enumerate() {
+                partitions[p].extend(bucket);
+            }
+        }
+        let shuffled: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+        counters.add(builtin::SHUFFLE_RECORDS, shuffled);
+        if self.config.sort_reduce_input {
+            for partition in &mut partitions {
+                partition.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+        metrics.timings.shuffle = shuffle_start.elapsed();
+
+        // ------------------------------------------------------------------
+        // Reduce phase (parallel over partitions).
+        // ------------------------------------------------------------------
+        let reduce_start = Instant::now();
+        let partition_results: Mutex<Vec<(usize, Vec<(R::OutKey, R::OutValue)>)>> =
+            Mutex::new(Vec::with_capacity(num_reduce_tasks));
+        let next_partition = AtomicUsize::new(0);
+        let partitions_ref = &partitions;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..num_threads.min(num_reduce_tasks) {
+                scope.spawn(|_| loop {
+                    let idx = next_partition.fetch_add(1, Ordering::Relaxed);
+                    if idx >= partitions_ref.len() {
+                        break;
+                    }
+                    let partition = &partitions_ref[idx];
+                    let mut emitter = Emitter::new();
+                    let mut groups = 0u64;
+                    for (key, values) in group_by_key(partition, self.config.sort_reduce_input) {
+                        reducer.reduce(key, &values, &mut emitter);
+                        groups += 1;
+                    }
+                    counters.add(builtin::REDUCE_INPUT_GROUPS, groups);
+                    let out = emitter.into_pairs();
+                    counters.add(builtin::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+                    partition_results.lock().push((idx, out));
+                });
+            }
+        })
+        .expect("reduce worker thread panicked");
+
+        let mut partition_results = partition_results.into_inner();
+        partition_results.sort_by_key(|(idx, _)| *idx);
+        let output: Vec<(R::OutKey, R::OutValue)> = partition_results
+            .into_iter()
+            .flat_map(|(_, out)| out)
+            .collect();
+        metrics.timings.reduce = reduce_start.elapsed();
+
+        metrics.map_output_records = counters.get(builtin::MAP_OUTPUT_RECORDS);
+        metrics.shuffle_records = counters.get(builtin::SHUFFLE_RECORDS);
+        metrics.reduce_input_groups = counters.get(builtin::REDUCE_INPUT_GROUPS);
+        metrics.reduce_output_records = counters.get(builtin::REDUCE_OUTPUT_RECORDS);
+        metrics.user_counters = counters.snapshot();
+        metrics.timings = PhaseTimings {
+            map: metrics.timings.map,
+            shuffle: metrics.timings.shuffle,
+            reduce: metrics.timings.reduce,
+        };
+
+        JobResult {
+            output,
+            metrics,
+            counters,
+        }
+    }
+}
+
+/// Splits the input into `num_tasks` contiguous, near-equal chunks.
+fn split_input<K, V>(input: Vec<(K, V)>, num_tasks: usize) -> Vec<Vec<(K, V)>> {
+    if input.is_empty() {
+        return vec![Vec::new()];
+    }
+    let num_tasks = num_tasks.max(1).min(input.len());
+    let chunk = input.len().div_ceil(num_tasks);
+    let mut splits = Vec::with_capacity(num_tasks);
+    let mut it = input.into_iter();
+    loop {
+        let split: Vec<(K, V)> = it.by_ref().take(chunk).collect();
+        if split.is_empty() {
+            break;
+        }
+        splits.push(split);
+    }
+    splits
+}
+
+/// Applies a combiner to one map task's output: groups the pairs by key and
+/// replaces each group's values by the combiner's output.
+fn combine_task_output<C: Combiner>(
+    combiner: &C,
+    mut pairs: Vec<(C::Key, C::Value)>,
+) -> Vec<(C::Key, C::Value)> {
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(pairs.len());
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        let key = pairs[i].0.clone();
+        let values: Vec<C::Value> = pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+        for v in combiner.combine(&key, &values) {
+            out.push((key.clone(), v));
+        }
+        i = j;
+    }
+    out
+}
+
+/// Iterates over `(key, values)` groups of a partition.
+///
+/// When the partition is sorted, equal keys are adjacent and the grouping is
+/// a single pass; otherwise a full scan per distinct key would be wrong, so
+/// we sort a copy of the indices instead.
+fn group_by_key<'a, K: Ord + Clone, V: Clone>(
+    partition: &'a [(K, V)],
+    sorted: bool,
+) -> Vec<(&'a K, Vec<V>)> {
+    if partition.is_empty() {
+        return Vec::new();
+    }
+    if sorted {
+        let mut groups = Vec::new();
+        let mut i = 0;
+        while i < partition.len() {
+            let mut j = i + 1;
+            while j < partition.len() && partition[j].0 == partition[i].0 {
+                j += 1;
+            }
+            let values: Vec<V> = partition[i..j].iter().map(|(_, v)| v.clone()).collect();
+            groups.push((&partition[i].0, values));
+            i = j;
+        }
+        groups
+    } else {
+        // Unsorted reduce input: group via an index sort so every key still
+        // reaches the reducer exactly once.
+        let mut idx: Vec<usize> = (0..partition.len()).collect();
+        idx.sort_by(|&a, &b| partition[a].0.cmp(&partition[b].0));
+        let mut groups: Vec<(&K, Vec<V>)> = Vec::new();
+        for &i in &idx {
+            match groups.last_mut() {
+                Some((k, values)) if *k == &partition[i].0 => values.push(partition[i].1.clone()),
+                _ => groups.push((&partition[i].0, vec![partition[i].1.clone()])),
+            }
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::IdentityCombiner;
+
+    struct SplitWords;
+    impl Mapper for SplitWords {
+        type InKey = usize;
+        type InValue = String;
+        type OutKey = String;
+        type OutValue = u64;
+        fn map(&self, _k: &usize, text: &String, out: &mut Emitter<String, u64>) {
+            for w in text.split_whitespace() {
+                out.emit(w.to_string(), 1);
+            }
+        }
+    }
+
+    struct SumCounts;
+    impl Reducer for SumCounts {
+        type Key = String;
+        type InValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        fn reduce(&self, k: &String, vs: &[u64], out: &mut Emitter<String, u64>) {
+            out.emit(k.clone(), vs.iter().sum());
+        }
+    }
+
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        type Key = String;
+        type Value = u64;
+        fn combine(&self, _k: &String, vs: &[u64]) -> Vec<u64> {
+            vec![vs.iter().sum()]
+        }
+    }
+
+    fn word_count_input() -> Vec<(usize, String)> {
+        vec![
+            (0, "the quick brown fox".to_string()),
+            (1, "the lazy dog".to_string()),
+            (2, "the quick dog".to_string()),
+            (3, "fox fox fox".to_string()),
+        ]
+    }
+
+    fn expected_counts() -> Vec<(String, u64)> {
+        let mut v = vec![
+            ("the".to_string(), 3),
+            ("quick".to_string(), 2),
+            ("brown".to_string(), 1),
+            ("fox".to_string(), 4),
+            ("lazy".to_string(), 1),
+            ("dog".to_string(), 2),
+        ];
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn word_count_without_combiner() {
+        let job = Job::new(JobConfig::named("wc").with_threads(4));
+        let result = job.run(&SplitWords, &SumCounts, word_count_input());
+        let mut out = result.output;
+        out.sort();
+        assert_eq!(out, expected_counts());
+        assert_eq!(result.metrics.map_input_records, 4);
+        assert_eq!(result.metrics.map_output_records, 13);
+        assert_eq!(result.metrics.shuffle_records, 13);
+        assert_eq!(result.metrics.reduce_input_groups, 6);
+        assert_eq!(result.metrics.reduce_output_records, 6);
+    }
+
+    #[test]
+    fn word_count_with_combiner_shuffles_fewer_records() {
+        let job = Job::new(
+            JobConfig::named("wc-combine")
+                .with_threads(2)
+                .with_map_tasks(2)
+                .with_reduce_tasks(3),
+        );
+        let result =
+            job.run_with_combiner(&SplitWords, &SumCombiner, &SumCounts, word_count_input());
+        let mut out = result.output;
+        out.sort();
+        assert_eq!(out, expected_counts());
+        assert!(
+            result.metrics.shuffle_records < result.metrics.map_output_records,
+            "combiner should reduce shuffled records: {} vs {}",
+            result.metrics.shuffle_records,
+            result.metrics.map_output_records
+        );
+        assert!(result.metrics.combine_reduction() > 0.0);
+    }
+
+    #[test]
+    fn result_is_independent_of_task_and_thread_counts() {
+        let baseline = {
+            let job = Job::new(JobConfig::named("wc").with_threads(1).with_map_tasks(1));
+            let mut out = job.run(&SplitWords, &SumCounts, word_count_input()).output;
+            out.sort();
+            out
+        };
+        for threads in [1, 2, 4, 8] {
+            for map_tasks in [1, 2, 3, 7] {
+                for reduce_tasks in [1, 2, 5] {
+                    let job = Job::new(
+                        JobConfig::named("wc")
+                            .with_threads(threads)
+                            .with_map_tasks(map_tasks)
+                            .with_reduce_tasks(reduce_tasks),
+                    );
+                    let mut out = job.run(&SplitWords, &SumCounts, word_count_input()).output;
+                    out.sort();
+                    assert_eq!(out, baseline, "threads={threads} map={map_tasks} reduce={reduce_tasks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let job = Job::new(JobConfig::default());
+        let result = job.run(&SplitWords, &SumCounts, Vec::new());
+        assert!(result.output.is_empty());
+        assert_eq!(result.metrics.map_input_records, 0);
+        assert_eq!(result.metrics.reduce_output_records, 0);
+    }
+
+    #[test]
+    fn reduce_input_is_sorted_by_key_within_partition() {
+        // With a single reduce partition the whole output must be in key
+        // order, mirroring Hadoop's sorted reducer input.
+        let job = Job::new(JobConfig::named("sorted").with_reduce_tasks(1).with_threads(2));
+        let result = job.run(&SplitWords, &SumCounts, word_count_input());
+        let keys: Vec<&String> = result.output.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn unsorted_reduce_input_still_groups_all_values() {
+        let job = Job::new(
+            JobConfig::named("unsorted")
+                .with_sorted_reduce_input(false)
+                .with_threads(3),
+        );
+        let mut out = job.run(&SplitWords, &SumCounts, word_count_input()).output;
+        out.sort();
+        assert_eq!(out, expected_counts());
+    }
+
+    #[test]
+    fn identity_combiner_changes_nothing() {
+        let job = Job::new(JobConfig::named("id"));
+        let with_id = job.run_with_combiner(
+            &SplitWords,
+            &IdentityCombiner::new(),
+            &SumCounts,
+            word_count_input(),
+        );
+        assert_eq!(
+            with_id.metrics.shuffle_records,
+            with_id.metrics.map_output_records
+        );
+    }
+
+    #[test]
+    fn split_input_covers_all_records_without_duplication() {
+        let input: Vec<(u32, u32)> = (0..103).map(|i| (i, i * 2)).collect();
+        for tasks in [1, 2, 3, 7, 50, 103, 200] {
+            let splits = split_input(input.clone(), tasks);
+            let total: usize = splits.iter().map(|s| s.len()).sum();
+            assert_eq!(total, 103, "tasks={tasks}");
+            assert!(splits.len() <= tasks.max(1));
+            let flat: Vec<(u32, u32)> = splits.into_iter().flatten().collect();
+            assert_eq!(flat, input);
+        }
+    }
+
+    #[test]
+    fn group_by_key_sorted_and_unsorted_agree() {
+        let data = vec![(2, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (1, 'e')];
+        let mut sorted_data = data.clone();
+        sorted_data.sort_by(|a, b| a.0.cmp(&b.0));
+        let sorted_groups: Vec<(i32, Vec<char>)> = group_by_key(&sorted_data, true)
+            .into_iter()
+            .map(|(k, v)| (*k, v))
+            .collect();
+        let unsorted_groups: Vec<(i32, Vec<char>)> = group_by_key(&data, false)
+            .into_iter()
+            .map(|(k, v)| (*k, v))
+            .collect();
+        assert_eq!(sorted_groups.len(), 3);
+        assert_eq!(sorted_groups.len(), unsorted_groups.len());
+        for ((k1, mut v1), (k2, mut v2)) in sorted_groups.into_iter().zip(unsorted_groups) {
+            v1.sort();
+            v2.sort();
+            assert_eq!(k1, k2);
+            assert_eq!(v1, v2);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! An in-process MapReduce execution engine.
+//!
+//! This crate is the *distributed substrate* for the reproduction of
+//! "Social Content Matching in MapReduce" (VLDB 2011).  The paper runs its
+//! algorithms on Hadoop; everything the algorithms need from Hadoop is the
+//! MapReduce contract itself:
+//!
+//! ```text
+//! map    : <k1, v1>   -> [<k2, v2>]
+//! reduce : <k2, [v2]> -> [<k3, v3>]
+//! ```
+//!
+//! plus the shuffle (partition, sort, group) in between, optional combiners,
+//! counters, and the ability to chain jobs iteratively while keeping state
+//! in a distributed file system.  This crate provides exactly those pieces:
+//!
+//! * [`Mapper`], [`Reducer`], [`Combiner`], [`Partitioner`] traits
+//!   ([`types`]),
+//! * a parallel [`executor`] that runs map tasks, shuffles intermediate
+//!   pairs into sorted reduce partitions, and runs reduce tasks — all on a
+//!   pool of worker threads built with `crossbeam` scoped threads,
+//! * per-job [`counters`] and [`metrics`] (records in/out, groups, bytes
+//!   shuffled, wall-clock per phase) so the experiments can report the same
+//!   efficiency measures the paper reports (number of MapReduce iterations,
+//!   communication cost per round),
+//! * an iterative [`driver`] for algorithms that chain many rounds
+//!   (GreedyMR, StackMR),
+//! * an in-memory record [`store`] standing in for HDFS between rounds.
+//!
+//! The engine is deliberately faithful to the programming model rather than
+//! to the physical deployment: the number of rounds an algorithm needs, the
+//! number of records it shuffles, and the degree of available parallelism
+//! are properties of the algorithm and are measured exactly as a Hadoop
+//! cluster would measure them.
+//!
+//! # Quick example
+//!
+//! A word-count job:
+//!
+//! ```
+//! use smr_mapreduce::prelude::*;
+//!
+//! struct Tokenize;
+//! impl Mapper for Tokenize {
+//!     type InKey = usize;          // document id
+//!     type InValue = String;       // document text
+//!     type OutKey = String;        // word
+//!     type OutValue = u64;         // count
+//!     fn map(&self, _k: &usize, text: &String, out: &mut Emitter<String, u64>) {
+//!         for w in text.split_whitespace() {
+//!             out.emit(w.to_string(), 1);
+//!         }
+//!     }
+//! }
+//!
+//! struct Sum;
+//! impl Reducer for Sum {
+//!     type Key = String;
+//!     type InValue = u64;
+//!     type OutKey = String;
+//!     type OutValue = u64;
+//!     fn reduce(&self, k: &String, vs: &[u64], out: &mut Emitter<String, u64>) {
+//!         out.emit(k.clone(), vs.iter().sum());
+//!     }
+//! }
+//!
+//! let input = vec![(0usize, "a b a".to_string()), (1usize, "b c".to_string())];
+//! let job = Job::new(JobConfig::default().with_name("word-count"));
+//! let result = job.run(&Tokenize, &Sum, input);
+//! let mut pairs = result.output;
+//! pairs.sort();
+//! assert_eq!(pairs, vec![
+//!     ("a".to_string(), 2),
+//!     ("b".to_string(), 2),
+//!     ("c".to_string(), 1),
+//! ]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod counters;
+pub mod driver;
+pub mod executor;
+pub mod metrics;
+pub mod partition;
+pub mod store;
+pub mod types;
+
+pub use config::JobConfig;
+pub use counters::{Counter, Counters};
+pub use driver::{IterativeDriver, IterativeJob, RoundOutcome, RunSummary};
+pub use executor::{Job, JobResult};
+pub use metrics::{JobMetrics, PhaseTimings};
+pub use partition::{HashPartitioner, Partitioner};
+pub use store::KvStore;
+pub use types::{Combiner, Emitter, IdentityCombiner, Mapper, Reducer};
+
+/// Convenience re-exports for users of the engine.
+pub mod prelude {
+    pub use crate::config::JobConfig;
+    pub use crate::counters::Counters;
+    pub use crate::driver::{IterativeDriver, IterativeJob, RoundOutcome, RunSummary};
+    pub use crate::executor::{Job, JobResult};
+    pub use crate::metrics::JobMetrics;
+    pub use crate::partition::{HashPartitioner, Partitioner};
+    pub use crate::store::KvStore;
+    pub use crate::types::{Combiner, Emitter, IdentityCombiner, Mapper, Reducer};
+}

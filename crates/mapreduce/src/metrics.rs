@@ -1,0 +1,133 @@
+//! Per-job and per-run metrics.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Wall-clock time spent in each phase of a job.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Time spent running map tasks (includes combining).
+    pub map: Duration,
+    /// Time spent partitioning, sorting and grouping intermediate pairs.
+    pub shuffle: Duration,
+    /// Time spent running reduce tasks.
+    pub reduce: Duration,
+}
+
+impl PhaseTimings {
+    /// Total wall-clock time of the job.
+    pub fn total(&self) -> Duration {
+        self.map + self.shuffle + self.reduce
+    }
+}
+
+/// Everything the engine measured while running one job.
+#[derive(Debug, Clone, Default)]
+pub struct JobMetrics {
+    /// The job name from [`crate::JobConfig`].
+    pub job_name: String,
+    /// Records read by map tasks.
+    pub map_input_records: u64,
+    /// Records emitted by map tasks before combining.
+    pub map_output_records: u64,
+    /// Records after map-side combining (equals `map_output_records` when
+    /// no combiner is configured).  This is what crosses the shuffle and is
+    /// the paper's per-round communication cost, O(|E|) for the matching
+    /// jobs.
+    pub shuffle_records: u64,
+    /// Distinct key groups presented to reducers.
+    pub reduce_input_groups: u64,
+    /// Records emitted by reduce tasks.
+    pub reduce_output_records: u64,
+    /// Number of map tasks executed.
+    pub map_tasks: usize,
+    /// Number of reduce partitions executed.
+    pub reduce_tasks: usize,
+    /// Wall-clock timings.
+    pub timings: PhaseTimings,
+    /// Snapshot of all user counters at job completion.
+    pub user_counters: BTreeMap<String, u64>,
+}
+
+impl JobMetrics {
+    /// Combiner effectiveness: fraction of map output records eliminated
+    /// before the shuffle (0.0 when no combiner ran or nothing was
+    /// eliminated).
+    pub fn combine_reduction(&self) -> f64 {
+        if self.map_output_records == 0 {
+            return 0.0;
+        }
+        1.0 - (self.shuffle_records as f64 / self.map_output_records as f64)
+    }
+
+    /// Adds the record counts of `other` into `self` (used to accumulate
+    /// totals across the rounds of an iterative algorithm).
+    pub fn accumulate(&mut self, other: &JobMetrics) {
+        self.map_input_records += other.map_input_records;
+        self.map_output_records += other.map_output_records;
+        self.shuffle_records += other.shuffle_records;
+        self.reduce_input_groups += other.reduce_input_groups;
+        self.reduce_output_records += other.reduce_output_records;
+        self.map_tasks += other.map_tasks;
+        self.reduce_tasks += other.reduce_tasks;
+        self.timings.map += other.timings.map;
+        self.timings.shuffle += other.timings.shuffle;
+        self.timings.reduce += other.timings.reduce;
+        for (k, v) in &other.user_counters {
+            *self.user_counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_reduction_handles_empty_job() {
+        let m = JobMetrics::default();
+        assert_eq!(m.combine_reduction(), 0.0);
+    }
+
+    #[test]
+    fn combine_reduction_measures_savings() {
+        let m = JobMetrics {
+            map_output_records: 100,
+            shuffle_records: 25,
+            ..JobMetrics::default()
+        };
+        assert!((m.combine_reduction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_counts_and_counters() {
+        let mut a = JobMetrics {
+            map_input_records: 1,
+            shuffle_records: 2,
+            ..JobMetrics::default()
+        };
+        a.user_counters.insert("edges".into(), 10);
+        let mut b = JobMetrics {
+            map_input_records: 3,
+            shuffle_records: 4,
+            ..JobMetrics::default()
+        };
+        b.user_counters.insert("edges".into(), 5);
+        b.user_counters.insert("nodes".into(), 7);
+        a.accumulate(&b);
+        assert_eq!(a.map_input_records, 4);
+        assert_eq!(a.shuffle_records, 6);
+        assert_eq!(a.user_counters["edges"], 15);
+        assert_eq!(a.user_counters["nodes"], 7);
+    }
+
+    #[test]
+    fn phase_timings_total() {
+        let t = PhaseTimings {
+            map: Duration::from_millis(10),
+            shuffle: Duration::from_millis(20),
+            reduce: Duration::from_millis(30),
+        };
+        assert_eq!(t.total(), Duration::from_millis(60));
+    }
+}

@@ -1,0 +1,74 @@
+//! Partitioning of intermediate keys into reduce tasks.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+
+/// Assigns every intermediate key to one of `num_partitions` reduce tasks.
+///
+/// The default [`HashPartitioner`] mirrors Hadoop's `HashPartitioner`.  The
+/// matching algorithms rely only on the contract that *all* values of a key
+/// reach the same reducer, never on which partition that is.
+pub trait Partitioner<K>: Send + Sync {
+    /// Returns the partition index in `0..num_partitions` for `key`.
+    fn partition(&self, key: &K, num_partitions: usize) -> usize;
+}
+
+/// Hash-based partitioner (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner<K> {
+    _marker: PhantomData<fn() -> K>,
+}
+
+impl<K> HashPartitioner<K> {
+    /// Creates a hash partitioner.
+    pub fn new() -> Self {
+        HashPartitioner {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K: Hash + Send + Sync> Partitioner<K> for HashPartitioner<K> {
+    fn partition(&self, key: &K, num_partitions: usize) -> usize {
+        debug_assert!(num_partitions > 0);
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % num_partitions as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_deterministic_and_in_range() {
+        let p: HashPartitioner<u64> = HashPartitioner::new();
+        for key in 0u64..1000 {
+            let a = p.partition(&key, 7);
+            let b = p.partition(&key, 7);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_keys() {
+        let p: HashPartitioner<u64> = HashPartitioner::new();
+        let mut hits = vec![0usize; 8];
+        for key in 0u64..4096 {
+            hits[p.partition(&key, 8)] += 1;
+        }
+        // Every partition should receive a non-trivial share of uniform keys.
+        for h in hits {
+            assert!(h > 4096 / 8 / 4, "partition starved: {h}");
+        }
+    }
+
+    #[test]
+    fn single_partition_takes_everything() {
+        let p: HashPartitioner<String> = HashPartitioner::new();
+        assert_eq!(p.partition(&"anything".to_string(), 1), 0);
+    }
+}

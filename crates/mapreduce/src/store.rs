@@ -1,0 +1,165 @@
+//! An in-memory record store standing in for the distributed file system.
+//!
+//! MapReduce assumes a distributed file system from which map tasks read
+//! their input and to which reduce tasks write their output; iterative
+//! algorithms (GreedyMR, StackMR) persist the graph state between rounds in
+//! it.  [`KvStore`] models exactly that contract: named datasets of records
+//! that can be written once per round and read by the next round.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A named, append-only collection of record datasets.
+///
+/// Cloning a `KvStore` is cheap and all clones share the same contents,
+/// mirroring how every task of a job sees the same file system.
+#[derive(Debug, Clone, Default)]
+pub struct KvStore<T> {
+    inner: Arc<RwLock<BTreeMap<String, Arc<Vec<T>>>>>,
+}
+
+impl<T: Clone> KvStore<T> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore {
+            inner: Arc::new(RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    /// Writes (or replaces) the dataset at `path`.
+    pub fn write(&self, path: &str, records: Vec<T>) {
+        self.inner
+            .write()
+            .insert(path.to_string(), Arc::new(records));
+    }
+
+    /// Appends records to the dataset at `path`, creating it if missing.
+    pub fn append(&self, path: &str, records: Vec<T>) {
+        let mut guard = self.inner.write();
+        match guard.get_mut(path) {
+            Some(existing) => {
+                let mut merged = existing.as_ref().clone();
+                merged.extend(records);
+                *existing = Arc::new(merged);
+            }
+            None => {
+                guard.insert(path.to_string(), Arc::new(records));
+            }
+        }
+    }
+
+    /// Reads the dataset at `path`.  Returns an empty vector when the path
+    /// does not exist (like reading an empty directory of part files).
+    pub fn read(&self, path: &str) -> Arc<Vec<T>> {
+        self.inner
+            .read()
+            .get(path)
+            .cloned()
+            .unwrap_or_else(|| Arc::new(Vec::new()))
+    }
+
+    /// Whether a dataset exists at `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.read().contains_key(path)
+    }
+
+    /// Removes the dataset at `path`, returning whether it existed.
+    pub fn remove(&self, path: &str) -> bool {
+        self.inner.write().remove(path).is_some()
+    }
+
+    /// Number of records stored at `path`.
+    pub fn len(&self, path: &str) -> usize {
+        self.inner.read().get(path).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Whether the dataset at `path` is missing or empty.
+    pub fn is_empty(&self, path: &str) -> bool {
+        self.len(path) == 0
+    }
+
+    /// All dataset paths currently stored, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Total number of records across all datasets.
+    pub fn total_records(&self) -> usize {
+        self.inner.read().values().map(|v| v.len()).sum()
+    }
+
+    /// Removes every dataset.
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let store: KvStore<u32> = KvStore::new();
+        store.write("iteration-0/graph", vec![1, 2, 3]);
+        assert_eq!(*store.read("iteration-0/graph"), vec![1, 2, 3]);
+        assert!(store.exists("iteration-0/graph"));
+        assert_eq!(store.len("iteration-0/graph"), 3);
+    }
+
+    #[test]
+    fn missing_path_reads_empty() {
+        let store: KvStore<u32> = KvStore::new();
+        assert!(store.read("nope").is_empty());
+        assert!(!store.exists("nope"));
+        assert!(store.is_empty("nope"));
+    }
+
+    #[test]
+    fn append_extends_existing_dataset() {
+        let store: KvStore<&'static str> = KvStore::new();
+        store.append("out", vec!["a"]);
+        store.append("out", vec!["b", "c"]);
+        assert_eq!(*store.read("out"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn write_replaces_dataset() {
+        let store: KvStore<u8> = KvStore::new();
+        store.write("x", vec![1]);
+        store.write("x", vec![2, 3]);
+        assert_eq!(*store.read("x"), vec![2, 3]);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let store: KvStore<u8> = KvStore::new();
+        store.write("a", vec![1]);
+        store.write("b", vec![2]);
+        assert!(store.remove("a"));
+        assert!(!store.remove("a"));
+        assert_eq!(store.paths(), vec!["b".to_string()]);
+        store.clear();
+        assert_eq!(store.total_records(), 0);
+    }
+
+    #[test]
+    fn clones_share_contents_across_threads() {
+        let store: KvStore<usize> = KvStore::new();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let store = store.clone();
+            handles.push(thread::spawn(move || {
+                store.write(&format!("part-{i}"), vec![i; 10]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.paths().len(), 4);
+        assert_eq!(store.total_records(), 40);
+    }
+}

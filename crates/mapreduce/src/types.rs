@@ -1,0 +1,207 @@
+//! Core traits of the MapReduce programming model.
+//!
+//! The signatures mirror Section 3.1 of the paper:
+//!
+//! ```text
+//! map    : <k1, v1>   -> [<k2, v2>]
+//! reduce : <k2, [v2]> -> [<k3, v3>]
+//! ```
+//!
+//! User code implements [`Mapper`] and [`Reducer`] (and optionally
+//! [`Combiner`]) and hands them to [`crate::Job::run`].  Emission goes
+//! through an [`Emitter`] so that the engine can count output records and
+//! avoid intermediate allocations in user code.
+
+use std::hash::Hash;
+
+/// Bound alias for types usable as keys.
+///
+/// Keys must be orderable (the shuffle sorts each reduce partition by key,
+/// exactly as Hadoop presents keys to reducers in sorted order), hashable
+/// (for hash partitioning) and cloneable/sendable (the engine moves them
+/// across worker threads).
+pub trait Key: Clone + Send + Sync + Ord + Hash + 'static {}
+impl<T: Clone + Send + Sync + Ord + Hash + 'static> Key for T {}
+
+/// Bound alias for types usable as values.
+pub trait Value: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Value for T {}
+
+/// Collects the key-value pairs emitted by a map or reduce invocation.
+///
+/// An `Emitter` is handed to every [`Mapper::map`] and [`Reducer::reduce`]
+/// call; everything emitted is owned by the engine afterwards.
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    /// Creates an empty emitter.
+    pub fn new() -> Self {
+        Emitter { pairs: Vec::new() }
+    }
+
+    /// Creates an emitter with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Emitter {
+            pairs: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Emits one key-value pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Consumes the emitter and returns the emitted pairs.
+    pub fn into_pairs(self) -> Vec<(K, V)> {
+        self.pairs
+    }
+
+    /// Drains the emitted pairs, leaving the emitter empty but reusable.
+    pub fn drain(&mut self) -> Vec<(K, V)> {
+        std::mem::take(&mut self.pairs)
+    }
+}
+
+impl<K, V> Default for Emitter<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The user-defined map function.
+///
+/// Implementations must be `Send + Sync`: the engine calls `map` from many
+/// worker threads concurrently (each call on a different input record).
+pub trait Mapper: Send + Sync {
+    /// Input key type (`k1`).
+    type InKey: Key;
+    /// Input value type (`v1`).
+    type InValue: Value;
+    /// Intermediate key type (`k2`).
+    type OutKey: Key;
+    /// Intermediate value type (`v2`).
+    type OutValue: Value;
+
+    /// Processes one input record, emitting any number of intermediate
+    /// pairs.
+    fn map(
+        &self,
+        key: &Self::InKey,
+        value: &Self::InValue,
+        out: &mut Emitter<Self::OutKey, Self::OutValue>,
+    );
+}
+
+/// The user-defined reduce function.
+///
+/// For every intermediate key the engine collects all values (from all map
+/// tasks) and calls `reduce` exactly once with the full value list.
+pub trait Reducer: Send + Sync {
+    /// Intermediate key type (`k2`).
+    type Key: Key;
+    /// Intermediate value type (`v2`).
+    type InValue: Value;
+    /// Output key type (`k3`).
+    type OutKey: Key;
+    /// Output value type (`v3`).
+    type OutValue: Value;
+
+    /// Processes one key group.
+    fn reduce(
+        &self,
+        key: &Self::Key,
+        values: &[Self::InValue],
+        out: &mut Emitter<Self::OutKey, Self::OutValue>,
+    );
+}
+
+/// An optional map-side combiner.
+///
+/// A combiner is applied to the output of every map *task* before the
+/// shuffle, reducing the number of records that must be moved.  It must be
+/// semantically idempotent with respect to the reducer: applying the
+/// combiner any number of times must not change the final reduce output.
+pub trait Combiner: Send + Sync {
+    /// Intermediate key type.
+    type Key: Key;
+    /// Intermediate value type.
+    type Value: Value;
+
+    /// Combines all values for `key` produced by a single map task into a
+    /// (typically shorter) list of values.
+    fn combine(&self, key: &Self::Key, values: &[Self::Value]) -> Vec<Self::Value>;
+}
+
+/// A combiner that performs no combining (every value passes through).
+///
+/// Useful as the default when a job has no combiner: the engine treats it
+/// as a no-op and skips the combine pass entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityCombiner<K, V> {
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> IdentityCombiner<K, V> {
+    /// Creates the identity combiner.
+    pub fn new() -> Self {
+        IdentityCombiner {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K: Key, V: Value> Combiner for IdentityCombiner<K, V> {
+    type Key = K;
+    type Value = V;
+
+    fn combine(&self, _key: &K, values: &[V]) -> Vec<V> {
+        values.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_collects_pairs_in_order() {
+        let mut e: Emitter<u32, &'static str> = Emitter::new();
+        assert!(e.is_empty());
+        e.emit(2, "b");
+        e.emit(1, "a");
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.into_pairs(), vec![(2, "b"), (1, "a")]);
+    }
+
+    #[test]
+    fn emitter_drain_resets_but_is_reusable() {
+        let mut e: Emitter<u8, u8> = Emitter::with_capacity(4);
+        e.emit(1, 1);
+        let first = e.drain();
+        assert_eq!(first, vec![(1, 1)]);
+        assert!(e.is_empty());
+        e.emit(2, 2);
+        assert_eq!(e.drain(), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn identity_combiner_passes_values_through() {
+        let c: IdentityCombiner<u32, u32> = IdentityCombiner::new();
+        let vals = vec![3, 1, 2];
+        assert_eq!(c.combine(&0, &vals), vals);
+    }
+}

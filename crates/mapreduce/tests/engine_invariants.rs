@@ -1,0 +1,130 @@
+//! Property-based and integration tests of the MapReduce engine's
+//! contract: the result of a job never depends on the number of map tasks,
+//! reduce partitions or worker threads, combiners never change the output,
+//! and the built-in counters are consistent with each other.
+
+use proptest::prelude::*;
+use smr_mapreduce::prelude::*;
+
+/// Mapper that explodes each record into (key mod groups, value) pairs.
+struct Spread {
+    groups: u32,
+}
+
+impl Mapper for Spread {
+    type InKey = u32;
+    type InValue = u64;
+    type OutKey = u32;
+    type OutValue = u64;
+    fn map(&self, k: &u32, v: &u64, out: &mut Emitter<u32, u64>) {
+        out.emit(k % self.groups, *v);
+        out.emit((k + 1) % self.groups, v / 2);
+    }
+}
+
+struct Max;
+
+impl Reducer for Max {
+    type Key = u32;
+    type InValue = u64;
+    type OutKey = u32;
+    type OutValue = u64;
+    fn reduce(&self, k: &u32, vs: &[u64], out: &mut Emitter<u32, u64>) {
+        out.emit(*k, vs.iter().copied().max().unwrap_or(0));
+    }
+}
+
+struct MaxCombiner;
+
+impl Combiner for MaxCombiner {
+    type Key = u32;
+    type Value = u64;
+    fn combine(&self, _k: &u32, vs: &[u64]) -> Vec<u64> {
+        vec![vs.iter().copied().max().unwrap_or(0)]
+    }
+}
+
+fn reference(input: &[(u32, u64)], groups: u32) -> std::collections::BTreeMap<u32, u64> {
+    let mut expected: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for (k, v) in input {
+        let first = expected.entry(k % groups).or_insert(0);
+        *first = (*first).max(*v);
+        let second = expected.entry((k + 1) % groups).or_insert(0);
+        *second = (*second).max(v / 2);
+    }
+    expected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn output_is_independent_of_parallelism(
+        input in proptest::collection::vec((0u32..50, 0u64..1_000), 0..80),
+        groups in 1u32..8,
+        map_tasks in 1usize..7,
+        reduce_tasks in 1usize..6,
+        threads in 1usize..5,
+    ) {
+        let job = Job::new(
+            JobConfig::named("prop-parallelism")
+                .with_map_tasks(map_tasks)
+                .with_reduce_tasks(reduce_tasks)
+                .with_threads(threads),
+        );
+        let result = job.run(&Spread { groups }, &Max, input.clone());
+        let got: std::collections::BTreeMap<u32, u64> = result.output.into_iter().collect();
+        prop_assert_eq!(got, reference(&input, groups));
+    }
+
+    #[test]
+    fn combiner_never_changes_the_result(
+        input in proptest::collection::vec((0u32..30, 0u64..1_000), 1..60),
+        groups in 1u32..6,
+    ) {
+        let job = Job::new(JobConfig::named("prop-combiner").with_threads(2));
+        let plain = job.run(&Spread { groups }, &Max, input.clone());
+        let combined = job.run_with_combiner(&Spread { groups }, &MaxCombiner, &Max, input);
+        let mut a = plain.output;
+        let mut b = combined.output;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        // The combiner can only reduce (or keep) the shuffle volume.
+        prop_assert!(combined.metrics.shuffle_records <= plain.metrics.shuffle_records);
+    }
+
+    #[test]
+    fn builtin_counters_are_consistent(
+        input in proptest::collection::vec((0u32..40, 0u64..100), 0..60),
+        groups in 1u32..5,
+    ) {
+        let job = Job::new(JobConfig::named("prop-counters").with_threads(3));
+        let result = job.run(&Spread { groups }, &Max, input.clone());
+        let m = &result.metrics;
+        prop_assert_eq!(m.map_input_records, input.len() as u64);
+        // Spread emits exactly two records per input record.
+        prop_assert_eq!(m.map_output_records, 2 * input.len() as u64);
+        // Without a combiner everything emitted is shuffled.
+        prop_assert_eq!(m.shuffle_records, m.map_output_records);
+        // Max emits one record per group; groups cannot exceed the key space.
+        prop_assert_eq!(m.reduce_output_records, m.reduce_input_groups);
+        prop_assert!(m.reduce_input_groups <= groups as u64);
+        prop_assert_eq!(m.reduce_output_records as usize, result.output.len());
+    }
+}
+
+#[test]
+fn store_round_trips_records_between_rounds() {
+    // Simulates the per-round persistence pattern the iterative matching
+    // algorithms use: write the reduce output, read it back as the next
+    // round's input.
+    let store: KvStore<(u32, u64)> = KvStore::new();
+    let job = Job::new(JobConfig::named("store-roundtrip").with_threads(2));
+    let round0 = job.run(&Spread { groups: 3 }, &Max, vec![(0, 10), (1, 20), (5, 3)]);
+    store.write("round-0", round0.output.clone());
+    let next_input: Vec<(u32, u64)> = store.read("round-0").as_ref().clone();
+    assert_eq!(next_input.len(), round0.output.len());
+    let round1 = job.run(&Spread { groups: 3 }, &Max, next_input);
+    assert!(!round1.output.is_empty());
+}

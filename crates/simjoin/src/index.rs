@@ -1,0 +1,167 @@
+//! The pruned inverted index over consumer vectors.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use smr_text::{SparseVector, TermId};
+
+use crate::prefix::prefix_length;
+
+/// One posting: a consumer (by dense index) and the weight of the indexed
+/// term in its vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Posting {
+    /// Dense index of the consumer document.
+    pub doc: usize,
+    /// Weight of the term in that document.
+    pub weight: f64,
+}
+
+/// A term → postings inverted index containing only prefix entries.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<TermId, Vec<Posting>>,
+    indexed_entries: usize,
+    total_entries: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the pruned index for the consumer vectors.
+    ///
+    /// `term_order_rank[t]` is the global rank of term `t` (rarest terms
+    /// first); `max_weights[t]` is the maximum weight of `t` on the item
+    /// side.  Only the prefix of each consumer vector is indexed: the
+    /// suffix cannot produce a similarity of σ with any item.
+    pub fn build(
+        consumers: &[SparseVector],
+        term_order_rank: &[u32],
+        max_weights: &[f64],
+        sigma: f64,
+    ) -> Self {
+        let mut index = InvertedIndex::default();
+        for (doc, vector) in consumers.iter().enumerate() {
+            let ordered = vector.terms_in_order(term_order_rank);
+            let plen = prefix_length(vector, &ordered, max_weights, sigma);
+            index.total_entries += vector.len();
+            for term in &ordered[..plen] {
+                index.indexed_entries += 1;
+                index.postings.entry(*term).or_default().push(Posting {
+                    doc,
+                    weight: vector.weight(*term),
+                });
+            }
+        }
+        index
+    }
+
+    /// Builds an index from already-computed postings (used by the
+    /// MapReduce join, whose first job produces exactly these lists).
+    pub fn from_postings(postings: impl IntoIterator<Item = (TermId, Vec<Posting>)>) -> Self {
+        let mut map: HashMap<TermId, Vec<Posting>> = HashMap::new();
+        let mut indexed = 0;
+        for (term, list) in postings {
+            indexed += list.len();
+            map.entry(term).or_default().extend(list);
+        }
+        InvertedIndex {
+            postings: map,
+            indexed_entries: indexed,
+            total_entries: indexed,
+        }
+    }
+
+    /// Postings of a term (empty if the term is not indexed).
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings.get(&term).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of indexed (term, doc) entries.
+    pub fn num_entries(&self) -> usize {
+        self.indexed_entries
+    }
+
+    /// Fraction of vector entries that were pruned away by prefix
+    /// filtering (0.0 when nothing was pruned or the input was empty).
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.total_entries == 0 {
+            0.0
+        } else {
+            1.0 - self.indexed_entries as f64 / self.total_entries as f64
+        }
+    }
+
+    /// The distinct candidate documents found by probing the index with
+    /// every term of `query`.
+    pub fn candidates(&self, query: &SparseVector) -> Vec<usize> {
+        let mut docs: Vec<usize> = query
+            .entries()
+            .iter()
+            .flat_map(|&(term, _)| self.postings(term).iter().map(|p| p.doc))
+            .collect();
+        docs.sort_unstable();
+        docs.dedup();
+        docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::term_max_weights;
+
+    fn vec_of(entries: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(entries.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    #[test]
+    fn build_indexes_only_prefixes() {
+        let consumers = vec![
+            vec_of(&[(0, 0.9), (1, 0.05)]),
+            vec_of(&[(1, 0.8), (2, 0.05)]),
+        ];
+        let items = vec![vec_of(&[(0, 1.0), (1, 1.0), (2, 1.0)])];
+        let maxw = term_max_weights(&items, 3);
+        // Identity order: term 0 first.
+        let rank = vec![0, 1, 2];
+        let index = InvertedIndex::build(&consumers, &rank, &maxw, 0.5);
+        // The 0.05-weight tails cannot reach 0.5 and are pruned.
+        assert!(index.num_entries() < 4);
+        assert!(index.pruning_ratio() > 0.0);
+        assert!(!index.postings(TermId(0)).is_empty());
+    }
+
+    #[test]
+    fn candidates_are_deduplicated() {
+        let consumers = vec![vec_of(&[(0, 1.0), (1, 1.0)])];
+        let items = vec![vec_of(&[(0, 1.0), (1, 1.0)])];
+        let maxw = term_max_weights(&items, 2);
+        let index = InvertedIndex::build(&consumers, &[0, 1], &maxw, 0.1);
+        let candidates = index.candidates(&items[0]);
+        assert_eq!(candidates, vec![0]);
+    }
+
+    #[test]
+    fn from_postings_round_trips() {
+        let index = InvertedIndex::from_postings(vec![
+            (TermId(3), vec![Posting { doc: 0, weight: 0.5 }]),
+            (TermId(7), vec![Posting { doc: 1, weight: 0.25 }]),
+        ]);
+        assert_eq!(index.num_terms(), 2);
+        assert_eq!(index.num_entries(), 2);
+        assert_eq!(index.postings(TermId(3)).len(), 1);
+        assert!(index.postings(TermId(9)).is_empty());
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let index = InvertedIndex::default();
+        assert_eq!(index.num_terms(), 0);
+        assert_eq!(index.pruning_ratio(), 0.0);
+        assert!(index.candidates(&vec_of(&[(0, 1.0)])).is_empty());
+    }
+}

@@ -1,0 +1,479 @@
+//! The two-round MapReduce similarity join (adaptation of Baraglia et al.
+//! to the bipartite item × consumer case).
+//!
+//! * **Job 1 — indexing**: every consumer vector is mapped to
+//!   `(term, posting)` pairs for the terms of its prefix only; the reducer
+//!   groups postings per term, producing the pruned inverted index.
+//! * **Job 2 — probing and verification**: every item vector is mapped
+//!   against the index (shipped to the mappers like a distributed-cache
+//!   file): each indexed term shared with a consumer generates a candidate
+//!   pair; the reducer deduplicates the candidates, recomputes the exact
+//!   similarity from the two vectors and keeps the pair when it reaches σ.
+//!
+//! The output is the candidate-edge [`BipartiteGraph`] handed to the
+//! matching algorithms.
+
+use std::sync::Arc;
+
+use smr_graph::{BipartiteGraph, GraphBuilder};
+use smr_mapreduce::{Emitter, Job, JobConfig, JobMetrics, Mapper, Reducer};
+use smr_text::{Corpus, SparseVector, TermId};
+
+use crate::index::{InvertedIndex, Posting};
+use crate::prefix::{prefix_length, term_max_weights};
+
+/// Configuration of the MapReduce similarity join.
+#[derive(Debug, Clone)]
+pub struct SimJoinConfig {
+    /// Similarity threshold σ: only pairs with dot product ≥ σ become
+    /// candidate edges.
+    pub sigma: f64,
+    /// MapReduce job configuration used by both jobs.
+    pub job: JobConfig,
+}
+
+impl Default for SimJoinConfig {
+    fn default() -> Self {
+        SimJoinConfig {
+            sigma: 0.1,
+            job: JobConfig::named("simjoin"),
+        }
+    }
+}
+
+impl SimJoinConfig {
+    /// Sets the similarity threshold.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is not strictly positive.
+    pub fn with_threshold(mut self, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "threshold must be positive");
+        self.sigma = sigma;
+        self
+    }
+
+    /// Sets the MapReduce job configuration.
+    pub fn with_job(mut self, job: JobConfig) -> Self {
+        self.job = job;
+        self
+    }
+}
+
+/// Result of the MapReduce similarity join.
+#[derive(Debug, Clone)]
+pub struct SimJoinResult {
+    /// The candidate-edge graph (items × consumers, weights = similarity).
+    pub graph: BipartiteGraph,
+    /// Number of candidate pairs generated before verification.
+    pub candidate_pairs: usize,
+    /// Number of (term, document) entries indexed by job 1 (after prefix
+    /// pruning).
+    pub indexed_entries: usize,
+    /// Metrics of the two MapReduce jobs.
+    pub job_metrics: Vec<JobMetrics>,
+}
+
+// ---------------------------------------------------------------------------
+// Job 1: indexing
+// ---------------------------------------------------------------------------
+
+struct IndexMapper {
+    term_order_rank: Arc<Vec<u32>>,
+    max_weights: Arc<Vec<f64>>,
+    sigma: f64,
+}
+
+impl Mapper for IndexMapper {
+    type InKey = usize; // consumer dense index
+    type InValue = SparseVector;
+    type OutKey = u32; // term id
+    type OutValue = Posting;
+
+    fn map(&self, doc: &usize, vector: &SparseVector, out: &mut Emitter<u32, Posting>) {
+        let ordered = vector.terms_in_order(&self.term_order_rank);
+        let plen = prefix_length(vector, &ordered, &self.max_weights, self.sigma);
+        for term in &ordered[..plen] {
+            out.emit(
+                term.0,
+                Posting {
+                    doc: *doc,
+                    weight: vector.weight(*term),
+                },
+            );
+        }
+    }
+}
+
+struct IndexReducer;
+
+impl Reducer for IndexReducer {
+    type Key = u32;
+    type InValue = Posting;
+    type OutKey = u32;
+    type OutValue = Vec<Posting>;
+
+    fn reduce(&self, term: &u32, postings: &[Posting], out: &mut Emitter<u32, Vec<Posting>>) {
+        let mut list = postings.to_vec();
+        list.sort_by_key(|p| p.doc);
+        out.emit(*term, list);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job 2: probing + verification
+// ---------------------------------------------------------------------------
+
+struct ProbeMapper {
+    index: Arc<InvertedIndex>,
+}
+
+impl Mapper for ProbeMapper {
+    type InKey = usize; // item dense index
+    type InValue = SparseVector;
+    type OutKey = (usize, usize); // (item, consumer) candidate pair
+    type OutValue = u8;
+
+    fn map(&self, item: &usize, vector: &SparseVector, out: &mut Emitter<(usize, usize), u8>) {
+        for consumer in self.index.candidates(vector) {
+            out.emit((*item, consumer), 1);
+        }
+    }
+}
+
+struct VerifyReducer {
+    items: Arc<Vec<SparseVector>>,
+    consumers: Arc<Vec<SparseVector>>,
+    sigma: f64,
+}
+
+impl Reducer for VerifyReducer {
+    type Key = (usize, usize);
+    type InValue = u8;
+    type OutKey = (usize, usize);
+    type OutValue = f64;
+
+    fn reduce(&self, pair: &(usize, usize), _counts: &[u8], out: &mut Emitter<(usize, usize), f64>) {
+        let (item, consumer) = *pair;
+        let similarity = self.items[item].dot(&self.consumers[consumer]);
+        if similarity >= self.sigma {
+            out.emit(*pair, similarity);
+        }
+    }
+}
+
+/// Runs the two-job MapReduce similarity join between item and consumer
+/// corpora that share a vocabulary-independent term space.
+///
+/// The two corpora are first re-vectorized over a shared vocabulary (they
+/// are usually built independently, so their term ids would not otherwise
+/// line up); pre-aligned vectors can be joined directly with
+/// [`mapreduce_similarity_join_vectors`].
+pub fn mapreduce_similarity_join(
+    items: &Corpus,
+    consumers: &Corpus,
+    config: &SimJoinConfig,
+) -> SimJoinResult {
+    let (item_vectors, consumer_vectors) = align_vector_spaces(items, consumers);
+    mapreduce_similarity_join_vectors(
+        &item_vectors,
+        &consumer_vectors,
+        &item_labels(items),
+        &consumer_labels(consumers),
+        config,
+    )
+}
+
+/// Runs the join directly on pre-vectorized inputs (both sides must share
+/// the same term space).
+pub fn mapreduce_similarity_join_vectors(
+    item_vectors: &[SparseVector],
+    consumer_vectors: &[SparseVector],
+    item_names: &[String],
+    consumer_names: &[String],
+    config: &SimJoinConfig,
+) -> SimJoinResult {
+    assert_eq!(item_vectors.len(), item_names.len());
+    assert_eq!(consumer_vectors.len(), consumer_names.len());
+    assert!(config.sigma > 0.0, "threshold must be positive");
+
+    let vocab_size = item_vectors
+        .iter()
+        .chain(consumer_vectors.iter())
+        .flat_map(|v| v.entries().iter().map(|(t, _)| t.index() + 1))
+        .max()
+        .unwrap_or(0);
+    let max_weights = Arc::new(term_max_weights(item_vectors, vocab_size));
+    let term_order_rank = Arc::new(rarest_first_rank(
+        item_vectors,
+        consumer_vectors,
+        vocab_size,
+    ));
+
+    let mut job_metrics = Vec::new();
+
+    // Job 1: build the pruned inverted index over the consumers.
+    let index_job = Job::new(config.job.clone().with_name(format!("{}-index", config.job.name)));
+    let index_input: Vec<(usize, SparseVector)> = consumer_vectors
+        .iter()
+        .cloned()
+        .enumerate()
+        .collect();
+    let index_result = index_job.run(
+        &IndexMapper {
+            term_order_rank: Arc::clone(&term_order_rank),
+            max_weights: Arc::clone(&max_weights),
+            sigma: config.sigma,
+        },
+        &IndexReducer,
+        index_input,
+    );
+    job_metrics.push(index_result.metrics.clone());
+    let index = Arc::new(InvertedIndex::from_postings(
+        index_result
+            .output
+            .into_iter()
+            .map(|(term, postings)| (TermId(term), postings)),
+    ));
+    let indexed_entries = index.num_entries();
+
+    // Job 2: probe the index with the items and verify candidates.
+    let probe_job = Job::new(config.job.clone().with_name(format!("{}-probe", config.job.name)));
+    let probe_input: Vec<(usize, SparseVector)> =
+        item_vectors.iter().cloned().enumerate().collect();
+    let items_arc = Arc::new(item_vectors.to_vec());
+    let consumers_arc = Arc::new(consumer_vectors.to_vec());
+    let probe_result = probe_job.run(
+        &ProbeMapper {
+            index: Arc::clone(&index),
+        },
+        &VerifyReducer {
+            items: items_arc,
+            consumers: consumers_arc,
+            sigma: config.sigma,
+        },
+        probe_input,
+    );
+    let candidate_pairs = probe_result.metrics.reduce_input_groups as usize;
+    job_metrics.push(probe_result.metrics.clone());
+
+    // Assemble the candidate-edge graph.
+    let mut builder = GraphBuilder::new();
+    for name in item_names {
+        builder.add_item(name.clone());
+    }
+    for name in consumer_names {
+        builder.add_consumer(name.clone());
+    }
+    for ((item, consumer), similarity) in probe_result.output {
+        builder.add_edge(
+            smr_graph::ItemId(item as u32),
+            smr_graph::ConsumerId(consumer as u32),
+            similarity,
+        );
+    }
+
+    SimJoinResult {
+        graph: builder.build(),
+        candidate_pairs,
+        indexed_entries,
+        job_metrics,
+    }
+}
+
+/// Global term order for prefix filtering: rarest terms first, measured by
+/// how many vectors (on either side) contain the term.  Returns, for each
+/// term id, its rank in that order.
+fn rarest_first_rank(
+    items: &[SparseVector],
+    consumers: &[SparseVector],
+    vocab_size: usize,
+) -> Vec<u32> {
+    let mut freq = vec![0u32; vocab_size];
+    for v in items.iter().chain(consumers.iter()) {
+        for &(t, _) in v.entries() {
+            freq[t.index()] += 1;
+        }
+    }
+    let mut terms: Vec<usize> = (0..vocab_size).collect();
+    terms.sort_by_key(|&t| (freq[t], t));
+    let mut rank = vec![0u32; vocab_size];
+    for (r, t) in terms.into_iter().enumerate() {
+        rank[t] = r as u32;
+    }
+    rank
+}
+
+/// Re-vectorizes the two corpora over a shared vocabulary so that their dot
+/// products are meaningful, returning the aligned vectors.
+fn align_vector_spaces(items: &Corpus, consumers: &Corpus) -> (Vec<SparseVector>, Vec<SparseVector>) {
+    use smr_text::{Document, TokenizerConfig};
+    let mut all_docs: Vec<Document> = Vec::with_capacity(items.len() + consumers.len());
+    for i in 0..items.len() {
+        all_docs.push(items.document(i).clone());
+    }
+    for i in 0..consumers.len() {
+        all_docs.push(consumers.document(i).clone());
+    }
+    let joint = Corpus::build(all_docs, &TokenizerConfig::default());
+    let item_vectors = (0..items.len()).map(|i| joint.vector(i).clone()).collect();
+    let consumer_vectors = (items.len()..items.len() + consumers.len())
+        .map(|i| joint.vector(i).clone())
+        .collect();
+    (item_vectors, consumer_vectors)
+}
+
+fn item_labels(corpus: &Corpus) -> Vec<String> {
+    (0..corpus.len())
+        .map(|i| corpus.document(i).id.clone())
+        .collect()
+}
+
+fn consumer_labels(corpus: &Corpus) -> Vec<String> {
+    item_labels(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::baseline_similarity_join;
+    use smr_text::{Document, TokenizerConfig};
+
+    fn tag_corpus(docs: &[(&str, &str)]) -> Corpus {
+        Corpus::build_weighted(
+            docs.iter()
+                .map(|(id, text)| Document::new(*id, *text))
+                .collect(),
+            &TokenizerConfig::tags_only(),
+            smr_text::Weighting::Binary,
+            true,
+        )
+    }
+
+    fn synthetic_vectors(n: usize, vocab: usize, seed: u64) -> Vec<SparseVector> {
+        // Small deterministic pseudo-random sparse vectors.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let mut entries: Vec<(TermId, f64)> = Vec::new();
+                for t in 0..vocab {
+                    if next() < 0.3 {
+                        entries.push((TermId(t as u32), next() * 0.9 + 0.1));
+                    }
+                }
+                SparseVector::from_entries(entries).normalized()
+            })
+            .collect()
+    }
+
+    fn config(sigma: f64) -> SimJoinConfig {
+        SimJoinConfig::default()
+            .with_threshold(sigma)
+            .with_job(JobConfig::named("simjoin-test").with_threads(2))
+    }
+
+    #[test]
+    fn mapreduce_join_matches_the_baseline_on_text() {
+        let items = tag_corpus(&[
+            ("p0", "beach sunset ocean"),
+            ("p1", "city skyline night"),
+            ("p2", "mountain hiking forest"),
+        ]);
+        let consumers = tag_corpus(&[
+            ("u0", "ocean beach surf"),
+            ("u1", "night city lights"),
+            ("u2", "forest hiking trail"),
+            ("u3", "cooking pasta pizza"),
+        ]);
+        for sigma in [0.05, 0.2, 0.5] {
+            let mr = mapreduce_similarity_join(&items, &consumers, &config(sigma));
+            let base = baseline_similarity_join(&items, &consumers, sigma);
+            assert_eq!(
+                mr.graph.num_edges(),
+                base.num_edges(),
+                "edge count differs for sigma={sigma}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapreduce_join_matches_brute_force_on_random_vectors() {
+        let items = synthetic_vectors(12, 20, 1);
+        let consumers = synthetic_vectors(18, 20, 2);
+        let item_names: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
+        let consumer_names: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
+        for sigma in [0.1, 0.3, 0.6] {
+            let result = mapreduce_similarity_join_vectors(
+                &items,
+                &consumers,
+                &item_names,
+                &consumer_names,
+                &config(sigma),
+            );
+            // Brute-force ground truth.
+            let mut expected = 0usize;
+            for x in &items {
+                for y in &consumers {
+                    if x.dot(y) >= sigma {
+                        expected += 1;
+                    }
+                }
+            }
+            assert_eq!(
+                result.graph.num_edges(),
+                expected,
+                "edge count differs for sigma={sigma}"
+            );
+            assert!(result.graph.edges().iter().all(|e| e.weight >= sigma));
+            assert_eq!(result.job_metrics.len(), 2);
+        }
+    }
+
+    #[test]
+    fn higher_threshold_indexes_fewer_entries_and_generates_fewer_candidates() {
+        let items = synthetic_vectors(10, 15, 3);
+        let consumers = synthetic_vectors(15, 15, 4);
+        let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
+        let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
+        let loose = mapreduce_similarity_join_vectors(&items, &consumers, &names_i, &names_c, &config(0.05));
+        let tight = mapreduce_similarity_join_vectors(&items, &consumers, &names_i, &names_c, &config(0.7));
+        assert!(tight.indexed_entries <= loose.indexed_entries);
+        assert!(tight.candidate_pairs <= loose.candidate_pairs);
+        assert!(tight.graph.num_edges() <= loose.graph.num_edges());
+    }
+
+    #[test]
+    fn empty_corpora_produce_an_empty_graph() {
+        let empty: Vec<SparseVector> = Vec::new();
+        let result = mapreduce_similarity_join_vectors(&empty, &empty, &[], &[], &config(0.2));
+        assert_eq!(result.graph.num_edges(), 0);
+        assert_eq!(result.graph.num_items(), 0);
+    }
+
+    #[test]
+    fn candidate_pairs_never_miss_a_true_pair() {
+        let items = synthetic_vectors(8, 12, 9);
+        let consumers = synthetic_vectors(9, 12, 10);
+        let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
+        let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
+        let sigma = 0.25;
+        let result = mapreduce_similarity_join_vectors(&items, &consumers, &names_i, &names_c, &config(sigma));
+        let mut true_pairs = 0usize;
+        for x in &items {
+            for y in &consumers {
+                if x.dot(y) >= sigma {
+                    true_pairs += 1;
+                }
+            }
+        }
+        assert_eq!(result.graph.num_edges(), true_pairs);
+        // Prefix filtering may generate extra candidates, never fewer than
+        // the verified result.
+        assert!(result.candidate_pairs >= result.graph.num_edges());
+    }
+}

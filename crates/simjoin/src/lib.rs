@@ -1,0 +1,64 @@
+//! Similarity join: computing the candidate edges of the b-matching.
+//!
+//! Section 5.1 of the paper: materializing all `|T| · |C|` item–consumer
+//! pairs is infeasible, so the framework only keeps pairs whose similarity
+//! `w(t, c) = v(t) · v(c)` is at least a threshold σ.  Finding those pairs
+//! is the *similarity join* problem, solved in MapReduce by adapting the
+//! prefix-filtering self-join of Baraglia, De Francisci Morales and
+//! Lucchese to the bipartite (item × consumer) case.
+//!
+//! * [`prefix`] — the prefix-filtering bound: which entries of a consumer
+//!   vector must be indexed so that no pair above the threshold can be
+//!   missed,
+//! * [`index`] — the pruned inverted index over consumer vectors,
+//! * [`baseline`] — an exact all-pairs join used as ground truth,
+//! * [`join`] — the two-MapReduce-job join (index construction, then
+//!   candidate generation + verification) producing a
+//!   [`smr_graph::BipartiteGraph`].
+//!
+//! # Example
+//!
+//! ```
+//! use smr_simjoin::prelude::*;
+//! use smr_text::prelude::*;
+//!
+//! let items = Corpus::build(
+//!     vec![
+//!         Document::new("q0", "sourdough bread baking"),
+//!         Document::new("q1", "vintage car engines"),
+//!     ],
+//!     &TokenizerConfig::default(),
+//! );
+//! let consumers = Corpus::build(
+//!     vec![
+//!         Document::new("u0", "I bake bread every weekend, mostly sourdough"),
+//!         Document::new("u1", "restoring old cars and engines"),
+//!     ],
+//!     &TokenizerConfig::default(),
+//! );
+//! let config = SimJoinConfig::default().with_threshold(0.05);
+//! let result = mapreduce_similarity_join(&items, &consumers, &config);
+//! // Each item ends up connected to the consumer with matching interests.
+//! assert_eq!(result.graph.num_edges(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod index;
+pub mod join;
+pub mod prefix;
+
+pub use baseline::baseline_similarity_join;
+pub use index::{InvertedIndex, Posting};
+pub use join::{mapreduce_similarity_join, SimJoinConfig, SimJoinResult};
+pub use prefix::{prefix_length, term_max_weights};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::baseline::baseline_similarity_join;
+    pub use crate::index::{InvertedIndex, Posting};
+    pub use crate::join::{mapreduce_similarity_join, SimJoinConfig, SimJoinResult};
+    pub use crate::prefix::{prefix_length, term_max_weights};
+}

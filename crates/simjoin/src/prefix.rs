@@ -1,0 +1,164 @@
+//! Prefix filtering for dot-product similarity.
+//!
+//! The idea (Chaudhuri et al., adapted by Baraglia et al. to MapReduce):
+//! order the entries of every vector by a fixed global term order and index
+//! only a *prefix* of each vector.  The prefix is chosen so that the
+//! remaining suffix alone cannot produce a dot product of σ or more with
+//! *any* vector of the other side; therefore every pair with similarity at
+//! least σ shares at least one term inside the indexed prefix and cannot be
+//! missed by an index probe.
+//!
+//! For dot products the bound of a suffix `S` of vector `y` against the
+//! item side is `Σ_{i ∈ S} y_i · maxw(i)` where `maxw(i)` is the largest
+//! weight of term `i` in any item vector.
+
+use smr_text::{SparseVector, TermId};
+
+/// Per-term maximum weights across a collection of vectors, indexed densely
+/// by term id (`0.0` for terms that never occur).
+pub fn term_max_weights(vectors: &[SparseVector], vocab_size: usize) -> Vec<f64> {
+    let mut max_w = vec![0.0_f64; vocab_size];
+    for v in vectors {
+        for &(term, weight) in v.entries() {
+            let idx = term.index();
+            if idx >= max_w.len() {
+                // Defensive: callers normally pass the full vocabulary size.
+                max_w.resize(idx + 1, 0.0);
+            }
+            if weight.abs() > max_w[idx] {
+                max_w[idx] = weight.abs();
+            }
+        }
+    }
+    max_w
+}
+
+/// Number of leading entries of `ordered_terms` (the vector's terms in the
+/// global order) that must be indexed so that the suffix bound drops below
+/// `sigma`.
+///
+/// Returns a value in `0..=ordered_terms.len()`: `0` means the whole vector
+/// can be skipped (it cannot reach σ with anything), `len` means every
+/// entry must be indexed.
+pub fn prefix_length(
+    vector: &SparseVector,
+    ordered_terms: &[TermId],
+    max_weights: &[f64],
+    sigma: f64,
+) -> usize {
+    debug_assert!(sigma > 0.0, "threshold must be positive");
+    // Suffix bounds computed from the back: suffix_bound[k] is the largest
+    // possible contribution of entries k.. against any opposite vector.
+    let mut suffix_bound = 0.0;
+    let mut prefix = ordered_terms.len();
+    for (k, term) in ordered_terms.iter().enumerate().rev() {
+        let w = vector.weight(*term);
+        let maxw = max_weights.get(term.index()).copied().unwrap_or(0.0);
+        let candidate_bound = suffix_bound + w * maxw;
+        if candidate_bound >= sigma {
+            // Entries k.. could reach the threshold on their own, so entry k
+            // must be part of the prefix; everything after k may be pruned.
+            prefix = k + 1;
+            break;
+        }
+        suffix_bound = candidate_bound;
+        prefix = k;
+    }
+    prefix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(entries: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(entries.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    #[test]
+    fn max_weights_track_the_largest_entry_per_term() {
+        let vectors = vec![
+            vec_of(&[(0, 0.5), (2, 0.1)]),
+            vec_of(&[(0, 0.3), (1, 0.9)]),
+        ];
+        let maxw = term_max_weights(&vectors, 3);
+        assert_eq!(maxw, vec![0.5, 0.9, 0.1]);
+    }
+
+    #[test]
+    fn max_weights_grow_the_table_for_unknown_terms() {
+        let vectors = vec![vec_of(&[(5, 0.7)])];
+        let maxw = term_max_weights(&vectors, 2);
+        assert_eq!(maxw.len(), 6);
+        assert_eq!(maxw[5], 0.7);
+    }
+
+    #[test]
+    fn prefix_is_zero_when_nothing_can_reach_the_threshold() {
+        let v = vec_of(&[(0, 0.1), (1, 0.1)]);
+        let order = vec![TermId(0), TermId(1)];
+        let maxw = vec![0.2, 0.2];
+        // Best possible dot product is 0.1*0.2 + 0.1*0.2 = 0.04 < 0.5.
+        assert_eq!(prefix_length(&v, &order, &maxw, 0.5), 0);
+    }
+
+    #[test]
+    fn prefix_covers_everything_when_the_last_term_alone_suffices() {
+        let v = vec_of(&[(0, 1.0), (1, 1.0)]);
+        let order = vec![TermId(0), TermId(1)];
+        let maxw = vec![1.0, 1.0];
+        // Even the final entry alone can contribute 1.0 ≥ 0.5, so the whole
+        // vector must be indexed.
+        assert_eq!(prefix_length(&v, &order, &maxw, 0.5), 2);
+    }
+
+    #[test]
+    fn prefix_stops_where_the_suffix_bound_falls_below_sigma() {
+        // Ordered terms: t0 (heavy), t1, t2 (light tail).
+        let v = vec_of(&[(0, 1.0), (1, 0.3), (2, 0.1)]);
+        let order = vec![TermId(0), TermId(1), TermId(2)];
+        let maxw = vec![1.0, 1.0, 1.0];
+        // Suffix {t2}: bound 0.1 < 0.5  -> prunable.
+        // Suffix {t1,t2}: bound 0.4 < 0.5 -> prunable.
+        // Suffix {t0,t1,t2}: bound 1.4 ≥ 0.5 -> t0 must be indexed.
+        assert_eq!(prefix_length(&v, &order, &maxw, 0.5), 1);
+    }
+
+    #[test]
+    fn prefix_guarantee_holds_for_exhaustive_small_cases() {
+        // Brute-force check of the filtering guarantee: for every pair of
+        // small vectors, if dot(x, y) >= sigma then x shares a term with
+        // the prefix of y (prefix computed against the item-side maxima).
+        let items = vec![
+            vec_of(&[(0, 0.9), (1, 0.2)]),
+            vec_of(&[(1, 0.8), (2, 0.4)]),
+            vec_of(&[(2, 0.6), (3, 0.6)]),
+        ];
+        let consumers = vec![
+            vec_of(&[(0, 0.7), (2, 0.5)]),
+            vec_of(&[(1, 0.5), (3, 0.5)]),
+            vec_of(&[(0, 0.1), (3, 0.9)]),
+        ];
+        let maxw = term_max_weights(&items, 4);
+        let order: Vec<TermId> = (0..4).map(TermId).collect();
+        for sigma in [0.1, 0.3, 0.5] {
+            for y in &consumers {
+                let ordered: Vec<TermId> = order
+                    .iter()
+                    .copied()
+                    .filter(|t| y.weight(*t) != 0.0)
+                    .collect();
+                let plen = prefix_length(y, &ordered, &maxw, sigma);
+                let prefix: Vec<TermId> = ordered[..plen].to_vec();
+                for x in &items {
+                    if x.dot(y) >= sigma {
+                        assert!(
+                            prefix.iter().any(|t| x.weight(*t) != 0.0),
+                            "pair above threshold shares no prefix term (sigma={sigma})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

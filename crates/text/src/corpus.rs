@@ -1,0 +1,176 @@
+//! Document corpus: documents, vocabulary and vectors in one place.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sparse::SparseVector;
+use crate::tfidf::{TfIdf, Weighting};
+use crate::tokenize::{Tokenizer, TokenizerConfig};
+use crate::vocab::Vocabulary;
+
+/// A raw document: an external identifier plus its text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    /// External identifier (photo id, question id, user id, …).
+    pub id: String,
+    /// The raw text (or space-separated tag list).
+    pub text: String,
+}
+
+impl Document {
+    /// Creates a document.
+    pub fn new(id: impl Into<String>, text: impl Into<String>) -> Self {
+        Document {
+            id: id.into(),
+            text: text.into(),
+        }
+    }
+}
+
+/// A vectorized corpus: the documents, the shared vocabulary and one sparse
+/// vector per document.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    documents: Vec<Document>,
+    vocab: Vocabulary,
+    vectors: Vec<SparseVector>,
+}
+
+impl Corpus {
+    /// Tokenizes and vectorizes `documents` with tf·idf weighting and L2
+    /// normalization (so dot products are cosine similarities in `[0, 1]`).
+    pub fn build(documents: Vec<Document>, tokenizer_config: &TokenizerConfig) -> Self {
+        Corpus::build_weighted(documents, tokenizer_config, Weighting::TfIdf, true)
+    }
+
+    /// Tokenizes and vectorizes with an explicit weighting scheme.
+    pub fn build_weighted(
+        documents: Vec<Document>,
+        tokenizer_config: &TokenizerConfig,
+        weighting: Weighting,
+        normalize: bool,
+    ) -> Self {
+        let tokenizer = Tokenizer::new(tokenizer_config.clone());
+        let token_streams: Vec<Vec<String>> = documents
+            .iter()
+            .map(|d| tokenizer.tokenize(&d.text))
+            .collect();
+        let mut vocab = Vocabulary::new();
+        for tokens in &token_streams {
+            vocab.observe_document(tokens.iter().map(|s| s.as_str()));
+        }
+        let weigher = TfIdf::new(&vocab, weighting, normalize);
+        let vectors: Vec<SparseVector> = token_streams
+            .iter()
+            .map(|tokens| weigher.vectorize(tokens))
+            .collect();
+        Corpus {
+            documents,
+            vocab,
+            vectors,
+        }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// The document at `index`.
+    pub fn document(&self, index: usize) -> &Document {
+        &self.documents[index]
+    }
+
+    /// The vector of the document at `index`.
+    pub fn vector(&self, index: usize) -> &SparseVector {
+        &self.vectors[index]
+    }
+
+    /// All vectors, in document order.
+    pub fn vectors(&self) -> &[SparseVector] {
+        &self.vectors
+    }
+
+    /// The shared vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Dot-product similarity between two documents of the corpus.
+    pub fn similarity(&self, a: usize, b: usize) -> f64 {
+        self.vectors[a].dot(&self.vectors[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Corpus {
+        Corpus::build(
+            vec![
+                Document::new("d0", "bread baking tips for sourdough bread"),
+                Document::new("d1", "sourdough starter and bread flour"),
+                Document::new("d2", "vintage car restoration"),
+            ],
+            &TokenizerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn corpus_vectorizes_every_document() {
+        let c = sample();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.document(0).id, "d0");
+        assert!(!c.vector(0).is_empty());
+        assert_eq!(c.vectors().len(), 3);
+        assert!(c.vocabulary().len() >= 5);
+    }
+
+    #[test]
+    fn related_documents_are_more_similar_than_unrelated() {
+        let c = sample();
+        let related = c.similarity(0, 1);
+        let unrelated = c.similarity(0, 2);
+        assert!(related > unrelated);
+        assert!(related > 0.0);
+        assert!(unrelated.abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_vectors_have_self_similarity_one() {
+        let c = sample();
+        for i in 0..c.len() {
+            let s = c.similarity(i, i);
+            assert!((s - 1.0).abs() < 1e-9, "self similarity of doc {i} was {s}");
+        }
+    }
+
+    #[test]
+    fn binary_weighting_can_be_selected() {
+        let c = Corpus::build_weighted(
+            vec![
+                Document::new("tagged-1", "beach sunset beach"),
+                Document::new("tagged-2", "beach mountain"),
+            ],
+            &TokenizerConfig::tags_only(),
+            Weighting::Binary,
+            false,
+        );
+        let beach = c.vocabulary().get("beach").unwrap();
+        assert_eq!(c.vector(0).weight(beach), 1.0);
+        assert_eq!(c.vector(1).weight(beach), 1.0);
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let c = Corpus::build(vec![], &TokenizerConfig::default());
+        assert!(c.is_empty());
+        assert_eq!(c.vocabulary().len(), 0);
+    }
+}

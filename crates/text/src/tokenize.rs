@@ -1,0 +1,236 @@
+//! Tokenization: lower-casing, punctuation removal, stop-words and a light
+//! suffix stemmer.
+//!
+//! The paper preprocesses Yahoo! Answers text by removing punctuation and
+//! stop-words, stemming, and applying tf·idf weighting.  The stemmer here
+//! is a small rule-based suffix stripper (a subset of Porter's rules) —
+//! enough to conflate the morphological variants that matter for similarity
+//! scores without pulling in an external dependency.
+
+/// Common English stop-words removed before vectorization.
+pub const STOP_WORDS: &[&str] = &[
+    "a", "about", "after", "all", "also", "an", "and", "any", "are", "as", "at", "be", "because",
+    "been", "but", "by", "can", "could", "did", "do", "does", "for", "from", "had", "has", "have",
+    "he", "her", "him", "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "like",
+    "me", "more", "most", "my", "no", "not", "of", "on", "one", "only", "or", "other", "our",
+    "out", "over", "she", "should", "so", "some", "such", "than", "that", "the", "their", "them",
+    "then", "there", "these", "they", "this", "to", "up", "us", "was", "we", "were", "what",
+    "when", "where", "which", "who", "why", "will", "with", "would", "you", "your",
+];
+
+/// Configuration of the tokenizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenizerConfig {
+    /// Remove stop-words.
+    pub remove_stop_words: bool,
+    /// Apply the suffix stemmer.
+    pub stem: bool,
+    /// Drop tokens shorter than this (after stemming).
+    pub min_token_len: usize,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            remove_stop_words: true,
+            stem: true,
+            min_token_len: 2,
+        }
+    }
+}
+
+impl TokenizerConfig {
+    /// A configuration that only lower-cases and splits (used for tag
+    /// vocabularies such as flickr tags, which are already normalized).
+    pub fn tags_only() -> Self {
+        TokenizerConfig {
+            remove_stop_words: false,
+            stem: false,
+            min_token_len: 1,
+        }
+    }
+}
+
+/// A reusable tokenizer.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with the given configuration.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Tokenizer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenizes `text` into normalized terms.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.to_lowercase())
+            .filter(|t| !self.config.remove_stop_words || !is_stop_word(t))
+            .map(|t| {
+                if self.config.stem {
+                    stem(&t)
+                } else {
+                    t
+                }
+            })
+            .filter(|t| t.len() >= self.config.min_token_len)
+            .collect()
+    }
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer::new(TokenizerConfig::default())
+    }
+}
+
+/// Whether `token` (already lower-cased) is a stop-word.
+pub fn is_stop_word(token: &str) -> bool {
+    STOP_WORDS.binary_search(&token).is_ok()
+}
+
+/// A light rule-based suffix stemmer (subset of Porter's step-1 rules plus
+/// a few common derivational suffixes).
+///
+/// The goal is stable conflation of plural and inflected forms
+/// ("questions" → "question", "baking" → "bake", "answered" → "answer"),
+/// not linguistic perfection.
+pub fn stem(token: &str) -> String {
+    let t = token;
+    if t.len() <= 3 {
+        return t.to_string();
+    }
+    // Order matters: try longer suffixes first.
+    let rules: &[(&str, &str)] = &[
+        ("ations", "ate"),
+        ("ization", "ize"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("iveness", "ive"),
+        ("ation", "ate"),
+        ("ement", "e"),
+        ("ments", "ment"),
+        ("ingly", ""),
+        ("edly", ""),
+        ("iness", "y"),
+        ("ness", ""),
+        ("ing", "e"),
+        ("ies", "y"),
+        ("ied", "y"),
+        ("est", ""),
+        ("ers", "er"),
+        ("ed", ""),
+        ("ly", ""),
+        ("es", "e"),
+        ("s", ""),
+    ];
+    for (suffix, replacement) in rules {
+        if let Some(stemmed) = apply_rule(t, suffix, replacement) {
+            return stemmed;
+        }
+    }
+    t.to_string()
+}
+
+/// Applies one suffix rule if the stem it would leave is long enough.
+fn apply_rule(token: &str, suffix: &str, replacement: &str) -> Option<String> {
+    if !token.ends_with(suffix) {
+        return None;
+    }
+    let stem_len = token.len() - suffix.len();
+    // Keep at least three characters of stem so that words like "this" or
+    // "class" are not mangled into nonsense.
+    if stem_len < 3 {
+        return None;
+    }
+    // Do not strip "s" from words ending in "ss" ("class", "less").
+    if suffix == "s" && token.ends_with("ss") {
+        return None;
+    }
+    let mut out = String::with_capacity(stem_len + replacement.len());
+    out.push_str(&token[..stem_len]);
+    out.push_str(replacement);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_word_table_is_sorted_for_binary_search() {
+        let mut sorted = STOP_WORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOP_WORDS, "STOP_WORDS must stay sorted");
+    }
+
+    #[test]
+    fn stop_words_are_recognized() {
+        assert!(is_stop_word("the"));
+        assert!(is_stop_word("and"));
+        assert!(!is_stop_word("bread"));
+    }
+
+    #[test]
+    fn stemmer_conflates_common_inflections() {
+        assert_eq!(stem("questions"), "question");
+        assert_eq!(stem("baking"), "bake");
+        assert_eq!(stem("answered"), "answer");
+        assert_eq!(stem("photos"), "photo");
+        assert_eq!(stem("cities"), "city");
+        assert_eq!(stem("organization"), "organize");
+    }
+
+    #[test]
+    fn stemmer_leaves_short_and_awkward_words_alone() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("cat"), "cat");
+        assert_eq!(stem("class"), "class");
+        assert_eq!(stem("less"), "less");
+    }
+
+    #[test]
+    fn tokenizer_default_pipeline() {
+        let t = Tokenizer::default();
+        let tokens = t.tokenize("The quick, brown foxes were JUMPING over the lazy dogs!");
+        assert_eq!(
+            tokens,
+            vec!["quick", "brown", "foxe", "jumpe", "lazy", "dog"]
+        );
+    }
+
+    #[test]
+    fn tokenizer_tags_only_keeps_everything() {
+        let t = Tokenizer::new(TokenizerConfig::tags_only());
+        let tokens = t.tokenize("The Sunset beach SUNSET");
+        assert_eq!(tokens, vec!["the", "sunset", "beach", "sunset"]);
+    }
+
+    #[test]
+    fn tokenizer_strips_punctuation_and_numbers_boundaries() {
+        let t = Tokenizer::new(TokenizerConfig {
+            remove_stop_words: false,
+            stem: false,
+            min_token_len: 1,
+        });
+        assert_eq!(
+            t.tokenize("hello,world! 42 a-b"),
+            vec!["hello", "world", "42", "a", "b"]
+        );
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input_yields_no_tokens() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("!!! ... ***").is_empty());
+    }
+}

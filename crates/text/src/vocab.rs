@@ -1,0 +1,172 @@
+//! Term dictionary: string terms to dense ids, with document frequencies.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a term in a [`Vocabulary`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The dense index of this term.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A growable term dictionary.
+///
+/// Besides interning terms it tracks document frequencies, which both the
+/// tf·idf weighting and the prefix-filtering term ordering (rarest-first)
+/// of the similarity join rely on.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    index: HashMap<String, TermId>,
+    doc_freq: Vec<u32>,
+    num_documents: u32,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Interns `term`, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.to_string());
+        self.index.insert(term.to_string(), id);
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Looks up a term without interning it.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.index.get(term).copied()
+    }
+
+    /// The string form of a term id.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Registers one document's terms: every *distinct* term's document
+    /// frequency is incremented and the document counter advances.
+    pub fn observe_document<'a>(&mut self, terms: impl IntoIterator<Item = &'a str>) {
+        let mut seen: Vec<TermId> = terms.into_iter().map(|t| self.intern(t)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for id in seen {
+            self.doc_freq[id.index()] += 1;
+        }
+        self.num_documents += 1;
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, id: TermId) -> u32 {
+        self.doc_freq[id.index()]
+    }
+
+    /// Number of documents observed.
+    pub fn num_documents(&self) -> u32 {
+        self.num_documents
+    }
+
+    /// Inverse document frequency `ln((N + 1) / (df + 1)) + 1` (smoothed so
+    /// unseen and ubiquitous terms still get a positive weight).
+    pub fn idf(&self, id: TermId) -> f64 {
+        let n = self.num_documents as f64;
+        let df = self.doc_freq(id) as f64;
+        ((n + 1.0) / (df + 1.0)).ln() + 1.0
+    }
+
+    /// All term ids ordered by *increasing* document frequency (ties broken
+    /// by id).  This is the canonical term order used by prefix filtering:
+    /// putting the rarest terms first makes prefixes maximally selective.
+    pub fn rarest_first_order(&self) -> Vec<TermId> {
+        let mut ids: Vec<TermId> = (0..self.terms.len() as u32).map(TermId).collect();
+        ids.sort_by_key(|id| (self.doc_freq(*id), id.0));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a1 = v.intern("apple");
+        let b = v.intern("banana");
+        let a2 = v.intern("apple");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.term(a1), "apple");
+        assert_eq!(v.get("banana"), Some(b));
+        assert_eq!(v.get("cherry"), None);
+    }
+
+    #[test]
+    fn document_frequencies_count_distinct_terms_per_document() {
+        let mut v = Vocabulary::new();
+        v.observe_document(["a", "b", "a"]);
+        v.observe_document(["b", "c"]);
+        assert_eq!(v.num_documents(), 2);
+        assert_eq!(v.doc_freq(v.get("a").unwrap()), 1);
+        assert_eq!(v.doc_freq(v.get("b").unwrap()), 2);
+        assert_eq!(v.doc_freq(v.get("c").unwrap()), 1);
+    }
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        let mut v = Vocabulary::new();
+        v.observe_document(["rare", "common"]);
+        v.observe_document(["common"]);
+        v.observe_document(["common"]);
+        let rare = v.get("rare").unwrap();
+        let common = v.get("common").unwrap();
+        assert!(v.idf(rare) > v.idf(common));
+        assert!(v.idf(common) > 0.0);
+    }
+
+    #[test]
+    fn rarest_first_order_sorts_by_doc_freq() {
+        let mut v = Vocabulary::new();
+        v.observe_document(["x", "y"]);
+        v.observe_document(["y", "z"]);
+        v.observe_document(["y"]);
+        let order = v.rarest_first_order();
+        let names: Vec<&str> = order.iter().map(|&id| v.term(id)).collect();
+        // x and z have df 1 (tie broken by id: x interned before z), y has df 3.
+        assert_eq!(names, vec!["x", "z", "y"]);
+    }
+
+    #[test]
+    fn empty_vocabulary_behaves() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.num_documents(), 0);
+        assert!(v.rarest_first_order().is_empty());
+    }
+}

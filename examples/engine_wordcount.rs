@@ -1,0 +1,84 @@
+//! Using the MapReduce substrate directly: the classic word-count job,
+//! with and without a combiner, showing the counters the engine exposes.
+//!
+//! The matching algorithms of this workspace are written against exactly
+//! this engine; this example is the smallest possible end-to-end tour of
+//! its API (mapper, reducer, combiner, job configuration, metrics).
+//!
+//! ```text
+//! cargo run --example engine_wordcount
+//! ```
+
+use social_content_matching::mapreduce::prelude::*;
+
+struct Tokenize;
+
+impl Mapper for Tokenize {
+    type InKey = usize;
+    type InValue = String;
+    type OutKey = String;
+    type OutValue = u64;
+
+    fn map(&self, _doc: &usize, text: &String, out: &mut Emitter<String, u64>) {
+        for word in text.split_whitespace() {
+            out.emit(word.to_lowercase(), 1);
+        }
+    }
+}
+
+struct Sum;
+
+impl Reducer for Sum {
+    type Key = String;
+    type InValue = u64;
+    type OutKey = String;
+    type OutValue = u64;
+
+    fn reduce(&self, word: &String, counts: &[u64], out: &mut Emitter<String, u64>) {
+        out.emit(word.clone(), counts.iter().sum());
+    }
+}
+
+struct SumCombiner;
+
+impl Combiner for SumCombiner {
+    type Key = String;
+    type Value = u64;
+
+    fn combine(&self, _word: &String, counts: &[u64]) -> Vec<u64> {
+        vec![counts.iter().sum()]
+    }
+}
+
+fn main() {
+    let documents: Vec<(usize, String)> = vec![
+        (0, "the quick brown fox jumps over the lazy dog".to_string()),
+        (1, "the dog barks and the fox runs".to_string()),
+        (2, "quick quick slow the fox the fox".to_string()),
+    ];
+
+    let job = Job::new(JobConfig::named("wordcount").with_map_tasks(3).with_reduce_tasks(2));
+
+    let plain = job.run(&Tokenize, &Sum, documents.clone());
+    let combined = job.run_with_combiner(&Tokenize, &SumCombiner, &Sum, documents);
+
+    println!("top words:");
+    let mut counts = combined.output.clone();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (word, count) in counts.iter().take(5) {
+        println!("  {word:<8} {count}");
+    }
+
+    println!("\nshuffle volume without combiner: {} records", plain.metrics.shuffle_records);
+    println!(
+        "shuffle volume with combiner   : {} records ({:.0}% saved)",
+        combined.metrics.shuffle_records,
+        100.0 * combined.metrics.combine_reduction()
+    );
+    println!(
+        "map tasks: {}, reduce tasks: {}, wall time: {:?}",
+        combined.metrics.map_tasks,
+        combined.metrics.reduce_tasks,
+        combined.metrics.timings.total()
+    );
+}

@@ -1,0 +1,21 @@
+//! Facade crate for the reproduction of "Social Content Matching in
+//! MapReduce" (VLDB 2011).
+//!
+//! Re-exports the workspace crates under a single name so that examples and
+//! downstream users can depend on one package:
+//!
+//! * [`mapreduce`] — the in-process MapReduce engine,
+//! * [`graph`] — bipartite item/consumer graphs, capacities and matchings,
+//! * [`text`] — vector-space representation (tokenization, tf·idf),
+//! * [`simjoin`] — prefix-filtering similarity join building candidate edges,
+//! * [`matching`] — the paper's algorithms: GreedyMR, StackMR,
+//!   StackGreedyMR, centralized greedy/stack and an exact solver,
+//! * [`datagen`] — synthetic dataset generators standing in for the paper's
+//!   flickr and Yahoo! Answers crawls.
+
+pub use smr_datagen as datagen;
+pub use smr_graph as graph;
+pub use smr_mapreduce as mapreduce;
+pub use smr_matching as matching;
+pub use smr_simjoin as simjoin;
+pub use smr_text as text;

@@ -1,0 +1,171 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! dataset generation → similarity join → capacities → matching.
+
+use social_content_matching::datagen::{AnswersGenerator, DatasetPreset, FlickrGenerator};
+use social_content_matching::graph::Capacities;
+use social_content_matching::mapreduce::JobConfig;
+use social_content_matching::matching::{
+    greedy_matching, optimal_matching, GreedyMr, GreedyMrConfig, StackMr, StackMrConfig,
+};
+use social_content_matching::simjoin::{
+    baseline_similarity_join, mapreduce_similarity_join, SimJoinConfig,
+};
+use social_content_matching::text::{Corpus, TokenizerConfig};
+
+fn quick_job(name: &str) -> JobConfig {
+    JobConfig::named(name).with_threads(2)
+}
+
+fn flickr_pipeline(sigma: f64) -> (social_content_matching::graph::BipartiteGraph, Capacities) {
+    let dataset = FlickrGenerator {
+        num_photos: 120,
+        num_users: 40,
+        vocabulary: 120,
+        seed: 3,
+        ..FlickrGenerator::default()
+    }
+    .generate();
+    let items = Corpus::build(dataset.items.clone(), &TokenizerConfig::tags_only());
+    let users = Corpus::build(dataset.consumers.clone(), &TokenizerConfig::tags_only());
+    let join = mapreduce_similarity_join(
+        &items,
+        &users,
+        &SimJoinConfig::default()
+            .with_threshold(sigma)
+            .with_job(quick_job("e2e-join")),
+    );
+    let caps = dataset.capacities(1.0);
+    (join.graph, caps)
+}
+
+#[test]
+fn flickr_pipeline_produces_a_matchable_graph() {
+    let (graph, caps) = flickr_pipeline(0.15);
+    assert!(graph.num_edges() > 0, "the synthetic dataset must produce candidate edges");
+    assert!(caps.matches(&graph));
+
+    let run = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("e2e-greedy")))
+        .run(&graph, &caps);
+    assert!(run.matching.is_feasible(&graph, &caps));
+    assert!(run.value(&graph) > 0.0);
+    assert!(run.mr_jobs >= 1);
+}
+
+#[test]
+fn greedy_mr_beats_stack_mr_on_value_and_both_respect_their_guarantees() {
+    let (graph, caps) = flickr_pipeline(0.15);
+    let greedy_run = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("cmp-greedy")))
+        .run(&graph, &caps);
+    let stack_run = StackMr::new(
+        StackMrConfig::default()
+            .with_seed(13)
+            .with_job(quick_job("cmp-stack")),
+    )
+    .run(&graph, &caps);
+
+    // The paper's headline comparison: GreedyMR consistently achieves the
+    // higher b-matching value (it has the better guarantee too).
+    assert!(
+        greedy_run.value(&graph) >= stack_run.value(&graph) * 0.95,
+        "GreedyMR ({}) should not fall meaningfully below StackMR ({})",
+        greedy_run.value(&graph),
+        stack_run.value(&graph)
+    );
+    // GreedyMR is feasible; StackMR violates by at most a factor (1+eps).
+    assert!(greedy_run.matching.is_feasible(&graph, &caps));
+    assert!(stack_run.matching.max_violation(&graph, &caps) <= 1.0 + 1e-9);
+}
+
+#[test]
+fn similarity_join_and_baseline_agree_on_the_answers_dataset() {
+    let dataset = AnswersGenerator {
+        num_questions: 60,
+        num_users: 25,
+        vocabulary: 150,
+        num_topics: 5,
+        seed: 17,
+        ..AnswersGenerator::default()
+    }
+    .generate();
+    let questions = Corpus::build(dataset.items.clone(), &TokenizerConfig::default());
+    let users = Corpus::build(dataset.consumers.clone(), &TokenizerConfig::default());
+    for sigma in [0.1, 0.3] {
+        let mr = mapreduce_similarity_join(
+            &questions,
+            &users,
+            &SimJoinConfig::default()
+                .with_threshold(sigma)
+                .with_job(quick_job("agree-join")),
+        );
+        let baseline = baseline_similarity_join(&questions, &users, sigma);
+        assert_eq!(
+            mr.graph.num_edges(),
+            baseline.num_edges(),
+            "similarity join disagrees with the baseline at sigma={sigma}"
+        );
+    }
+}
+
+#[test]
+fn centralized_greedy_is_a_half_approximation_on_the_pipeline_graph() {
+    let (graph, caps) = flickr_pipeline(0.25);
+    if graph.num_edges() == 0 {
+        return;
+    }
+    // Keep the exact solver tractable: thin the graph further if needed.
+    let graph = if graph.num_edges() > 3_000 {
+        graph.filter_by_threshold(0.4)
+    } else {
+        graph
+    };
+    let optimal = optimal_matching(&graph, &caps);
+    let greedy = greedy_matching(&graph, &caps);
+    assert!(greedy.value(&graph) >= 0.5 * optimal.value(&graph) - 1e-9);
+    assert!(greedy.value(&graph) <= optimal.value(&graph) + 1e-9);
+}
+
+#[test]
+fn preset_sweep_shapes_match_the_paper() {
+    // On flickr-small at two densities: lowering sigma increases both the
+    // number of edges and the achieved matching value (the saturation
+    // behaviour described in Section 6).
+    let instance = smr_bench::pipeline::DatasetInstance::generate(
+        DatasetPreset::FlickrSmall,
+        quick_job("sweep"),
+    );
+    let caps = instance.capacities(1.0);
+    let sweep = instance.preset.sigma_sweep();
+    let sparse_sigma = sweep[0];
+    let dense_sigma = *sweep.last().unwrap();
+    let sparse = instance.graph_at(sparse_sigma);
+    let dense = instance.graph_at(dense_sigma);
+    assert!(dense.num_edges() > sparse.num_edges());
+
+    let run_on = |graph: &social_content_matching::graph::BipartiteGraph| {
+        GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("sweep-greedy")))
+            .run(graph, &caps)
+            .value(graph)
+    };
+    let sparse_value = run_on(&sparse);
+    let dense_value = run_on(&dense);
+    assert!(
+        dense_value >= sparse_value - 1e-9,
+        "more candidate edges must not reduce the achievable value ({dense_value} vs {sparse_value})"
+    );
+}
+
+#[test]
+fn anytime_trace_reaches_95_percent_before_the_last_round() {
+    let (graph, caps) = flickr_pipeline(0.12);
+    let run = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("anytime")))
+        .run(&graph, &caps);
+    if run.rounds < 4 {
+        // Too small to say anything meaningful.
+        return;
+    }
+    let (_, fraction) = run.rounds_to_reach_fraction(0.95).expect("non-zero value");
+    assert!(
+        fraction < 1.0,
+        "95% of the value should be reached before the final round (got {fraction})"
+    );
+}

@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) for the core invariants of the
+//! reproduction:
+//!
+//! * the centralized greedy and GreedyMR always produce feasible matchings
+//!   worth at least half of the optimum,
+//! * StackMR never violates capacities by more than the (1+ε) factor and
+//!   achieves its 1/(6+ε) guarantee,
+//! * the exact solver dominates every approximation,
+//! * the MapReduce engine computes the same result as a sequential
+//!   reference regardless of task/thread configuration,
+//! * sparse-vector algebra behaves like algebra.
+
+use proptest::prelude::*;
+
+use social_content_matching::graph::{BipartiteGraph, Capacities, ConsumerId, Edge, ItemId};
+use social_content_matching::mapreduce::prelude::*;
+use social_content_matching::matching::{
+    greedy_matching, optimal_matching, stack_matching, GreedyMr, GreedyMrConfig, StackMr,
+    StackMrConfig,
+};
+use social_content_matching::text::{SparseVector, TermId};
+
+/// A random small b-matching instance: a bipartite graph with up to
+/// 6 × 6 nodes, random edges with positive weights, and random capacities.
+fn instance_strategy() -> impl Strategy<Value = (BipartiteGraph, Capacities)> {
+    (2usize..6, 2usize..6)
+        .prop_flat_map(|(items, consumers)| {
+            let edge_strategy = proptest::collection::vec(
+                (0..items as u32, 0..consumers as u32, 0.01f64..1.0),
+                1..(items * consumers + 1),
+            );
+            let item_caps = proptest::collection::vec(1u64..4, items);
+            let consumer_caps = proptest::collection::vec(1u64..4, consumers);
+            (
+                Just(items),
+                Just(consumers),
+                edge_strategy,
+                item_caps,
+                consumer_caps,
+            )
+        })
+        .prop_map(|(items, consumers, raw_edges, item_caps, consumer_caps)| {
+            // Deduplicate parallel edges to keep instances clean.
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::new();
+            for (t, c, w) in raw_edges {
+                if seen.insert((t, c)) {
+                    edges.push(Edge::new(ItemId(t), ConsumerId(c), w));
+                }
+            }
+            let graph = BipartiteGraph::from_edges(items, consumers, edges);
+            let caps = Capacities::from_vectors(item_caps, consumer_caps);
+            (graph, caps)
+        })
+}
+
+fn single_thread_job(name: &str) -> JobConfig {
+    JobConfig::named(name).with_threads(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn greedy_is_feasible_and_half_optimal((graph, caps) in instance_strategy()) {
+        let greedy = greedy_matching(&graph, &caps);
+        let optimal = optimal_matching(&graph, &caps);
+        prop_assert!(greedy.is_feasible(&graph, &caps));
+        prop_assert!(optimal.is_feasible(&graph, &caps));
+        prop_assert!(greedy.value(&graph) <= optimal.value(&graph) + 1e-9);
+        prop_assert!(greedy.value(&graph) >= 0.5 * optimal.value(&graph) - 1e-9);
+    }
+
+    #[test]
+    fn greedy_mr_is_feasible_and_half_optimal((graph, caps) in instance_strategy()) {
+        let run = GreedyMr::new(
+            GreedyMrConfig::default().with_job(single_thread_job("prop-greedy-mr")),
+        )
+        .run(&graph, &caps);
+        let optimal = optimal_matching(&graph, &caps);
+        prop_assert!(run.matching.is_feasible(&graph, &caps));
+        prop_assert!(run.value(&graph) <= optimal.value(&graph) + 1e-9);
+        prop_assert!(run.value(&graph) >= 0.5 * optimal.value(&graph) - 1e-9);
+        // The any-time trace never decreases.
+        for window in run.value_per_round.windows(2) {
+            prop_assert!(window[1] >= window[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn stack_mr_respects_violation_bound_and_guarantee((graph, caps) in instance_strategy()) {
+        let epsilon = 1.0;
+        let run = StackMr::new(
+            StackMrConfig::default()
+                .with_epsilon(epsilon)
+                .with_seed(99)
+                .with_job(single_thread_job("prop-stack-mr")),
+        )
+        .run(&graph, &caps);
+        let optimal = optimal_matching(&graph, &caps);
+        prop_assert!(run.matching.max_violation(&graph, &caps) <= epsilon + 1e-9);
+        prop_assert!(
+            run.value(&graph) >= optimal.value(&graph) / (6.0 + epsilon) - 1e-9,
+            "StackMR value {} below guarantee of optimum {}",
+            run.value(&graph),
+            optimal.value(&graph)
+        );
+    }
+
+    #[test]
+    fn centralized_stack_is_feasible_and_dominated_by_the_optimum((graph, caps) in instance_strategy()) {
+        let stack = stack_matching(&graph, &caps, 1.0);
+        let optimal = optimal_matching(&graph, &caps);
+        prop_assert!(stack.is_feasible(&graph, &caps));
+        prop_assert!(stack.value(&graph) <= optimal.value(&graph) + 1e-9);
+        prop_assert!(stack.value(&graph) >= optimal.value(&graph) / 7.0 - 1e-9);
+    }
+
+    #[test]
+    fn engine_aggregation_is_configuration_independent(
+        values in proptest::collection::vec((0u32..20, 1u64..100), 1..60),
+        map_tasks in 1usize..6,
+        reduce_tasks in 1usize..5,
+        threads in 1usize..4,
+    ) {
+        struct Identity;
+        impl Mapper for Identity {
+            type InKey = u32;
+            type InValue = u64;
+            type OutKey = u32;
+            type OutValue = u64;
+            fn map(&self, k: &u32, v: &u64, out: &mut Emitter<u32, u64>) {
+                out.emit(*k, *v);
+            }
+        }
+        struct Sum;
+        impl Reducer for Sum {
+            type Key = u32;
+            type InValue = u64;
+            type OutKey = u32;
+            type OutValue = u64;
+            fn reduce(&self, k: &u32, vs: &[u64], out: &mut Emitter<u32, u64>) {
+                out.emit(*k, vs.iter().sum());
+            }
+        }
+        // Sequential reference.
+        let mut expected = std::collections::BTreeMap::new();
+        for (k, v) in &values {
+            *expected.entry(*k).or_insert(0u64) += v;
+        }
+        let job = Job::new(
+            JobConfig::named("prop-engine")
+                .with_map_tasks(map_tasks)
+                .with_reduce_tasks(reduce_tasks)
+                .with_threads(threads),
+        );
+        let result = job.run(&Identity, &Sum, values);
+        let got: std::collections::BTreeMap<u32, u64> = result.output.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sparse_vector_algebra_behaves(
+        a in proptest::collection::vec((0u32..30, -2.0f64..2.0), 0..15),
+        b in proptest::collection::vec((0u32..30, -2.0f64..2.0), 0..15),
+    ) {
+        let va = SparseVector::from_entries(a.iter().map(|&(t, w)| (TermId(t), w)));
+        let vb = SparseVector::from_entries(b.iter().map(|&(t, w)| (TermId(t), w)));
+        // Dot product is symmetric.
+        prop_assert!((va.dot(&vb) - vb.dot(&va)).abs() < 1e-9);
+        // Cauchy–Schwarz.
+        prop_assert!(va.dot(&vb).abs() <= va.norm() * vb.norm() + 1e-9);
+        // Normalization yields unit (or zero) norm and preserves direction.
+        let na = va.normalized();
+        if va.norm() > 0.0 {
+            prop_assert!((na.norm() - 1.0).abs() < 1e-9);
+            prop_assert!(na.dot(&va) >= -1e-9);
+        } else {
+            prop_assert!(na.is_empty());
+        }
+    }
+
+    #[test]
+    fn matching_violation_is_zero_iff_feasible((graph, caps) in instance_strategy()) {
+        let run = GreedyMr::new(
+            GreedyMrConfig::default().with_job(single_thread_job("prop-violation")),
+        )
+        .run(&graph, &caps);
+        let feasible = run.matching.is_feasible(&graph, &caps);
+        let avg = run.matching.average_violation(&graph, &caps);
+        let max = run.matching.max_violation(&graph, &caps);
+        prop_assert_eq!(feasible, max == 0.0);
+        prop_assert!(avg <= max + 1e-12);
+    }
+}
