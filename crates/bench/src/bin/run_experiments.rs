@@ -99,7 +99,9 @@ fn run_experiment(name: &str, set: &mut ExperimentSet) -> Result<(), String> {
             }
         }
         "all" => {
-            let all = ["table1", "fig6", "fig7", "fig1", "fig2", "fig3", "fig4", "fig5"];
+            let all = [
+                "table1", "fig6", "fig7", "fig1", "fig2", "fig3", "fig4", "fig5",
+            ];
             for exp in all {
                 run_experiment(exp, set)?;
             }
@@ -150,7 +152,14 @@ mod tests {
     #[test]
     fn flags_are_parsed() {
         let options = parse_args(&strings(&[
-            "fig1", "fig4", "--scale", "smoke", "--threads", "3", "--seed", "99",
+            "fig1",
+            "fig4",
+            "--scale",
+            "smoke",
+            "--threads",
+            "3",
+            "--seed",
+            "99",
         ]))
         .unwrap();
         assert_eq!(options.experiments, vec!["fig1", "fig4"]);

@@ -6,9 +6,7 @@ use smr_datagen::DatasetPreset;
 use smr_graph::stats::{capacity_histograms, similarity_histogram};
 use smr_graph::{BipartiteGraph, Capacities};
 use smr_mapreduce::JobConfig;
-use smr_matching::{
-    AlgorithmKind, GreedyMr, GreedyMrConfig, MatchingRun, StackMr, StackMrConfig,
-};
+use smr_matching::{AlgorithmKind, GreedyMr, GreedyMrConfig, MatchingRun, StackMr, StackMrConfig};
 
 use crate::pipeline::DatasetInstance;
 use crate::report::{fmt_f, fmt_pct, Table};
@@ -178,7 +176,13 @@ pub fn quality_and_iterations(set: &mut ExperimentSet, preset: DatasetPreset) ->
     let mut table = Table::new(
         format!("{figure}: matching value and MapReduce iterations vs edges (alpha=1, eps=1)"),
         &[
-            "sigma", "edges", "algorithm", "value", "mr-jobs", "rounds", "shuffled",
+            "sigma",
+            "edges",
+            "algorithm",
+            "value",
+            "mr-jobs",
+            "rounds",
+            "shuffled",
         ],
     );
     let sweep = set.scale.sigma_sweep(preset);
@@ -214,7 +218,14 @@ pub fn violations(set: &mut ExperimentSet) -> Table {
     let epsilon = 1.0;
     let mut table = Table::new(
         "Figure 4: StackMR capacity violations (eps=1)",
-        &["dataset", "alpha", "sigma", "edges", "avg violation", "max violation"],
+        &[
+            "dataset",
+            "alpha",
+            "sigma",
+            "edges",
+            "avg violation",
+            "max violation",
+        ],
     );
     for preset in set.scale.presets() {
         let sweep = set.scale.sigma_sweep(preset);
@@ -325,7 +336,10 @@ pub fn capacity_distribution(set: &mut ExperimentSet) -> Vec<Table> {
         let caps = set.instance(preset).capacities(1.0);
         let (items, consumers) = capacity_histograms(&caps, 12);
         let mut table = Table::new(
-            format!("Figure 7: capacity distribution ({}, alpha=1)", preset.name()),
+            format!(
+                "Figure 7: capacity distribution ({}, alpha=1)",
+                preset.name()
+            ),
             &["capacity >=", "items", "consumers"],
         );
         for (i, lower) in items.bucket_lower_bounds.iter().enumerate() {
@@ -388,11 +402,15 @@ mod tests {
         let mut set = smoke_set();
         let table = violations(&mut set);
         assert_eq!(table.num_rows(), 2); // 1 preset x 1 alpha x 2 sigmas
+
         // Every reported violation is a percentage between 0 and 100%
         // (ε = 1 bounds the per-node violation by 100%).
         for line in table.render().lines().skip(3) {
             let cells: Vec<&str> = line.split_whitespace().collect();
-            let avg: f64 = cells[cells.len() - 2].trim_end_matches('%').parse().unwrap();
+            let avg: f64 = cells[cells.len() - 2]
+                .trim_end_matches('%')
+                .parse()
+                .unwrap();
             assert!((0.0..=100.0).contains(&avg), "violation {avg} out of range");
         }
     }

@@ -55,11 +55,7 @@ impl DatasetInstance {
 }
 
 /// Runs the MapReduce similarity join for a dataset at threshold σ.
-pub fn build_candidate_graph(
-    dataset: &SocialDataset,
-    sigma: f64,
-    job: JobConfig,
-) -> SimJoinResult {
+pub fn build_candidate_graph(dataset: &SocialDataset, sigma: f64, job: JobConfig) -> SimJoinResult {
     run_simjoin(dataset, sigma, job)
 }
 

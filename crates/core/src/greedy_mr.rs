@@ -338,8 +338,9 @@ mod tests {
         let n = 12usize;
         let mut builder = GraphBuilder::new();
         let items: Vec<ItemId> = (0..n).map(|i| builder.add_item(format!("t{i}"))).collect();
-        let consumers: Vec<ConsumerId> =
-            (0..n).map(|i| builder.add_consumer(format!("c{i}"))).collect();
+        let consumers: Vec<ConsumerId> = (0..n)
+            .map(|i| builder.add_consumer(format!("c{i}")))
+            .collect();
         // Path t0 - c0 - t1 - c1 - t2 ... with strictly increasing weights.
         let mut weight = 1.0;
         for i in 0..n {

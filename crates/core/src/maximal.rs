@@ -102,7 +102,6 @@ impl StageMsg {
             },
         )
     }
-
 }
 
 /// Result of one maximal b-matching computation.
@@ -266,7 +265,11 @@ impl Mapper for SelectMapper {
     type OutValue = StageMsg;
 
     fn map(&self, _node: &NodeId, record: &WorkRecord, out: &mut Emitter<NodeId, StageMsg>) {
-        let mut rng = node_rng(self.seed, self.iteration.wrapping_add(0x5e1ec7), record.node);
+        let mut rng = node_rng(
+            self.seed,
+            self.iteration.wrapping_add(0x5e1ec7),
+            record.node,
+        );
         let quota = ((record.capacity / 2) as usize).max(1);
         let candidates: Vec<(usize, f64)> = record
             .edges
@@ -345,7 +348,11 @@ impl Mapper for MatchFixMapper {
     type OutValue = StageMsg;
 
     fn map(&self, _node: &NodeId, record: &WorkRecord, out: &mut Emitter<NodeId, StageMsg>) {
-        let mut rng = node_rng(self.seed, self.iteration.wrapping_add(0xf1f1f1), record.node);
+        let mut rng = node_rng(
+            self.seed,
+            self.iteration.wrapping_add(0xf1f1f1),
+            record.node,
+        );
         let f_indices: Vec<usize> = record
             .edges
             .iter()
@@ -480,9 +487,7 @@ impl Reducer for CleanupReducer {
             record
                 .edges
                 .iter()
-                .filter(|e| {
-                    !e.in_f && neighbour_survives.get(&e.edge).copied().unwrap_or(false)
-                })
+                .filter(|e| !e.in_f && neighbour_survives.get(&e.edge).copied().unwrap_or(false))
                 .map(|e| WorkEdge {
                     marked_by_self: false,
                     marked_by_other: false,
@@ -648,10 +653,8 @@ impl MaximalMatcher {
 /// reference in tests: scan the live edges in id order and keep an edge
 /// whenever both endpoints still have residual capacity.
 pub fn maximal_b_matching_centralized(records: &[(NodeId, NodeRecord)]) -> Vec<EdgeId> {
-    let mut residual: HashMap<NodeId, u64> = records
-        .iter()
-        .map(|(n, r)| (*n, r.capacity))
-        .collect();
+    let mut residual: HashMap<NodeId, u64> =
+        records.iter().map(|(n, r)| (*n, r.capacity)).collect();
     // Gather every live edge exactly once (it appears in both endpoint
     // records).
     let mut edges: Vec<(EdgeId, NodeId, NodeId)> = Vec::new();
@@ -698,11 +701,7 @@ mod tests {
 
     /// Maximality check: every live edge must have at least one saturated
     /// endpoint, and no node may exceed its capacity.
-    fn assert_maximal(
-        graph: &BipartiteGraph,
-        caps: &Capacities,
-        matched_edges: &[EdgeId],
-    ) {
+    fn assert_maximal(graph: &BipartiteGraph, caps: &Capacities, matched_edges: &[EdgeId]) {
         let matching = Matching::from_edges(graph.num_edges(), matched_edges.iter().copied());
         for v in graph.nodes() {
             assert!(
@@ -715,8 +714,8 @@ mod tests {
                 continue;
             }
             let edge = graph.edge(e);
-            let item_full = matching.degree(graph, NodeId::Item(edge.item)) as u64
-                >= caps.item(edge.item);
+            let item_full =
+                matching.degree(graph, NodeId::Item(edge.item)) as u64 >= caps.item(edge.item);
             let consumer_full = matching.degree(graph, NodeId::Consumer(edge.consumer)) as u64
                 >= caps.consumer(edge.consumer);
             assert!(

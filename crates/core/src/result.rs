@@ -106,11 +106,7 @@ impl MatchingRun {
             return None;
         }
         let target = fraction * final_value;
-        let round = self
-            .value_per_round
-            .iter()
-            .position(|&v| v >= target)?
-            + 1;
+        let round = self.value_per_round.iter().position(|&v| v >= target)? + 1;
         Some((round, round as f64 / self.value_per_round.len() as f64))
     }
 }

@@ -113,7 +113,11 @@ mod tests {
     fn centralized_algorithms_report_zero_mapreduce_jobs() {
         let (g, caps) = instance();
         let config = runner_config();
-        for algorithm in [AlgorithmKind::Greedy, AlgorithmKind::Stack, AlgorithmKind::Exact] {
+        for algorithm in [
+            AlgorithmKind::Greedy,
+            AlgorithmKind::Stack,
+            AlgorithmKind::Exact,
+        ] {
             let run = run_algorithm(algorithm, &g, &caps, &config);
             assert_eq!(run.mr_jobs, 0);
         }

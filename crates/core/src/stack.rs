@@ -52,12 +52,7 @@ impl DualVariables {
 
     /// The left-hand side of the dual constraint of an edge:
     /// `y_u/b(u) + y_v/b(v)`.
-    pub(crate) fn constraint_lhs(
-        &self,
-        caps: &Capacities,
-        u: NodeId,
-        v: NodeId,
-    ) -> f64 {
+    pub(crate) fn constraint_lhs(&self, caps: &Capacities, u: NodeId, v: NodeId) -> f64 {
         self.get(u) / caps.of(u) as f64 + self.get(v) / caps.of(v) as f64
     }
 
@@ -102,8 +97,8 @@ pub fn stack_matching(graph: &BipartiteGraph, caps: &Capacities, epsilon: f64) -
     // the number of sweeps is O(b_max) in the worst case.
     while live_count > 0 {
         let mut removed_this_pass = 0usize;
-        for e in 0..graph.num_edges() {
-            if !live[e] {
+        for (e, edge_live) in live.iter_mut().enumerate() {
+            if !*edge_live {
                 continue;
             }
             let edge = graph.edge(e);
@@ -111,7 +106,7 @@ pub fn stack_matching(graph: &BipartiteGraph, caps: &Capacities, epsilon: f64) -
             let v = NodeId::Consumer(edge.consumer);
             let lhs = duals.constraint_lhs(caps, u, v);
             if is_weakly_covered(edge.weight, lhs, epsilon) {
-                live[e] = false;
+                *edge_live = false;
                 removed_this_pass += 1;
                 continue;
             }
@@ -127,9 +122,7 @@ pub fn stack_matching(graph: &BipartiteGraph, caps: &Capacities, epsilon: f64) -
         // stagnation anyway.
         if removed_this_pass == 0 && live_count > 0 && stack.len() > graph.num_edges() * 64 {
             // Extremely defensive: declare the remaining edges covered.
-            for e in 0..graph.num_edges() {
-                live[e] = false;
-            }
+            live.fill(false);
             live_count = 0;
         }
     }
@@ -169,11 +162,7 @@ mod tests {
 
     fn k33() -> (BipartiteGraph, Capacities) {
         let mut edges = Vec::new();
-        let weights = [
-            [3.0, 1.0, 1.0],
-            [1.0, 2.0, 1.0],
-            [1.0, 1.0, 4.0],
-        ];
+        let weights = [[3.0, 1.0, 1.0], [1.0, 2.0, 1.0], [1.0, 1.0, 4.0]];
         for (t, row) in weights.iter().enumerate() {
             for (c, &w) in row.iter().enumerate() {
                 edges.push(Edge::new(ItemId(t as u32), ConsumerId(c as u32), w));

@@ -592,7 +592,11 @@ mod tests {
         let run = StackMr::new(test_config(5)).run(&g, &caps);
         // At least one coverage job, four maximal-matching jobs, one push
         // job and one pop job.
-        assert!(run.mr_jobs >= 7, "expected at least 7 jobs, got {}", run.mr_jobs);
+        assert!(
+            run.mr_jobs >= 7,
+            "expected at least 7 jobs, got {}",
+            run.mr_jobs
+        );
         assert_eq!(run.job_metrics.len(), run.mr_jobs);
         assert!(run.rounds >= 2);
         assert!(run.total_shuffled_records() > 0);
@@ -621,11 +625,7 @@ mod tests {
 
     #[test]
     fn single_edge_graph_matches_it() {
-        let g = BipartiteGraph::from_edges(
-            1,
-            1,
-            vec![Edge::new(ItemId(0), ConsumerId(0), 5.0)],
-        );
+        let g = BipartiteGraph::from_edges(1, 1, vec![Edge::new(ItemId(0), ConsumerId(0), 5.0)]);
         let caps = Capacities::uniform(&g, 1, 1);
         let run = StackMr::new(test_config(2)).run(&g, &caps);
         assert_eq!(run.matching.to_edge_vec(), vec![0]);

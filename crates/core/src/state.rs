@@ -77,10 +77,7 @@ impl NodeRecord {
 
 /// Builds the initial node-centric representation of a graph: one record
 /// per non-isolated node, keyed by the node id.
-pub fn build_node_records(
-    graph: &BipartiteGraph,
-    caps: &Capacities,
-) -> Vec<(NodeId, NodeRecord)> {
+pub fn build_node_records(graph: &BipartiteGraph, caps: &Capacities) -> Vec<(NodeId, NodeRecord)> {
     assert!(
         caps.matches(graph),
         "capacities were built for a different graph"
@@ -132,10 +129,7 @@ mod tests {
         let caps = Capacities::uniform(&g, 2, 1);
         let records = build_node_records(&g, &caps);
         assert_eq!(records.len(), 4);
-        let (key, item0) = records
-            .iter()
-            .find(|(k, _)| *k == NodeId::item(0))
-            .unwrap();
+        let (key, item0) = records.iter().find(|(k, _)| *k == NodeId::item(0)).unwrap();
         assert_eq!(*key, item0.node);
         assert_eq!(item0.capacity, 2);
         assert_eq!(item0.adjacency.len(), 2);
@@ -145,11 +139,7 @@ mod tests {
 
     #[test]
     fn isolated_nodes_get_no_record() {
-        let g = BipartiteGraph::from_edges(
-            2,
-            1,
-            vec![Edge::new(ItemId(0), ConsumerId(0), 1.0)],
-        );
+        let g = BipartiteGraph::from_edges(2, 1, vec![Edge::new(ItemId(0), ConsumerId(0), 1.0)]);
         let caps = Capacities::uniform(&g, 1, 1);
         let records = build_node_records(&g, &caps);
         assert_eq!(records.len(), 2);
@@ -187,10 +177,7 @@ mod tests {
         );
         let caps = Capacities::uniform(&g, 2, 1);
         let records = build_node_records(&g, &caps);
-        let (_, t0) = records
-            .iter()
-            .find(|(k, _)| *k == NodeId::item(0))
-            .unwrap();
+        let (_, t0) = records.iter().find(|(k, _)| *k == NodeId::item(0)).unwrap();
         let picks = t0.heaviest_edges(2);
         assert_eq!(t0.adjacency[picks[0]].edge, 0);
         assert_eq!(t0.adjacency[picks[1]].edge, 1);

@@ -102,9 +102,8 @@ impl AnswersGenerator {
             .map(|u| {
                 let answers = activity_sampler.sample(&mut rng);
                 consumer_activity.push(answers);
-                let favourite_topics: Vec<usize> = (0..2)
-                    .map(|_| topic_sampler.sample(&mut rng))
-                    .collect();
+                let favourite_topics: Vec<usize> =
+                    (0..2).map(|_| topic_sampler.sample(&mut rng)).collect();
                 let mut words = Vec::new();
                 // Cap the document length so highly active users do not
                 // produce megabyte-sized profiles.
@@ -179,7 +178,10 @@ mod tests {
                     .any(|w| u.text.split_whitespace().any(|uw| uw == w))
             })
         });
-        assert!(overlap, "questions and user profiles should overlap in words");
+        assert!(
+            overlap,
+            "questions and user profiles should overlap in words"
+        );
     }
 
     #[test]

@@ -106,8 +106,8 @@ impl FlickrGenerator {
             let owner = sample_weighted(&mut rng, &consumer_activity, total_activity);
             let mut tags = Vec::with_capacity(self.tags_per_photo);
             for _ in 0..self.tags_per_photo {
-                let from_interests = !user_interests[owner].is_empty()
-                    && rng.gen::<f64>() < self.topicality;
+                let from_interests =
+                    !user_interests[owner].is_empty() && rng.gen::<f64>() < self.topicality;
                 let tag = if from_interests {
                     user_interests[owner][rng.gen_range(0..user_interests[owner].len())]
                 } else {
@@ -194,7 +194,10 @@ mod tests {
         assert_eq!(d.num_items(), 60);
         assert_eq!(d.num_consumers(), 15);
         assert!(d.validate().is_ok());
-        assert_eq!(d.item_capacity_policy, ItemCapacityPolicy::QualityProportional);
+        assert_eq!(
+            d.item_capacity_policy,
+            ItemCapacityPolicy::QualityProportional
+        );
     }
 
     #[test]
@@ -203,11 +206,7 @@ mod tests {
         let b = small().generate();
         assert_eq!(a.items, b.items);
         assert_eq!(a.consumer_activity, b.consumer_activity);
-        let c = FlickrGenerator {
-            seed: 8,
-            ..small()
-        }
-        .generate();
+        let c = FlickrGenerator { seed: 8, ..small() }.generate();
         assert_ne!(a.items, c.items);
     }
 
@@ -221,7 +220,10 @@ mod tests {
         }
         .generate();
         let ones = d.consumer_activity.iter().filter(|&&a| a == 1).count();
-        assert!(ones > d.num_consumers() / 3, "most users should post little");
+        assert!(
+            ones > d.num_consumers() / 3,
+            "most users should post little"
+        );
         let max_activity = *d.consumer_activity.iter().max().unwrap();
         assert!(max_activity >= 10, "a few users should be very active");
         let max_fav = *d.item_quality.iter().max().unwrap();

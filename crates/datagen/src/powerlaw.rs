@@ -126,7 +126,10 @@ mod tests {
             counts[sampler.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((c as f64 - 5000.0).abs() < 700.0, "count {c} too far from uniform");
+            assert!(
+                (c as f64 - 5000.0).abs() < 700.0,
+                "count {c} too far from uniform"
+            );
         }
     }
 
@@ -148,7 +151,10 @@ mod tests {
         let samples: Vec<u64> = (0..20_000).map(|_| sampler.sample(&mut rng)).collect();
         let ones = samples.iter().filter(|&&v| v == 1).count();
         let large = samples.iter().filter(|&&v| v > 100).count();
-        assert!(ones > samples.len() / 2, "power law should be dominated by 1s");
+        assert!(
+            ones > samples.len() / 2,
+            "power law should be dominated by 1s"
+        );
         assert!(large > 0, "the tail should still be reachable");
         assert!(samples.iter().all(|&v| (1..=1000).contains(&v)));
     }

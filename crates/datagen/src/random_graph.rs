@@ -146,7 +146,10 @@ mod tests {
         .generate();
         assert_eq!(g.num_items(), 50);
         assert_eq!(g.num_consumers(), 30);
-        assert!(g.num_edges() > 250, "should generate close to the requested edges");
+        assert!(
+            g.num_edges() > 250,
+            "should generate close to the requested edges"
+        );
         assert!(g.edges().iter().all(|e| e.weight > 0.0));
     }
 

@@ -51,9 +51,7 @@ impl SocialDataset {
             ItemCapacityPolicy::QualityProportional => {
                 model.flickr(&self.consumer_activity, &self.item_quality)
             }
-            ItemCapacityPolicy::Uniform => {
-                model.answers(&self.consumer_activity, self.items.len())
-            }
+            ItemCapacityPolicy::Uniform => model.answers(&self.consumer_activity, self.items.len()),
         }
     }
 

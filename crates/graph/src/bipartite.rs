@@ -96,7 +96,13 @@ impl BipartiteGraph {
     pub fn from_edges(num_items: usize, num_consumers: usize, edges: Vec<Edge>) -> Self {
         let item_labels = (0..num_items).map(|i| format!("t{i}")).collect();
         let consumer_labels = (0..num_consumers).map(|i| format!("c{i}")).collect();
-        Self::from_edges_labelled(num_items, num_consumers, edges, item_labels, consumer_labels)
+        Self::from_edges_labelled(
+            num_items,
+            num_consumers,
+            edges,
+            item_labels,
+            consumer_labels,
+        )
     }
 
     fn from_edges_labelled(

@@ -200,11 +200,7 @@ mod tests {
 
     #[test]
     fn uniform_capacities_cover_every_node() {
-        let g = BipartiteGraph::from_edges(
-            2,
-            3,
-            vec![Edge::new(ItemId(0), ConsumerId(0), 1.0)],
-        );
+        let g = BipartiteGraph::from_edges(2, 3, vec![Edge::new(ItemId(0), ConsumerId(0), 1.0)]);
         let caps = Capacities::uniform(&g, 2, 5);
         assert!(caps.matches(&g));
         assert_eq!(caps.item(ItemId(1)), 2);

@@ -47,7 +47,7 @@ pub mod matching;
 pub mod stats;
 
 pub use bipartite::{BipartiteGraph, Edge, EdgeId, GraphBuilder};
-pub use capacity::{CapacityModel, Capacities};
+pub use capacity::{Capacities, CapacityModel};
 pub use ids::{ConsumerId, ItemId, NodeId};
 pub use matching::Matching;
 pub use stats::{Histogram, Summary};
@@ -55,7 +55,7 @@ pub use stats::{Histogram, Summary};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::bipartite::{BipartiteGraph, Edge, EdgeId, GraphBuilder};
-    pub use crate::capacity::{CapacityModel, Capacities};
+    pub use crate::capacity::{Capacities, CapacityModel};
     pub use crate::ids::{ConsumerId, ItemId, NodeId};
     pub use crate::matching::Matching;
     pub use crate::stats::{Histogram, Summary};

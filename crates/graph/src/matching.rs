@@ -114,11 +114,7 @@ impl Matching {
     }
 
     /// Nodes whose capacity is exceeded, with their overflow `|M(v)| − b(v)`.
-    pub fn violated_nodes(
-        &self,
-        graph: &BipartiteGraph,
-        caps: &Capacities,
-    ) -> Vec<(NodeId, u64)> {
+    pub fn violated_nodes(&self, graph: &BipartiteGraph, caps: &Capacities) -> Vec<(NodeId, u64)> {
         graph
             .nodes()
             .filter_map(|v| {

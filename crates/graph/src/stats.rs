@@ -109,7 +109,12 @@ impl Histogram {
         self.bucket_lower_bounds
             .iter()
             .zip(&self.counts)
-            .map(|(b, c)| format!("{b:>12.4} {c:>10} {:>8.4}", *c as f64 / self.total.max(1) as f64))
+            .map(|(b, c)| {
+                format!(
+                    "{b:>12.4} {c:>10} {:>8.4}",
+                    *c as f64 / self.total.max(1) as f64
+                )
+            })
             .collect()
     }
 }

@@ -19,6 +19,10 @@ use crate::metrics::{JobMetrics, PhaseTimings};
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::types::{Combiner, Emitter, Mapper, Reducer};
 
+/// One map task's output: a bucket of intermediate pairs per reduce
+/// partition.
+type TaskBuckets<K, V> = Vec<Vec<(K, V)>>;
+
 /// The output of a completed job.
 #[derive(Debug, Clone)]
 pub struct JobResult<K, V> {
@@ -130,7 +134,7 @@ impl Job {
         // ------------------------------------------------------------------
         let map_start = Instant::now();
         let splits = split_input(input, num_map_tasks);
-        let task_outputs: Mutex<Vec<Vec<Vec<(M::OutKey, M::OutValue)>>>> =
+        let task_outputs: Mutex<Vec<TaskBuckets<M::OutKey, M::OutValue>>> =
             Mutex::new(Vec::with_capacity(num_map_tasks));
         let next_task = AtomicUsize::new(0);
         let splits_ref = &splits;
@@ -156,7 +160,7 @@ impl Job {
                     };
                     counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
 
-                    let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
+                    let mut buckets: TaskBuckets<M::OutKey, M::OutValue> =
                         (0..num_reduce_tasks).map(|_| Vec::new()).collect();
                     for (k, v) in combined {
                         let p = partitioner.partition(&k, num_reduce_tasks);
@@ -195,7 +199,8 @@ impl Job {
         // Reduce phase (parallel over partitions).
         // ------------------------------------------------------------------
         let reduce_start = Instant::now();
-        let partition_results: Mutex<Vec<(usize, Vec<(R::OutKey, R::OutValue)>)>> =
+        type PartitionResults<K, V> = Mutex<Vec<(usize, Vec<(K, V)>)>>;
+        let partition_results: PartitionResults<R::OutKey, R::OutValue> =
             Mutex::new(Vec::with_capacity(num_reduce_tasks));
         let next_partition = AtomicUsize::new(0);
         let partitions_ref = &partitions;
@@ -298,10 +303,7 @@ fn combine_task_output<C: Combiner>(
 /// When the partition is sorted, equal keys are adjacent and the grouping is
 /// a single pass; otherwise a full scan per distinct key would be wrong, so
 /// we sort a copy of the indices instead.
-fn group_by_key<'a, K: Ord + Clone, V: Clone>(
-    partition: &'a [(K, V)],
-    sorted: bool,
-) -> Vec<(&'a K, Vec<V>)> {
+fn group_by_key<K: Ord + Clone, V: Clone>(partition: &[(K, V)], sorted: bool) -> Vec<(&K, Vec<V>)> {
     if partition.is_empty() {
         return Vec::new();
     }
@@ -449,7 +451,10 @@ mod tests {
                     );
                     let mut out = job.run(&SplitWords, &SumCounts, word_count_input()).output;
                     out.sort();
-                    assert_eq!(out, baseline, "threads={threads} map={map_tasks} reduce={reduce_tasks}");
+                    assert_eq!(
+                        out, baseline,
+                        "threads={threads} map={map_tasks} reduce={reduce_tasks}"
+                    );
                 }
             }
         }
@@ -468,7 +473,11 @@ mod tests {
     fn reduce_input_is_sorted_by_key_within_partition() {
         // With a single reduce partition the whole output must be in key
         // order, mirroring Hadoop's sorted reducer input.
-        let job = Job::new(JobConfig::named("sorted").with_reduce_tasks(1).with_threads(2));
+        let job = Job::new(
+            JobConfig::named("sorted")
+                .with_reduce_tasks(1)
+                .with_threads(2),
+        );
         let result = job.run(&SplitWords, &SumCounts, word_count_input());
         let keys: Vec<&String> = result.output.iter().map(|(k, _)| k).collect();
         let mut sorted = keys.clone();
@@ -520,7 +529,7 @@ mod tests {
     fn group_by_key_sorted_and_unsorted_agree() {
         let data = vec![(2, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (1, 'e')];
         let mut sorted_data = data.clone();
-        sorted_data.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted_data.sort_by_key(|&(k, _)| k);
         let sorted_groups: Vec<(i32, Vec<char>)> = group_by_key(&sorted_data, true)
             .into_iter()
             .map(|(k, v)| (*k, v))

@@ -11,11 +11,7 @@ use smr_text::Corpus;
 /// are usually built independently, so their term ids do not line up);
 /// items become the left side of the graph (labelled with their document
 /// ids), consumers the right side, and the edge weight is the similarity.
-pub fn baseline_similarity_join(
-    items: &Corpus,
-    consumers: &Corpus,
-    sigma: f64,
-) -> BipartiteGraph {
+pub fn baseline_similarity_join(items: &Corpus, consumers: &Corpus, sigma: f64) -> BipartiteGraph {
     assert!(sigma > 0.0, "threshold must be positive");
     // Build a joint vector space so item and consumer term ids align.
     let mut all_docs = Vec::with_capacity(items.len() + consumers.len());

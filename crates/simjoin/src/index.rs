@@ -72,7 +72,10 @@ impl InvertedIndex {
 
     /// Postings of a term (empty if the term is not indexed).
     pub fn postings(&self, term: TermId) -> &[Posting] {
-        self.postings.get(&term).map(|v| v.as_slice()).unwrap_or(&[])
+        self.postings
+            .get(&term)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of distinct indexed terms.
@@ -148,8 +151,20 @@ mod tests {
     #[test]
     fn from_postings_round_trips() {
         let index = InvertedIndex::from_postings(vec![
-            (TermId(3), vec![Posting { doc: 0, weight: 0.5 }]),
-            (TermId(7), vec![Posting { doc: 1, weight: 0.25 }]),
+            (
+                TermId(3),
+                vec![Posting {
+                    doc: 0,
+                    weight: 0.5,
+                }],
+            ),
+            (
+                TermId(7),
+                vec![Posting {
+                    doc: 1,
+                    weight: 0.25,
+                }],
+            ),
         ]);
         assert_eq!(index.num_terms(), 2);
         assert_eq!(index.num_entries(), 2);

@@ -152,7 +152,12 @@ impl Reducer for VerifyReducer {
     type OutKey = (usize, usize);
     type OutValue = f64;
 
-    fn reduce(&self, pair: &(usize, usize), _counts: &[u8], out: &mut Emitter<(usize, usize), f64>) {
+    fn reduce(
+        &self,
+        pair: &(usize, usize),
+        _counts: &[u8],
+        out: &mut Emitter<(usize, usize), f64>,
+    ) {
         let (item, consumer) = *pair;
         let similarity = self.items[item].dot(&self.consumers[consumer]);
         if similarity >= self.sigma {
@@ -212,12 +217,14 @@ pub fn mapreduce_similarity_join_vectors(
     let mut job_metrics = Vec::new();
 
     // Job 1: build the pruned inverted index over the consumers.
-    let index_job = Job::new(config.job.clone().with_name(format!("{}-index", config.job.name)));
-    let index_input: Vec<(usize, SparseVector)> = consumer_vectors
-        .iter()
-        .cloned()
-        .enumerate()
-        .collect();
+    let index_job = Job::new(
+        config
+            .job
+            .clone()
+            .with_name(format!("{}-index", config.job.name)),
+    );
+    let index_input: Vec<(usize, SparseVector)> =
+        consumer_vectors.iter().cloned().enumerate().collect();
     let index_result = index_job.run(
         &IndexMapper {
             term_order_rank: Arc::clone(&term_order_rank),
@@ -237,7 +244,12 @@ pub fn mapreduce_similarity_join_vectors(
     let indexed_entries = index.num_entries();
 
     // Job 2: probe the index with the items and verify candidates.
-    let probe_job = Job::new(config.job.clone().with_name(format!("{}-probe", config.job.name)));
+    let probe_job = Job::new(
+        config
+            .job
+            .clone()
+            .with_name(format!("{}-probe", config.job.name)),
+    );
     let probe_input: Vec<(usize, SparseVector)> =
         item_vectors.iter().cloned().enumerate().collect();
     let items_arc = Arc::new(item_vectors.to_vec());
@@ -305,7 +317,10 @@ fn rarest_first_rank(
 
 /// Re-vectorizes the two corpora over a shared vocabulary so that their dot
 /// products are meaningful, returning the aligned vectors.
-fn align_vector_spaces(items: &Corpus, consumers: &Corpus) -> (Vec<SparseVector>, Vec<SparseVector>) {
+fn align_vector_spaces(
+    items: &Corpus,
+    consumers: &Corpus,
+) -> (Vec<SparseVector>, Vec<SparseVector>) {
     use smr_text::{Document, TokenizerConfig};
     let mut all_docs: Vec<Document> = Vec::with_capacity(items.len() + consumers.len());
     for i in 0..items.len() {
@@ -440,8 +455,15 @@ mod tests {
         let consumers = synthetic_vectors(15, 15, 4);
         let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
         let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
-        let loose = mapreduce_similarity_join_vectors(&items, &consumers, &names_i, &names_c, &config(0.05));
-        let tight = mapreduce_similarity_join_vectors(&items, &consumers, &names_i, &names_c, &config(0.7));
+        let loose = mapreduce_similarity_join_vectors(
+            &items,
+            &consumers,
+            &names_i,
+            &names_c,
+            &config(0.05),
+        );
+        let tight =
+            mapreduce_similarity_join_vectors(&items, &consumers, &names_i, &names_c, &config(0.7));
         assert!(tight.indexed_entries <= loose.indexed_entries);
         assert!(tight.candidate_pairs <= loose.candidate_pairs);
         assert!(tight.graph.num_edges() <= loose.graph.num_edges());
@@ -462,7 +484,13 @@ mod tests {
         let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
         let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
         let sigma = 0.25;
-        let result = mapreduce_similarity_join_vectors(&items, &consumers, &names_i, &names_c, &config(sigma));
+        let result = mapreduce_similarity_join_vectors(
+            &items,
+            &consumers,
+            &names_i,
+            &names_c,
+            &config(sigma),
+        );
         let mut true_pairs = 0usize;
         for x in &items {
             for y in &consumers {

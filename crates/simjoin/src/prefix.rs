@@ -77,10 +77,7 @@ mod tests {
 
     #[test]
     fn max_weights_track_the_largest_entry_per_term() {
-        let vectors = vec![
-            vec_of(&[(0, 0.5), (2, 0.1)]),
-            vec_of(&[(0, 0.3), (1, 0.9)]),
-        ];
+        let vectors = vec![vec_of(&[(0, 0.5), (2, 0.1)]), vec_of(&[(0, 0.3), (1, 0.9)])];
         let maxw = term_max_weights(&vectors, 3);
         assert_eq!(maxw, vec![0.5, 0.9, 0.1]);
     }

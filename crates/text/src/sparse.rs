@@ -81,11 +81,7 @@ impl SparseVector {
 
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Sum of weights (L1 mass); useful for prefix-filtering bounds on
@@ -115,11 +111,7 @@ impl SparseVector {
     /// Returns a copy scaled by `factor`.
     pub fn scaled(&self, factor: f64) -> SparseVector {
         SparseVector {
-            entries: self
-                .entries
-                .iter()
-                .map(|&(t, w)| (t, w * factor))
-                .collect(),
+            entries: self.entries.iter().map(|&(t, w)| (t, w * factor)).collect(),
         }
     }
 
@@ -138,12 +130,7 @@ impl SparseVector {
     /// missing from `order_rank` keep their relative id order at the end.
     pub fn terms_in_order(&self, order_rank: &[u32]) -> Vec<TermId> {
         let mut terms: Vec<TermId> = self.entries.iter().map(|(t, _)| *t).collect();
-        terms.sort_by_key(|t| {
-            order_rank
-                .get(t.index())
-                .copied()
-                .unwrap_or(u32::MAX)
-        });
+        terms.sort_by_key(|t| order_rank.get(t.index()).copied().unwrap_or(u32::MAX));
         terms
     }
 }
@@ -159,10 +146,7 @@ mod tests {
     #[test]
     fn from_entries_sorts_merges_and_drops_zeros() {
         let vec = v(&[(3, 1.0), (1, 2.0), (3, 0.5), (2, 0.0)]);
-        assert_eq!(
-            vec.entries(),
-            &[(TermId(1), 2.0), (TermId(3), 1.5)]
-        );
+        assert_eq!(vec.entries(), &[(TermId(1), 2.0), (TermId(3), 1.5)]);
         assert_eq!(vec.len(), 2);
         assert_eq!(vec.weight(TermId(3)), 1.5);
         assert_eq!(vec.weight(TermId(7)), 0.0);

@@ -74,13 +74,7 @@ impl Tokenizer {
             .filter(|t| !t.is_empty())
             .map(|t| t.to_lowercase())
             .filter(|t| !self.config.remove_stop_words || !is_stop_word(t))
-            .map(|t| {
-                if self.config.stem {
-                    stem(&t)
-                } else {
-                    t
-                }
-            })
+            .map(|t| if self.config.stem { stem(&t) } else { t })
             .filter(|t| t.len() >= self.config.min_token_len)
             .collect()
     }

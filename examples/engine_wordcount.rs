@@ -57,7 +57,11 @@ fn main() {
         (2, "quick quick slow the fox the fox".to_string()),
     ];
 
-    let job = Job::new(JobConfig::named("wordcount").with_map_tasks(3).with_reduce_tasks(2));
+    let job = Job::new(
+        JobConfig::named("wordcount")
+            .with_map_tasks(3)
+            .with_reduce_tasks(2),
+    );
 
     let plain = job.run(&Tokenize, &Sum, documents.clone());
     let combined = job.run_with_combiner(&Tokenize, &SumCombiner, &Sum, documents);
@@ -69,7 +73,10 @@ fn main() {
         println!("  {word:<8} {count}");
     }
 
-    println!("\nshuffle volume without combiner: {} records", plain.metrics.shuffle_records);
+    println!(
+        "\nshuffle volume without combiner: {} records",
+        plain.metrics.shuffle_records
+    );
     println!(
         "shuffle volume with combiner   : {} records ({:.0}% saved)",
         combined.metrics.shuffle_records,

@@ -14,7 +14,9 @@
 //! ```
 
 use social_content_matching::datagen::FlickrGenerator;
-use social_content_matching::matching::{AlgorithmKind, GreedyMr, GreedyMrConfig, StackMr, StackMrConfig};
+use social_content_matching::matching::{
+    AlgorithmKind, GreedyMr, GreedyMrConfig, StackMr, StackMrConfig,
+};
 use social_content_matching::simjoin::{mapreduce_similarity_join, SimJoinConfig};
 use social_content_matching::text::{Corpus, TokenizerConfig};
 
@@ -61,9 +63,13 @@ fn main() {
     // 4. The three MapReduce matching algorithms.
     let greedy_mr = GreedyMr::new(GreedyMrConfig::default()).run(&graph, &caps);
     let stack_mr = StackMr::new(StackMrConfig::default().with_seed(7)).run(&graph, &caps);
-    let stack_greedy = StackMr::new(StackMrConfig::default().with_seed(7).stack_greedy()).run(&graph, &caps);
+    let stack_greedy =
+        StackMr::new(StackMrConfig::default().with_seed(7).stack_greedy()).run(&graph, &caps);
 
-    println!("\n{:<16} {:>10} {:>10} {:>12} {:>14}", "algorithm", "value", "MR jobs", "shuffled", "avg violation");
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>12} {:>14}",
+        "algorithm", "value", "MR jobs", "shuffled", "avg violation"
+    );
     for run in [&greedy_mr, &stack_mr, &stack_greedy] {
         println!(
             "{:<16} {:>10.2} {:>10} {:>12} {:>13.2}%",

@@ -1,0 +1,257 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and `Bencher::iter` —
+//! with a deliberately simple measurement loop: run the closure for the
+//! configured sample count (bounded by the measurement time) and print the
+//! mean wall-clock time per iteration.  No statistics, no HTML reports.
+//! Replace with the real crate once a cargo registry is reachable.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks, inheriting this
+    /// driver's sampling settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _parent: std::marker::PhantomData,
+            name,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(
+            &id.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    // Tied to the parent `Criterion`'s borrow like the real API, so a group
+    // must be finished before the next one starts.
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API compatibility; the shim does
+    /// not warm up).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input` (criterion's parameterized form).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `function` measured at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.parameter {
+            Some(p) => write!(f, "{}/{}", self.function, p),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// Runs the timing loop for one benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, once per recorded iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        std_black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    let started = Instant::now();
+    for _ in 0..sample_size.max(1) {
+        f(&mut bencher);
+        if started.elapsed() > measurement_time {
+            break;
+        }
+    }
+    if bencher.iterations > 0 {
+        let mean = bencher.elapsed / bencher.iterations as u32;
+        println!(
+            "  {label}: {mean:?} mean over {} iterations",
+            bencher.iterations
+        );
+    } else {
+        println!("  {label}: no iterations recorded");
+    }
+}
+
+/// Bundles benchmark functions into one group runner (`criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($function:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (`criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-self-test");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 500u64), &500u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(shim_self_test, sample_bench);
+
+    #[test]
+    fn group_runner_executes() {
+        shim_self_test();
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only [`thread::scope`] is provided — the one crossbeam API the MapReduce
+//! executor uses — implemented on top of [`std::thread::scope`] (stable
+//! since Rust 1.63, which is what made crossbeam's scoped threads optional
+//! in the first place).  The scope handle is passed *by value* (it is
+//! `Copy`) rather than by reference as in crossbeam; every call site uses
+//! `|scope| …` / `|_| …` closures, which accept either.  Replace with the
+//! real crate once a cargo registry is reachable.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A copyable handle for spawning threads inside a [`scope`] call.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread.  The closure receives the scope handle
+        /// (crossbeam-style) so nested spawns remain possible.
+        pub fn spawn<F, T>(self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(self))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before `scope` returns.  Like
+    /// `crossbeam::thread::scope`: a panic in a *spawned thread* is
+    /// returned as `Err` with the panic payload, while a panic in the
+    /// scope body `f` itself propagates to the caller (after the spawned
+    /// threads have been joined).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        // The inner catch distinguishes a panic in `f` from a panic in a
+        // spawned thread: std::thread::scope re-raises child panics itself
+        // when the scope exits (caught by the outer catch), so anything the
+        // inner catch sees came from the body.  If both panic, the child
+        // panic wins the report — acceptable for a shim.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| catch_unwind(AssertUnwindSafe(|| f(Scope { inner: s }))))
+        }));
+        match outcome {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(body_panic)) => std::panic::resume_unwind(body_panic),
+            Err(child_panic) => Err(child_panic),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no thread panicked");
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no thread panicked");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn body_panic_propagates_to_the_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = super::thread::scope(|_| panic!("body boom"));
+        });
+        assert!(caught.is_err(), "a panic in the scope body must propagate");
+    }
+}

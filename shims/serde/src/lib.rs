@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces, exactly like `serde` with the `derive` feature.
+//! The traits are empty markers and the derives expand to nothing: the
+//! codebase only tags types with `#[derive(Serialize, Deserialize)]` and
+//! never calls into a serializer.  Replace with the real crate once network
+//! access to a cargo registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace is built in an environment without access to crates.io, so
+//! the real `serde`/`serde_derive` crates cannot be fetched.  The codebase
+//! only uses `#[derive(Serialize, Deserialize)]` as forward-looking metadata
+//! on plain data types — no code path serializes anything yet — so the
+//! derives can expand to nothing.  When network access is available, delete
+//! the `shims/` crates and point `[workspace.dependencies]` at crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

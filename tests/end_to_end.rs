@@ -41,7 +41,10 @@ fn flickr_pipeline(sigma: f64) -> (social_content_matching::graph::BipartiteGrap
 #[test]
 fn flickr_pipeline_produces_a_matchable_graph() {
     let (graph, caps) = flickr_pipeline(0.15);
-    assert!(graph.num_edges() > 0, "the synthetic dataset must produce candidate edges");
+    assert!(
+        graph.num_edges() > 0,
+        "the synthetic dataset must produce candidate edges"
+    );
     assert!(caps.matches(&graph));
 
     let run = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("e2e-greedy")))
@@ -157,8 +160,8 @@ fn preset_sweep_shapes_match_the_paper() {
 #[test]
 fn anytime_trace_reaches_95_percent_before_the_last_round() {
     let (graph, caps) = flickr_pipeline(0.12);
-    let run = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("anytime")))
-        .run(&graph, &caps);
+    let run =
+        GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("anytime"))).run(&graph, &caps);
     if run.rounds < 4 {
         // Too small to say anything meaningful.
         return;
