@@ -6,7 +6,9 @@
 //! * the slackness parameter ε (violation vs rounds trade-off),
 //! * prefix-filtering similarity join vs the brute-force baseline,
 //! * the thread count of the MapReduce engine (scaling of one GreedyMR
-//!   round).
+//!   round),
+//! * the shuffle engine: streaming sorted-runs + k-way merge vs the
+//!   legacy concat+sort path, on a full GreedyMR run.
 
 use std::time::Duration;
 
@@ -146,11 +148,39 @@ fn bench_threads(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shuffle-engine ablation: the streaming sorted-runs + k-way-merge path
+/// against the legacy concat+sort path on identical GreedyMR runs.
+fn bench_shuffle_mode(c: &mut Criterion) {
+    use smr_mapreduce::ShuffleMode;
+    let mut group = c.benchmark_group("ablation_shuffle_mode");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let (graph, caps) = bench_graph(3_000, 19);
+    for (name, mode) in [
+        ("streaming", ShuffleMode::Streaming),
+        ("legacy_sort", ShuffleMode::LegacySort),
+    ] {
+        group.bench_function(BenchmarkId::new("greedymr_shuffle", name), |b| {
+            b.iter(|| {
+                GreedyMr::new(
+                    GreedyMrConfig::default()
+                        .with_job(JobConfig::named("ablation"))
+                        .with_shuffle_mode(mode),
+                )
+                .run(&graph, &caps)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     ablation_benches,
     bench_marking_strategy,
     bench_epsilon,
     bench_simjoin,
     bench_threads,
+    bench_shuffle_mode,
 );
 criterion_main!(ablation_benches);

@@ -3,8 +3,13 @@
 //! ```text
 //! run-experiments [EXPERIMENT ...] [--scale smoke|full] [--threads N] [--seed S]
 //!
-//! EXPERIMENT: table1 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | all
+//! EXPERIMENT: table1 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7
+//!           | shuffle | all
 //! ```
+//!
+//! `shuffle` is not a paper artefact: it A/Bs the engine's streaming
+//! shuffle (sorted runs + k-way merge, combine-while-partitioning)
+//! against the legacy concat+sort path.
 
 use std::process::ExitCode;
 
@@ -66,7 +71,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 }
 
 fn usage() -> String {
-    "usage: run-experiments [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|all ...] \
+    "usage: run-experiments [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|all ...] \
      [--scale smoke|full] [--threads N] [--seed S]"
         .to_string()
 }
@@ -98,9 +103,10 @@ fn run_experiment(name: &str, set: &mut ExperimentSet) -> Result<(), String> {
                 println!("{table}");
             }
         }
+        "shuffle" => println!("{}", experiments::shuffle_ablation(set)),
         "all" => {
             let all = [
-                "table1", "fig6", "fig7", "fig1", "fig2", "fig3", "fig4", "fig5",
+                "table1", "fig6", "fig7", "fig1", "fig2", "fig3", "fig4", "fig5", "shuffle",
             ];
             for exp in all {
                 run_experiment(exp, set)?;
@@ -179,5 +185,11 @@ mod tests {
     fn unknown_experiments_are_rejected_at_run_time() {
         let mut set = ExperimentSet::new(ExperimentScale::Smoke, 1, 1);
         assert!(run_experiment("fig99", &mut set).is_err());
+    }
+
+    #[test]
+    fn shuffle_experiment_runs_at_smoke_scale() {
+        let mut set = ExperimentSet::new(ExperimentScale::Smoke, 2, 1);
+        assert!(run_experiment("shuffle", &mut set).is_ok());
     }
 }

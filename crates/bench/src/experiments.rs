@@ -1,11 +1,12 @@
 //! The experiments of Section 6, one function per table / figure.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use smr_datagen::DatasetPreset;
 use smr_graph::stats::{capacity_histograms, similarity_histogram};
 use smr_graph::{BipartiteGraph, Capacities};
-use smr_mapreduce::JobConfig;
+use smr_mapreduce::{Combiner, Emitter, Job, JobConfig, Mapper, Reducer, ShuffleMode};
 use smr_matching::{AlgorithmKind, GreedyMr, GreedyMrConfig, MatchingRun, StackMr, StackMrConfig};
 
 use crate::pipeline::DatasetInstance;
@@ -354,6 +355,181 @@ pub fn capacity_distribution(set: &mut ExperimentSet) -> Vec<Table> {
     tables
 }
 
+// ---------------------------------------------------------------------------
+// Shuffle-engine ablation
+// ---------------------------------------------------------------------------
+
+/// Mapper of the combiner-enabled ablation workload: tag-count over the
+/// dataset's documents (the same aggregation shape as the tf-idf
+/// vocabulary pass, with a heavy-hitter key distribution).
+struct TagCountMapper;
+
+impl Mapper for TagCountMapper {
+    type InKey = usize;
+    type InValue = String;
+    type OutKey = String;
+    type OutValue = u64;
+    fn map(&self, _doc: &usize, text: &String, out: &mut Emitter<String, u64>) {
+        for tag in text.split_whitespace() {
+            out.emit(tag.to_string(), 1);
+        }
+    }
+}
+
+struct TagCountCombiner;
+
+impl Combiner for TagCountCombiner {
+    type Key = String;
+    type Value = u64;
+    fn combine(&self, _tag: &String, counts: &[u64]) -> Vec<u64> {
+        vec![counts.iter().sum()]
+    }
+}
+
+struct TagCountReducer;
+
+impl Reducer for TagCountReducer {
+    type Key = String;
+    type InValue = u64;
+    type OutKey = String;
+    type OutValue = u64;
+    fn reduce(&self, tag: &String, counts: &[u64], out: &mut Emitter<String, u64>) {
+        out.emit(tag.clone(), counts.iter().sum());
+    }
+}
+
+/// One measured configuration of the shuffle-engine A/B comparison.
+#[derive(Debug, Clone)]
+pub struct ShuffleAblationRow {
+    /// Dataset preset the workload ran on.
+    pub preset: DatasetPreset,
+    /// Workload name (`tag-count` is combiner-enabled, `greedy-rounds`
+    /// exercises the iterative no-combiner path).
+    pub workload: &'static str,
+    /// Shuffle mode under measurement.
+    pub mode: ShuffleMode,
+    /// MapReduce rounds (jobs) the workload executed.
+    pub rounds: usize,
+    /// Total records that crossed the shuffle into reduce partitions.
+    pub records_shuffled: u64,
+    /// Sorted runs merged by the streaming shuffle (zero under legacy).
+    pub merge_runs: u64,
+    /// Wall-clock time spent in the shuffle phase, per round.
+    pub shuffle_per_round: Duration,
+    /// Total wall-clock time across all phases.
+    pub total: Duration,
+}
+
+fn mode_name(mode: ShuffleMode) -> &'static str {
+    match mode {
+        ShuffleMode::Streaming => "streaming",
+        ShuffleMode::LegacySort => "legacy",
+    }
+}
+
+/// Runs the shuffle-engine A/B comparison and returns the raw rows:
+/// for every preset, a combiner-enabled tag-count job and a full GreedyMR
+/// run, each under both shuffle modes.
+pub fn shuffle_rows(set: &mut ExperimentSet) -> Vec<ShuffleAblationRow> {
+    let mut rows = Vec::new();
+    for preset in set.scale.presets() {
+        // Combiner-enabled aggregation over the dataset's documents.
+        let documents: Vec<(usize, String)> = {
+            let instance = set.instance(preset);
+            instance
+                .dataset
+                .items
+                .iter()
+                .chain(instance.dataset.consumers.iter())
+                .map(|doc| doc.text.clone())
+                .enumerate()
+                .collect()
+        };
+        // A graph instance for the iterative no-combiner workload.
+        let caps = set.instance(preset).capacities(1.0);
+        let graph = set.instance(preset).graph_at(preset.default_sigma());
+
+        for mode in [ShuffleMode::LegacySort, ShuffleMode::Streaming] {
+            let job = Job::new(
+                set.job()
+                    .with_name("shuffle-ablation-tagcount")
+                    .with_map_tasks(8)
+                    .with_reduce_tasks(4)
+                    .with_shuffle_mode(mode),
+            );
+            let result = job.run_with_combiner(
+                &TagCountMapper,
+                &TagCountCombiner,
+                &TagCountReducer,
+                documents.clone(),
+            );
+            rows.push(ShuffleAblationRow {
+                preset,
+                workload: "tag-count",
+                mode,
+                rounds: 1,
+                records_shuffled: result.metrics.shuffle_records,
+                merge_runs: result.metrics.merge_runs,
+                shuffle_per_round: result.metrics.timings.shuffle,
+                total: result.metrics.timings.total(),
+            });
+
+            let run = GreedyMr::new(
+                GreedyMrConfig::default()
+                    .with_job(set.job().with_name("shuffle-ablation-greedy"))
+                    .with_shuffle_mode(mode),
+            )
+            .run(&graph, &caps);
+            let rounds = run.rounds.max(1);
+            let shuffle_total: Duration = run.job_metrics.iter().map(|m| m.timings.shuffle).sum();
+            let wall_total: Duration = run.job_metrics.iter().map(|m| m.timings.total()).sum();
+            rows.push(ShuffleAblationRow {
+                preset,
+                workload: "greedy-rounds",
+                mode,
+                rounds: run.rounds,
+                records_shuffled: run.total_shuffled_records(),
+                merge_runs: run.job_metrics.iter().map(|m| m.merge_runs).sum(),
+                shuffle_per_round: shuffle_total / rounds as u32,
+                total: wall_total,
+            });
+        }
+    }
+    rows
+}
+
+/// Shuffle-engine ablation: per-round shuffle wall time and records
+/// shuffled, legacy concat+sort vs streaming runs+merge, on a
+/// combiner-enabled aggregation and on GreedyMR rounds.
+pub fn shuffle_ablation(set: &mut ExperimentSet) -> Table {
+    let mut table = Table::new(
+        "Shuffle ablation: streaming runs+merge vs legacy concat+sort",
+        &[
+            "dataset",
+            "workload",
+            "mode",
+            "rounds",
+            "shuffled",
+            "merge-runs",
+            "shuffle/round",
+            "total",
+        ],
+    );
+    for row in shuffle_rows(set) {
+        table.push_row(vec![
+            row.preset.name().to_string(),
+            row.workload.to_string(),
+            mode_name(row.mode).to_string(),
+            row.rounds.to_string(),
+            row.records_shuffled.to_string(),
+            row.merge_runs.to_string(),
+            format!("{:.2?}", row.shuffle_per_round),
+            format!("{:.2?}", row.total),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +604,47 @@ mod tests {
         let mut set = smoke_set();
         assert_eq!(similarity_distribution(&mut set).len(), 1);
         assert_eq!(capacity_distribution(&mut set).len(), 1);
+    }
+
+    #[test]
+    fn shuffle_ablation_reports_both_modes_for_both_workloads() {
+        let mut set = smoke_set();
+        let table = shuffle_ablation(&mut set);
+        // 1 preset x 2 workloads x 2 modes.
+        assert_eq!(table.num_rows(), 4);
+        let rendered = table.render();
+        assert!(rendered.contains("streaming"));
+        assert!(rendered.contains("legacy"));
+    }
+
+    #[test]
+    fn streaming_shuffles_strictly_fewer_records_on_the_combiner_workload() {
+        let mut set = smoke_set();
+        let rows = shuffle_rows(&mut set);
+        let shuffled = |workload: &str, mode: ShuffleMode| -> u64 {
+            rows.iter()
+                .find(|r| r.workload == workload && r.mode == mode)
+                .expect("row present")
+                .records_shuffled
+        };
+        // Combiner-enabled: the merge-side combine collapses per-task
+        // partial counts, so strictly fewer records cross the shuffle.
+        assert!(
+            shuffled("tag-count", ShuffleMode::Streaming)
+                < shuffled("tag-count", ShuffleMode::LegacySort),
+            "streaming must shuffle strictly fewer records than legacy"
+        );
+        // No combiner: the record flow is identical by construction.
+        assert_eq!(
+            shuffled("greedy-rounds", ShuffleMode::Streaming),
+            shuffled("greedy-rounds", ShuffleMode::LegacySort)
+        );
+        // Only the streaming rows merge runs.
+        for row in &rows {
+            match row.mode {
+                ShuffleMode::Streaming => assert!(row.merge_runs > 0, "{row:?}"),
+                ShuffleMode::LegacySort => assert_eq!(row.merge_runs, 0, "{row:?}"),
+            }
+        }
     }
 }

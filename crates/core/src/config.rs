@@ -1,7 +1,7 @@
 //! Algorithm configuration.
 
 use serde::{Deserialize, Serialize};
-use smr_mapreduce::JobConfig;
+use smr_mapreduce::{JobConfig, ShuffleMode};
 
 /// How the marking stage of the maximal b-matching subroutine chooses the
 /// edges a node proposes to its neighbours (Section 6, "Variants").
@@ -40,6 +40,15 @@ impl GreedyMrConfig {
     /// Sets the MapReduce job configuration.
     pub fn with_job(mut self, job: JobConfig) -> Self {
         self.job = job;
+        self
+    }
+
+    /// Selects the engine shuffle path every round uses (streaming vs
+    /// legacy concat+sort) — a passthrough to
+    /// [`JobConfig::with_shuffle_mode`] used by the `shuffle` bench
+    /// experiment to A/B whole algorithm runs.
+    pub fn with_shuffle_mode(mut self, mode: ShuffleMode) -> Self {
+        self.job.shuffle = mode;
         self
     }
 
@@ -122,6 +131,13 @@ impl StackMrConfig {
         self
     }
 
+    /// Selects the engine shuffle path used by every job of every phase
+    /// (see [`GreedyMrConfig::with_shuffle_mode`]).
+    pub fn with_shuffle_mode(mut self, mode: ShuffleMode) -> Self {
+        self.job.shuffle = mode;
+        self
+    }
+
     /// Per-node capacity used for the layers of the stack:
     /// `max(1, ⌈ε·b(v)⌉)`.
     ///
@@ -183,5 +199,13 @@ mod tests {
             .with_job(JobConfig::named("x").with_threads(1));
         assert_eq!(c.max_rounds, 5);
         assert_eq!(c.job.name, "x");
+    }
+
+    #[test]
+    fn shuffle_mode_passthrough_reaches_the_job_config() {
+        let greedy = GreedyMrConfig::default().with_shuffle_mode(ShuffleMode::LegacySort);
+        assert_eq!(greedy.job.shuffle, ShuffleMode::LegacySort);
+        let stack = StackMrConfig::default().with_shuffle_mode(ShuffleMode::LegacySort);
+        assert_eq!(stack.job.shuffle, ShuffleMode::LegacySort);
     }
 }

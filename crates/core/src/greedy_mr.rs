@@ -365,6 +365,25 @@ mod tests {
     }
 
     #[test]
+    fn legacy_and_streaming_shuffle_agree_on_the_matching() {
+        use smr_mapreduce::ShuffleMode;
+        let (g, caps) = small_instance();
+        let streaming = GreedyMr::new(config()).run(&g, &caps);
+        let legacy =
+            GreedyMr::new(config().with_shuffle_mode(ShuffleMode::LegacySort)).run(&g, &caps);
+        assert_eq!(
+            streaming.matching.to_edge_vec(),
+            legacy.matching.to_edge_vec()
+        );
+        assert_eq!(streaming.rounds, legacy.rounds);
+        assert_eq!(
+            streaming.total_shuffled_records(),
+            legacy.total_shuffled_records(),
+            "GreedyMR has no combiner, so both paths shuffle the same records"
+        );
+    }
+
+    #[test]
     fn respects_round_budget() {
         let (g, caps) = small_instance();
         let run = GreedyMr::new(config().with_max_rounds(1)).run(&g, &caps);

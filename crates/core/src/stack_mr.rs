@@ -586,6 +586,25 @@ mod tests {
     }
 
     #[test]
+    fn legacy_and_streaming_shuffle_agree_on_the_matching() {
+        use smr_mapreduce::ShuffleMode;
+        let g = random_graph(6, 7, 3);
+        let caps = Capacities::uniform(&g, 2, 2);
+        let streaming = StackMr::new(test_config(21)).run(&g, &caps);
+        let legacy =
+            StackMr::new(test_config(21).with_shuffle_mode(ShuffleMode::LegacySort)).run(&g, &caps);
+        assert_eq!(
+            streaming.matching.to_edge_vec(),
+            legacy.matching.to_edge_vec()
+        );
+        assert_eq!(streaming.mr_jobs, legacy.mr_jobs);
+        assert_eq!(
+            streaming.total_shuffled_records(),
+            legacy.total_shuffled_records()
+        );
+    }
+
+    #[test]
     fn counts_jobs_for_every_phase() {
         let g = random_graph(4, 5, 3);
         let caps = Capacities::uniform(&g, 1, 2);

@@ -1,0 +1,118 @@
+//! Determinism regression tests for the streaming shuffle engine.
+//!
+//! The executor's work-stealing map tasks must not leak scheduling
+//! nondeterminism into algorithm output: the same GreedyMR job, run many
+//! times under different thread counts, has to produce the identical
+//! matching *and* the identical `records_shuffled` counter every time
+//! (the per-task combine/spill schedule depends only on task content, so
+//! even the engine counters are scheduling-invariant).
+
+use smr_graph::{BipartiteGraph, Capacities, ConsumerId, GraphBuilder, ItemId};
+use smr_mapreduce::{JobConfig, ShuffleMode};
+use smr_matching::{GreedyMr, GreedyMrConfig, StackMr, StackMrConfig};
+
+/// A dense-ish deterministic instance with plenty of equal-capacity
+/// contention so every round has real work to schedule.
+fn instance() -> (BipartiteGraph, Capacities) {
+    let mut builder = GraphBuilder::new();
+    let items: Vec<ItemId> = (0..9).map(|i| builder.add_item(format!("t{i}"))).collect();
+    let consumers: Vec<ConsumerId> = (0..11)
+        .map(|i| builder.add_consumer(format!("c{i}")))
+        .collect();
+    let mut weight = 0.137_f64;
+    for (ti, &item) in items.iter().enumerate() {
+        for (ci, &consumer) in consumers.iter().enumerate() {
+            if (ti * 5 + ci * 7) % 4 != 0 {
+                weight = (weight * 757.31 + 0.191).fract().max(0.01);
+                builder.add_edge(item, consumer, weight);
+            }
+        }
+    }
+    let graph = builder.build();
+    let caps = Capacities::uniform(&graph, 3, 2);
+    (graph, caps)
+}
+
+#[test]
+fn greedy_mr_is_deterministic_across_20_runs_with_varying_thread_counts() {
+    let (graph, caps) = instance();
+    let thread_counts = [1usize, 2, 3, 4, 8];
+    let run_with = |threads: usize| {
+        GreedyMr::new(
+            GreedyMrConfig::default()
+                .with_job(JobConfig::named("determinism").with_threads(threads)),
+        )
+        .run(&graph, &caps)
+    };
+    let baseline = run_with(1);
+    assert!(!baseline.matching.is_empty());
+    for i in 0..20 {
+        let threads = thread_counts[i % thread_counts.len()];
+        let run = run_with(threads);
+        assert_eq!(
+            run.matching.to_edge_vec(),
+            baseline.matching.to_edge_vec(),
+            "matching diverged on run {i} with {threads} threads"
+        );
+        assert_eq!(
+            run.total_shuffled_records(),
+            baseline.total_shuffled_records(),
+            "records_shuffled diverged on run {i} with {threads} threads"
+        );
+        assert_eq!(run.rounds, baseline.rounds);
+        assert_eq!(run.mr_jobs, baseline.mr_jobs);
+    }
+}
+
+#[test]
+fn greedy_mr_per_round_shuffle_counters_match_the_legacy_engine() {
+    // Round-by-round, the streaming engine must report exactly the record
+    // flow the legacy engine reported (GreedyMR runs no combiner).
+    let (graph, caps) = instance();
+    let streaming =
+        GreedyMr::new(GreedyMrConfig::default().with_job(JobConfig::named("ab").with_threads(4)))
+            .run(&graph, &caps);
+    let legacy = GreedyMr::new(
+        GreedyMrConfig::default()
+            .with_job(JobConfig::named("ab").with_threads(4))
+            .with_shuffle_mode(ShuffleMode::LegacySort),
+    )
+    .run(&graph, &caps);
+    assert_eq!(streaming.job_metrics.len(), legacy.job_metrics.len());
+    for (round, (s, l)) in streaming
+        .job_metrics
+        .iter()
+        .zip(legacy.job_metrics.iter())
+        .enumerate()
+    {
+        assert_eq!(s.shuffle_records, l.shuffle_records, "round {round}");
+        assert_eq!(s.map_output_records, l.map_output_records, "round {round}");
+        assert_eq!(s.shuffle_bytes, l.shuffle_bytes, "round {round}");
+    }
+}
+
+#[test]
+fn seeded_stack_mr_is_deterministic_across_thread_counts() {
+    let (graph, caps) = instance();
+    let run_with = |threads: usize| {
+        StackMr::new(
+            StackMrConfig::default()
+                .with_seed(99)
+                .with_job(JobConfig::named("determinism-stack").with_threads(threads)),
+        )
+        .run(&graph, &caps)
+    };
+    let baseline = run_with(1);
+    for threads in [2usize, 4, 8] {
+        let run = run_with(threads);
+        assert_eq!(
+            run.matching.to_edge_vec(),
+            baseline.matching.to_edge_vec(),
+            "StackMR matching diverged with {threads} threads"
+        );
+        assert_eq!(
+            run.total_shuffled_records(),
+            baseline.total_shuffled_records()
+        );
+    }
+}

@@ -1,5 +1,26 @@
 //! Job configuration.
 
+/// How the engine moves intermediate pairs from map tasks to reduce
+/// partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShuffleMode {
+    /// Streaming shuffle (the default): every map task emits one *sorted
+    /// run* per reduce partition (combined while partitioning), and the
+    /// shuffle performs a k-way merge of a partition's runs instead of
+    /// concatenating and re-sorting the whole partition.
+    #[default]
+    Streaming,
+    /// The original shuffle: concatenate every task's bucket for a
+    /// partition and sort the whole partition at once.  Kept for one
+    /// release so the `shuffle` bench experiment can A/B the two paths;
+    /// both paths produce byte-identical output.
+    LegacySort,
+}
+
+/// Default size (in records) of the per-task combining buffer used by the
+/// streaming shuffle.
+pub const DEFAULT_COMBINE_BUFFER_RECORDS: usize = 8 * 1024;
+
 /// Configuration of a single MapReduce job (and, via the driver, of every
 /// round of an iterative algorithm).
 ///
@@ -21,8 +42,16 @@ pub struct JobConfig {
     pub num_reduce_tasks: usize,
     /// Whether reduce partitions are sorted by key before reducing
     /// (Hadoop always sorts; disabling the sort is useful only for
-    /// benchmarking the shuffle itself).
+    /// benchmarking the legacy shuffle itself — the streaming shuffle
+    /// produces sorted partitions by construction).
     pub sort_reduce_input: bool,
+    /// Which shuffle implementation to use.
+    pub shuffle: ShuffleMode,
+    /// Streaming shuffle only: number of intermediate records a map task
+    /// buffers before applying the combiner in place (bounding the task's
+    /// memory in combined records rather than raw map output).  Ignored
+    /// when the job has no combiner.
+    pub combine_buffer_records: usize,
 }
 
 impl Default for JobConfig {
@@ -33,6 +62,8 @@ impl Default for JobConfig {
             num_map_tasks: 0,
             num_reduce_tasks: 0,
             sort_reduce_input: true,
+            shuffle: ShuffleMode::default(),
+            combine_buffer_records: DEFAULT_COMBINE_BUFFER_RECORDS,
         }
     }
 }
@@ -71,6 +102,22 @@ impl JobConfig {
     /// Enables or disables sorting of reduce-partition input by key.
     pub fn with_sorted_reduce_input(mut self, sort: bool) -> Self {
         self.sort_reduce_input = sort;
+        self
+    }
+
+    /// Selects the shuffle implementation (streaming vs legacy sort).
+    pub fn with_shuffle_mode(mut self, mode: ShuffleMode) -> Self {
+        self.shuffle = mode;
+        self
+    }
+
+    /// Sets the streaming-shuffle combining-buffer size in records.
+    ///
+    /// # Panics
+    /// Panics if `records` is zero.
+    pub fn with_combine_buffer_records(mut self, records: usize) -> Self {
+        assert!(records > 0, "combine buffer must hold at least one record");
+        self.combine_buffer_records = records;
         self
     }
 
@@ -120,6 +167,23 @@ mod tests {
         assert!(c.effective_map_tasks(100) >= 1);
         assert!(c.effective_reduce_tasks() >= 1);
         assert!(c.sort_reduce_input);
+        assert_eq!(c.shuffle, ShuffleMode::Streaming);
+        assert!(c.combine_buffer_records > 0);
+    }
+
+    #[test]
+    fn shuffle_mode_and_buffer_are_configurable() {
+        let c = JobConfig::named("s")
+            .with_shuffle_mode(ShuffleMode::LegacySort)
+            .with_combine_buffer_records(16);
+        assert_eq!(c.shuffle, ShuffleMode::LegacySort);
+        assert_eq!(c.combine_buffer_records, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_combine_buffer_is_rejected() {
+        let _ = JobConfig::default().with_combine_buffer_records(0);
     }
 
     #[test]

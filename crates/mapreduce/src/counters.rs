@@ -52,8 +52,16 @@ pub mod builtin {
     pub const MAP_OUTPUT_RECORDS: &str = "map_output_records";
     /// Records emitted by combiners (what is actually shuffled).
     pub const COMBINE_OUTPUT_RECORDS: &str = "combine_output_records";
-    /// Records that crossed the shuffle into reduce partitions.
+    /// Records that crossed the shuffle into reduce partitions.  Under
+    /// the streaming shuffle this is counted *after* the merge-side
+    /// combine, so it can be smaller than `combine_output_records`.
     pub const SHUFFLE_RECORDS: &str = "shuffle_records";
+    /// Approximate shuffled payload in bytes (records × record size).
+    pub const SHUFFLE_BYTES: &str = "shuffle_bytes";
+    /// Sorted runs merged by the streaming shuffle.
+    pub const MERGE_RUNS: &str = "merge_runs";
+    /// In-place combine passes triggered by map-task buffer overflow.
+    pub const COMBINE_SPILLS: &str = "combine_spills";
     /// Distinct key groups presented to reducers.
     pub const REDUCE_INPUT_GROUPS: &str = "reduce_input_groups";
     /// Records emitted by reduce tasks.

@@ -1,33 +1,61 @@
-//! The parallel job executor: map → combine → partition → sort → group →
+//! The parallel job executor: map → combine-while-partitioning → merge →
 //! reduce.
 //!
-//! The executor is an in-process model of a Hadoop job.  The input is split
-//! into map tasks; worker threads execute map tasks, apply the optional
-//! combiner per task, and partition the intermediate pairs; the shuffle
-//! concatenates and sorts each reduce partition; worker threads then execute
-//! reduce tasks.  Record counts and per-phase wall time are recorded in
-//! [`JobMetrics`].
+//! The executor is an in-process model of a Hadoop job, built around a
+//! *streaming* shuffle:
+//!
+//! 1. **Map** — worker threads pull map tasks from a work-stealing
+//!    [`TaskQueue`] (an atomic claim index over never-empty input ranges).
+//!    Each task routes every emitted pair straight into a
+//!    [`CombiningPartitionBuffer`], which applies the optional combiner
+//!    *while partitioning*: when the bounded in-memory buffer overflows it
+//!    combines in place, so a task's memory is bounded by its combined
+//!    working set rather than its raw map output.
+//! 2. **Run generation** — at task end every partition bucket is sorted
+//!    once (at task granularity) and combined, yielding one *sorted run*
+//!    per `(task, partition)` pair.
+//! 3. **Merge** — the shuffle k-way merges each reduce partition's runs
+//!    (`O(n log k)` instead of the legacy concat + full re-sort's
+//!    `O(n log n)`), applying the combiner once more across runs, so
+//!    records that different tasks emitted for the same key collapse
+//!    before they ever reach a reducer.
+//! 4. **Reduce** — worker threads pull reduce partitions from a second
+//!    task queue, group the (already sorted) partition by key and run the
+//!    reducer.
+//!
+//! Determinism: task indices, not worker threads, decide every ordering
+//! decision (runs merge in task order; key ties break by run), so
+//! `JobResult.output` is byte-identical for any thread count — and
+//! byte-identical to the legacy path, which is kept for one release behind
+//! [`ShuffleMode::LegacySort`] so the `shuffle` bench experiment can A/B
+//! the two.  Record counts, shuffled bytes, merged runs and per-phase wall
+//! time are recorded in [`JobMetrics`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use crate::config::JobConfig;
+use crate::config::{JobConfig, ShuffleMode};
 use crate::counters::{builtin, Counters};
-use crate::metrics::{JobMetrics, PhaseTimings};
-use crate::partition::{HashPartitioner, Partitioner};
+use crate::metrics::JobMetrics;
+use crate::partition::{CombiningPartitionBuffer, HashPartitioner, Partitioner};
+use crate::shuffle::{combine_sorted_groups, merge_runs, merge_runs_combining};
+use crate::task_queue::TaskQueue;
 use crate::types::{Combiner, Emitter, Mapper, Reducer};
 
-/// One map task's output: a bucket of intermediate pairs per reduce
-/// partition.
-type TaskBuckets<K, V> = Vec<Vec<(K, V)>>;
+/// Below this many run records the k-way merge runs inline on the calling
+/// thread: spawning merge workers costs more than the merge itself.
+const PARALLEL_MERGE_MIN_RECORDS: usize = 8 * 1024;
 
 /// The output of a completed job.
 #[derive(Debug, Clone)]
 pub struct JobResult<K, V> {
-    /// All pairs emitted by the reducers, in partition order (records within
-    /// a partition appear in key order when `sort_reduce_input` is set).
+    /// All pairs emitted by the reducers, in partition order.  Records
+    /// within a partition appear in key order (the streaming shuffle
+    /// always sorts; the legacy path sorts when `sort_reduce_input` is
+    /// set).
     pub output: Vec<(K, V)>,
     /// Engine-level metrics (record counts, timings).
     pub metrics: JobMetrics,
@@ -116,120 +144,78 @@ impl Job {
         P: Partitioner<M::OutKey>,
     {
         let num_threads = self.config.effective_threads();
-        let num_map_tasks = self.config.effective_map_tasks(input.len());
         let num_reduce_tasks = self.config.effective_reduce_tasks();
 
         let mut metrics = JobMetrics {
             job_name: self.config.name.clone(),
-            map_tasks: num_map_tasks,
             reduce_tasks: num_reduce_tasks,
             ..JobMetrics::default()
         };
         counters.add(builtin::MAP_INPUT_RECORDS, input.len() as u64);
         metrics.map_input_records = input.len() as u64;
 
-        // ------------------------------------------------------------------
-        // Map phase (parallel over map tasks).  Each task produces one
-        // bucket of (key, value) pairs per reduce partition.
-        // ------------------------------------------------------------------
-        let map_start = Instant::now();
-        let splits = split_input(input, num_map_tasks);
-        let task_outputs: Mutex<Vec<TaskBuckets<M::OutKey, M::OutValue>>> =
-            Mutex::new(Vec::with_capacity(num_map_tasks));
-        let next_task = AtomicUsize::new(0);
-        let splits_ref = &splits;
-
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..num_threads.min(num_map_tasks) {
-                scope.spawn(|_| loop {
-                    let idx = next_task.fetch_add(1, Ordering::Relaxed);
-                    if idx >= splits_ref.len() {
-                        break;
-                    }
-                    let split = &splits_ref[idx];
-                    let mut emitter = Emitter::new();
-                    for (k, v) in split {
-                        mapper.map(k, v, &mut emitter);
-                    }
-                    let emitted = emitter.into_pairs();
-                    counters.add(builtin::MAP_OUTPUT_RECORDS, emitted.len() as u64);
-
-                    let combined = match combiner {
-                        Some(c) => combine_task_output(c, emitted),
-                        None => emitted,
-                    };
-                    counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
-
-                    let mut buckets: TaskBuckets<M::OutKey, M::OutValue> =
-                        (0..num_reduce_tasks).map(|_| Vec::new()).collect();
-                    for (k, v) in combined {
-                        let p = partitioner.partition(&k, num_reduce_tasks);
-                        buckets[p].push((k, v));
-                    }
-                    task_outputs.lock().push(buckets);
-                });
-            }
-        })
-        .expect("map worker thread panicked");
-        metrics.timings.map = map_start.elapsed();
+        // Map + shuffle: both modes end with one vector of records per
+        // reduce partition.
+        let (partitions, sorted) = match self.config.shuffle {
+            ShuffleMode::Streaming => (
+                self.streaming_map_and_merge(
+                    mapper,
+                    combiner,
+                    partitioner,
+                    &input,
+                    &counters,
+                    &mut metrics,
+                ),
+                true,
+            ),
+            ShuffleMode::LegacySort => (
+                self.legacy_map_and_sort(
+                    mapper,
+                    combiner,
+                    partitioner,
+                    &input,
+                    &counters,
+                    &mut metrics,
+                ),
+                self.config.sort_reduce_input,
+            ),
+        };
 
         // ------------------------------------------------------------------
-        // Shuffle: merge the per-task buckets into per-partition runs,
-        // sort by key and group.
-        // ------------------------------------------------------------------
-        let shuffle_start = Instant::now();
-        let task_outputs = task_outputs.into_inner();
-        let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
-            (0..num_reduce_tasks).map(|_| Vec::new()).collect();
-        for buckets in task_outputs {
-            for (p, bucket) in buckets.into_iter().enumerate() {
-                partitions[p].extend(bucket);
-            }
-        }
-        let shuffled: u64 = partitions.iter().map(|p| p.len() as u64).sum();
-        counters.add(builtin::SHUFFLE_RECORDS, shuffled);
-        if self.config.sort_reduce_input {
-            for partition in &mut partitions {
-                partition.sort_by(|a, b| a.0.cmp(&b.0));
-            }
-        }
-        metrics.timings.shuffle = shuffle_start.elapsed();
-
-        // ------------------------------------------------------------------
-        // Reduce phase (parallel over partitions).
+        // Reduce phase (workers pull partitions from a task queue).
         // ------------------------------------------------------------------
         let reduce_start = Instant::now();
         type PartitionResults<K, V> = Mutex<Vec<(usize, Vec<(K, V)>)>>;
         let partition_results: PartitionResults<R::OutKey, R::OutValue> =
             Mutex::new(Vec::with_capacity(num_reduce_tasks));
-        let next_partition = AtomicUsize::new(0);
+        let reduce_queue = TaskQueue::unit(num_reduce_tasks);
         let partitions_ref = &partitions;
+        let reduce_queue_ref = &reduce_queue;
+        let counters_ref = &counters;
 
         crossbeam::thread::scope(|scope| {
             for _ in 0..num_threads.min(num_reduce_tasks) {
-                scope.spawn(|_| loop {
-                    let idx = next_partition.fetch_add(1, Ordering::Relaxed);
-                    if idx >= partitions_ref.len() {
-                        break;
+                scope.spawn(|_| {
+                    while let Some(task) = reduce_queue_ref.claim() {
+                        let partition = &partitions_ref[task.index];
+                        let mut emitter = Emitter::new();
+                        let mut groups = 0u64;
+                        for (key, values) in group_by_key(partition, sorted) {
+                            reducer.reduce(key, &values, &mut emitter);
+                            groups += 1;
+                        }
+                        counters_ref.add(builtin::REDUCE_INPUT_GROUPS, groups);
+                        let out = emitter.into_pairs();
+                        counters_ref.add(builtin::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+                        partition_results.lock().push((task.index, out));
                     }
-                    let partition = &partitions_ref[idx];
-                    let mut emitter = Emitter::new();
-                    let mut groups = 0u64;
-                    for (key, values) in group_by_key(partition, self.config.sort_reduce_input) {
-                        reducer.reduce(key, &values, &mut emitter);
-                        groups += 1;
-                    }
-                    counters.add(builtin::REDUCE_INPUT_GROUPS, groups);
-                    let out = emitter.into_pairs();
-                    counters.add(builtin::REDUCE_OUTPUT_RECORDS, out.len() as u64);
-                    partition_results.lock().push((idx, out));
                 });
             }
         })
         .expect("reduce worker thread panicked");
 
         let mut partition_results = partition_results.into_inner();
-        partition_results.sort_by_key(|(idx, _)| *idx);
+        partition_results.sort_unstable_by_key(|(index, _)| *index);
         let output: Vec<(R::OutKey, R::OutValue)> = partition_results
             .into_iter()
             .flat_map(|(_, out)| out)
@@ -238,14 +224,11 @@ impl Job {
 
         metrics.map_output_records = counters.get(builtin::MAP_OUTPUT_RECORDS);
         metrics.shuffle_records = counters.get(builtin::SHUFFLE_RECORDS);
+        metrics.shuffle_bytes = counters.get(builtin::SHUFFLE_BYTES);
+        metrics.merge_runs = counters.get(builtin::MERGE_RUNS);
         metrics.reduce_input_groups = counters.get(builtin::REDUCE_INPUT_GROUPS);
         metrics.reduce_output_records = counters.get(builtin::REDUCE_OUTPUT_RECORDS);
         metrics.user_counters = counters.snapshot();
-        metrics.timings = PhaseTimings {
-            map: metrics.timings.map,
-            shuffle: metrics.timings.shuffle,
-            reduce: metrics.timings.reduce,
-        };
 
         JobResult {
             output,
@@ -253,49 +236,243 @@ impl Job {
             counters,
         }
     }
-}
 
-/// Splits the input into `num_tasks` contiguous, near-equal chunks.
-fn split_input<K, V>(input: Vec<(K, V)>, num_tasks: usize) -> Vec<Vec<(K, V)>> {
-    if input.is_empty() {
-        return vec![Vec::new()];
-    }
-    let num_tasks = num_tasks.max(1).min(input.len());
-    let chunk = input.len().div_ceil(num_tasks);
-    let mut splits = Vec::with_capacity(num_tasks);
-    let mut it = input.into_iter();
-    loop {
-        let split: Vec<(K, V)> = it.by_ref().take(chunk).collect();
-        if split.is_empty() {
-            break;
+    /// The streaming path: map tasks emit per-partition sorted runs
+    /// (combining while partitioning); the shuffle k-way merges each
+    /// partition's runs and combines across them.
+    fn streaming_map_and_merge<M, C, P>(
+        &self,
+        mapper: &M,
+        combiner: Option<&C>,
+        partitioner: &P,
+        input: &[(M::InKey, M::InValue)],
+        counters: &Counters,
+        metrics: &mut JobMetrics,
+    ) -> Vec<Vec<(M::OutKey, M::OutValue)>>
+    where
+        M: Mapper,
+        C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+        P: Partitioner<M::OutKey>,
+    {
+        let num_threads = self.config.effective_threads();
+        let num_reduce_tasks = self.config.effective_reduce_tasks();
+        let combine_buffer_records = self.config.combine_buffer_records;
+
+        // ------------------------------------------------------------------
+        // Map: pull tasks from the queue, emit one sorted run per
+        // (task, partition).
+        // ------------------------------------------------------------------
+        let map_start = Instant::now();
+        let queue = TaskQueue::split(input.len(), self.config.effective_map_tasks(input.len()));
+        metrics.map_tasks = queue.num_tasks();
+
+        // Runs are tagged with their task index so the merge can order
+        // them deterministically, whatever the completion order was.
+        type TaggedRuns<K, V> = Vec<Mutex<Vec<(usize, Vec<(K, V)>)>>>;
+        let runs: TaggedRuns<M::OutKey, M::OutValue> = (0..num_reduce_tasks)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        let spills = AtomicU64::new(0);
+        let queue_ref = &queue;
+        let runs_ref = &runs;
+        let spills_ref = &spills;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..num_threads.min(queue.num_tasks()) {
+                scope.spawn(|_| {
+                    let mut emitter = Emitter::new();
+                    let mut map_output = 0u64;
+                    let mut combine_output = 0u64;
+                    while let Some(task) = queue_ref.claim() {
+                        let mut buffer =
+                            CombiningPartitionBuffer::new(num_reduce_tasks, combine_buffer_records);
+                        for (key, value) in &input[task.range.clone()] {
+                            mapper.map(key, value, &mut emitter);
+                            emitter.drain_each(|out_key, out_value| {
+                                map_output += 1;
+                                let p = partitioner.partition(&out_key, num_reduce_tasks);
+                                buffer.push(p, out_key, out_value, combiner);
+                            });
+                        }
+                        spills_ref.fetch_add(buffer.spills(), Ordering::Relaxed);
+                        for (p, run) in buffer.into_sorted_runs(combiner).into_iter().enumerate() {
+                            if !run.is_empty() {
+                                combine_output += run.len() as u64;
+                                runs_ref[p].lock().push((task.index, run));
+                            }
+                        }
+                    }
+                    counters.add(builtin::MAP_OUTPUT_RECORDS, map_output);
+                    counters.add(builtin::COMBINE_OUTPUT_RECORDS, combine_output);
+                });
+            }
+        })
+        .expect("map worker thread panicked");
+        counters.add(builtin::COMBINE_SPILLS, spills.into_inner());
+        metrics.timings.map = map_start.elapsed();
+
+        // ------------------------------------------------------------------
+        // Shuffle: k-way merge each partition's runs (parallel over
+        // partitions), combining equal keys that straddle runs.  Small
+        // jobs merge inline: spawning workers costs more than merging a
+        // few thousand records, and the merged result is identical either
+        // way (no ordering decision depends on the execution site).
+        // ------------------------------------------------------------------
+        let shuffle_start = Instant::now();
+        let record_bytes = mem::size_of::<(M::OutKey, M::OutValue)>() as u64;
+        let merge_queue = TaskQueue::unit(num_reduce_tasks);
+        type MergedPartitions<K, V> = Vec<Mutex<Vec<(K, V)>>>;
+        let merged: MergedPartitions<M::OutKey, M::OutValue> = (0..num_reduce_tasks)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        let merge_queue_ref = &merge_queue;
+        let merged_ref = &merged;
+
+        let merge_worker = || {
+            let mut shuffled = 0u64;
+            let mut runs_merged = 0u64;
+            while let Some(task) = merge_queue_ref.claim() {
+                let mut partition_runs = mem::take(&mut *runs_ref[task.index].lock());
+                partition_runs.sort_unstable_by_key(|(task_index, _)| *task_index);
+                runs_merged += partition_runs.len() as u64;
+                let partition_runs: Vec<_> =
+                    partition_runs.into_iter().map(|(_, run)| run).collect();
+                let combined = match combiner {
+                    Some(combiner) => merge_runs_combining(partition_runs, combiner),
+                    None => merge_runs(partition_runs),
+                };
+                shuffled += combined.len() as u64;
+                *merged_ref[task.index].lock() = combined;
+            }
+            counters.add(builtin::SHUFFLE_RECORDS, shuffled);
+            counters.add(builtin::SHUFFLE_BYTES, shuffled * record_bytes);
+            counters.add(builtin::MERGE_RUNS, runs_merged);
+        };
+        let run_records: usize = runs
+            .iter()
+            .map(|partition| {
+                partition
+                    .lock()
+                    .iter()
+                    .map(|(_, run)| run.len())
+                    .sum::<usize>()
+            })
+            .sum();
+        let merge_threads = if run_records < PARALLEL_MERGE_MIN_RECORDS {
+            1
+        } else {
+            num_threads.min(num_reduce_tasks)
+        };
+        if merge_threads <= 1 {
+            merge_worker();
+        } else {
+            let merge_worker_ref = &merge_worker;
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..merge_threads {
+                    scope.spawn(move |_| merge_worker_ref());
+                }
+            })
+            .expect("merge worker thread panicked");
         }
-        splits.push(split);
+        metrics.timings.shuffle = shuffle_start.elapsed();
+
+        merged.into_iter().map(Mutex::into_inner).collect()
     }
-    splits
+
+    /// The legacy path: map tasks bucket their (task-combined) output per
+    /// partition; the shuffle concatenates every task's bucket in task
+    /// order and re-sorts whole partitions.
+    fn legacy_map_and_sort<M, C, P>(
+        &self,
+        mapper: &M,
+        combiner: Option<&C>,
+        partitioner: &P,
+        input: &[(M::InKey, M::InValue)],
+        counters: &Counters,
+        metrics: &mut JobMetrics,
+    ) -> Vec<Vec<(M::OutKey, M::OutValue)>>
+    where
+        M: Mapper,
+        C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+        P: Partitioner<M::OutKey>,
+    {
+        let num_threads = self.config.effective_threads();
+        let num_reduce_tasks = self.config.effective_reduce_tasks();
+
+        let map_start = Instant::now();
+        let queue = TaskQueue::split(input.len(), self.config.effective_map_tasks(input.len()));
+        metrics.map_tasks = queue.num_tasks();
+
+        type TaskOutputs<K, V> = Mutex<Vec<(usize, Vec<Vec<(K, V)>>)>>;
+        let task_outputs: TaskOutputs<M::OutKey, M::OutValue> =
+            Mutex::new(Vec::with_capacity(queue.num_tasks()));
+        let queue_ref = &queue;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..num_threads.min(queue.num_tasks()) {
+                scope.spawn(|_| {
+                    let mut emitter = Emitter::new();
+                    while let Some(task) = queue_ref.claim() {
+                        for (key, value) in &input[task.range.clone()] {
+                            mapper.map(key, value, &mut emitter);
+                        }
+                        let emitted = emitter.drain();
+                        counters.add(builtin::MAP_OUTPUT_RECORDS, emitted.len() as u64);
+                        let combined = match combiner {
+                            Some(combiner) => combine_task_output(combiner, emitted),
+                            None => emitted,
+                        };
+                        counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
+                        let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
+                            (0..num_reduce_tasks).map(|_| Vec::new()).collect();
+                        for (key, value) in combined {
+                            let p = partitioner.partition(&key, num_reduce_tasks);
+                            buckets[p].push((key, value));
+                        }
+                        task_outputs.lock().push((task.index, buckets));
+                    }
+                });
+            }
+        })
+        .expect("map worker thread panicked");
+        metrics.timings.map = map_start.elapsed();
+
+        let shuffle_start = Instant::now();
+        let mut task_outputs = task_outputs.into_inner();
+        // Concatenate in task-index order (not completion order) so equal
+        // keys interleave deterministically under the stable sort below.
+        task_outputs.sort_unstable_by_key(|(task_index, _)| *task_index);
+        let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
+            (0..num_reduce_tasks).map(|_| Vec::new()).collect();
+        for (_, buckets) in task_outputs {
+            for (p, bucket) in buckets.into_iter().enumerate() {
+                partitions[p].extend(bucket);
+            }
+        }
+        let shuffled: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+        counters.add(builtin::SHUFFLE_RECORDS, shuffled);
+        counters.add(
+            builtin::SHUFFLE_BYTES,
+            shuffled * mem::size_of::<(M::OutKey, M::OutValue)>() as u64,
+        );
+        if self.config.sort_reduce_input {
+            for partition in &mut partitions {
+                partition.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+        metrics.timings.shuffle = shuffle_start.elapsed();
+        partitions
+    }
 }
 
-/// Applies a combiner to one map task's output: groups the pairs by key and
-/// replaces each group's values by the combiner's output.
+/// Applies a combiner to one map task's output: sorts the pairs by key
+/// (stable) and replaces each group's values by the combiner's output.
 fn combine_task_output<C: Combiner>(
     combiner: &C,
     mut pairs: Vec<(C::Key, C::Value)>,
 ) -> Vec<(C::Key, C::Value)> {
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut out = Vec::with_capacity(pairs.len());
-    let mut i = 0;
-    while i < pairs.len() {
-        let mut j = i + 1;
-        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
-            j += 1;
-        }
-        let key = pairs[i].0.clone();
-        let values: Vec<C::Value> = pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
-        for v in combiner.combine(&key, &values) {
-            out.push((key.clone(), v));
-        }
-        i = j;
-    }
-    out
+    combine_sorted_groups(pairs, combiner)
 }
 
 /// Iterates over `(key, values)` groups of a partition.
@@ -408,6 +585,7 @@ mod tests {
         assert_eq!(result.metrics.shuffle_records, 13);
         assert_eq!(result.metrics.reduce_input_groups, 6);
         assert_eq!(result.metrics.reduce_output_records, 6);
+        assert!(result.metrics.shuffle_bytes > 0);
     }
 
     #[test]
@@ -430,6 +608,77 @@ mod tests {
             result.metrics.map_output_records
         );
         assert!(result.metrics.combine_reduction() > 0.0);
+    }
+
+    #[test]
+    fn merge_side_combine_beats_legacy_task_side_combine() {
+        // With several map tasks, the same word is emitted (task-combined)
+        // by more than one task; the streaming merge combines across runs
+        // so strictly fewer records reach the reducers.
+        let config = JobConfig::named("wc-merge-combine")
+            .with_threads(2)
+            .with_map_tasks(4)
+            .with_reduce_tasks(2);
+        let legacy = Job::new(config.clone().with_shuffle_mode(ShuffleMode::LegacySort))
+            .run_with_combiner(&SplitWords, &SumCombiner, &SumCounts, word_count_input());
+        let streaming = Job::new(config).run_with_combiner(
+            &SplitWords,
+            &SumCombiner,
+            &SumCounts,
+            word_count_input(),
+        );
+        assert_eq!(streaming.output, legacy.output);
+        assert!(
+            streaming.metrics.shuffle_records < legacy.metrics.shuffle_records,
+            "streaming {} vs legacy {}",
+            streaming.metrics.shuffle_records,
+            legacy.metrics.shuffle_records
+        );
+        assert!(streaming.metrics.merge_runs > 0);
+        assert_eq!(legacy.metrics.merge_runs, 0);
+    }
+
+    #[test]
+    fn streaming_and_legacy_produce_identical_output() {
+        for (threads, map_tasks, reduce_tasks) in [(1, 1, 1), (2, 3, 2), (4, 7, 5), (8, 13, 3)] {
+            let config = JobConfig::named("ab")
+                .with_threads(threads)
+                .with_map_tasks(map_tasks)
+                .with_reduce_tasks(reduce_tasks);
+            let legacy = Job::new(config.clone().with_shuffle_mode(ShuffleMode::LegacySort)).run(
+                &SplitWords,
+                &SumCounts,
+                word_count_input(),
+            );
+            let streaming = Job::new(config).run(&SplitWords, &SumCounts, word_count_input());
+            assert_eq!(
+                streaming.output, legacy.output,
+                "threads={threads} map={map_tasks} reduce={reduce_tasks}"
+            );
+            assert_eq!(
+                streaming.metrics.shuffle_records,
+                legacy.metrics.shuffle_records
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_combine_buffer_spills_and_stays_correct() {
+        let job = Job::new(
+            JobConfig::named("wc-spill")
+                .with_threads(2)
+                .with_map_tasks(2)
+                .with_combine_buffer_records(2),
+        );
+        let result =
+            job.run_with_combiner(&SplitWords, &SumCombiner, &SumCounts, word_count_input());
+        let mut out = result.output;
+        out.sort();
+        assert_eq!(out, expected_counts());
+        assert!(
+            result.counters.get(builtin::COMBINE_SPILLS) > 0,
+            "a 2-record buffer over 13 map outputs must spill"
+        );
     }
 
     #[test]
@@ -461,12 +710,25 @@ mod tests {
     }
 
     #[test]
-    fn empty_input_produces_empty_output() {
-        let job = Job::new(JobConfig::default());
-        let result = job.run(&SplitWords, &SumCounts, Vec::new());
-        assert!(result.output.is_empty());
-        assert_eq!(result.metrics.map_input_records, 0);
-        assert_eq!(result.metrics.reduce_output_records, 0);
+    fn empty_input_produces_empty_output_and_schedules_no_map_task() {
+        for mode in [ShuffleMode::Streaming, ShuffleMode::LegacySort] {
+            let job = Job::new(JobConfig::default().with_shuffle_mode(mode));
+            let result = job.run(&SplitWords, &SumCounts, Vec::new());
+            assert!(result.output.is_empty());
+            assert_eq!(result.metrics.map_input_records, 0);
+            assert_eq!(result.metrics.reduce_output_records, 0);
+            assert_eq!(
+                result.metrics.map_tasks, 0,
+                "no empty map task for {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_map_tasks_than_records_schedules_one_task_per_record() {
+        let job = Job::new(JobConfig::named("wc").with_map_tasks(64));
+        let result = job.run(&SplitWords, &SumCounts, word_count_input());
+        assert_eq!(result.metrics.map_tasks, 4);
     }
 
     #[test]
@@ -487,14 +749,17 @@ mod tests {
 
     #[test]
     fn unsorted_reduce_input_still_groups_all_values() {
-        let job = Job::new(
-            JobConfig::named("unsorted")
-                .with_sorted_reduce_input(false)
-                .with_threads(3),
-        );
-        let mut out = job.run(&SplitWords, &SumCounts, word_count_input()).output;
-        out.sort();
-        assert_eq!(out, expected_counts());
+        for mode in [ShuffleMode::Streaming, ShuffleMode::LegacySort] {
+            let job = Job::new(
+                JobConfig::named("unsorted")
+                    .with_sorted_reduce_input(false)
+                    .with_shuffle_mode(mode)
+                    .with_threads(3),
+            );
+            let mut out = job.run(&SplitWords, &SumCounts, word_count_input()).output;
+            out.sort();
+            assert_eq!(out, expected_counts(), "{mode:?}");
+        }
     }
 
     #[test]
@@ -510,19 +775,6 @@ mod tests {
             with_id.metrics.shuffle_records,
             with_id.metrics.map_output_records
         );
-    }
-
-    #[test]
-    fn split_input_covers_all_records_without_duplication() {
-        let input: Vec<(u32, u32)> = (0..103).map(|i| (i, i * 2)).collect();
-        for tasks in [1, 2, 3, 7, 50, 103, 200] {
-            let splits = split_input(input.clone(), tasks);
-            let total: usize = splits.iter().map(|s| s.len()).sum();
-            assert_eq!(total, 103, "tasks={tasks}");
-            assert!(splits.len() <= tasks.max(1));
-            let flat: Vec<(u32, u32)> = splits.into_iter().flatten().collect();
-            assert_eq!(flat, input);
-        }
     }
 
     #[test]

@@ -16,9 +16,12 @@
 //!
 //! * [`Mapper`], [`Reducer`], [`Combiner`], [`Partitioner`] traits
 //!   ([`types`]),
-//! * a parallel [`executor`] that runs map tasks, shuffles intermediate
-//!   pairs into sorted reduce partitions, and runs reduce tasks — all on a
-//!   pool of worker threads built with `crossbeam` scoped threads,
+//! * a parallel [`executor`] with a *streaming* shuffle: worker threads
+//!   pull map tasks from a work-stealing [`task_queue`], combine while
+//!   partitioning ([`partition::CombiningPartitionBuffer`]), emit
+//!   per-partition sorted runs and k-way merge them per reduce partition
+//!   ([`shuffle`]) — all on a pool of worker threads built with
+//!   `crossbeam` scoped threads (see `docs/engine.md` for the data flow),
 //! * per-job [`counters`] and [`metrics`] (records in/out, groups, bytes
 //!   shuffled, wall-clock per phase) so the experiments can report the same
 //!   efficiency measures the paper reports (number of MapReduce iterations,
@@ -85,21 +88,25 @@ pub mod driver;
 pub mod executor;
 pub mod metrics;
 pub mod partition;
+pub mod shuffle;
 pub mod store;
+pub mod task_queue;
 pub mod types;
 
-pub use config::JobConfig;
+pub use config::{JobConfig, ShuffleMode};
 pub use counters::{Counter, Counters};
 pub use driver::{IterativeDriver, IterativeJob, RoundOutcome, RunSummary};
 pub use executor::{Job, JobResult};
 pub use metrics::{JobMetrics, PhaseTimings};
-pub use partition::{HashPartitioner, Partitioner};
+pub use partition::{CombiningPartitionBuffer, HashPartitioner, Partitioner};
+pub use shuffle::merge_runs;
 pub use store::KvStore;
+pub use task_queue::{Task, TaskQueue};
 pub use types::{Combiner, Emitter, IdentityCombiner, Mapper, Reducer};
 
 /// Convenience re-exports for users of the engine.
 pub mod prelude {
-    pub use crate::config::JobConfig;
+    pub use crate::config::{JobConfig, ShuffleMode};
     pub use crate::counters::Counters;
     pub use crate::driver::{IterativeDriver, IterativeJob, RoundOutcome, RunSummary};
     pub use crate::executor::{Job, JobResult};

@@ -35,6 +35,14 @@ pub struct JobMetrics {
     /// the paper's per-round communication cost, O(|E|) for the matching
     /// jobs.
     pub shuffle_records: u64,
+    /// Approximate shuffled payload in bytes: shuffled records times the
+    /// in-memory size of one `(key, value)` record.  A lower bound for
+    /// heap-carrying types (e.g. `String` keys), but measured identically
+    /// in both shuffle modes so A/B comparisons are meaningful.
+    pub shuffle_bytes: u64,
+    /// Sorted runs the streaming shuffle merged across all reduce
+    /// partitions (zero under the legacy concat+sort shuffle).
+    pub merge_runs: u64,
     /// Distinct key groups presented to reducers.
     pub reduce_input_groups: u64,
     /// Records emitted by reduce tasks.
@@ -66,6 +74,8 @@ impl JobMetrics {
         self.map_input_records += other.map_input_records;
         self.map_output_records += other.map_output_records;
         self.shuffle_records += other.shuffle_records;
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.merge_runs += other.merge_runs;
         self.reduce_input_groups += other.reduce_input_groups;
         self.reduce_output_records += other.reduce_output_records;
         self.map_tasks += other.map_tasks;
@@ -104,12 +114,16 @@ mod tests {
         let mut a = JobMetrics {
             map_input_records: 1,
             shuffle_records: 2,
+            shuffle_bytes: 100,
+            merge_runs: 3,
             ..JobMetrics::default()
         };
         a.user_counters.insert("edges".into(), 10);
         let mut b = JobMetrics {
             map_input_records: 3,
             shuffle_records: 4,
+            shuffle_bytes: 50,
+            merge_runs: 2,
             ..JobMetrics::default()
         };
         b.user_counters.insert("edges".into(), 5);
@@ -117,6 +131,8 @@ mod tests {
         a.accumulate(&b);
         assert_eq!(a.map_input_records, 4);
         assert_eq!(a.shuffle_records, 6);
+        assert_eq!(a.shuffle_bytes, 150);
+        assert_eq!(a.merge_runs, 5);
         assert_eq!(a.user_counters["edges"], 15);
         assert_eq!(a.user_counters["nodes"], 7);
     }

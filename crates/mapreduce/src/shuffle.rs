@@ -1,0 +1,340 @@
+//! The streaming shuffle: k-way merge of per-task sorted runs.
+//!
+//! Every map task hands the shuffle one *sorted run* per reduce partition
+//! (see [`crate::partition::CombiningPartitionBuffer`]).  Bringing a
+//! partition into reducer order is then a k-way merge of k already-sorted
+//! runs — `O(n log k)` comparisons instead of the `O(n log n)` full re-sort
+//! of the legacy path, and no concatenated intermediate copy.
+//!
+//! Determinism: runs are merged in **task-index order** and the merge
+//! breaks key ties by run position, so records with equal keys appear in
+//! exactly the order a sequential execution would produce — regardless of
+//! which worker thread ran which task, and byte-identical to the legacy
+//! concatenate-in-task-order + stable-sort path.
+
+use std::collections::BinaryHeap;
+
+use crate::types::Combiner;
+
+/// A record travelling through the merge heap: ordered by `(key, run)`,
+/// **reversed** so that `BinaryHeap` (a max-heap) pops the smallest key
+/// first.  The record is moved into the heap and moved out again — keys
+/// are never cloned, which matters for heap-carrying key types like
+/// `String` on the shuffle's hot path.
+struct HeapEntry<K, V> {
+    key: K,
+    value: V,
+    run: usize,
+}
+
+impl<K: Ord, V> PartialEq for HeapEntry<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.run == other.run
+    }
+}
+
+impl<K: Ord, V> Eq for HeapEntry<K, V> {}
+
+impl<K: Ord, V> PartialOrd for HeapEntry<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord, V> Ord for HeapEntry<K, V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: the max-heap must surface the smallest (key, run).
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+/// Merges sorted runs into one sorted sequence.
+///
+/// Each input run must already be sorted by key (stable order within equal
+/// keys).  Ties between runs are broken by run position: for equal keys,
+/// records of `runs[0]` come before records of `runs[1]`, and so on — the
+/// caller passes runs in task-index order to make the merge deterministic.
+/// (Within one run the order is preserved automatically: at most one entry
+/// per run lives in the heap at a time.)
+pub fn merge_runs<K: Ord, V>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    if runs.len() <= 1 {
+        return runs.into_iter().next().unwrap_or_default();
+    }
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<(K, V)>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<HeapEntry<K, V>> = BinaryHeap::with_capacity(iters.len());
+    for (run, iter) in iters.iter_mut().enumerate() {
+        if let Some((key, value)) = iter.next() {
+            heap.push(HeapEntry { key, value, run });
+        }
+    }
+    let mut merged = Vec::with_capacity(total);
+    while let Some(entry) = heap.pop() {
+        merged.push((entry.key, entry.value));
+        if let Some((key, value)) = iters[entry.run].next() {
+            heap.push(HeapEntry {
+                key,
+                value,
+                run: entry.run,
+            });
+        }
+    }
+    merged
+}
+
+/// Merges sorted runs and applies `combiner` to every key group in one
+/// fused pass: records stream from the heap straight into per-key groups,
+/// with no intermediate merged vector and no second scan.
+///
+/// A group holding a single value passes through untouched — it is
+/// already the output of a map-side combine, so re-applying the combiner
+/// would only burn cycles (the combiner contract makes the extra
+/// application a no-op semantically).  The result is byte-identical to
+/// `merge_runs` followed by a grouped combine.
+pub(crate) fn merge_runs_combining<C: Combiner>(
+    runs: Vec<Vec<(C::Key, C::Value)>>,
+    combiner: &C,
+) -> Vec<(C::Key, C::Value)> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<(C::Key, C::Value)>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<HeapEntry<C::Key, C::Value>> = BinaryHeap::with_capacity(iters.len());
+    for (run, iter) in iters.iter_mut().enumerate() {
+        if let Some((key, value)) = iter.next() {
+            heap.push(HeapEntry { key, value, run });
+        }
+    }
+    let mut combined = Vec::with_capacity(total);
+    let mut group: Option<(C::Key, Vec<C::Value>)> = None;
+    let flush = |group: Option<(C::Key, Vec<C::Value>)>, out: &mut Vec<_>| {
+        if let Some((key, mut values)) = group {
+            if values.len() == 1 {
+                out.push((key, values.pop().expect("one value")));
+            } else {
+                for value in combiner.combine(&key, &values) {
+                    out.push((key.clone(), value));
+                }
+            }
+        }
+    };
+    while let Some(entry) = heap.pop() {
+        if let Some((key, value)) = iters[entry.run].next() {
+            heap.push(HeapEntry {
+                key,
+                value,
+                run: entry.run,
+            });
+        }
+        match &mut group {
+            Some((key, values)) if *key == entry.key => values.push(entry.value),
+            _ => {
+                flush(group.take(), &mut combined);
+                group = Some((entry.key, vec![entry.value]));
+            }
+        }
+    }
+    flush(group, &mut combined);
+    combined
+}
+
+/// Applies a combiner to a key-sorted sequence in one pass, consuming the
+/// input (keys and values are moved, not cloned, except for the one key
+/// clone per extra combiner output value).
+///
+/// Every group goes through the combiner exactly once — including
+/// singleton groups, matching the legacy per-task combine.  Used for
+/// task-side combining (final run generation and buffer spills).
+pub(crate) fn combine_sorted_groups<C: Combiner>(
+    pairs: Vec<(C::Key, C::Value)>,
+    combiner: &C,
+) -> Vec<(C::Key, C::Value)> {
+    let mut combined = Vec::with_capacity(pairs.len());
+    let mut iter = pairs.into_iter().peekable();
+    while let Some((key, value)) = iter.next() {
+        let mut values = vec![value];
+        while iter.peek().is_some_and(|(next_key, _)| *next_key == key) {
+            values.push(iter.next().expect("peeked").1);
+        }
+        for value in combiner.combine(&key, &values) {
+            combined.push((key.clone(), value));
+        }
+    }
+    combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        type Key = u32;
+        type Value = u64;
+        fn combine(&self, _k: &u32, vs: &[u64]) -> Vec<u64> {
+            vec![vs.iter().sum()]
+        }
+    }
+
+    /// Reference implementation: concatenate in run order, stable-sort by
+    /// key — exactly what the legacy shuffle does.
+    fn concat_and_sort(runs: &[Vec<(u32, char)>]) -> Vec<(u32, char)> {
+        let mut all: Vec<(u32, char)> = runs.iter().flatten().cloned().collect();
+        all.sort_by_key(|record| record.0);
+        all
+    }
+
+    #[test]
+    fn zero_runs_merge_to_nothing() {
+        let merged: Vec<(u32, char)> = merge_runs(Vec::new());
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn one_run_passes_through_unchanged() {
+        let run = vec![(1u32, 'a'), (1, 'b'), (3, 'c')];
+        assert_eq!(merge_runs(vec![run.clone()]), run);
+    }
+
+    #[test]
+    fn empty_runs_among_nonempty_are_ignored() {
+        let runs = vec![vec![], vec![(2u32, 'x')], vec![], vec![(1, 'y')]];
+        assert_eq!(merge_runs(runs), vec![(1, 'y'), (2, 'x')]);
+    }
+
+    #[test]
+    fn duplicate_keys_straddling_run_boundaries_keep_run_order() {
+        // Key 5 appears in all three runs (twice in the first); the merge
+        // must emit its values in run order with within-run order intact.
+        let runs = vec![
+            vec![(1u32, 'a'), (5, 'b'), (5, 'c')],
+            vec![(5, 'd'), (9, 'e')],
+            vec![(0, 'f'), (5, 'g')],
+        ];
+        let merged = merge_runs(runs.clone());
+        assert_eq!(
+            merged,
+            vec![
+                (0, 'f'),
+                (1, 'a'),
+                (5, 'b'),
+                (5, 'c'),
+                (5, 'd'),
+                (5, 'g'),
+                (9, 'e')
+            ]
+        );
+        assert_eq!(merged, concat_and_sort(&runs));
+    }
+
+    #[test]
+    fn run_entirely_greater_than_all_others_is_appended() {
+        let runs = vec![
+            vec![(100u32, 'x'), (200, 'y'), (300, 'z')],
+            vec![(1, 'a'), (2, 'b')],
+            vec![(3, 'c')],
+        ];
+        let merged = merge_runs(runs.clone());
+        assert_eq!(
+            merged,
+            vec![
+                (1, 'a'),
+                (2, 'b'),
+                (3, 'c'),
+                (100, 'x'),
+                (200, 'y'),
+                (300, 'z')
+            ]
+        );
+        assert_eq!(merged, concat_and_sort(&runs));
+    }
+
+    #[test]
+    fn merge_agrees_with_concat_and_stable_sort_on_many_shapes() {
+        // Deterministic pseudo-random runs with heavy key collisions.
+        let mut state = 0x2545_F491_4F6C_DD1D_u64;
+        let mut next = move |modulus: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % modulus
+        };
+        for num_runs in [2usize, 3, 5, 8] {
+            let mut runs: Vec<Vec<(u32, char)>> = Vec::new();
+            let mut label = b'a';
+            for _ in 0..num_runs {
+                let len = next(9) as usize;
+                let mut run: Vec<(u32, char)> = (0..len)
+                    .map(|_| {
+                        let key = next(6) as u32;
+                        let value = label as char;
+                        label = if label == b'z' { b'a' } else { label + 1 };
+                        (key, value)
+                    })
+                    .collect();
+                run.sort_by_key(|record| record.0);
+                runs.push(run);
+            }
+            assert_eq!(
+                merge_runs(runs.clone()),
+                concat_and_sort(&runs),
+                "runs={runs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn combine_sorted_groups_collapses_each_group_once() {
+        let pairs = vec![(1u32, 10u64), (1, 20), (2, 5), (3, 1), (3, 2), (3, 3)];
+        let combined = combine_sorted_groups(pairs, &SumCombiner);
+        assert_eq!(combined, vec![(1, 30), (2, 5), (3, 6)]);
+    }
+
+    struct CountingCombiner(std::sync::atomic::AtomicUsize);
+    impl Combiner for CountingCombiner {
+        type Key = u32;
+        type Value = u64;
+        fn combine(&self, _k: &u32, vs: &[u64]) -> Vec<u64> {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            vec![vs.iter().sum()]
+        }
+    }
+
+    #[test]
+    fn merging_combine_skips_singleton_groups() {
+        let runs = vec![vec![(1u32, 10u64), (2, 5)], vec![(2, 6), (3, 1)]];
+        let combiner = CountingCombiner(std::sync::atomic::AtomicUsize::new(0));
+        let combined = merge_runs_combining(runs, &combiner);
+        assert_eq!(combined, vec![(1, 10), (2, 11), (3, 1)]);
+        // Only the key-2 group (two values, straddling the runs) went
+        // through the combiner.
+        assert_eq!(combiner.0.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn merging_combine_matches_merge_then_combine() {
+        let runs = vec![
+            vec![(1u32, 1u64), (1, 2), (4, 4)],
+            vec![(0, 9), (1, 3), (4, 1)],
+            vec![(4, 2)],
+        ];
+        let fused = merge_runs_combining(runs.clone(), &SumCombiner);
+        assert_eq!(fused, vec![(0, 9), (1, 6), (4, 7)]);
+        // Zero and one-run inputs go through the same grouped path.
+        let empty: Vec<Vec<(u32, u64)>> = Vec::new();
+        assert!(merge_runs_combining(empty, &SumCombiner).is_empty());
+        let single = vec![vec![(1u32, 1u64), (1, 2), (2, 5)]];
+        assert_eq!(
+            merge_runs_combining(single, &SumCombiner),
+            vec![(1, 3), (2, 5)]
+        );
+    }
+
+    #[test]
+    fn combine_sorted_groups_handles_empty_input() {
+        let combined = combine_sorted_groups(Vec::new(), &SumCombiner);
+        assert!(combined.is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Work-stealing task queue for map and reduce workers.
+//!
+//! Instead of handing every worker a fixed set of pre-assigned splits, the
+//! executor builds one [`TaskQueue`] per phase and lets the worker threads
+//! *pull* tasks from it through an atomic index: a worker that finishes a
+//! cheap task immediately claims the next one, so a single slow task never
+//! leaves the other workers idle behind a static assignment.  Claiming is a
+//! single `fetch_add`, which keeps the queue contention-free in practice.
+//!
+//! The queue also owns task *layout*: [`TaskQueue::split`] cuts an input of
+//! `len` records into at most `num_tasks` contiguous, near-equal, **never
+//! empty** ranges.  Requesting more tasks than records simply yields fewer
+//! tasks (one per record), and an empty input yields an empty queue — no
+//! empty map task is ever scheduled.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A claimed unit of work: the task's index in scheduling order plus the
+/// input range it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Stable task index (`0..num_tasks`), used to keep downstream
+    /// processing deterministic regardless of which worker ran the task.
+    pub index: usize,
+    /// The half-open input range this task processes.
+    pub range: Range<usize>,
+}
+
+/// A fixed set of tasks claimed by worker threads through an atomic cursor.
+#[derive(Debug, Default)]
+pub struct TaskQueue {
+    tasks: Vec<Range<usize>>,
+    next: AtomicUsize,
+}
+
+impl TaskQueue {
+    /// Builds a queue over `len` input records cut into at most `num_tasks`
+    /// contiguous near-equal ranges, skipping would-be-empty tasks.
+    pub fn split(len: usize, num_tasks: usize) -> Self {
+        let num_tasks = num_tasks.max(1).min(len);
+        let mut tasks = Vec::with_capacity(num_tasks);
+        if len > 0 {
+            let base = len / num_tasks;
+            let remainder = len % num_tasks;
+            let mut start = 0;
+            for index in 0..num_tasks {
+                let size = base + usize::from(index < remainder);
+                tasks.push(start..start + size);
+                start += size;
+            }
+            debug_assert_eq!(start, len);
+        }
+        TaskQueue {
+            tasks,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Builds a queue of `n` unit tasks (`i..i + 1`), one per reduce
+    /// partition.
+    pub fn unit(n: usize) -> Self {
+        TaskQueue {
+            tasks: (0..n).map(|i| i..i + 1).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of tasks in the queue (claimed or not).
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the queue holds no tasks at all.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Claims the next unclaimed task, or `None` when the queue is drained.
+    ///
+    /// Safe to call from any number of threads; every task is handed out
+    /// exactly once.
+    pub fn claim(&self) -> Option<Task> {
+        let index = self.next.fetch_add(1, Ordering::Relaxed);
+        self.tasks.get(index).map(|range| Task {
+            index,
+            range: range.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(queue: &TaskQueue) -> Vec<Task> {
+        std::iter::from_fn(|| queue.claim()).collect()
+    }
+
+    #[test]
+    fn no_empty_task_is_ever_scheduled() {
+        // Sweep lengths and task counts, including every num_tasks >
+        // input.len() shape that used to produce empty trailing tasks.
+        for len in [0usize, 1, 2, 3, 7, 64, 103] {
+            for num_tasks in [1usize, 2, 3, 7, 50, 64, 103, 200] {
+                let queue = TaskQueue::split(len, num_tasks);
+                let tasks = drain(&queue);
+                assert_eq!(
+                    tasks.len(),
+                    num_tasks.min(len),
+                    "len={len} tasks={num_tasks}"
+                );
+                for task in &tasks {
+                    assert!(
+                        !task.range.is_empty(),
+                        "empty task scheduled for len={len} tasks={num_tasks}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_covers_all_records_without_duplication() {
+        for len in [1usize, 5, 103] {
+            for num_tasks in [1usize, 2, 3, 7, 50, 103, 200] {
+                let queue = TaskQueue::split(len, num_tasks);
+                let tasks = drain(&queue);
+                let covered: Vec<usize> = tasks.iter().flat_map(|t| t.range.clone()).collect();
+                assert_eq!(
+                    covered,
+                    (0..len).collect::<Vec<_>>(),
+                    "len={len} tasks={num_tasks}"
+                );
+                // Near-equal: sizes differ by at most one record.
+                let sizes: Vec<usize> = tasks.iter().map(|t| t.range.len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced split: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_an_empty_queue() {
+        let queue = TaskQueue::split(0, 8);
+        assert!(queue.is_empty());
+        assert_eq!(queue.num_tasks(), 0);
+        assert_eq!(queue.claim(), None);
+    }
+
+    #[test]
+    fn task_indices_are_sequential_and_unique() {
+        let queue = TaskQueue::split(10, 4);
+        let tasks = drain(&queue);
+        let indices: Vec<usize> = tasks.iter().map(|t| t.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        assert_eq!(queue.claim(), None, "drained queue stays drained");
+    }
+
+    #[test]
+    fn unit_queue_enumerates_partitions() {
+        let queue = TaskQueue::unit(3);
+        let tasks = drain(&queue);
+        assert_eq!(tasks.len(), 3);
+        for (i, task) in tasks.iter().enumerate() {
+            assert_eq!(task.index, i);
+            assert_eq!(task.range, i..i + 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_claims_hand_out_every_task_once() {
+        let queue = TaskQueue::split(1000, 1000);
+        let claimed = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    while let Some(task) = queue.claim() {
+                        local.push(task.index);
+                    }
+                    claimed.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = claimed.into_inner().unwrap();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -74,6 +74,16 @@ impl<K, V> Emitter<K, V> {
     pub fn drain(&mut self) -> Vec<(K, V)> {
         std::mem::take(&mut self.pairs)
     }
+
+    /// Calls `f` with every emitted pair and clears the emitter, keeping
+    /// its allocation for reuse.  This is the per-record hot path of the
+    /// streaming executor, which routes each pair straight into a
+    /// partition buffer instead of materialising a task-sized vector.
+    pub fn drain_each(&mut self, mut f: impl FnMut(K, V)) {
+        for (key, value) in self.pairs.drain(..) {
+            f(key, value);
+        }
+    }
 }
 
 impl<K, V> Default for Emitter<K, V> {
@@ -185,6 +195,19 @@ mod tests {
         e.emit(1, "a");
         assert_eq!(e.len(), 2);
         assert_eq!(e.into_pairs(), vec![(2, "b"), (1, "a")]);
+    }
+
+    #[test]
+    fn emitter_drain_each_visits_pairs_in_order_and_clears() {
+        let mut e: Emitter<u32, u32> = Emitter::new();
+        e.emit(1, 10);
+        e.emit(2, 20);
+        let mut seen = Vec::new();
+        e.drain_each(|k, v| seen.push((k, v)));
+        assert_eq!(seen, vec![(1, 10), (2, 20)]);
+        assert!(e.is_empty());
+        e.emit(3, 30);
+        assert_eq!(e.len(), 1);
     }
 
     #[test]

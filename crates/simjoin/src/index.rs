@@ -100,6 +100,12 @@ impl InvertedIndex {
 
     /// The distinct candidate documents found by probing the index with
     /// every term of `query`.
+    ///
+    /// Reference single-machine probe: the MapReduce join no longer calls
+    /// this — its probe mapper emits one record per (term, posting) hit
+    /// and leaves the deduplication to the engine's combiner — but the
+    /// equivalence of the two probe paths is what the join's tests check
+    /// against.
     pub fn candidates(&self, query: &SparseVector) -> Vec<usize> {
         let mut docs: Vec<usize> = query
             .entries()

@@ -7,8 +7,10 @@
 //! * **Job 2 — probing and verification**: every item vector is mapped
 //!   against the index (shipped to the mappers like a distributed-cache
 //!   file): each indexed term shared with a consumer generates a candidate
-//!   pair; the reducer deduplicates the candidates, recomputes the exact
-//!   similarity from the two vectors and keeps the pair when it reaches σ.
+//!   pair; a map-side combiner collapses duplicate generations of the same
+//!   pair while partitioning (one record per candidate crosses the
+//!   shuffle); the reducer recomputes the exact similarity from the two
+//!   vectors and keeps the pair when it reaches σ.
 //!
 //! The output is the candidate-edge [`BipartiteGraph`] handed to the
 //! matching algorithms.
@@ -16,7 +18,7 @@
 use std::sync::Arc;
 
 use smr_graph::{BipartiteGraph, GraphBuilder};
-use smr_mapreduce::{Emitter, Job, JobConfig, JobMetrics, Mapper, Reducer};
+use smr_mapreduce::{Combiner, Emitter, Job, JobConfig, JobMetrics, Mapper, Reducer};
 use smr_text::{Corpus, SparseVector, TermId};
 
 use crate::index::{InvertedIndex, Posting};
@@ -134,9 +136,32 @@ impl Mapper for ProbeMapper {
     type OutValue = u8;
 
     fn map(&self, item: &usize, vector: &SparseVector, out: &mut Emitter<(usize, usize), u8>) {
-        for consumer in self.index.candidates(vector) {
-            out.emit((*item, consumer), 1);
+        // One record per (query term, posting) hit — a pair sharing
+        // several indexed terms is emitted several times, exactly as in
+        // the paper's formulation.  [`CandidateDedupCombiner`] collapses
+        // the duplicates while the engine partitions, so a single record
+        // per candidate crosses the shuffle.
+        for &(term, _) in vector.entries() {
+            for posting in self.index.postings(term) {
+                out.emit((*item, posting.doc), 1);
+            }
         }
+    }
+}
+
+/// Map-side combiner of job 2: a candidate pair generated once per shared
+/// indexed term collapses to a single record before the shuffle.  The
+/// verify reducer ignores the counts entirely, so this is a pure
+/// communication saving (the engine applies it both while partitioning
+/// and across runs during the merge).
+struct CandidateDedupCombiner;
+
+impl Combiner for CandidateDedupCombiner {
+    type Key = (usize, usize);
+    type Value = u8;
+
+    fn combine(&self, _pair: &(usize, usize), _counts: &[u8]) -> Vec<u8> {
+        vec![1]
     }
 }
 
@@ -254,10 +279,11 @@ pub fn mapreduce_similarity_join_vectors(
         item_vectors.iter().cloned().enumerate().collect();
     let items_arc = Arc::new(item_vectors.to_vec());
     let consumers_arc = Arc::new(consumer_vectors.to_vec());
-    let probe_result = probe_job.run(
+    let probe_result = probe_job.run_with_combiner(
         &ProbeMapper {
             index: Arc::clone(&index),
         },
+        &CandidateDedupCombiner,
         &VerifyReducer {
             items: items_arc,
             consumers: consumers_arc,
@@ -467,6 +493,65 @@ mod tests {
         assert!(tight.indexed_entries <= loose.indexed_entries);
         assert!(tight.candidate_pairs <= loose.candidate_pairs);
         assert!(tight.graph.num_edges() <= loose.graph.num_edges());
+    }
+
+    #[test]
+    fn candidate_dedup_combiner_shrinks_the_probe_shuffle() {
+        // Vectors share many terms, so the same (item, consumer) candidate
+        // is generated once per shared indexed term; the combiner must
+        // collapse those duplicates before the shuffle.
+        let items = synthetic_vectors(12, 10, 5);
+        let consumers = synthetic_vectors(14, 10, 6);
+        let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
+        let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
+        let result = mapreduce_similarity_join_vectors(
+            &items,
+            &consumers,
+            &names_i,
+            &names_c,
+            &config(0.05),
+        );
+        let probe = &result.job_metrics[1];
+        assert!(
+            probe.shuffle_records < probe.map_output_records,
+            "dedup combiner should shrink the shuffle: {} vs {}",
+            probe.shuffle_records,
+            probe.map_output_records
+        );
+        // Every candidate crosses the shuffle exactly once.
+        assert_eq!(probe.shuffle_records, result.candidate_pairs as u64);
+    }
+
+    #[test]
+    fn legacy_and_streaming_shuffle_produce_the_same_graph() {
+        use smr_mapreduce::ShuffleMode;
+        let items = synthetic_vectors(10, 14, 7);
+        let consumers = synthetic_vectors(12, 14, 8);
+        let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
+        let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
+        let sigma = 0.2;
+        let streaming = mapreduce_similarity_join_vectors(
+            &items,
+            &consumers,
+            &names_i,
+            &names_c,
+            &config(sigma),
+        );
+        let legacy_config = SimJoinConfig::default().with_threshold(sigma).with_job(
+            JobConfig::named("simjoin-legacy")
+                .with_threads(2)
+                .with_shuffle_mode(ShuffleMode::LegacySort),
+        );
+        let legacy = mapreduce_similarity_join_vectors(
+            &items,
+            &consumers,
+            &names_i,
+            &names_c,
+            &legacy_config,
+        );
+        assert_eq!(streaming.graph.num_edges(), legacy.graph.num_edges());
+        assert_eq!(streaming.candidate_pairs, legacy.candidate_pairs);
+        assert_eq!(streaming.graph.edges().len(), legacy.graph.edges().len());
     }
 
     #[test]
