@@ -150,6 +150,7 @@ fn bench_threads(c: &mut Criterion) {
 
 /// Shuffle-engine ablation: the streaming sorted-runs + k-way-merge path
 /// against the legacy concat+sort path on identical GreedyMR runs.
+#[allow(deprecated)] // A/Bs the deprecated LegacySort until its removal
 fn bench_shuffle_mode(c: &mut Criterion) {
     use smr_mapreduce::ShuffleMode;
     let mut group = c.benchmark_group("ablation_shuffle_mode");

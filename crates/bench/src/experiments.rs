@@ -420,6 +420,7 @@ pub struct ShuffleAblationRow {
     pub total: Duration,
 }
 
+#[allow(deprecated)] // names the deprecated LegacySort in ablation tables
 fn mode_name(mode: ShuffleMode) -> &'static str {
     match mode {
         ShuffleMode::Streaming => "streaming",
@@ -430,6 +431,7 @@ fn mode_name(mode: ShuffleMode) -> &'static str {
 /// Runs the shuffle-engine A/B comparison and returns the raw rows:
 /// for every preset, a combiner-enabled tag-count job and a full GreedyMR
 /// run, each under both shuffle modes.
+#[allow(deprecated)] // A/Bs the deprecated LegacySort until its removal
 pub fn shuffle_rows(set: &mut ExperimentSet) -> Vec<ShuffleAblationRow> {
     let mut rows = Vec::new();
     for preset in set.scale.presets() {
@@ -618,6 +620,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn streaming_shuffles_strictly_fewer_records_on_the_combiner_workload() {
         let mut set = smoke_set();
         let rows = shuffle_rows(&mut set);

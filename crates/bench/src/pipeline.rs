@@ -1,10 +1,14 @@
 //! The end-to-end pipeline shared by all experiments: dataset generation,
-//! similarity join, σ-thresholding and capacity assignment.
+//! similarity join, σ-thresholding and capacity assignment — built on the
+//! facade crate's [`MatchingPipeline`], so the harness exercises exactly
+//! the entry point users call.
 
 use smr_datagen::{DatasetPreset, SocialDataset};
 use smr_graph::{BipartiteGraph, Capacities};
-use smr_mapreduce::JobConfig;
+use smr_mapreduce::{FlowReport, JobConfig};
 use smr_simjoin::{mapreduce_similarity_join, SimJoinConfig, SimJoinResult};
+use smr_text::TokenizerConfig;
+use social_content_matching::MatchingPipeline;
 
 /// A dataset that has been pushed through the similarity join once, at the
 /// loosest threshold of its σ sweep.  Denser/sparser candidate graphs are
@@ -22,24 +26,33 @@ pub struct DatasetInstance {
     pub base_sigma: f64,
     /// Number of MapReduce jobs the similarity join used (always 2).
     pub simjoin_jobs: usize,
+    /// Per-job metrics of the similarity join.
+    pub join_report: FlowReport,
 }
 
 impl DatasetInstance {
     /// Generates the preset, runs the similarity join at the loosest σ of
-    /// the preset's sweep and returns the instance.
+    /// the preset's sweep (through [`MatchingPipeline`]) and returns the
+    /// instance.
     pub fn generate(preset: DatasetPreset, job: JobConfig) -> Self {
         let dataset = preset.generate();
         let base_sigma = *preset
             .sigma_sweep()
             .last()
             .expect("every preset has a non-empty sigma sweep");
-        let result = run_simjoin(&dataset, base_sigma, job);
+        let job = job.with_name(format!("simjoin-{}", dataset.name));
+        let candidate = MatchingPipeline::new(dataset)
+            .tokenizer(TokenizerConfig::tags_only())
+            .sigma(base_sigma)
+            .job(job)
+            .build_graph();
         DatasetInstance {
             preset,
-            dataset,
-            base_graph: result.graph,
+            dataset: candidate.dataset,
+            base_graph: candidate.graph,
             base_sigma,
-            simjoin_jobs: result.job_metrics.len(),
+            simjoin_jobs: candidate.simjoin_jobs,
+            join_report: candidate.report,
         }
     }
 
@@ -55,12 +68,12 @@ impl DatasetInstance {
 }
 
 /// Runs the MapReduce similarity join for a dataset at threshold σ.
+#[deprecated(
+    note = "build the candidate graph with `MatchingPipeline::build_graph` instead; \
+            this wrapper remains for one release"
+)]
 pub fn build_candidate_graph(dataset: &SocialDataset, sigma: f64, job: JobConfig) -> SimJoinResult {
-    run_simjoin(dataset, sigma, job)
-}
-
-fn run_simjoin(dataset: &SocialDataset, sigma: f64, job: JobConfig) -> SimJoinResult {
-    use smr_text::{Corpus, TokenizerConfig};
+    use smr_text::Corpus;
     let items = Corpus::build(dataset.items.clone(), &TokenizerConfig::tags_only());
     let consumers = Corpus::build(dataset.consumers.clone(), &TokenizerConfig::tags_only());
     let config = SimJoinConfig::default()
@@ -82,6 +95,8 @@ mod tests {
         let instance = DatasetInstance::generate(DatasetPreset::FlickrSmall, quick_job());
         assert!(instance.base_graph.num_edges() > 0);
         assert_eq!(instance.simjoin_jobs, 2);
+        assert_eq!(instance.join_report.num_jobs(), 2);
+        assert!(instance.join_report.total_shuffled_records() > 0);
         assert_eq!(
             instance.base_graph.num_items(),
             instance.dataset.num_items()
@@ -116,5 +131,13 @@ mod tests {
         let instance = DatasetInstance::generate(DatasetPreset::FlickrSmall, quick_job());
         let caps = instance.capacities(1.0);
         assert!(caps.matches(&instance.base_graph));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_agrees_with_the_pipeline() {
+        let instance = DatasetInstance::generate(DatasetPreset::FlickrSmall, quick_job());
+        let wrapped = build_candidate_graph(&instance.dataset, instance.base_sigma, quick_job());
+        assert_eq!(wrapped.graph.num_edges(), instance.base_graph.num_edges());
     }
 }

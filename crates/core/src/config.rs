@@ -202,6 +202,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn shuffle_mode_passthrough_reaches_the_job_config() {
         let greedy = GreedyMrConfig::default().with_shuffle_mode(ShuffleMode::LegacySort);
         assert_eq!(greedy.job.shuffle, ShuffleMode::LegacySort);

@@ -17,10 +17,20 @@
 //! monotonically and is feasible after every round, which is the *any-time*
 //! property highlighted in the paper (Figure 5): the run can be stopped at
 //! any round and still return a valid b-matching.
+//!
+//! Execution is structured as an [`IterativeJob`] driven by the
+//! [`IterativeDriver`], with every round's MapReduce job built through a
+//! [`FlowContext`] — so the driver's round accounting and the flow's
+//! per-job metrics describe the same jobs, and a caller-provided flow
+//! ([`GreedyMr::run_with_flow`]) folds the rounds into a larger pipeline's
+//! [`smr_mapreduce::FlowReport`].
 
 use serde::{Deserialize, Serialize};
 use smr_graph::{BipartiteGraph, Capacities, EdgeId, Matching, NodeId};
-use smr_mapreduce::{Emitter, Job, Mapper, Reducer};
+use smr_mapreduce::flow::FlowContext;
+use smr_mapreduce::{
+    Emitter, IterativeDriver, IterativeJob, JobMetrics, Mapper, Reducer, RoundOutcome, RunSummary,
+};
 
 use crate::config::GreedyMrConfig;
 use crate::result::{AlgorithmKind, MatchingRun};
@@ -189,48 +199,87 @@ impl GreedyMr {
     /// Runs GreedyMR on a graph with capacities and returns the matching
     /// together with the per-round trace.
     pub fn run(&self, graph: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
-        let mut records = build_node_records(graph, caps);
-        let mut matching = Matching::new(graph.num_edges());
-        let mut value_per_round = Vec::new();
-        let mut job_metrics = Vec::new();
-        let mut rounds = 0usize;
+        let flow = FlowContext::new(self.config.job.clone());
+        self.run_with_flow(graph, caps, &flow)
+    }
 
-        while !records.is_empty() && rounds < self.config.max_rounds {
-            let job = Job::new(
-                self.config
-                    .job
-                    .clone()
-                    .with_name(format!("{}-round-{rounds}", self.config.job.name)),
-            );
-            let result = job.run(&ProposeMapper, &IntersectReducer, records);
-            job_metrics.push(result.metrics);
-            rounds += 1;
-
-            // Collect the matched edges and the surviving node records.
-            // Progress is guaranteed: the globally heaviest live edge is the
-            // heaviest live edge of both of its endpoints, so both propose
-            // it and it is matched — every round either matches an edge or
-            // runs on an already-empty graph.
-            let mut next_records = Vec::new();
-            for (node, output) in result.output {
-                for e in output.matched {
-                    matching.insert(e);
-                }
-                if !output.record.is_isolated() {
-                    next_records.push((node, output.record));
-                }
-            }
-            value_per_round.push(matching.value(graph));
-            records = next_records;
-        }
+    /// Runs GreedyMR with every round's job built through `flow`: the
+    /// flow's `JobConfig` governs the engine (threads, shuffle mode,
+    /// reduce tasks) and every round reports into the flow's
+    /// [`smr_mapreduce::FlowReport`], unified with whatever other jobs the
+    /// surrounding pipeline ran.
+    pub fn run_with_flow(
+        &self,
+        graph: &BipartiteGraph,
+        caps: &Capacities,
+        flow: &FlowContext,
+    ) -> MatchingRun {
+        let mut rounds = GreedyRounds {
+            flow,
+            graph,
+            records: build_node_records(graph, caps),
+            matching: Matching::new(graph.num_edges()),
+            value_per_round: Vec::new(),
+        };
+        // An edgeless graph runs zero rounds (and zero jobs), exactly like
+        // the pre-flow driver loop.
+        let summary = if rounds.records.is_empty() {
+            RunSummary::default()
+        } else {
+            IterativeDriver::new(self.config.max_rounds).run(&mut rounds)
+        };
 
         MatchingRun {
             algorithm: AlgorithmKind::GreedyMr,
-            matching,
-            mr_jobs: rounds,
-            rounds,
-            value_per_round,
-            job_metrics,
+            matching: rounds.matching,
+            mr_jobs: summary.jobs,
+            rounds: summary.rounds,
+            value_per_round: rounds.value_per_round,
+            job_metrics: summary.job_metrics,
+        }
+    }
+}
+
+/// The per-round state of a GreedyMR run, driven by [`IterativeDriver`].
+struct GreedyRounds<'a> {
+    flow: &'a FlowContext,
+    graph: &'a BipartiteGraph,
+    records: Vec<(NodeId, NodeRecord)>,
+    matching: Matching,
+    value_per_round: Vec<f64>,
+}
+
+impl IterativeJob for GreedyRounds<'_> {
+    fn run_round(&mut self, round: usize) -> (RoundOutcome, Vec<JobMetrics>) {
+        let jobs_before = self.flow.num_jobs();
+        let input = std::mem::take(&mut self.records);
+        let output = self
+            .flow
+            .dataset(input)
+            .map_with(ProposeMapper)
+            .named(format!("round-{round}"))
+            .reduce_with(IntersectReducer)
+            .collect();
+        let metrics = self.flow.jobs_from(jobs_before);
+
+        // Collect the matched edges and the surviving node records.
+        // Progress is guaranteed: the globally heaviest live edge is the
+        // heaviest live edge of both of its endpoints, so both propose
+        // it and it is matched — every round either matches an edge or
+        // runs on an already-empty graph.
+        for (node, output) in output {
+            for e in output.matched {
+                self.matching.insert(e);
+            }
+            if !output.record.is_isolated() {
+                self.records.push((node, output.record));
+            }
+        }
+        self.value_per_round.push(self.matching.value(self.graph));
+        if self.records.is_empty() {
+            (RoundOutcome::Converged, metrics)
+        } else {
+            (RoundOutcome::Continue, metrics)
         }
     }
 }
@@ -365,6 +414,33 @@ mod tests {
     }
 
     #[test]
+    fn shared_flow_reports_every_round_of_the_run() {
+        use smr_mapreduce::flow::FlowContext;
+        let (g, caps) = small_instance();
+        let baseline = GreedyMr::new(config()).run(&g, &caps);
+
+        let flow = FlowContext::new(JobConfig::named("greedy-mr-test").with_threads(2));
+        let run = GreedyMr::new(config()).run_with_flow(&g, &caps, &flow);
+
+        // Same result as the self-contained entry point…
+        assert_eq!(run.matching.to_edge_vec(), baseline.matching.to_edge_vec());
+        assert_eq!(run.rounds, baseline.rounds);
+        assert_eq!(
+            run.total_shuffled_records(),
+            baseline.total_shuffled_records()
+        );
+        // …and every round's job visible in the shared flow report.
+        let report = flow.report();
+        assert_eq!(report.num_jobs(), run.mr_jobs);
+        assert_eq!(
+            report.total_shuffled_records(),
+            run.total_shuffled_records()
+        );
+        assert_eq!(report.jobs[0].job_name, "greedy-mr-test-round-0");
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn legacy_and_streaming_shuffle_agree_on_the_matching() {
         use smr_mapreduce::ShuffleMode;
         let (g, caps) = small_instance();

@@ -69,7 +69,7 @@ pub use greedy_mr::GreedyMr;
 pub use maximal::{maximal_b_matching_centralized, MaximalMatcher};
 pub use repair::{repair_violations, RepairReport};
 pub use result::{AlgorithmKind, MatchingRun};
-pub use runner::run_algorithm;
+pub use runner::{run_algorithm, run_algorithm_with_flow};
 pub use stack::stack_matching;
 pub use stack_mr::StackMr;
 
@@ -82,7 +82,7 @@ pub mod prelude {
     pub use crate::maximal::{maximal_b_matching_centralized, MaximalMatcher};
     pub use crate::repair::{repair_violations, RepairReport};
     pub use crate::result::{AlgorithmKind, MatchingRun};
-    pub use crate::runner::run_algorithm;
+    pub use crate::runner::{run_algorithm, run_algorithm_with_flow};
     pub use crate::stack::stack_matching;
     pub use crate::stack_mr::StackMr;
 }

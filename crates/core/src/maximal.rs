@@ -28,7 +28,8 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use smr_graph::{EdgeId, NodeId};
-use smr_mapreduce::{Emitter, Job, JobConfig, JobMetrics, Mapper, Reducer};
+use smr_mapreduce::flow::FlowContext;
+use smr_mapreduce::{Emitter, JobConfig, JobMetrics, Mapper, Reducer};
 
 use crate::config::MarkingStrategy;
 use crate::state::{AdjEdge, NodeRecord};
@@ -565,6 +566,31 @@ impl MaximalMatcher {
     /// Computes a maximal b-matching of the subgraph described by
     /// `records` (node, capacity `c(v)`, live adjacency).
     pub fn compute(&self, records: &[(NodeId, NodeRecord)]) -> MaximalResult {
+        let flow = FlowContext::new(self.job.clone());
+        self.compute_with_flow(records, &flow, "")
+    }
+
+    /// Computes the maximal b-matching with every iteration's four stage
+    /// jobs chained through `flow` — one lazy `Dataset` chain per
+    /// iteration (mark → select → match → cleanup), records moving
+    /// between the stages by value.  `stage_prefix` namespaces the job
+    /// names when the matcher runs inside a larger flow (StackMR passes
+    /// `maximal-{push_round}`); an empty prefix names jobs
+    /// `{flow}-mark-{i}` etc.
+    pub fn compute_with_flow(
+        &self,
+        records: &[(NodeId, NodeRecord)],
+        flow: &FlowContext,
+        stage_prefix: &str,
+    ) -> MaximalResult {
+        let stage = |name: &str, iteration: u64| -> String {
+            if stage_prefix.is_empty() {
+                format!("{name}-{iteration}")
+            } else {
+                format!("{stage_prefix}-{name}-{iteration}")
+            }
+        };
+
         let mut work: Vec<(NodeId, WorkRecord)> = records
             .iter()
             .filter(|(_, r)| !r.adjacency.is_empty() && r.capacity > 0)
@@ -580,56 +606,42 @@ impl MaximalMatcher {
             })
             .collect();
 
+        let jobs_start = flow.num_jobs();
         let mut result = MaximalResult::default();
         while !work.is_empty() && result.iterations < self.max_iterations {
             let iteration = result.iterations as u64;
-            // Stage 1: marking.
-            let mark_job = Job::new(self.stage_config("mark", iteration));
-            let marked = mark_job.run(
-                &MarkMapper {
+            // One Garrido iteration = one four-job chain.
+            let cleaned = flow
+                .dataset(work)
+                .map_with(MarkMapper {
                     strategy: self.strategy,
                     seed: self.seed,
                     iteration,
-                },
-                &MarkReducer,
-                work,
-            );
-            result.job_metrics.push(marked.metrics);
-
-            // Stage 2: selection.
-            let select_job = Job::new(self.stage_config("select", iteration));
-            let selected = select_job.run(
-                &SelectMapper {
+                })
+                .named(stage("mark", iteration))
+                .reduce_with(MarkReducer)
+                .map_with(SelectMapper {
                     seed: self.seed,
                     iteration,
-                },
-                &SelectReducer,
-                marked.output,
-            );
-            result.job_metrics.push(selected.metrics);
-
-            // Stage 3: matching fix-up.
-            let fix_job = Job::new(self.stage_config("match", iteration));
-            let fixed = fix_job.run(
-                &MatchFixMapper {
+                })
+                .named(stage("select", iteration))
+                .reduce_with(SelectReducer)
+                .map_with(MatchFixMapper {
                     seed: self.seed,
                     iteration,
-                },
-                &MatchFixReducer,
-                selected.output,
-            );
-            result.job_metrics.push(fixed.metrics);
-
-            // Stage 4: cleanup.
-            let cleanup_job = Job::new(self.stage_config("cleanup", iteration));
-            let cleaned = cleanup_job.run(&CleanupMapper, &CleanupReducer, fixed.output);
-            result.job_metrics.push(cleaned.metrics);
+                })
+                .named(stage("match", iteration))
+                .reduce_with(MatchFixReducer)
+                .map_with(CleanupMapper)
+                .named(stage("cleanup", iteration))
+                .reduce_with(CleanupReducer)
+                .collect();
 
             result.jobs += 4;
             result.iterations += 1;
 
             let mut next: Vec<(NodeId, WorkRecord)> = Vec::new();
-            for (node, output) in cleaned.output {
+            for (node, output) in cleaned {
                 result.edges.extend(output.matched);
                 if !output.record.edges.is_empty() && output.record.capacity > 0 {
                     next.push((node, output.record));
@@ -637,15 +649,10 @@ impl MaximalMatcher {
             }
             work = next;
         }
+        result.job_metrics = flow.jobs_from(jobs_start);
         result.edges.sort_unstable();
         result.edges.dedup();
         result
-    }
-
-    fn stage_config(&self, stage: &str, iteration: u64) -> JobConfig {
-        self.job
-            .clone()
-            .with_name(format!("{}-{stage}-{iteration}", self.job.name))
     }
 }
 

@@ -4,6 +4,7 @@
 //! module gives it (and the examples) a single entry point.
 
 use smr_graph::{BipartiteGraph, Capacities};
+use smr_mapreduce::flow::FlowContext;
 
 use crate::config::{GreedyMrConfig, StackMrConfig};
 use crate::exact::optimal_matching;
@@ -34,6 +35,48 @@ pub fn run_algorithm(
     config: &RunnerConfig,
 ) -> MatchingRun {
     match algorithm {
+        AlgorithmKind::GreedyMr => GreedyMr::new(config.greedy_mr.clone()).run(graph, caps),
+        AlgorithmKind::StackMr => StackMr::new(config.stack_mr.clone()).run(graph, caps),
+        AlgorithmKind::StackGreedyMr => {
+            StackMr::new(config.stack_mr.clone().stack_greedy()).run(graph, caps)
+        }
+        centralized => run_centralized(centralized, graph, caps, config),
+    }
+}
+
+/// Runs the requested algorithm with every MapReduce job built through
+/// `flow` (see [`GreedyMr::run_with_flow`] / [`StackMr::run_with_flow`]):
+/// the flow's `JobConfig` governs the engine and the whole run reports
+/// into the flow's [`smr_mapreduce::FlowReport`].  Centralized algorithms
+/// run no jobs and leave the flow untouched.
+pub fn run_algorithm_with_flow(
+    algorithm: AlgorithmKind,
+    graph: &BipartiteGraph,
+    caps: &Capacities,
+    config: &RunnerConfig,
+    flow: &FlowContext,
+) -> MatchingRun {
+    match algorithm {
+        AlgorithmKind::GreedyMr => {
+            GreedyMr::new(config.greedy_mr.clone()).run_with_flow(graph, caps, flow)
+        }
+        AlgorithmKind::StackMr => {
+            StackMr::new(config.stack_mr.clone()).run_with_flow(graph, caps, flow)
+        }
+        AlgorithmKind::StackGreedyMr => {
+            StackMr::new(config.stack_mr.clone().stack_greedy()).run_with_flow(graph, caps, flow)
+        }
+        centralized => run_centralized(centralized, graph, caps, config),
+    }
+}
+
+fn run_centralized(
+    algorithm: AlgorithmKind,
+    graph: &BipartiteGraph,
+    caps: &Capacities,
+    config: &RunnerConfig,
+) -> MatchingRun {
+    match algorithm {
         AlgorithmKind::Greedy => {
             let m = greedy_matching(graph, caps);
             let value = m.value(graph);
@@ -49,11 +92,7 @@ pub fn run_algorithm(
             let value = m.value(graph);
             MatchingRun::centralized(AlgorithmKind::Exact, m, value)
         }
-        AlgorithmKind::GreedyMr => GreedyMr::new(config.greedy_mr.clone()).run(graph, caps),
-        AlgorithmKind::StackMr => StackMr::new(config.stack_mr.clone()).run(graph, caps),
-        AlgorithmKind::StackGreedyMr => {
-            StackMr::new(config.stack_mr.clone().stack_greedy()).run(graph, caps)
-        }
+        mapreduce => unreachable!("{mapreduce} is not a centralized algorithm"),
     }
 }
 

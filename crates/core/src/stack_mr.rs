@@ -31,7 +31,8 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use smr_graph::{BipartiteGraph, Capacities, EdgeId, Matching, NodeId};
-use smr_mapreduce::{Emitter, Job, JobConfig, Mapper, Reducer};
+use smr_mapreduce::flow::FlowContext;
+use smr_mapreduce::{Emitter, Mapper, Reducer};
 
 use crate::config::{MarkingStrategy, StackMrConfig};
 use crate::maximal::MaximalMatcher;
@@ -347,11 +348,25 @@ impl StackMr {
 
     /// Runs the algorithm.
     pub fn run(&self, graph: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
+        let flow = FlowContext::new(self.config.job.clone());
+        self.run_with_flow(graph, caps, &flow)
+    }
+
+    /// Runs the algorithm with every job of every phase — coverage, the
+    /// four maximal-matching stages, push, pop — built through `flow`:
+    /// the flow's `JobConfig` governs the engine and all jobs report into
+    /// the flow's [`smr_mapreduce::FlowReport`].
+    pub fn run_with_flow(
+        &self,
+        graph: &BipartiteGraph,
+        caps: &Capacities,
+        flow: &FlowContext,
+    ) -> MatchingRun {
         let algorithm = match self.config.marking {
             MarkingStrategy::HeaviestFirst => AlgorithmKind::StackGreedyMr,
             _ => AlgorithmKind::StackMr,
         };
-        let mut job_metrics = Vec::new();
+        let jobs_start = flow.num_jobs();
         let mut value_per_round = Vec::new();
         let mut rounds = 0usize;
 
@@ -377,15 +392,13 @@ impl StackMr {
 
         for push_round in 0..self.config.max_push_rounds {
             // (1) Remove weakly covered edges.
-            let coverage_job = Job::new(self.job_config(&format!("coverage-{push_round}")));
-            let covered = coverage_job.run(
-                &DualExchangeMapper,
-                &CoverageReducer { weak_factor },
-                records,
-            );
-            job_metrics.push(covered.metrics);
+            let covered = flow
+                .dataset(records)
+                .map_with(DualExchangeMapper)
+                .named(format!("coverage-{push_round}"))
+                .reduce_with(CoverageReducer { weak_factor })
+                .collect();
             records = covered
-                .output
                 .into_iter()
                 .filter(|(_, r)| !r.adjacency.is_empty())
                 .collect();
@@ -412,11 +425,14 @@ impl StackMr {
             let matcher = MaximalMatcher {
                 strategy: self.config.marking,
                 seed: self.config.seed.wrapping_add(push_round as u64),
-                job: self.job_config(&format!("maximal-{push_round}")),
+                // `job` only matters for the standalone `compute()` path;
+                // under `compute_with_flow` every stage job takes its
+                // config (and name) from the FlowContext.
+                job: flow.config().clone(),
                 max_iterations: self.config.max_maximal_iterations,
             };
-            let maximal = matcher.compute(&matcher_input);
-            job_metrics.extend(maximal.job_metrics);
+            let maximal =
+                matcher.compute_with_flow(&matcher_input, flow, &format!("maximal-{push_round}"));
             let layer: HashSet<EdgeId> = maximal.edges.iter().copied().collect();
             if layer.is_empty() {
                 // No further progress is possible (should not happen while
@@ -425,17 +441,15 @@ impl StackMr {
             }
 
             // (3) Push the layer: raise the duals of its edges.
-            let push_job = Job::new(self.job_config(&format!("push-{push_round}")));
             let layer_arc = Arc::new(layer);
-            let pushed = push_job.run(
-                &DualExchangeMapper,
-                &PushReducer {
+            records = flow
+                .dataset(records)
+                .map_with(DualExchangeMapper)
+                .named(format!("push-{push_round}"))
+                .reduce_with(PushReducer {
                     layer: Arc::clone(&layer_arc),
-                },
-                records,
-            );
-            job_metrics.push(pushed.metrics);
-            records = pushed.output;
+                })
+                .collect();
             layers.push(maximal.edges);
         }
 
@@ -461,20 +475,19 @@ impl StackMr {
         for (layer_idx, layer) in layers.iter().enumerate().rev() {
             let layer_set: Arc<HashSet<EdgeId>> = Arc::new(layer.iter().copied().collect());
             let included_arc = Arc::new(included_so_far.clone());
-            let pop_job = Job::new(self.job_config(&format!("pop-{layer_idx}")));
-            let popped = pop_job.run(
-                &PopMapper {
+            let popped = flow
+                .dataset(pop_records)
+                .map_with(PopMapper {
                     layer: layer_set,
                     already_included: included_arc,
-                },
-                &PopReducer,
-                pop_records,
-            );
-            job_metrics.push(popped.metrics);
+                })
+                .named(format!("pop-{layer_idx}"))
+                .reduce_with(PopReducer)
+                .collect();
             rounds += 1;
 
             let mut next_records = Vec::new();
-            for (node, output) in popped.output {
+            for (node, output) in popped {
                 for e in output.included {
                     if matching.insert(e) {
                         included_so_far.insert(e);
@@ -486,6 +499,7 @@ impl StackMr {
             value_per_round.push(matching.value(graph));
         }
 
+        let job_metrics = flow.jobs_from(jobs_start);
         let mr_jobs = job_metrics.len();
         MatchingRun {
             algorithm,
@@ -496,13 +510,6 @@ impl StackMr {
             job_metrics,
         }
     }
-
-    fn job_config(&self, suffix: &str) -> JobConfig {
-        self.config
-            .job
-            .clone()
-            .with_name(format!("{}-{suffix}", self.config.job.name))
-    }
 }
 
 #[cfg(test)]
@@ -510,6 +517,7 @@ mod tests {
     use super::*;
     use crate::exact::optimal_matching;
     use smr_graph::{ConsumerId, Edge, GraphBuilder, ItemId};
+    use smr_mapreduce::JobConfig;
 
     fn test_config(seed: u64) -> StackMrConfig {
         StackMrConfig::default()
@@ -586,6 +594,31 @@ mod tests {
     }
 
     #[test]
+    fn shared_flow_reports_every_job_of_every_phase() {
+        let g = random_graph(5, 6, 3);
+        let caps = Capacities::uniform(&g, 2, 2);
+        let baseline = StackMr::new(test_config(17)).run(&g, &caps);
+
+        let flow = FlowContext::new(JobConfig::named("stack-mr-test").with_threads(2));
+        let run = StackMr::new(test_config(17)).run_with_flow(&g, &caps, &flow);
+
+        assert_eq!(run.matching.to_edge_vec(), baseline.matching.to_edge_vec());
+        assert_eq!(run.mr_jobs, baseline.mr_jobs);
+        let report = flow.report();
+        assert_eq!(report.num_jobs(), run.mr_jobs);
+        assert_eq!(
+            report.total_shuffled_records(),
+            run.total_shuffled_records()
+        );
+        // Coverage, maximal stages, push and pop all surface by name.
+        let names = report.job_names().join(",");
+        for phase in ["coverage-0", "maximal-0-mark-0", "push-0", "pop-"] {
+            assert!(names.contains(phase), "missing {phase} in {names}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn legacy_and_streaming_shuffle_agree_on_the_matching() {
         use smr_mapreduce::ShuffleMode;
         let g = random_graph(6, 7, 3);

@@ -65,6 +65,7 @@ fn greedy_mr_is_deterministic_across_20_runs_with_varying_thread_counts() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn greedy_mr_per_round_shuffle_counters_match_the_legacy_engine() {
     // Round-by-round, the streaming engine must report exactly the record
     // flow the legacy engine reported (GreedyMR runs no combiner).

@@ -11,9 +11,15 @@ pub enum ShuffleMode {
     #[default]
     Streaming,
     /// The original shuffle: concatenate every task's bucket for a
-    /// partition and sort the whole partition at once.  Kept for one
-    /// release so the `shuffle` bench experiment can A/B the two paths;
-    /// both paths produce byte-identical output.
+    /// partition and sort the whole partition at once.  Both paths produce
+    /// byte-identical output.
+    ///
+    /// Deprecated: the A/B baseline against the streaming shuffle is
+    /// captured in `EXPERIMENTS.md`, so this path is scheduled for removal
+    /// in the next release (see `docs/engine.md`).
+    #[deprecated(note = "the streaming shuffle is byte-identical and strictly faster; \
+                the A/B baseline is recorded in EXPERIMENTS.md and LegacySort \
+                will be removed in the next release")]
     LegacySort,
 }
 
@@ -172,6 +178,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn shuffle_mode_and_buffer_are_configurable() {
         let c = JobConfig::named("s")
             .with_shuffle_mode(ShuffleMode::LegacySort)

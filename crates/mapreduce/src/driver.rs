@@ -152,6 +152,49 @@ mod tests {
     }
 
     #[test]
+    fn zero_round_budget_runs_nothing() {
+        struct MustNotRun;
+        impl IterativeJob for MustNotRun {
+            fn run_round(&mut self, _round: usize) -> (RoundOutcome, Vec<JobMetrics>) {
+                panic!("a zero-round driver must never invoke the job");
+            }
+        }
+        let summary = IterativeDriver::new(0).run(&mut MustNotRun);
+        assert_eq!(summary.rounds, 0);
+        assert_eq!(summary.jobs, 0);
+        assert!(!summary.converged, "no rounds ran, so nothing converged");
+        assert!(summary.job_metrics.is_empty());
+        assert_eq!(summary.total_shuffled_records(), 0);
+        assert_eq!(summary.totals.map_input_records, 0);
+    }
+
+    #[test]
+    fn rounds_with_no_jobs_still_count_as_rounds() {
+        // A round may legitimately run zero MapReduce jobs (e.g. a purely
+        // driver-side bookkeeping round); the driver must count the round
+        // but not inflate the job count or the totals.
+        struct Bookkeeping {
+            rounds_left: usize,
+        }
+        impl IterativeJob for Bookkeeping {
+            fn run_round(&mut self, _round: usize) -> (RoundOutcome, Vec<JobMetrics>) {
+                self.rounds_left -= 1;
+                if self.rounds_left == 0 {
+                    (RoundOutcome::Converged, Vec::new())
+                } else {
+                    (RoundOutcome::Continue, Vec::new())
+                }
+            }
+        }
+        let summary = IterativeDriver::new(10).run(&mut Bookkeeping { rounds_left: 3 });
+        assert!(summary.converged);
+        assert_eq!(summary.rounds, 3);
+        assert_eq!(summary.jobs, 0);
+        assert!(summary.job_metrics.is_empty());
+        assert_eq!(summary.total_shuffled_records(), 0);
+    }
+
+    #[test]
     fn multi_job_rounds_are_counted() {
         struct FourJobs {
             rounds_left: usize,

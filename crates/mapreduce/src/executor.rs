@@ -154,8 +154,14 @@ impl Job {
         counters.add(builtin::MAP_INPUT_RECORDS, input.len() as u64);
         metrics.map_input_records = input.len() as u64;
 
+        // An identity combiner is a no-op by contract: drop it so the job
+        // skips the combine machinery (no per-group `values.to_vec()`, no
+        // combining-buffer spills) instead of paying for nothing.
+        let combiner = combiner.filter(|c| !c.is_identity());
+
         // Map + shuffle: both modes end with one vector of records per
         // reduce partition.
+        #[allow(deprecated)] // LegacySort stays runnable until removal
         let (partitions, sorted) = match self.config.shuffle {
             ShuffleMode::Streaming => (
                 self.streaming_map_and_merge(
@@ -611,6 +617,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn merge_side_combine_beats_legacy_task_side_combine() {
         // With several map tasks, the same word is emitted (task-combined)
         // by more than one task; the streaming merge combines across runs
@@ -639,6 +646,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn streaming_and_legacy_produce_identical_output() {
         for (threads, map_tasks, reduce_tasks) in [(1, 1, 1), (2, 3, 2), (4, 7, 5), (8, 13, 3)] {
             let config = JobConfig::named("ab")
@@ -710,6 +718,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn empty_input_produces_empty_output_and_schedules_no_map_task() {
         for mode in [ShuffleMode::Streaming, ShuffleMode::LegacySort] {
             let job = Job::new(JobConfig::default().with_shuffle_mode(mode));
@@ -748,6 +757,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn unsorted_reduce_input_still_groups_all_values() {
         for mode in [ShuffleMode::Streaming, ShuffleMode::LegacySort] {
             let job = Job::new(
@@ -774,6 +784,34 @@ mod tests {
         assert_eq!(
             with_id.metrics.shuffle_records,
             with_id.metrics.map_output_records
+        );
+    }
+
+    #[test]
+    fn identity_combiner_skips_the_combine_pass_entirely() {
+        // A 1-record combining buffer would spill on every push if the
+        // identity combiner were actually run; the executor must detect
+        // `is_identity()` and behave exactly like a combiner-less job.
+        let config = JobConfig::named("id-skip")
+            .with_threads(2)
+            .with_map_tasks(3)
+            .with_combine_buffer_records(1);
+        let with_id = Job::new(config.clone()).run_with_combiner(
+            &SplitWords,
+            &IdentityCombiner::new(),
+            &SumCounts,
+            word_count_input(),
+        );
+        assert_eq!(
+            with_id.counters.get(builtin::COMBINE_SPILLS),
+            0,
+            "identity combiner must never trigger a combining-buffer spill"
+        );
+        let without = Job::new(config).run(&SplitWords, &SumCounts, word_count_input());
+        assert_eq!(with_id.output, without.output);
+        assert_eq!(
+            with_id.metrics.shuffle_records,
+            without.metrics.shuffle_records
         );
     }
 

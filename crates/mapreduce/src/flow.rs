@@ -1,0 +1,758 @@
+//! A lazy, typed dataflow layer over the job executor.
+//!
+//! The paper's algorithms are *chains* of MapReduce jobs — the two-job
+//! similarity join of Section 4, the per-round jobs of GreedyMR and StackMR
+//! in Sections 5–6 — but [`crate::Job`] runs a single job.  This module
+//! adds the plan-builder API that callers chain jobs with:
+//!
+//! * [`FlowContext`] — shared execution state: the [`JobConfig`] every job
+//!   of the chain runs under, the [`KvStore`] HDFS stand-in for persisted
+//!   datasets, and the accumulated [`JobMetrics`] of every job the flow has
+//!   executed ([`FlowContext::report`] snapshots them as a [`FlowReport`]).
+//! * [`Dataset<K, V>`] — a *deferred* computation producing `(K, V)`
+//!   records.  Nothing runs until a terminal ([`Dataset::collect`] or
+//!   [`Dataset::persist`]) is invoked; combinators only extend the plan.
+//! * [`JobStage`] — a job under construction: [`Dataset::map_with`] fixes
+//!   the mapper, [`JobStage::combined_with`] / [`JobStage::partitioned_by`]
+//!   optionally fix the combiner and partitioner, and
+//!   [`JobStage::reduce_with`] completes the job, yielding the next
+//!   `Dataset` in the chain.
+//! * [`Dataset::then`] — the multi-job chain combinator for stages whose
+//!   *construction* depends on the previous job's output (e.g. the
+//!   similarity join builds an inverted index from job 1's output and ships
+//!   it to job 2's mapper).
+//!
+//! Records move between stages by value: a completed job's output `Vec` is
+//! handed to the next job as its input without cloning or re-sorting.
+//!
+//! # Example
+//!
+//! ```
+//! use smr_mapreduce::flow::FlowContext;
+//! use smr_mapreduce::prelude::*;
+//!
+//! struct Tokenize;
+//! impl Mapper for Tokenize {
+//!     type InKey = usize;
+//!     type InValue = String;
+//!     type OutKey = String;
+//!     type OutValue = u64;
+//!     fn map(&self, _k: &usize, text: &String, out: &mut Emitter<String, u64>) {
+//!         for w in text.split_whitespace() {
+//!             out.emit(w.to_string(), 1);
+//!         }
+//!     }
+//! }
+//!
+//! struct Sum;
+//! impl Reducer for Sum {
+//!     type Key = String;
+//!     type InValue = u64;
+//!     type OutKey = String;
+//!     type OutValue = u64;
+//!     fn reduce(&self, k: &String, vs: &[u64], out: &mut Emitter<String, u64>) {
+//!         out.emit(k.clone(), vs.iter().sum());
+//!     }
+//! }
+//!
+//! let flow = FlowContext::named("wc");
+//! let mut counts = flow
+//!     .dataset(vec![(0usize, "a b a".to_string()), (1, "b c".to_string())])
+//!     .map_with(Tokenize)
+//!     .reduce_with(Sum)
+//!     .collect();
+//! counts.sort();
+//! assert_eq!(counts[0], ("a".to_string(), 2));
+//! assert_eq!(flow.report().num_jobs(), 1);
+//! ```
+
+use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::JobConfig;
+use crate::counters::Counters;
+use crate::executor::Job;
+use crate::metrics::JobMetrics;
+use crate::partition::{HashPartitioner, Partitioner};
+use crate::store::KvStore;
+use crate::types::{Combiner, IdentityCombiner, Key, Mapper, Reducer, Value};
+
+/// The records a dataset materializes to.
+pub type Records<K, V> = Vec<(K, V)>;
+
+/// The deferred computation behind a [`Dataset`].
+type SourceThunk<K, V> = Box<dyn FnOnce(&FlowContext) -> Records<K, V>>;
+
+/// A type-erased persisted dataset inside the flow's [`KvStore`].
+type StoredDataset = Arc<dyn Any + Send + Sync>;
+
+/// Summary of every job a flow has executed so far, in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct FlowReport {
+    /// Metrics of every job, in execution order.
+    pub jobs: Vec<JobMetrics>,
+    /// Accumulated totals over all jobs.
+    pub totals: JobMetrics,
+}
+
+impl FlowReport {
+    fn from_jobs(jobs: Vec<JobMetrics>) -> Self {
+        let mut totals = JobMetrics {
+            job_name: "totals".to_string(),
+            ..JobMetrics::default()
+        };
+        for job in &jobs {
+            totals.accumulate(job);
+        }
+        FlowReport { jobs, totals }
+    }
+
+    /// Number of MapReduce jobs the flow has executed.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Total records shuffled across all jobs — the paper's communication
+    /// cost of the whole chain.
+    pub fn total_shuffled_records(&self) -> u64 {
+        self.totals.shuffle_records
+    }
+
+    /// The job names in execution order.
+    pub fn job_names(&self) -> Vec<&str> {
+        self.jobs.iter().map(|m| m.job_name.as_str()).collect()
+    }
+}
+
+struct FlowInner {
+    config: JobConfig,
+    jobs: Mutex<Vec<JobMetrics>>,
+    store: KvStore<StoredDataset>,
+    anonymous_jobs: AtomicUsize,
+}
+
+/// Shared state of a job chain: the [`JobConfig`] every job runs under,
+/// the [`KvStore`] standing in for the distributed file system, and the
+/// accumulated metrics of every executed job.
+///
+/// Cloning a `FlowContext` is cheap and every clone shares the same state,
+/// so one context can be threaded through an entire pipeline (similarity
+/// join, then every round of a matching algorithm) and report all jobs in
+/// one [`FlowReport`].
+#[derive(Clone)]
+pub struct FlowContext {
+    inner: Arc<FlowInner>,
+}
+
+impl std::fmt::Debug for FlowContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowContext")
+            .field("config", &self.inner.config)
+            .field("jobs", &self.inner.jobs.lock().len())
+            .field("persisted", &self.inner.store.paths())
+            .finish()
+    }
+}
+
+impl FlowContext {
+    /// Creates a flow whose jobs all run under `config`.  The config's
+    /// `name` prefixes every job name of the chain.
+    pub fn new(config: JobConfig) -> Self {
+        FlowContext {
+            inner: Arc::new(FlowInner {
+                config,
+                jobs: Mutex::new(Vec::new()),
+                store: KvStore::new(),
+                anonymous_jobs: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Creates a flow with a default config carrying the given name.
+    pub fn named(name: impl Into<String>) -> Self {
+        FlowContext::new(JobConfig::named(name))
+    }
+
+    /// The job configuration every job of this flow runs under.
+    pub fn config(&self) -> &JobConfig {
+        &self.inner.config
+    }
+
+    /// Number of jobs the flow has executed so far.  Combined with
+    /// [`FlowContext::jobs_from`] this isolates the metrics of one
+    /// sub-chain (e.g. one algorithm round) out of a longer flow.
+    pub fn num_jobs(&self) -> usize {
+        self.inner.jobs.lock().len()
+    }
+
+    /// The metrics of every job executed since `start` (a value previously
+    /// returned by [`FlowContext::num_jobs`]), in execution order.
+    pub fn jobs_from(&self, start: usize) -> Vec<JobMetrics> {
+        let jobs = self.inner.jobs.lock();
+        jobs.get(start..).unwrap_or_default().to_vec()
+    }
+
+    /// Snapshot of every executed job plus accumulated totals.
+    pub fn report(&self) -> FlowReport {
+        FlowReport::from_jobs(self.inner.jobs.lock().clone())
+    }
+
+    /// Creates a dataset from already materialized records.  The records
+    /// are moved into the plan and handed to the first job untouched.
+    pub fn dataset<K: Key, V: Value>(&self, records: Records<K, V>) -> Dataset<K, V> {
+        Dataset {
+            ctx: self.clone(),
+            thunk: Box::new(move |_| records),
+        }
+    }
+
+    /// Creates a dataset that lazily reads the records persisted at `path`
+    /// (see [`Dataset::persist`]).  Reading a missing path — or a path
+    /// persisted with a different record type — yields an empty dataset,
+    /// mirroring [`KvStore::read`] on a missing dataset.
+    pub fn load<K: Key, V: Value>(&self, path: &str) -> Dataset<K, V> {
+        let path = path.to_string();
+        Dataset {
+            ctx: self.clone(),
+            thunk: Box::new(move |ctx| ctx.read_persisted(&path).unwrap_or_default()),
+        }
+    }
+
+    /// Reads a persisted dataset back out of the flow's store.  Returns
+    /// `None` when nothing was persisted at `path` with this record type.
+    pub fn read_persisted<K: Key, V: Value>(&self, path: &str) -> Option<Records<K, V>> {
+        let stored = self.inner.store.read(path);
+        let any = stored.first()?.clone();
+        let records = any.downcast::<Records<K, V>>().ok()?;
+        Some(records.as_ref().clone())
+    }
+
+    /// The paths of every persisted dataset, sorted.
+    pub fn persisted_paths(&self) -> Vec<String> {
+        self.inner.store.paths()
+    }
+
+    fn persist_records<K: Key, V: Value>(&self, path: &str, records: Records<K, V>) -> usize {
+        let count = records.len();
+        self.inner
+            .store
+            .write(path, vec![Arc::new(records) as StoredDataset]);
+        count
+    }
+
+    fn record_job(&self, metrics: JobMetrics) {
+        self.inner.jobs.lock().push(metrics);
+    }
+
+    /// Resolves the name of the next job: `{config.name}-{stage}` for a
+    /// named stage, `{config.name}-job-{n}` otherwise.
+    fn job_name(&self, stage: Option<&str>) -> String {
+        match stage {
+            Some(stage) => format!("{}-{stage}", self.inner.config.name),
+            None => {
+                let n = self.inner.anonymous_jobs.fetch_add(1, Ordering::Relaxed);
+                format!("{}-job-{n}", self.inner.config.name)
+            }
+        }
+    }
+}
+
+/// A deferred chain of MapReduce jobs producing `(K, V)` records.
+///
+/// Nothing executes until a terminal — [`Dataset::collect`] or
+/// [`Dataset::persist`] — runs the plan.  Each completed job hands its
+/// output records to the next job *by move*; no stage clones or re-sorts
+/// between jobs.
+pub struct Dataset<K: Key, V: Value> {
+    ctx: FlowContext,
+    thunk: SourceThunk<K, V>,
+}
+
+impl<K: Key, V: Value> std::fmt::Debug for Dataset<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset").field("ctx", &self.ctx).finish()
+    }
+}
+
+impl<K: Key, V: Value> Dataset<K, V> {
+    /// The flow this dataset belongs to.
+    pub fn context(&self) -> &FlowContext {
+        &self.ctx
+    }
+
+    /// Starts the next job of the chain by fixing its mapper.  The
+    /// combiner and partitioner default to none / hash partitioning;
+    /// [`JobStage::reduce_with`] completes the job.
+    pub fn map_with<M>(self, mapper: M) -> DefaultJobStage<M>
+    where
+        M: Mapper<InKey = K, InValue = V> + 'static,
+    {
+        JobStage {
+            ctx: self.ctx,
+            input: self.thunk,
+            mapper,
+            combiner: None,
+            partitioner: HashPartitioner::new(),
+            stage_name: None,
+        }
+    }
+
+    /// Chains a continuation whose *plan* depends on this dataset's
+    /// output: `build` receives the materialized records (moved) and the
+    /// flow, and returns the dataset to execute next.  This is the general
+    /// multi-job combinator for chains where a later job is constructed
+    /// from an earlier job's output (side data, derived inputs); the
+    /// continuation runs lazily, when the final terminal executes.
+    ///
+    /// The returned dataset runs under *its own* flow: a continuation
+    /// built on a different [`FlowContext`] executes under that context's
+    /// config and reports into that context, not this one's.
+    pub fn then<K2, V2, F>(self, build: F) -> Dataset<K2, V2>
+    where
+        K2: Key,
+        V2: Value,
+        F: FnOnce(Records<K, V>, &FlowContext) -> Dataset<K2, V2> + 'static,
+    {
+        let Dataset { ctx, thunk } = self;
+        Dataset {
+            ctx,
+            thunk: Box::new(move |ctx| {
+                let records = thunk(ctx);
+                // Honour the continuation's own context: a dataset built
+                // on another flow must run (and report) there, not here.
+                let Dataset {
+                    ctx: next_ctx,
+                    thunk: next_thunk,
+                } = build(records, ctx);
+                next_thunk(&next_ctx)
+            }),
+        }
+    }
+
+    /// Terminal: executes every job of the chain and returns the final
+    /// records.  Metrics of every executed job land in the flow's
+    /// [`FlowReport`].
+    pub fn collect(self) -> Records<K, V> {
+        let Dataset { ctx, thunk } = self;
+        thunk(&ctx)
+    }
+
+    /// Terminal: executes the chain and persists the final records in the
+    /// flow's [`KvStore`] under `path` (readable again with
+    /// [`FlowContext::load`]).  Returns the number of records persisted.
+    pub fn persist(self, path: &str) -> usize {
+        let Dataset { ctx, thunk } = self;
+        let records = thunk(&ctx);
+        ctx.persist_records(path, records)
+    }
+}
+
+/// The [`JobStage`] produced by [`Dataset::map_with`]: no combiner yet,
+/// hash partitioning.
+pub type DefaultJobStage<M> = JobStage<
+    M,
+    IdentityCombiner<<M as Mapper>::OutKey, <M as Mapper>::OutValue>,
+    HashPartitioner<<M as Mapper>::OutKey>,
+>;
+
+/// One MapReduce job under construction inside a [`Dataset`] chain: the
+/// mapper is fixed, the combiner and partitioner are optional, and
+/// [`JobStage::reduce_with`] seals the job.
+pub struct JobStage<M: Mapper, C, P> {
+    ctx: FlowContext,
+    input: SourceThunk<M::InKey, M::InValue>,
+    mapper: M,
+    combiner: Option<C>,
+    partitioner: P,
+    stage_name: Option<String>,
+}
+
+impl<M: Mapper, C, P> std::fmt::Debug for JobStage<M, C, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobStage")
+            .field("stage_name", &self.stage_name)
+            .finish()
+    }
+}
+
+impl<M, C, P> JobStage<M, C, P>
+where
+    M: Mapper + 'static,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue> + 'static,
+    P: Partitioner<M::OutKey> + 'static,
+{
+    /// Names this job: the executed job is called `{flow name}-{name}` and
+    /// shows up under that name in the [`FlowReport`].
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.stage_name = Some(name.into());
+        self
+    }
+
+    /// Adds a map-side combiner (applied while partitioning and again
+    /// across sorted runs during the merge, exactly as
+    /// [`Job::run_with_combiner`] would).
+    pub fn combined_with<C2>(self, combiner: C2) -> JobStage<M, C2, P>
+    where
+        C2: Combiner<Key = M::OutKey, Value = M::OutValue> + 'static,
+    {
+        JobStage {
+            ctx: self.ctx,
+            input: self.input,
+            mapper: self.mapper,
+            combiner: Some(combiner),
+            partitioner: self.partitioner,
+            stage_name: self.stage_name,
+        }
+    }
+
+    /// Replaces the default hash partitioner.
+    pub fn partitioned_by<P2>(self, partitioner: P2) -> JobStage<M, C, P2>
+    where
+        P2: Partitioner<M::OutKey> + 'static,
+    {
+        JobStage {
+            ctx: self.ctx,
+            input: self.input,
+            mapper: self.mapper,
+            combiner: self.combiner,
+            partitioner,
+            stage_name: self.stage_name,
+        }
+    }
+
+    /// Seals the job with its reducer, yielding the next dataset of the
+    /// chain.  The job itself runs only when a terminal executes the
+    /// chain; its metrics are recorded in the flow.
+    pub fn reduce_with<R>(self, reducer: R) -> Dataset<R::OutKey, R::OutValue>
+    where
+        R: Reducer<Key = M::OutKey, InValue = M::OutValue> + 'static,
+    {
+        let JobStage {
+            ctx,
+            input,
+            mapper,
+            combiner,
+            partitioner,
+            stage_name,
+        } = self;
+        Dataset {
+            ctx,
+            thunk: Box::new(move |ctx| {
+                let records = input(ctx);
+                let name = ctx.job_name(stage_name.as_deref());
+                let job = Job::new(ctx.config().clone().with_name(name));
+                let result = job.run_full(
+                    &mapper,
+                    combiner.as_ref(),
+                    &reducer,
+                    &partitioner,
+                    records,
+                    Counters::new(),
+                );
+                ctx.record_job(result.metrics);
+                result.output
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Job;
+    use crate::types::Emitter;
+
+    struct SplitWords;
+    impl Mapper for SplitWords {
+        type InKey = usize;
+        type InValue = String;
+        type OutKey = String;
+        type OutValue = u64;
+        fn map(&self, _k: &usize, text: &String, out: &mut Emitter<String, u64>) {
+            for w in text.split_whitespace() {
+                out.emit(w.to_string(), 1);
+            }
+        }
+    }
+
+    struct SumCounts;
+    impl Reducer for SumCounts {
+        type Key = String;
+        type InValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        fn reduce(&self, k: &String, vs: &[u64], out: &mut Emitter<String, u64>) {
+            out.emit(k.clone(), vs.iter().sum());
+        }
+    }
+
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        type Key = String;
+        type Value = u64;
+        fn combine(&self, _k: &String, vs: &[u64]) -> Vec<u64> {
+            vec![vs.iter().sum()]
+        }
+    }
+
+    /// Keeps only words above a count threshold, re-keyed by count.
+    struct ThresholdMapper(u64);
+    impl Mapper for ThresholdMapper {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = u64;
+        type OutValue = String;
+        fn map(&self, word: &String, count: &u64, out: &mut Emitter<u64, String>) {
+            if *count >= self.0 {
+                out.emit(*count, word.clone());
+            }
+        }
+    }
+
+    struct JoinWords;
+    impl Reducer for JoinWords {
+        type Key = u64;
+        type InValue = String;
+        type OutKey = u64;
+        type OutValue = String;
+        fn reduce(&self, count: &u64, words: &[String], out: &mut Emitter<u64, String>) {
+            let mut words = words.to_vec();
+            words.sort();
+            out.emit(*count, words.join(" "));
+        }
+    }
+
+    fn input() -> Vec<(usize, String)> {
+        vec![
+            (0, "the quick brown fox".to_string()),
+            (1, "the lazy dog".to_string()),
+            (2, "the quick dog".to_string()),
+        ]
+    }
+
+    fn config() -> JobConfig {
+        JobConfig::named("flow-test").with_threads(2)
+    }
+
+    #[test]
+    fn single_job_chain_matches_direct_job_execution() {
+        let direct =
+            Job::new(config().with_name("flow-test-wc")).run(&SplitWords, &SumCounts, input());
+
+        let flow = FlowContext::new(config());
+        let chained = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .named("wc")
+            .reduce_with(SumCounts)
+            .collect();
+
+        assert_eq!(chained, direct.output, "flow output must be byte-identical");
+        let report = flow.report();
+        assert_eq!(report.num_jobs(), 1);
+        assert_eq!(report.jobs[0].job_name, "flow-test-wc");
+        assert_eq!(
+            report.jobs[0].shuffle_records,
+            direct.metrics.shuffle_records
+        );
+        assert_eq!(
+            report.total_shuffled_records(),
+            direct.metrics.shuffle_records
+        );
+    }
+
+    #[test]
+    fn nothing_runs_until_a_terminal_executes() {
+        let flow = FlowContext::new(config());
+        let pending = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .reduce_with(SumCounts);
+        assert_eq!(flow.num_jobs(), 0, "plan building must not execute jobs");
+        let _ = pending.collect();
+        assert_eq!(flow.num_jobs(), 1);
+    }
+
+    #[test]
+    fn two_job_chain_moves_records_between_jobs() {
+        let flow = FlowContext::new(config());
+        let output = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .named("count")
+            .combined_with(SumCombiner)
+            .reduce_with(SumCounts)
+            .map_with(ThresholdMapper(2))
+            .named("frequent")
+            .reduce_with(JoinWords)
+            .collect();
+
+        let mut output = output;
+        output.sort();
+        assert_eq!(
+            output,
+            vec![(2, "dog quick".to_string()), (3, "the".to_string())]
+        );
+        let report = flow.report();
+        assert_eq!(report.num_jobs(), 2);
+        assert_eq!(
+            report.job_names(),
+            vec!["flow-test-count", "flow-test-frequent"]
+        );
+        // Job 2's input is job 1's output, moved: its map input count must
+        // equal job 1's reduce output count.
+        assert_eq!(
+            report.jobs[1].map_input_records,
+            report.jobs[0].reduce_output_records
+        );
+    }
+
+    #[test]
+    fn then_builds_the_next_job_from_the_previous_output() {
+        let flow = FlowContext::new(config());
+        let output = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .reduce_with(SumCounts)
+            .then(|counts, flow| {
+                // Side data derived from job 1's output, shipped into job
+                // 2's mapper — the similarity-join pattern.
+                let max = counts.iter().map(|(_, c)| *c).max().unwrap_or(0);
+                flow.dataset(counts)
+                    .map_with(ThresholdMapper(max))
+                    .reduce_with(JoinWords)
+            })
+            .collect();
+        assert_eq!(output, vec![(3, "the".to_string())]);
+        assert_eq!(flow.report().num_jobs(), 2);
+    }
+
+    #[test]
+    fn then_continuation_on_another_flow_reports_there() {
+        let outer = FlowContext::new(config());
+        let inner = FlowContext::new(config().with_name("inner-flow"));
+        let inner_clone = inner.clone();
+        let _ = outer
+            .dataset(input())
+            .map_with(SplitWords)
+            .reduce_with(SumCounts)
+            .then(move |counts, _| {
+                inner_clone
+                    .dataset(counts)
+                    .map_with(ThresholdMapper(1))
+                    .named("inner")
+                    .reduce_with(JoinWords)
+            })
+            .collect();
+        // Job 1 ran under the outer flow, the continuation under its own.
+        assert_eq!(outer.num_jobs(), 1);
+        assert_eq!(inner.num_jobs(), 1);
+        assert_eq!(inner.report().job_names(), vec!["inner-flow-inner"]);
+    }
+
+    #[test]
+    fn persist_and_load_round_trip_through_the_store() {
+        let flow = FlowContext::new(config());
+        let written = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .reduce_with(SumCounts)
+            .persist("iteration-0/counts");
+        assert!(written > 0);
+        assert_eq!(
+            flow.persisted_paths(),
+            vec!["iteration-0/counts".to_string()]
+        );
+
+        let reloaded: Vec<(String, u64)> = flow.load("iteration-0/counts").collect();
+        assert_eq!(reloaded.len(), written);
+        let the = reloaded.iter().find(|(w, _)| w == "the").expect("the");
+        assert_eq!(the.1, 3);
+
+        // Missing paths and wrong record types read as empty.
+        let missing: Vec<(String, u64)> = flow.load("nope").collect();
+        assert!(missing.is_empty());
+        let wrong_type: Vec<(u64, u64)> = flow.load("iteration-0/counts").collect();
+        assert!(wrong_type.is_empty());
+    }
+
+    #[test]
+    fn clones_share_jobs_and_store() {
+        let flow = FlowContext::new(config());
+        let clone = flow.clone();
+        let _ = clone
+            .dataset(input())
+            .map_with(SplitWords)
+            .reduce_with(SumCounts)
+            .persist("shared");
+        assert_eq!(flow.num_jobs(), 1);
+        assert!(flow.read_persisted::<String, u64>("shared").is_some());
+    }
+
+    #[test]
+    fn jobs_from_isolates_a_sub_chain() {
+        let flow = FlowContext::new(config());
+        let _ = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .reduce_with(SumCounts)
+            .collect();
+        let start = flow.num_jobs();
+        let _ = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .named("second")
+            .reduce_with(SumCounts)
+            .collect();
+        let since = flow.jobs_from(start);
+        assert_eq!(since.len(), 1);
+        assert_eq!(since[0].job_name, "flow-test-second");
+        assert!(flow.jobs_from(99).is_empty());
+    }
+
+    #[test]
+    fn anonymous_jobs_get_sequential_names() {
+        let flow = FlowContext::named("anon");
+        for _ in 0..2 {
+            let _ = flow
+                .dataset(input())
+                .map_with(SplitWords)
+                .reduce_with(SumCounts)
+                .collect();
+        }
+        assert_eq!(flow.report().job_names(), vec!["anon-job-0", "anon-job-1"]);
+    }
+
+    #[test]
+    fn custom_partitioner_is_honoured() {
+        #[derive(Clone, Copy)]
+        struct FirstByte;
+        impl Partitioner<String> for FirstByte {
+            fn partition(&self, key: &String, num_partitions: usize) -> usize {
+                key.as_bytes().first().map(|b| *b as usize).unwrap_or(0) % num_partitions
+            }
+        }
+        let flow = FlowContext::new(config().with_reduce_tasks(2));
+        let mut via_flow = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .partitioned_by(FirstByte)
+            .reduce_with(SumCounts)
+            .collect();
+        via_flow.sort();
+        let direct = Job::new(config().with_reduce_tasks(2)).run_full(
+            &SplitWords,
+            None::<&IdentityCombiner<String, u64>>,
+            &SumCounts,
+            &FirstByte,
+            input(),
+            Counters::new(),
+        );
+        let mut direct_out = direct.output;
+        direct_out.sort();
+        assert_eq!(via_flow, direct_out);
+    }
+}

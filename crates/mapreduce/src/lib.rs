@@ -78,6 +78,52 @@
 //!     ("c".to_string(), 1),
 //! ]);
 //! ```
+//!
+//! # Chaining jobs: the `flow` API
+//!
+//! Multi-job algorithms build *lazy chains* with [`flow::Dataset`] instead
+//! of hand-wiring [`Job::run`] calls: combinators describe the plan, a
+//! terminal executes it, records move between jobs without cloning, and
+//! every job reports into one [`flow::FlowReport`].  Reusing the word-count
+//! mapper/reducer from above:
+//!
+//! ```
+//! # use smr_mapreduce::prelude::*;
+//! # struct Tokenize;
+//! # impl Mapper for Tokenize {
+//! #     type InKey = usize;
+//! #     type InValue = String;
+//! #     type OutKey = String;
+//! #     type OutValue = u64;
+//! #     fn map(&self, _k: &usize, text: &String, out: &mut Emitter<String, u64>) {
+//! #         for w in text.split_whitespace() {
+//! #             out.emit(w.to_string(), 1);
+//! #         }
+//! #     }
+//! # }
+//! # struct Sum;
+//! # impl Reducer for Sum {
+//! #     type Key = String;
+//! #     type InValue = u64;
+//! #     type OutKey = String;
+//! #     type OutValue = u64;
+//! #     fn reduce(&self, k: &String, vs: &[u64], out: &mut Emitter<String, u64>) {
+//! #         out.emit(k.clone(), vs.iter().sum());
+//! #     }
+//! # }
+//! use smr_mapreduce::flow::FlowContext;
+//!
+//! let flow = FlowContext::named("word-count");
+//! let input = vec![(0usize, "a b a".to_string()), (1usize, "b c".to_string())];
+//! let counts = flow
+//!     .dataset(input)            // lazy source
+//!     .map_with(Tokenize)        // job 1 mapper...
+//!     .reduce_with(Sum)          // ...and reducer: the next Dataset
+//!     .collect();                // terminal: the chain runs here
+//! assert_eq!(counts.len(), 3);
+//! assert_eq!(flow.report().num_jobs(), 1);
+//! assert!(flow.report().total_shuffled_records() > 0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -86,6 +132,7 @@ pub mod config;
 pub mod counters;
 pub mod driver;
 pub mod executor;
+pub mod flow;
 pub mod metrics;
 pub mod partition;
 pub mod shuffle;
@@ -97,6 +144,7 @@ pub use config::{JobConfig, ShuffleMode};
 pub use counters::{Counter, Counters};
 pub use driver::{IterativeDriver, IterativeJob, RoundOutcome, RunSummary};
 pub use executor::{Job, JobResult};
+pub use flow::{Dataset, FlowContext, FlowReport};
 pub use metrics::{JobMetrics, PhaseTimings};
 pub use partition::{CombiningPartitionBuffer, HashPartitioner, Partitioner};
 pub use shuffle::merge_runs;
@@ -110,6 +158,7 @@ pub mod prelude {
     pub use crate::counters::Counters;
     pub use crate::driver::{IterativeDriver, IterativeJob, RoundOutcome, RunSummary};
     pub use crate::executor::{Job, JobResult};
+    pub use crate::flow::{Dataset, FlowContext, FlowReport};
     pub use crate::metrics::JobMetrics;
     pub use crate::partition::{HashPartitioner, Partitioner};
     pub use crate::store::KvStore;

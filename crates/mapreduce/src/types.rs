@@ -154,6 +154,19 @@ pub trait Combiner: Send + Sync {
     /// Combines all values for `key` produced by a single map task into a
     /// (typically shorter) list of values.
     fn combine(&self, key: &Self::Key, values: &[Self::Value]) -> Vec<Self::Value>;
+
+    /// Whether this combiner passes every value through unchanged.
+    ///
+    /// The executor skips the combine machinery entirely for identity
+    /// combiners (no per-group `values.to_vec()`, no combining buffer
+    /// spills, no merge-side combine) — the job behaves exactly as if no
+    /// combiner was configured, which is semantically identical for any
+    /// correct identity implementation.  Defaults to `false`; only
+    /// implementations that truly emit their input verbatim may return
+    /// `true`.
+    fn is_identity(&self) -> bool {
+        false
+    }
 }
 
 /// A combiner that performs no combining (every value passes through).
@@ -180,6 +193,10 @@ impl<K: Key, V: Value> Combiner for IdentityCombiner<K, V> {
 
     fn combine(&self, _key: &K, values: &[V]) -> Vec<V> {
         values.to_vec()
+    }
+
+    fn is_identity(&self) -> bool {
+        true
     }
 }
 

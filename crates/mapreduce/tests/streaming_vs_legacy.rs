@@ -8,6 +8,9 @@
 //! tests pin down not just the multiset of output records but the exact
 //! deterministic ordering contract of the engine.
 
+// The legacy path is deprecated but must stay testable until removal.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use smr_mapreduce::prelude::*;
 

@@ -12,13 +12,23 @@
 //!   shuffle); the reducer recomputes the exact similarity from the two
 //!   vectors and keeps the pair when it reaches σ.
 //!
+//! The two jobs run as one lazy [`Dataset`](smr_mapreduce::flow::Dataset)
+//! chain over a shared [`FlowContext`]: job 1's output is turned into the
+//! inverted index inside the chain's `then` stage, which constructs job 2
+//! around it.  [`mapreduce_similarity_join_flow`] joins through a
+//! caller-provided flow (so a whole pipeline reports one
+//! [`smr_mapreduce::FlowReport`]); the original entry points wrap it with
+//! a private flow.
+//!
 //! The output is the candidate-edge [`BipartiteGraph`] handed to the
 //! matching algorithms.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use smr_graph::{BipartiteGraph, GraphBuilder};
-use smr_mapreduce::{Combiner, Emitter, Job, JobConfig, JobMetrics, Mapper, Reducer};
+use smr_mapreduce::flow::FlowContext;
+use smr_mapreduce::{Combiner, Emitter, JobConfig, JobMetrics, Mapper, Reducer};
 use smr_text::{Corpus, SparseVector, TermId};
 
 use crate::index::{InvertedIndex, Posting};
@@ -203,13 +213,28 @@ pub fn mapreduce_similarity_join(
     consumers: &Corpus,
     config: &SimJoinConfig,
 ) -> SimJoinResult {
+    let flow = FlowContext::new(config.job.clone());
+    mapreduce_similarity_join_flow(items, consumers, config.sigma, &flow)
+}
+
+/// Runs the two-job join through a caller-provided [`FlowContext`]: both
+/// jobs execute as one lazy `Dataset` chain under the flow's `JobConfig`
+/// and report into the flow's [`smr_mapreduce::FlowReport`] alongside any
+/// other jobs of the surrounding pipeline.
+pub fn mapreduce_similarity_join_flow(
+    items: &Corpus,
+    consumers: &Corpus,
+    sigma: f64,
+    flow: &FlowContext,
+) -> SimJoinResult {
     let (item_vectors, consumer_vectors) = align_vector_spaces(items, consumers);
-    mapreduce_similarity_join_vectors(
+    mapreduce_similarity_join_vectors_flow(
         &item_vectors,
         &consumer_vectors,
         &item_labels(items),
         &consumer_labels(consumers),
-        config,
+        sigma,
+        flow,
     )
 }
 
@@ -222,9 +247,37 @@ pub fn mapreduce_similarity_join_vectors(
     consumer_names: &[String],
     config: &SimJoinConfig,
 ) -> SimJoinResult {
+    let flow = FlowContext::new(config.job.clone());
+    mapreduce_similarity_join_vectors_flow(
+        item_vectors,
+        consumer_vectors,
+        item_names,
+        consumer_names,
+        config.sigma,
+        &flow,
+    )
+}
+
+/// The core of the join: a two-stage [`Dataset`](smr_mapreduce::flow::Dataset)
+/// chain over `flow`.
+///
+/// Stage 1 (`…-index`) builds the pruned inverted index over the
+/// consumers; the chain's `then` combinator turns stage 1's output into
+/// the [`InvertedIndex`] and constructs stage 2 (`…-probe`) around it:
+/// probing, map-side candidate dedup while partitioning, and exact
+/// verification in the reducer.  Records flow between the stages by move;
+/// nothing executes until the terminal `collect`.
+pub fn mapreduce_similarity_join_vectors_flow(
+    item_vectors: &[SparseVector],
+    consumer_vectors: &[SparseVector],
+    item_names: &[String],
+    consumer_names: &[String],
+    sigma: f64,
+    flow: &FlowContext,
+) -> SimJoinResult {
     assert_eq!(item_vectors.len(), item_names.len());
     assert_eq!(consumer_vectors.len(), consumer_names.len());
-    assert!(config.sigma > 0.0, "threshold must be positive");
+    assert!(sigma > 0.0, "threshold must be positive");
 
     let vocab_size = item_vectors
         .iter()
@@ -239,60 +292,54 @@ pub fn mapreduce_similarity_join_vectors(
         vocab_size,
     ));
 
-    let mut job_metrics = Vec::new();
-
-    // Job 1: build the pruned inverted index over the consumers.
-    let index_job = Job::new(
-        config
-            .job
-            .clone()
-            .with_name(format!("{}-index", config.job.name)),
-    );
     let index_input: Vec<(usize, SparseVector)> =
         consumer_vectors.iter().cloned().enumerate().collect();
-    let index_result = index_job.run(
-        &IndexMapper {
-            term_order_rank: Arc::clone(&term_order_rank),
-            max_weights: Arc::clone(&max_weights),
-            sigma: config.sigma,
-        },
-        &IndexReducer,
-        index_input,
-    );
-    job_metrics.push(index_result.metrics.clone());
-    let index = Arc::new(InvertedIndex::from_postings(
-        index_result
-            .output
-            .into_iter()
-            .map(|(term, postings)| (TermId(term), postings)),
-    ));
-    let indexed_entries = index.num_entries();
-
-    // Job 2: probe the index with the items and verify candidates.
-    let probe_job = Job::new(
-        config
-            .job
-            .clone()
-            .with_name(format!("{}-probe", config.job.name)),
-    );
     let probe_input: Vec<(usize, SparseVector)> =
         item_vectors.iter().cloned().enumerate().collect();
     let items_arc = Arc::new(item_vectors.to_vec());
     let consumers_arc = Arc::new(consumer_vectors.to_vec());
-    let probe_result = probe_job.run_with_combiner(
-        &ProbeMapper {
-            index: Arc::clone(&index),
-        },
-        &CandidateDedupCombiner,
-        &VerifyReducer {
-            items: items_arc,
-            consumers: consumers_arc,
-            sigma: config.sigma,
-        },
-        probe_input,
-    );
-    let candidate_pairs = probe_result.metrics.reduce_input_groups as usize;
-    job_metrics.push(probe_result.metrics.clone());
+    // `then` runs inside the lazy plan, so the index size is smuggled out
+    // through a shared cell instead of a return value.
+    let indexed_entries = Arc::new(AtomicUsize::new(0));
+    let indexed_entries_probe = Arc::clone(&indexed_entries);
+
+    let jobs_start = flow.num_jobs();
+    let verified = flow
+        .dataset(index_input)
+        .map_with(IndexMapper {
+            term_order_rank,
+            max_weights,
+            sigma,
+        })
+        .named("index")
+        .reduce_with(IndexReducer)
+        .then(move |postings, flow| {
+            // Job 1's output becomes job 2's side data: the inverted index
+            // is shipped to the probe mappers like a distributed-cache
+            // file.
+            let index = Arc::new(InvertedIndex::from_postings(
+                postings
+                    .into_iter()
+                    .map(|(term, postings)| (TermId(term), postings)),
+            ));
+            indexed_entries_probe.store(index.num_entries(), Ordering::Relaxed);
+            flow.dataset(probe_input)
+                .map_with(ProbeMapper { index })
+                .named("probe")
+                .combined_with(CandidateDedupCombiner)
+                .reduce_with(VerifyReducer {
+                    items: items_arc,
+                    consumers: consumers_arc,
+                    sigma,
+                })
+        })
+        .collect();
+
+    let job_metrics = flow.jobs_from(jobs_start);
+    let candidate_pairs = job_metrics
+        .last()
+        .map(|m| m.reduce_input_groups as usize)
+        .unwrap_or(0);
 
     // Assemble the candidate-edge graph.
     let mut builder = GraphBuilder::new();
@@ -302,7 +349,7 @@ pub fn mapreduce_similarity_join_vectors(
     for name in consumer_names {
         builder.add_consumer(name.clone());
     }
-    for ((item, consumer), similarity) in probe_result.output {
+    for ((item, consumer), similarity) in verified {
         builder.add_edge(
             smr_graph::ItemId(item as u32),
             smr_graph::ConsumerId(consumer as u32),
@@ -313,7 +360,7 @@ pub fn mapreduce_similarity_join_vectors(
     SimJoinResult {
         graph: builder.build(),
         candidate_pairs,
-        indexed_entries,
+        indexed_entries: indexed_entries.load(Ordering::Relaxed),
         job_metrics,
     }
 }
@@ -522,7 +569,110 @@ mod tests {
         assert_eq!(probe.shuffle_records, result.candidate_pairs as u64);
     }
 
+    /// Replicates the pre-redesign entry point — two hand-wired [`Job`]
+    /// runs with the index materialized in between — and checks the flow
+    /// chain against it, byte for byte: same edges in the same order with
+    /// the same weights, same candidate count and same per-job record
+    /// flow.
     #[test]
+    fn flow_chain_is_byte_identical_to_the_hand_wired_two_job_path() {
+        use smr_mapreduce::Job;
+
+        let items = synthetic_vectors(14, 16, 21);
+        let consumers = synthetic_vectors(17, 16, 22);
+        let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
+        let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
+        let sigma = 0.15;
+        let job_config = JobConfig::named("regression").with_threads(2);
+
+        // --- the pre-redesign path, verbatim ---
+        let vocab_size = items
+            .iter()
+            .chain(consumers.iter())
+            .flat_map(|v| v.entries().iter().map(|(t, _)| t.index() + 1))
+            .max()
+            .unwrap_or(0);
+        let max_weights = Arc::new(term_max_weights(&items, vocab_size));
+        let term_order_rank = Arc::new(rarest_first_rank(&items, &consumers, vocab_size));
+        let index_result = Job::new(job_config.clone().with_name("regression-index")).run(
+            &IndexMapper {
+                term_order_rank,
+                max_weights,
+                sigma,
+            },
+            &IndexReducer,
+            consumers.iter().cloned().enumerate().collect(),
+        );
+        let index = Arc::new(InvertedIndex::from_postings(
+            index_result
+                .output
+                .into_iter()
+                .map(|(term, postings)| (TermId(term), postings)),
+        ));
+        let probe_result = Job::new(job_config.clone().with_name("regression-probe"))
+            .run_with_combiner(
+                &ProbeMapper {
+                    index: Arc::clone(&index),
+                },
+                &CandidateDedupCombiner,
+                &VerifyReducer {
+                    items: Arc::new(items.clone()),
+                    consumers: Arc::new(consumers.clone()),
+                    sigma,
+                },
+                items.iter().cloned().enumerate().collect(),
+            );
+
+        // --- the flow chain ---
+        let flow = FlowContext::new(job_config);
+        let result = mapreduce_similarity_join_vectors_flow(
+            &items, &consumers, &names_i, &names_c, sigma, &flow,
+        );
+
+        // Output records byte-identical: same edges, same order, same
+        // weights.
+        let manual_edges: Vec<((usize, usize), f64)> = probe_result.output;
+        assert_eq!(result.graph.num_edges(), manual_edges.len());
+        for (edge, ((item, consumer), weight)) in
+            result.graph.edges().iter().zip(manual_edges.iter())
+        {
+            assert_eq!(edge.item.0 as usize, *item);
+            assert_eq!(edge.consumer.0 as usize, *consumer);
+            assert_eq!(edge.weight, *weight, "weights must be bit-identical");
+        }
+
+        // Same stage structure and record flow, reported through one
+        // FlowReport.
+        assert_eq!(result.indexed_entries, index.num_entries());
+        assert_eq!(
+            result.candidate_pairs,
+            probe_result.metrics.reduce_input_groups as usize
+        );
+        let report = flow.report();
+        assert_eq!(report.num_jobs(), 2, "the join is exactly two jobs");
+        assert_eq!(
+            report.job_names(),
+            vec!["regression-index", "regression-probe"]
+        );
+        for (flowed, manual) in report
+            .jobs
+            .iter()
+            .zip([&index_result.metrics, &probe_result.metrics])
+        {
+            assert_eq!(flowed.job_name, manual.job_name);
+            assert_eq!(flowed.map_input_records, manual.map_input_records);
+            assert_eq!(flowed.map_output_records, manual.map_output_records);
+            assert_eq!(flowed.shuffle_records, manual.shuffle_records);
+            assert_eq!(flowed.reduce_output_records, manual.reduce_output_records);
+        }
+        assert_eq!(
+            report.total_shuffled_records(),
+            index_result.metrics.shuffle_records + probe_result.metrics.shuffle_records
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn legacy_and_streaming_shuffle_produce_the_same_graph() {
         use smr_mapreduce::ShuffleMode;
         let items = synthetic_vectors(10, 14, 7);

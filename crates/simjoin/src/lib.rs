@@ -52,13 +52,17 @@ pub mod prefix;
 
 pub use baseline::baseline_similarity_join;
 pub use index::{InvertedIndex, Posting};
-pub use join::{mapreduce_similarity_join, SimJoinConfig, SimJoinResult};
+pub use join::{
+    mapreduce_similarity_join, mapreduce_similarity_join_flow, SimJoinConfig, SimJoinResult,
+};
 pub use prefix::{prefix_length, term_max_weights};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::baseline::baseline_similarity_join;
     pub use crate::index::{InvertedIndex, Posting};
-    pub use crate::join::{mapreduce_similarity_join, SimJoinConfig, SimJoinResult};
+    pub use crate::join::{
+        mapreduce_similarity_join, mapreduce_similarity_join_flow, SimJoinConfig, SimJoinResult,
+    };
     pub use crate::prefix::{prefix_length, term_max_weights};
 }

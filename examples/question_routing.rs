@@ -4,14 +4,19 @@
 //! round and still returns a feasible matching whose value is already close
 //! to the final one.
 //!
+//! The full run goes through the [`MatchingPipeline`] builder; the
+//! early-stopped run reuses its candidate graph and reruns only the
+//! matching stage through `GreedyMr::run_with_flow` with a round cap.
+//!
 //! ```text
 //! cargo run --release --example question_routing
 //! ```
 
 use social_content_matching::datagen::AnswersGenerator;
-use social_content_matching::matching::{GreedyMr, GreedyMrConfig};
-use social_content_matching::simjoin::{mapreduce_similarity_join, SimJoinConfig};
-use social_content_matching::text::{Corpus, TokenizerConfig};
+use social_content_matching::mapreduce::FlowContext;
+use social_content_matching::matching::{AlgorithmKind, GreedyMr, GreedyMrConfig};
+use social_content_matching::text::TokenizerConfig;
+use social_content_matching::MatchingPipeline;
 
 fn main() {
     // Synthetic question-answering dataset: questions and user profiles
@@ -29,26 +34,22 @@ fn main() {
         dataset.num_consumers()
     );
 
-    // Candidate edges: questions similar to a user's answering history.
-    let questions = Corpus::build(dataset.items.clone(), &TokenizerConfig::default());
-    let users = Corpus::build(dataset.consumers.clone(), &TokenizerConfig::default());
-    let join = mapreduce_similarity_join(
-        &questions,
-        &users,
-        &SimJoinConfig::default().with_threshold(0.12),
-    );
-    let graph = join.graph;
-    println!("candidate edges: {}", graph.num_edges());
+    // Full pipeline: candidate edges from answering-history similarity,
+    // uniform question capacities, activity-proportional user capacities,
+    // GreedyMR with the per-round value trace.
+    let run = MatchingPipeline::new(dataset)
+        .tokenizer(TokenizerConfig::default())
+        .sigma(0.12)
+        .alpha(1.0)
+        .algorithm(AlgorithmKind::GreedyMr)
+        .run();
+    println!("candidate edges: {}", run.graph.num_edges());
 
-    // Uniform question capacities, activity-proportional user capacities.
-    let caps = dataset.capacities(1.0);
-
-    // Full GreedyMR run, recording the per-round value trace.
-    let full = GreedyMr::new(GreedyMrConfig::default()).run(&graph, &caps);
-    let final_value = full.value(&graph);
+    let full = &run.matching;
+    let final_value = full.value(&run.graph);
     println!(
-        "\nGreedyMR finished in {} rounds with value {:.2}",
-        full.rounds, final_value
+        "\nGreedyMR finished in {} rounds with value {:.2} ({} MapReduce jobs incl. the {} simjoin jobs)",
+        full.rounds, final_value, run.report.num_jobs(), run.simjoin_jobs
     );
 
     println!("\nany-time trace (fraction of final value per fraction of rounds):");
@@ -70,13 +71,18 @@ fn main() {
 
     // Early stopping: cap the rounds and verify the solution is feasible —
     // this is what "deliver content immediately and keep refining in the
-    // background" means in the paper.
+    // background" means in the paper.  The candidate graph is already
+    // built, so only the matching stage reruns (with its own flow).
     let budget = (full.rounds / 3).max(1);
-    let early = GreedyMr::new(GreedyMrConfig::default().with_max_rounds(budget)).run(&graph, &caps);
+    let early = GreedyMr::new(GreedyMrConfig::default().with_max_rounds(budget)).run_with_flow(
+        &run.graph,
+        &run.capacities,
+        &FlowContext::named("greedy-early"),
+    );
     println!(
         "\nstopping after {budget} rounds: value {:.2} ({:.1}% of the full run), feasible: {}",
-        early.value(&graph),
-        100.0 * early.value(&graph) / final_value,
-        early.matching.is_feasible(&graph, &caps)
+        early.value(&run.graph),
+        100.0 * early.value(&run.graph) / final_value,
+        early.matching.is_feasible(&run.graph, &run.capacities)
     );
 }

@@ -12,6 +12,12 @@
 //!   StackGreedyMR, centralized greedy/stack and an exact solver,
 //! * [`datagen`] — synthetic dataset generators standing in for the paper's
 //!   flickr and Yahoo! Answers crawls.
+//!
+//! The end-to-end chain — tokenize, similarity-join, assign capacities,
+//! match — is packaged as the [`MatchingPipeline`] builder ([`pipeline`]),
+//! which runs every MapReduce job of every stage through one
+//! [`mapreduce::FlowContext`] and reports them in one
+//! [`mapreduce::FlowReport`].
 
 pub use smr_datagen as datagen;
 pub use smr_graph as graph;
@@ -19,3 +25,7 @@ pub use smr_mapreduce as mapreduce;
 pub use smr_matching as matching;
 pub use smr_simjoin as simjoin;
 pub use smr_text as text;
+
+pub mod pipeline;
+
+pub use pipeline::{CandidateGraph, MatchingPipeline, PipelineRun};
