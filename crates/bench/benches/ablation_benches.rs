@@ -148,26 +148,26 @@ fn bench_threads(c: &mut Criterion) {
     group.finish();
 }
 
-/// Shuffle-engine ablation: the streaming sorted-runs + k-way-merge path
-/// against the legacy concat+sort path on identical GreedyMR runs.
-#[allow(deprecated)] // A/Bs the deprecated LegacySort until its removal
-fn bench_shuffle_mode(c: &mut Criterion) {
-    use smr_mapreduce::ShuffleMode;
-    let mut group = c.benchmark_group("ablation_shuffle_mode");
+/// Out-of-core ablation: identical GreedyMR runs with an unlimited,
+/// a moderate and a tiny memory budget — the cost of spilling sorted runs
+/// to disk and streaming them back through the external merge.
+fn bench_memory_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_memory_budget");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     let (graph, caps) = bench_graph(3_000, 19);
-    for (name, mode) in [
-        ("streaming", ShuffleMode::Streaming),
-        ("legacy_sort", ShuffleMode::LegacySort),
+    for (name, budget) in [
+        ("unlimited", None),
+        ("256KiB", Some(256 * 1024u64)),
+        ("4KiB", Some(4 * 1024)),
     ] {
-        group.bench_function(BenchmarkId::new("greedymr_shuffle", name), |b| {
+        group.bench_function(BenchmarkId::new("greedymr_budget", name), |b| {
             b.iter(|| {
                 GreedyMr::new(
                     GreedyMrConfig::default()
                         .with_job(JobConfig::named("ablation"))
-                        .with_shuffle_mode(mode),
+                        .with_memory_budget(budget),
                 )
                 .run(&graph, &caps)
             })
@@ -182,6 +182,6 @@ criterion_group!(
     bench_epsilon,
     bench_simjoin,
     bench_threads,
-    bench_shuffle_mode,
+    bench_memory_budget,
 );
 criterion_main!(ablation_benches);

@@ -4,12 +4,14 @@
 //! run-experiments [EXPERIMENT ...] [--scale smoke|full] [--threads N] [--seed S]
 //!
 //! EXPERIMENT: table1 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7
-//!           | shuffle | all
+//!           | shuffle | spill | all
 //! ```
 //!
-//! `shuffle` is not a paper artefact: it A/Bs the engine's streaming
-//! shuffle (sorted runs + k-way merge, combine-while-partitioning)
-//! against the legacy concat+sort path.
+//! `shuffle` and `spill` are not paper artefacts: `shuffle` profiles the
+//! engine's streaming shuffle (sorted runs + k-way merge,
+//! combine-while-partitioning) and `spill` A/Bs memory budgets on the
+//! disk-spilling out-of-core path, checking the output byte-identical to
+//! the in-memory run.
 
 use std::process::ExitCode;
 
@@ -71,7 +73,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 }
 
 fn usage() -> String {
-    "usage: run-experiments [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|all ...] \
+    "usage: run-experiments [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|spill|all ...] \
      [--scale smoke|full] [--threads N] [--seed S]"
         .to_string()
 }
@@ -104,9 +106,11 @@ fn run_experiment(name: &str, set: &mut ExperimentSet) -> Result<(), String> {
             }
         }
         "shuffle" => println!("{}", experiments::shuffle_ablation(set)),
+        "spill" => println!("{}", experiments::spill_ablation(set)),
         "all" => {
             let all = [
                 "table1", "fig6", "fig7", "fig1", "fig2", "fig3", "fig4", "fig5", "shuffle",
+                "spill",
             ];
             for exp in all {
                 run_experiment(exp, set)?;
@@ -191,5 +195,11 @@ mod tests {
     fn shuffle_experiment_runs_at_smoke_scale() {
         let mut set = ExperimentSet::new(ExperimentScale::Smoke, 2, 1);
         assert!(run_experiment("shuffle", &mut set).is_ok());
+    }
+
+    #[test]
+    fn spill_experiment_runs_at_smoke_scale() {
+        let mut set = ExperimentSet::new(ExperimentScale::Smoke, 2, 1);
+        assert!(run_experiment("spill", &mut set).is_ok());
     }
 }

@@ -6,7 +6,7 @@ use std::time::Duration;
 use smr_datagen::DatasetPreset;
 use smr_graph::stats::{capacity_histograms, similarity_histogram};
 use smr_graph::{BipartiteGraph, Capacities};
-use smr_mapreduce::{Combiner, Emitter, Job, JobConfig, Mapper, Reducer, ShuffleMode};
+use smr_mapreduce::{Combiner, Emitter, Job, JobConfig, Mapper, Reducer};
 use smr_matching::{AlgorithmKind, GreedyMr, GreedyMrConfig, MatchingRun, StackMr, StackMrConfig};
 
 use crate::pipeline::DatasetInstance;
@@ -173,6 +173,7 @@ pub fn quality_and_iterations(set: &mut ExperimentSet, preset: DatasetPreset) ->
         DatasetPreset::FlickrSmall => "Figure 1 (flickr-small)",
         DatasetPreset::FlickrLarge => "Figure 2 (flickr-large)",
         DatasetPreset::YahooAnswers => "Figure 3 (yahoo-answers)",
+        DatasetPreset::FlickrXl => "Scale tier (flickr-xl)",
     };
     let mut table = Table::new(
         format!("{figure}: matching value and MapReduce iterations vs edges (alpha=1, eps=1)"),
@@ -398,7 +399,7 @@ impl Reducer for TagCountReducer {
     }
 }
 
-/// One measured configuration of the shuffle-engine A/B comparison.
+/// One measured configuration of the streaming-shuffle profile.
 #[derive(Debug, Clone)]
 pub struct ShuffleAblationRow {
     /// Dataset preset the workload ran on.
@@ -406,13 +407,13 @@ pub struct ShuffleAblationRow {
     /// Workload name (`tag-count` is combiner-enabled, `greedy-rounds`
     /// exercises the iterative no-combiner path).
     pub workload: &'static str,
-    /// Shuffle mode under measurement.
-    pub mode: ShuffleMode,
     /// MapReduce rounds (jobs) the workload executed.
     pub rounds: usize,
+    /// Records emitted by map tasks, before any combining.
+    pub map_output_records: u64,
     /// Total records that crossed the shuffle into reduce partitions.
     pub records_shuffled: u64,
-    /// Sorted runs merged by the streaming shuffle (zero under legacy).
+    /// Sorted runs merged by the streaming shuffle.
     pub merge_runs: u64,
     /// Wall-clock time spent in the shuffle phase, per round.
     pub shuffle_per_round: Duration,
@@ -420,18 +421,10 @@ pub struct ShuffleAblationRow {
     pub total: Duration,
 }
 
-#[allow(deprecated)] // names the deprecated LegacySort in ablation tables
-fn mode_name(mode: ShuffleMode) -> &'static str {
-    match mode {
-        ShuffleMode::Streaming => "streaming",
-        ShuffleMode::LegacySort => "legacy",
-    }
-}
-
-/// Runs the shuffle-engine A/B comparison and returns the raw rows:
-/// for every preset, a combiner-enabled tag-count job and a full GreedyMR
-/// run, each under both shuffle modes.
-#[allow(deprecated)] // A/Bs the deprecated LegacySort until its removal
+/// Profiles the streaming shuffle and returns the raw rows: for every
+/// preset, a combiner-enabled tag-count job and a full GreedyMR run.
+/// (The legacy concat+sort A/B baseline lives in `EXPERIMENTS.md`; the
+/// legacy path itself has been removed.)
 pub fn shuffle_rows(set: &mut ExperimentSet) -> Vec<ShuffleAblationRow> {
     let mut rows = Vec::new();
     for preset in set.scale.presets() {
@@ -451,66 +444,61 @@ pub fn shuffle_rows(set: &mut ExperimentSet) -> Vec<ShuffleAblationRow> {
         let caps = set.instance(preset).capacities(1.0);
         let graph = set.instance(preset).graph_at(preset.default_sigma());
 
-        for mode in [ShuffleMode::LegacySort, ShuffleMode::Streaming] {
-            let job = Job::new(
-                set.job()
-                    .with_name("shuffle-ablation-tagcount")
-                    .with_map_tasks(8)
-                    .with_reduce_tasks(4)
-                    .with_shuffle_mode(mode),
-            );
-            let result = job.run_with_combiner(
-                &TagCountMapper,
-                &TagCountCombiner,
-                &TagCountReducer,
-                documents.clone(),
-            );
-            rows.push(ShuffleAblationRow {
-                preset,
-                workload: "tag-count",
-                mode,
-                rounds: 1,
-                records_shuffled: result.metrics.shuffle_records,
-                merge_runs: result.metrics.merge_runs,
-                shuffle_per_round: result.metrics.timings.shuffle,
-                total: result.metrics.timings.total(),
-            });
+        let job = Job::new(
+            set.job()
+                .with_name("shuffle-ablation-tagcount")
+                .with_map_tasks(8)
+                .with_reduce_tasks(4),
+        );
+        let result = job.run_with_combiner(
+            &TagCountMapper,
+            &TagCountCombiner,
+            &TagCountReducer,
+            documents,
+        );
+        rows.push(ShuffleAblationRow {
+            preset,
+            workload: "tag-count",
+            rounds: 1,
+            map_output_records: result.metrics.map_output_records,
+            records_shuffled: result.metrics.shuffle_records,
+            merge_runs: result.metrics.merge_runs,
+            shuffle_per_round: result.metrics.timings.shuffle,
+            total: result.metrics.timings.total(),
+        });
 
-            let run = GreedyMr::new(
-                GreedyMrConfig::default()
-                    .with_job(set.job().with_name("shuffle-ablation-greedy"))
-                    .with_shuffle_mode(mode),
-            )
-            .run(&graph, &caps);
-            let rounds = run.rounds.max(1);
-            let shuffle_total: Duration = run.job_metrics.iter().map(|m| m.timings.shuffle).sum();
-            let wall_total: Duration = run.job_metrics.iter().map(|m| m.timings.total()).sum();
-            rows.push(ShuffleAblationRow {
-                preset,
-                workload: "greedy-rounds",
-                mode,
-                rounds: run.rounds,
-                records_shuffled: run.total_shuffled_records(),
-                merge_runs: run.job_metrics.iter().map(|m| m.merge_runs).sum(),
-                shuffle_per_round: shuffle_total / rounds as u32,
-                total: wall_total,
-            });
-        }
+        let run = GreedyMr::new(
+            GreedyMrConfig::default().with_job(set.job().with_name("shuffle-ablation-greedy")),
+        )
+        .run(&graph, &caps);
+        let rounds = run.rounds.max(1);
+        let shuffle_total: Duration = run.job_metrics.iter().map(|m| m.timings.shuffle).sum();
+        let wall_total: Duration = run.job_metrics.iter().map(|m| m.timings.total()).sum();
+        rows.push(ShuffleAblationRow {
+            preset,
+            workload: "greedy-rounds",
+            rounds: run.rounds,
+            map_output_records: run.job_metrics.iter().map(|m| m.map_output_records).sum(),
+            records_shuffled: run.total_shuffled_records(),
+            merge_runs: run.job_metrics.iter().map(|m| m.merge_runs).sum(),
+            shuffle_per_round: shuffle_total / rounds as u32,
+            total: wall_total,
+        });
     }
     rows
 }
 
-/// Shuffle-engine ablation: per-round shuffle wall time and records
-/// shuffled, legacy concat+sort vs streaming runs+merge, on a
-/// combiner-enabled aggregation and on GreedyMR rounds.
+/// Streaming-shuffle profile: per-round shuffle wall time, records
+/// shuffled vs map output (the combiner's shrink factor) and runs merged,
+/// on a combiner-enabled aggregation and on GreedyMR rounds.
 pub fn shuffle_ablation(set: &mut ExperimentSet) -> Table {
     let mut table = Table::new(
-        "Shuffle ablation: streaming runs+merge vs legacy concat+sort",
+        "Shuffle profile: combine-while-partitioning + k-way merge",
         &[
             "dataset",
             "workload",
-            "mode",
             "rounds",
+            "map-out",
             "shuffled",
             "merge-runs",
             "shuffle/round",
@@ -521,12 +509,153 @@ pub fn shuffle_ablation(set: &mut ExperimentSet) -> Table {
         table.push_row(vec![
             row.preset.name().to_string(),
             row.workload.to_string(),
-            mode_name(row.mode).to_string(),
             row.rounds.to_string(),
+            row.map_output_records.to_string(),
             row.records_shuffled.to_string(),
             row.merge_runs.to_string(),
             format!("{:.2?}", row.shuffle_per_round),
             format!("{:.2?}", row.total),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Spill (out-of-core) ablation
+// ---------------------------------------------------------------------------
+
+/// One measured memory-budget configuration of the spill experiment.
+#[derive(Debug, Clone)]
+pub struct SpillAblationRow {
+    /// Name of the dataset the workload ran on.
+    pub dataset: String,
+    /// Memory budget in bytes (`None` = unlimited).
+    pub budget: Option<u64>,
+    /// Records that crossed the shuffle.
+    pub records_shuffled: u64,
+    /// Sorted runs spilled to disk and merged back.
+    pub disk_runs: u64,
+    /// Encoded bytes written to spill files.
+    pub spill_bytes: u64,
+    /// Wall-clock map phase (includes spilling).
+    pub map: Duration,
+    /// Wall-clock shuffle phase (includes streaming disk runs).
+    pub shuffle: Duration,
+    /// Total wall-clock time.
+    pub total: Duration,
+    /// Whether this run's output was byte-identical to the
+    /// unlimited-budget run (always checked, never assumed).
+    pub output_matches_unlimited: bool,
+}
+
+fn budget_name(budget: Option<u64>) -> String {
+    match budget {
+        None => "unlimited".to_string(),
+        Some(bytes) if bytes % 1024 == 0 => format!("{}KiB", bytes / 1024),
+        Some(bytes) => format!("{bytes}B"),
+    }
+}
+
+/// The budgets the spill experiment sweeps at each scale.
+fn spill_budgets(scale: ExperimentScale) -> Vec<Option<u64>> {
+    match scale {
+        ExperimentScale::Smoke => vec![None, Some(4 * 1024)],
+        ExperimentScale::Full => vec![None, Some(32 * 1024), Some(4 * 1024)],
+    }
+}
+
+/// Runs the out-of-core ablation: the combiner-enabled tag-count workload
+/// over the spill-scale dataset (`flickr-xl` at full scale, the preset
+/// sweep's dataset at smoke scale), A/B-ing memory budgets.  Every
+/// budgeted run's output is compared byte-for-byte against the
+/// unlimited-budget reference.
+pub fn spill_rows(set: &mut ExperimentSet) -> Vec<SpillAblationRow> {
+    let dataset = match set.scale {
+        ExperimentScale::Smoke => DatasetPreset::FlickrSmall.generate(),
+        // The spill tier: big enough that a small budget forces heavy
+        // spilling, generated directly (no similarity join needed here).
+        ExperimentScale::Full => DatasetPreset::FlickrXl.generate(),
+    };
+    let documents: Vec<(usize, String)> = dataset
+        .items
+        .iter()
+        .chain(dataset.consumers.iter())
+        .map(|doc| doc.text.clone())
+        .enumerate()
+        .collect();
+
+    let run = |budget: Option<u64>| {
+        Job::new(
+            set.job()
+                .with_name("spill-ablation-tagcount")
+                .with_map_tasks(8)
+                .with_reduce_tasks(4)
+                .with_memory_budget(budget),
+        )
+        .run_with_combiner(
+            &TagCountMapper,
+            &TagCountCombiner,
+            &TagCountReducer,
+            documents.clone(),
+        )
+    };
+
+    let reference = run(None);
+    let mut rows = Vec::new();
+    for budget in spill_budgets(set.scale) {
+        let result = if budget.is_none() {
+            reference.clone()
+        } else {
+            run(budget)
+        };
+        rows.push(SpillAblationRow {
+            dataset: dataset.name.clone(),
+            budget,
+            records_shuffled: result.metrics.shuffle_records,
+            disk_runs: result.metrics.disk_runs,
+            spill_bytes: result.metrics.spill_bytes,
+            map: result.metrics.timings.map,
+            shuffle: result.metrics.timings.shuffle,
+            total: result.metrics.timings.total(),
+            output_matches_unlimited: result.output == reference.output,
+        });
+    }
+    rows
+}
+
+/// Out-of-core ablation: disk runs, spilled bytes and wall time as a
+/// function of the memory budget, with a byte-identity check against the
+/// unlimited-budget run.
+pub fn spill_ablation(set: &mut ExperimentSet) -> Table {
+    let mut table = Table::new(
+        "Spill ablation: memory budget vs disk runs (output checked byte-identical)",
+        &[
+            "dataset",
+            "budget",
+            "shuffled",
+            "disk-runs",
+            "spill-bytes",
+            "map",
+            "shuffle",
+            "total",
+            "identical",
+        ],
+    );
+    for row in spill_rows(set) {
+        table.push_row(vec![
+            row.dataset.clone(),
+            budget_name(row.budget),
+            row.records_shuffled.to_string(),
+            row.disk_runs.to_string(),
+            row.spill_bytes.to_string(),
+            format!("{:.2?}", row.map),
+            format!("{:.2?}", row.shuffle),
+            format!("{:.2?}", row.total),
+            if row.output_matches_unlimited {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     table
@@ -609,45 +738,58 @@ mod tests {
     }
 
     #[test]
-    fn shuffle_ablation_reports_both_modes_for_both_workloads() {
+    fn shuffle_profile_reports_both_workloads() {
         let mut set = smoke_set();
         let table = shuffle_ablation(&mut set);
-        // 1 preset x 2 workloads x 2 modes.
-        assert_eq!(table.num_rows(), 4);
+        // 1 preset x 2 workloads.
+        assert_eq!(table.num_rows(), 2);
         let rendered = table.render();
-        assert!(rendered.contains("streaming"));
-        assert!(rendered.contains("legacy"));
+        assert!(rendered.contains("tag-count"));
+        assert!(rendered.contains("greedy-rounds"));
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn streaming_shuffles_strictly_fewer_records_on_the_combiner_workload() {
+    fn combining_shuffles_strictly_fewer_records_than_the_map_emits() {
         let mut set = smoke_set();
         let rows = shuffle_rows(&mut set);
-        let shuffled = |workload: &str, mode: ShuffleMode| -> u64 {
-            rows.iter()
-                .find(|r| r.workload == workload && r.mode == mode)
-                .expect("row present")
-                .records_shuffled
-        };
-        // Combiner-enabled: the merge-side combine collapses per-task
-        // partial counts, so strictly fewer records cross the shuffle.
+        let tag_count = rows
+            .iter()
+            .find(|r| r.workload == "tag-count")
+            .expect("row present");
+        // Combiner-enabled: combining while partitioning plus the
+        // merge-side combine collapses per-task partial counts.
         assert!(
-            shuffled("tag-count", ShuffleMode::Streaming)
-                < shuffled("tag-count", ShuffleMode::LegacySort),
-            "streaming must shuffle strictly fewer records than legacy"
+            tag_count.records_shuffled < tag_count.map_output_records,
+            "{tag_count:?}"
         );
-        // No combiner: the record flow is identical by construction.
-        assert_eq!(
-            shuffled("greedy-rounds", ShuffleMode::Streaming),
-            shuffled("greedy-rounds", ShuffleMode::LegacySort)
-        );
-        // Only the streaming rows merge runs.
+        // Every workload merges sorted runs.
         for row in &rows {
-            match row.mode {
-                ShuffleMode::Streaming => assert!(row.merge_runs > 0, "{row:?}"),
-                ShuffleMode::LegacySort => assert_eq!(row.merge_runs, 0, "{row:?}"),
+            assert!(row.merge_runs > 0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn spill_ablation_spills_under_a_tiny_budget_and_stays_byte_identical() {
+        let mut set = smoke_set();
+        let rows = spill_rows(&mut set);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.output_matches_unlimited, "{row:?}");
+            match row.budget {
+                None => {
+                    assert_eq!(row.disk_runs, 0, "{row:?}");
+                    assert_eq!(row.spill_bytes, 0, "{row:?}");
+                }
+                Some(_) => {
+                    assert!(row.disk_runs > 0, "{row:?}");
+                    assert!(row.spill_bytes > 0, "{row:?}");
+                }
             }
         }
+        // All budgets shuffle the same records: spilling moves bytes, not
+        // semantics.
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].records_shuffled == w[1].records_shuffled));
     }
 }

@@ -1,7 +1,7 @@
 //! Algorithm configuration.
 
 use serde::{Deserialize, Serialize};
-use smr_mapreduce::{JobConfig, ShuffleMode};
+use smr_mapreduce::JobConfig;
 
 /// How the marking stage of the maximal b-matching subroutine chooses the
 /// edges a node proposes to its neighbours (Section 6, "Variants").
@@ -43,12 +43,18 @@ impl GreedyMrConfig {
         self
     }
 
-    /// Selects the engine shuffle path every round uses (streaming vs
-    /// legacy concat+sort) — a passthrough to
-    /// [`JobConfig::with_shuffle_mode`] used by the `shuffle` bench
-    /// experiment to A/B whole algorithm runs.
-    pub fn with_shuffle_mode(mut self, mode: ShuffleMode) -> Self {
-        self.job.shuffle = mode;
+    /// Sets the engine memory budget every round runs under (`None` =
+    /// unlimited) — a passthrough to [`JobConfig::with_memory_budget`]
+    /// used by the `spill` bench experiment to A/B whole algorithm runs.
+    pub fn with_memory_budget(mut self, bytes: Option<u64>) -> Self {
+        self.job = self.job.with_memory_budget(bytes);
+        self
+    }
+
+    /// Sets the directory spilled runs are written under — a passthrough
+    /// to [`JobConfig::with_spill_dir`].
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.job = self.job.with_spill_dir(dir);
         self
     }
 
@@ -131,10 +137,17 @@ impl StackMrConfig {
         self
     }
 
-    /// Selects the engine shuffle path used by every job of every phase
-    /// (see [`GreedyMrConfig::with_shuffle_mode`]).
-    pub fn with_shuffle_mode(mut self, mode: ShuffleMode) -> Self {
-        self.job.shuffle = mode;
+    /// Sets the engine memory budget used by every job of every phase
+    /// (see [`GreedyMrConfig::with_memory_budget`]).
+    pub fn with_memory_budget(mut self, bytes: Option<u64>) -> Self {
+        self.job = self.job.with_memory_budget(bytes);
+        self
+    }
+
+    /// Sets the directory spilled runs are written under (see
+    /// [`GreedyMrConfig::with_spill_dir`]).
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.job = self.job.with_spill_dir(dir);
         self
     }
 
@@ -202,11 +215,22 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn shuffle_mode_passthrough_reaches_the_job_config() {
-        let greedy = GreedyMrConfig::default().with_shuffle_mode(ShuffleMode::LegacySort);
-        assert_eq!(greedy.job.shuffle, ShuffleMode::LegacySort);
-        let stack = StackMrConfig::default().with_shuffle_mode(ShuffleMode::LegacySort);
-        assert_eq!(stack.job.shuffle, ShuffleMode::LegacySort);
+    fn memory_budget_passthrough_reaches_the_job_config() {
+        let greedy = GreedyMrConfig::default()
+            .with_memory_budget(Some(4096))
+            .with_spill_dir("/tmp/greedy-spills");
+        assert_eq!(greedy.job.memory_budget, Some(4096));
+        assert_eq!(
+            greedy.job.spill_dir,
+            Some(std::path::PathBuf::from("/tmp/greedy-spills"))
+        );
+        let stack = StackMrConfig::default()
+            .with_memory_budget(Some(4096))
+            .with_spill_dir("/tmp/stack-spills");
+        assert_eq!(stack.job.memory_budget, Some(4096));
+        assert_eq!(
+            stack.job.spill_dir,
+            Some(std::path::PathBuf::from("/tmp/stack-spills"))
+        );
     }
 }

@@ -31,6 +31,7 @@ use smr_mapreduce::flow::FlowContext;
 use smr_mapreduce::{
     Emitter, IterativeDriver, IterativeJob, JobMetrics, Mapper, Reducer, RoundOutcome, RunSummary,
 };
+use smr_storage::impl_codec_struct;
 
 use crate::config::GreedyMrConfig;
 use crate::result::{AlgorithmKind, MatchingRun};
@@ -56,6 +57,15 @@ pub struct EdgeView {
     pub proposed: bool,
 }
 
+impl_codec_struct!(EdgeView {
+    edge,
+    sender,
+    other,
+    weight,
+    sender_capacity,
+    proposed
+});
+
 /// Output of one reducer invocation: the node's updated record plus the
 /// edges it matched this round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,6 +76,8 @@ pub struct GreedyRoundOutput {
     /// both endpoints; the driver deduplicates).
     pub matched: Vec<EdgeId>,
 }
+
+impl_codec_struct!(GreedyRoundOutput { record, matched });
 
 /// The map function of a GreedyMR round.
 struct ProposeMapper;
@@ -440,22 +452,23 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_and_streaming_shuffle_agree_on_the_matching() {
-        use smr_mapreduce::ShuffleMode;
+    fn spilled_and_in_memory_runs_agree_on_the_matching() {
         let (g, caps) = small_instance();
-        let streaming = GreedyMr::new(config()).run(&g, &caps);
-        let legacy =
-            GreedyMr::new(config().with_shuffle_mode(ShuffleMode::LegacySort)).run(&g, &caps);
+        let in_memory = GreedyMr::new(config().with_memory_budget(None)).run(&g, &caps);
+        let spilled = GreedyMr::new(config().with_memory_budget(Some(256))).run(&g, &caps);
         assert_eq!(
-            streaming.matching.to_edge_vec(),
-            legacy.matching.to_edge_vec()
+            spilled.matching.to_edge_vec(),
+            in_memory.matching.to_edge_vec()
         );
-        assert_eq!(streaming.rounds, legacy.rounds);
+        assert_eq!(spilled.rounds, in_memory.rounds);
         assert_eq!(
-            streaming.total_shuffled_records(),
-            legacy.total_shuffled_records(),
-            "GreedyMR has no combiner, so both paths shuffle the same records"
+            spilled.total_shuffled_records(),
+            in_memory.total_shuffled_records(),
+            "GreedyMR has no combiner, so spilling must not change the record flow"
+        );
+        assert!(
+            spilled.job_metrics.iter().map(|m| m.disk_runs).sum::<u64>() > 0,
+            "a 256-byte budget must force disk runs"
         );
     }
 

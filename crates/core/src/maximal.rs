@@ -30,6 +30,7 @@ use serde::{Deserialize, Serialize};
 use smr_graph::{EdgeId, NodeId};
 use smr_mapreduce::flow::FlowContext;
 use smr_mapreduce::{Emitter, JobConfig, JobMetrics, Mapper, Reducer};
+use smr_storage::impl_codec_struct;
 
 use crate::config::MarkingStrategy;
 use crate::state::{AdjEdge, NodeRecord};
@@ -50,6 +51,15 @@ pub struct WorkEdge {
     /// Whether the edge is currently in the candidate set `F`.
     pub in_f: bool,
 }
+
+impl_codec_struct!(WorkEdge {
+    edge,
+    other,
+    weight,
+    marked_by_self,
+    marked_by_other,
+    in_f
+});
 
 impl WorkEdge {
     fn from_adj(adj: &AdjEdge) -> Self {
@@ -75,6 +85,12 @@ pub struct WorkRecord {
     pub edges: Vec<WorkEdge>,
 }
 
+impl_codec_struct!(WorkRecord {
+    node,
+    capacity,
+    edges
+});
+
 /// The message exchanged by all four stage jobs: one endpoint's view of one
 /// edge, plus a per-node heartbeat (edge = `usize::MAX`) so records survive
 /// rounds in which a node has nothing to say.
@@ -90,6 +106,13 @@ pub struct StageMsg {
     /// heartbeat so that the reducer has its own state available.
     pub record: Option<WorkRecord>,
 }
+
+impl_codec_struct!(StageMsg {
+    edge,
+    sender,
+    flag,
+    record
+});
 
 impl StageMsg {
     fn heartbeat(record: WorkRecord) -> (NodeId, StageMsg) {
@@ -461,6 +484,8 @@ pub struct CleanupOutput {
     /// Edges added to the maximal matching this iteration.
     pub matched: Vec<EdgeId>,
 }
+
+impl_codec_struct!(CleanupOutput { record, matched });
 
 struct CleanupReducer;
 

@@ -33,6 +33,7 @@ use serde::{Deserialize, Serialize};
 use smr_graph::{BipartiteGraph, Capacities, EdgeId, Matching, NodeId};
 use smr_mapreduce::flow::FlowContext;
 use smr_mapreduce::{Emitter, Mapper, Reducer};
+use smr_storage::impl_codec_struct;
 
 use crate::config::{MarkingStrategy, StackMrConfig};
 use crate::maximal::MaximalMatcher;
@@ -56,6 +57,13 @@ pub struct StackNodeRecord {
     pub adjacency: Vec<AdjEdge>,
 }
 
+impl_codec_struct!(StackNodeRecord {
+    node,
+    capacity,
+    dual,
+    adjacency
+});
+
 /// Message of the coverage and push jobs: one endpoint's `y/b` value for
 /// one edge, or a self-addressed heartbeat carrying the full record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,6 +77,13 @@ pub struct DualMsg {
     /// Attached record (heartbeat only).
     pub record: Option<StackNodeRecord>,
 }
+
+impl_codec_struct!(DualMsg {
+    edge,
+    sender,
+    dual_over_capacity,
+    record
+});
 
 /// A mapper that sends `y/b` along every live edge (used by both the
 /// coverage job and the push job; the push job additionally restricts the
@@ -216,6 +231,12 @@ pub struct PopNodeRecord {
     pub adjacency: Vec<AdjEdge>,
 }
 
+impl_codec_struct!(PopNodeRecord {
+    node,
+    residual,
+    adjacency
+});
+
 /// Message of a pop job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PopMsg {
@@ -226,6 +247,12 @@ pub struct PopMsg {
     /// Attached record (heartbeat only).
     pub record: Option<PopNodeRecord>,
 }
+
+impl_codec_struct!(PopMsg {
+    edge,
+    sender,
+    record
+});
 
 /// Mapper of a pop job: an active node nominates its edges of the current
 /// layer that are not yet in the solution.
@@ -282,6 +309,8 @@ pub struct PopOutput {
     /// Edges of the popped layer included in the solution at this node.
     pub included: Vec<EdgeId>,
 }
+
+impl_codec_struct!(PopOutput { record, included });
 
 /// Reducer of a pop job: an edge is included when *both* endpoints
 /// nominated it (i.e. both were still active).
@@ -618,22 +647,23 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_and_streaming_shuffle_agree_on_the_matching() {
-        use smr_mapreduce::ShuffleMode;
+    fn spilled_and_in_memory_runs_agree_on_the_matching() {
         let g = random_graph(6, 7, 3);
         let caps = Capacities::uniform(&g, 2, 2);
-        let streaming = StackMr::new(test_config(21)).run(&g, &caps);
-        let legacy =
-            StackMr::new(test_config(21).with_shuffle_mode(ShuffleMode::LegacySort)).run(&g, &caps);
+        let in_memory = StackMr::new(test_config(21).with_memory_budget(None)).run(&g, &caps);
+        let spilled = StackMr::new(test_config(21).with_memory_budget(Some(256))).run(&g, &caps);
         assert_eq!(
-            streaming.matching.to_edge_vec(),
-            legacy.matching.to_edge_vec()
+            spilled.matching.to_edge_vec(),
+            in_memory.matching.to_edge_vec()
         );
-        assert_eq!(streaming.mr_jobs, legacy.mr_jobs);
+        assert_eq!(spilled.mr_jobs, in_memory.mr_jobs);
         assert_eq!(
-            streaming.total_shuffled_records(),
-            legacy.total_shuffled_records()
+            spilled.total_shuffled_records(),
+            in_memory.total_shuffled_records()
+        );
+        assert!(
+            spilled.job_metrics.iter().map(|m| m.disk_runs).sum::<u64>() > 0,
+            "a 256-byte budget must force disk runs across the phases"
         );
     }
 

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use smr_graph::{BipartiteGraph, Capacities, EdgeId, NodeId};
+use smr_storage::impl_codec_struct;
 
 /// One entry of a node's adjacency list.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,6 +21,12 @@ pub struct AdjEdge {
     /// Edge weight.
     pub weight: f64,
 }
+
+impl_codec_struct!(AdjEdge {
+    edge,
+    other,
+    weight
+});
 
 impl AdjEdge {
     /// Creates an adjacency entry.
@@ -42,6 +49,12 @@ pub struct NodeRecord {
     /// Incident edges the node still considers live.
     pub adjacency: Vec<AdjEdge>,
 }
+
+impl_codec_struct!(NodeRecord {
+    node,
+    capacity,
+    adjacency
+});
 
 impl NodeRecord {
     /// Creates a record.

@@ -8,7 +8,7 @@
 //! even the engine counters are scheduling-invariant).
 
 use smr_graph::{BipartiteGraph, Capacities, ConsumerId, GraphBuilder, ItemId};
-use smr_mapreduce::{JobConfig, ShuffleMode};
+use smr_mapreduce::JobConfig;
 use smr_matching::{GreedyMr, GreedyMrConfig, StackMr, StackMrConfig};
 
 /// A dense-ish deterministic instance with plenty of equal-capacity
@@ -65,31 +65,43 @@ fn greedy_mr_is_deterministic_across_20_runs_with_varying_thread_counts() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn greedy_mr_per_round_shuffle_counters_match_the_legacy_engine() {
-    // Round-by-round, the streaming engine must report exactly the record
-    // flow the legacy engine reported (GreedyMR runs no combiner).
+fn greedy_mr_per_round_shuffle_counters_are_budget_invariant() {
+    // Round-by-round, a run that spills every few records to disk must
+    // report exactly the record flow of the unlimited-memory run — and
+    // the identical matching (GreedyMR runs no combiner, so the spill
+    // path moves bytes without changing a single record).
     let (graph, caps) = instance();
-    let streaming =
-        GreedyMr::new(GreedyMrConfig::default().with_job(JobConfig::named("ab").with_threads(4)))
-            .run(&graph, &caps);
-    let legacy = GreedyMr::new(
+    let in_memory = GreedyMr::new(
         GreedyMrConfig::default()
             .with_job(JobConfig::named("ab").with_threads(4))
-            .with_shuffle_mode(ShuffleMode::LegacySort),
+            .with_memory_budget(None),
     )
     .run(&graph, &caps);
-    assert_eq!(streaming.job_metrics.len(), legacy.job_metrics.len());
-    for (round, (s, l)) in streaming
+    let spilled = GreedyMr::new(
+        GreedyMrConfig::default()
+            .with_job(JobConfig::named("ab").with_threads(4))
+            .with_memory_budget(Some(512)),
+    )
+    .run(&graph, &caps);
+    assert_eq!(
+        spilled.matching.to_edge_vec(),
+        in_memory.matching.to_edge_vec()
+    );
+    assert_eq!(spilled.job_metrics.len(), in_memory.job_metrics.len());
+    let mut disk_runs = 0;
+    for (round, (s, m)) in spilled
         .job_metrics
         .iter()
-        .zip(legacy.job_metrics.iter())
+        .zip(in_memory.job_metrics.iter())
         .enumerate()
     {
-        assert_eq!(s.shuffle_records, l.shuffle_records, "round {round}");
-        assert_eq!(s.map_output_records, l.map_output_records, "round {round}");
-        assert_eq!(s.shuffle_bytes, l.shuffle_bytes, "round {round}");
+        assert_eq!(s.shuffle_records, m.shuffle_records, "round {round}");
+        assert_eq!(s.map_output_records, m.map_output_records, "round {round}");
+        assert_eq!(s.shuffle_bytes, m.shuffle_bytes, "round {round}");
+        assert_eq!(m.disk_runs, 0, "round {round}");
+        disk_runs += s.disk_runs;
     }
+    assert!(disk_runs > 0, "a 512-byte budget must spill");
 }
 
 #[test]

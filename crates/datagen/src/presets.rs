@@ -5,6 +5,7 @@
 //! | `flickr-small`   | 2 817 / 526 / 550 667            | 300 / 80   |
 //! | `flickr-large`   | 373 373 / 32 707 / 1 995 123 827 | 2 500 / 400 |
 //! | `yahoo-answers`  | 4 852 689 / 1 149 714 / 18 847 281 236 | 1 500 / 500 |
+//! | `flickr-xl`      | — (scale tier)                   | 12 000 / 1 500 |
 //!
 //! The absolute sizes are scaled down by orders of magnitude so that the
 //! full pipeline (similarity join + matching + parameter sweeps) runs on a
@@ -12,6 +13,13 @@
 //! depend on are preserved: flickr-large is much larger and has a much more
 //! skewed capacity distribution than flickr-small, and yahoo-answers has
 //! uniform item capacities with many more items than consumers.
+//!
+//! `flickr-xl` is not one of the paper's datasets: it is the *spill tier*,
+//! sized so that shuffle-heavy jobs overflow a small memory budget and
+//! exercise the engine's disk-spilling path (the `spill` experiment
+//! A/B-s budgets on it).  It is therefore not part of
+//! [`DatasetPreset::all`] — the paper sweeps stay laptop-fast — but is
+//! addressable by name everywhere presets are.
 
 use serde::{Deserialize, Serialize};
 
@@ -28,10 +36,14 @@ pub enum DatasetPreset {
     FlickrLarge,
     /// Scaled-down `yahoo-answers`.
     YahooAnswers,
+    /// The out-of-core scale tier: a Flickr-shaped dataset sized to
+    /// overflow small memory budgets and force the engine's spill path.
+    FlickrXl,
 }
 
 impl DatasetPreset {
-    /// All presets, in the order the paper presents them.
+    /// The paper's three presets, in the order the paper presents them
+    /// (the `flickr-xl` scale tier is addressed explicitly, not swept).
     pub fn all() -> [DatasetPreset; 3] {
         [
             DatasetPreset::FlickrSmall,
@@ -46,6 +58,7 @@ impl DatasetPreset {
             DatasetPreset::FlickrSmall => "flickr-small",
             DatasetPreset::FlickrLarge => "flickr-large",
             DatasetPreset::YahooAnswers => "yahoo-answers",
+            DatasetPreset::FlickrXl => "flickr-xl",
         }
     }
 
@@ -55,7 +68,9 @@ impl DatasetPreset {
     pub fn sigma_sweep(self) -> Vec<f64> {
         match self {
             DatasetPreset::FlickrSmall => vec![0.30, 0.22, 0.16, 0.11, 0.07],
-            DatasetPreset::FlickrLarge => vec![0.35, 0.27, 0.20, 0.14, 0.09],
+            DatasetPreset::FlickrLarge | DatasetPreset::FlickrXl => {
+                vec![0.35, 0.27, 0.20, 0.14, 0.09]
+            }
             DatasetPreset::YahooAnswers => vec![0.30, 0.22, 0.16, 0.11, 0.07],
         }
     }
@@ -109,6 +124,21 @@ impl DatasetPreset {
                 ..AnswersGenerator::default()
             }
             .generate(),
+            DatasetPreset::FlickrXl => FlickrGenerator {
+                num_photos: 12_000,
+                num_users: 1_500,
+                vocabulary: 2_000,
+                interests_per_user: 10,
+                tags_per_photo: 6,
+                topicality: 0.7,
+                activity_exponent: 1.4,
+                max_activity: 600,
+                favorites_exponent: 1.6,
+                max_favorites: 2_000,
+                seed,
+                ..FlickrGenerator::default()
+            }
+            .generate(),
         };
         dataset.name = self.name().to_string();
         dataset
@@ -129,8 +159,10 @@ impl std::str::FromStr for DatasetPreset {
             "flickr-small" => Ok(DatasetPreset::FlickrSmall),
             "flickr-large" => Ok(DatasetPreset::FlickrLarge),
             "yahoo-answers" => Ok(DatasetPreset::YahooAnswers),
+            "flickr-xl" => Ok(DatasetPreset::FlickrXl),
             other => Err(format!(
-                "unknown dataset preset '{other}' (expected flickr-small, flickr-large or yahoo-answers)"
+                "unknown dataset preset '{other}' (expected flickr-small, flickr-large, \
+                 yahoo-answers or flickr-xl)"
             )),
         }
     }
@@ -184,11 +216,29 @@ mod tests {
 
     #[test]
     fn names_round_trip_through_fromstr_and_display() {
-        for preset in DatasetPreset::all() {
+        for preset in DatasetPreset::all()
+            .into_iter()
+            .chain([DatasetPreset::FlickrXl])
+        {
             let parsed = DatasetPreset::from_str(&preset.to_string()).unwrap();
             assert_eq!(parsed, preset);
         }
         assert!(DatasetPreset::from_str("imagenet").is_err());
+    }
+
+    #[test]
+    fn xl_tier_is_an_order_of_magnitude_beyond_large() {
+        // Sizing only — generating the documents is cheap; the XL tier is
+        // consumed by shuffle workloads, not by the full join sweep.
+        let xl = DatasetPreset::FlickrXl.generate();
+        let large = DatasetPreset::FlickrLarge.generate();
+        assert!(xl.num_items() >= 4 * large.num_items());
+        assert!(xl.num_consumers() >= 3 * large.num_consumers());
+        assert_eq!(xl.name, "flickr-xl");
+        assert!(
+            !DatasetPreset::all().contains(&DatasetPreset::FlickrXl),
+            "the paper sweep must not grow the scale tier"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! degrees) a flat vector.
 
 use serde::{Deserialize, Serialize};
+use smr_storage::{impl_codec_newtype, Codec, CodecError};
 use std::fmt;
 
 /// Identifier of an item (a piece of content: a photo, a question, …).
@@ -35,6 +36,9 @@ impl ConsumerId {
         self.0 as usize
     }
 }
+
+impl_codec_newtype!(ItemId(u32));
+impl_codec_newtype!(ConsumerId(u32));
 
 impl From<u32> for ItemId {
     fn from(v: u32) -> Self {
@@ -131,6 +135,32 @@ impl PartialOrd for NodeId {
     }
 }
 
+impl Codec for NodeId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Tag byte (0 = item, 1 = consumer), then the dense index.
+        match self {
+            NodeId::Item(t) => {
+                out.push(0);
+                t.encode(out);
+            }
+            NodeId::Consumer(c) => {
+                out.push(1);
+                c.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            0 => Ok(NodeId::Item(ItemId::decode(input)?)),
+            1 => Ok(NodeId::Consumer(ConsumerId::decode(input)?)),
+            other => Err(CodecError::InvalidData(format!(
+                "invalid NodeId tag {other}"
+            ))),
+        }
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -155,6 +185,19 @@ impl From<ConsumerId> for NodeId {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ids_round_trip_through_the_codec() {
+        for node in [NodeId::item(0), NodeId::item(u32::MAX), NodeId::consumer(7)] {
+            let bytes = node.encode_to_vec();
+            assert_eq!(NodeId::decode_all(&bytes).unwrap(), node);
+        }
+        assert!(NodeId::decode_all(&[2, 0, 0, 0, 0]).is_err(), "bad tag");
+        let item = ItemId(9).encode_to_vec();
+        assert_eq!(ItemId::decode_all(&item).unwrap(), ItemId(9));
+        let consumer = ConsumerId(5).encode_to_vec();
+        assert_eq!(ConsumerId::decode_all(&consumer).unwrap(), ConsumerId(5));
+    }
 
     #[test]
     fn node_id_constructors_and_accessors() {

@@ -1,31 +1,37 @@
 //! Job configuration.
 
-/// How the engine moves intermediate pairs from map tasks to reduce
-/// partitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ShuffleMode {
-    /// Streaming shuffle (the default): every map task emits one *sorted
-    /// run* per reduce partition (combined while partitioning), and the
-    /// shuffle performs a k-way merge of a partition's runs instead of
-    /// concatenating and re-sorting the whole partition.
-    #[default]
-    Streaming,
-    /// The original shuffle: concatenate every task's bucket for a
-    /// partition and sort the whole partition at once.  Both paths produce
-    /// byte-identical output.
-    ///
-    /// Deprecated: the A/B baseline against the streaming shuffle is
-    /// captured in `EXPERIMENTS.md`, so this path is scheduled for removal
-    /// in the next release (see `docs/engine.md`).
-    #[deprecated(note = "the streaming shuffle is byte-identical and strictly faster; \
-                the A/B baseline is recorded in EXPERIMENTS.md and LegacySort \
-                will be removed in the next release")]
-    LegacySort,
-}
+use std::path::PathBuf;
 
 /// Default size (in records) of the per-task combining buffer used by the
 /// streaming shuffle.
 pub const DEFAULT_COMBINE_BUFFER_RECORDS: usize = 8 * 1024;
+
+/// Environment variable providing the default memory budget in bytes
+/// (see [`JobConfig::memory_budget`]).  Unset, empty, unparsable or `0`
+/// all mean "unlimited".
+pub const MEMORY_BUDGET_ENV: &str = "SMR_MEMORY_BUDGET";
+
+/// Environment variable providing the default spill directory
+/// (see [`JobConfig::spill_dir`]).
+pub const SPILL_DIR_ENV: &str = "SMR_SPILL_DIR";
+
+fn env_memory_budget() -> Option<u64> {
+    std::env::var(MEMORY_BUDGET_ENV)
+        .ok()?
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .filter(|budget| *budget > 0)
+}
+
+fn env_spill_dir() -> Option<PathBuf> {
+    let dir = std::env::var(SPILL_DIR_ENV).ok()?;
+    let dir = dir.trim();
+    if dir.is_empty() {
+        return None;
+    }
+    Some(PathBuf::from(dir))
+}
 
 /// Configuration of a single MapReduce job (and, via the driver, of every
 /// round of an iterative algorithm).
@@ -46,18 +52,27 @@ pub struct JobConfig {
     pub num_map_tasks: usize,
     /// Number of reduce partitions.  `0` means "one per worker thread".
     pub num_reduce_tasks: usize,
-    /// Whether reduce partitions are sorted by key before reducing
-    /// (Hadoop always sorts; disabling the sort is useful only for
-    /// benchmarking the legacy shuffle itself — the streaming shuffle
-    /// produces sorted partitions by construction).
-    pub sort_reduce_input: bool,
-    /// Which shuffle implementation to use.
-    pub shuffle: ShuffleMode,
-    /// Streaming shuffle only: number of intermediate records a map task
-    /// buffers before applying the combiner in place (bounding the task's
-    /// memory in combined records rather than raw map output).  Ignored
-    /// when the job has no combiner.
+    /// Number of intermediate records a map task buffers before applying
+    /// the combiner in place (bounding the task's memory in combined
+    /// records rather than raw map output).  Ignored when the job has no
+    /// combiner.
     pub combine_buffer_records: usize,
+    /// Memory budget in bytes for the job's map-side buffers, divided
+    /// evenly among the worker threads.  A task whose combining buffer
+    /// outgrows its share — estimated as records ×
+    /// `size_of::<(K, V)>()`, a lower bound for heap-carrying types —
+    /// first combines in place (if a combiner is configured) and, when
+    /// still over budget, **spills its sorted run to disk** instead of
+    /// growing without bound; the shuffle then streams disk and in-memory
+    /// runs through one external k-way merge.  `None` (the default unless
+    /// the [`MEMORY_BUDGET_ENV`] environment variable is set) disables
+    /// spilling.  The job's output is byte-identical for every budget.
+    pub memory_budget: Option<u64>,
+    /// Directory spilled runs are written under (a per-job subdirectory is
+    /// created lazily and removed when the job finishes).  `None` (the
+    /// default unless [`SPILL_DIR_ENV`] is set) uses the system temp
+    /// directory.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for JobConfig {
@@ -67,9 +82,9 @@ impl Default for JobConfig {
             num_threads: 0,
             num_map_tasks: 0,
             num_reduce_tasks: 0,
-            sort_reduce_input: true,
-            shuffle: ShuffleMode::default(),
             combine_buffer_records: DEFAULT_COMBINE_BUFFER_RECORDS,
+            memory_budget: env_memory_budget(),
+            spill_dir: env_spill_dir(),
         }
     }
 }
@@ -105,18 +120,6 @@ impl JobConfig {
         self
     }
 
-    /// Enables or disables sorting of reduce-partition input by key.
-    pub fn with_sorted_reduce_input(mut self, sort: bool) -> Self {
-        self.sort_reduce_input = sort;
-        self
-    }
-
-    /// Selects the shuffle implementation (streaming vs legacy sort).
-    pub fn with_shuffle_mode(mut self, mode: ShuffleMode) -> Self {
-        self.shuffle = mode;
-        self
-    }
-
     /// Sets the streaming-shuffle combining-buffer size in records.
     ///
     /// # Panics
@@ -124,6 +127,21 @@ impl JobConfig {
     pub fn with_combine_buffer_records(mut self, records: usize) -> Self {
         assert!(records > 0, "combine buffer must hold at least one record");
         self.combine_buffer_records = records;
+        self
+    }
+
+    /// Sets the map-side memory budget in bytes (`None` = unlimited,
+    /// overriding any [`MEMORY_BUDGET_ENV`] default).  See
+    /// [`JobConfig::memory_budget`].
+    pub fn with_memory_budget(mut self, bytes: Option<u64>) -> Self {
+        self.memory_budget = bytes.filter(|b| *b > 0);
+        self
+    }
+
+    /// Sets the directory spilled runs are written under (`None` = system
+    /// temp directory).  See [`JobConfig::spill_dir`].
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
         self
     }
 
@@ -172,19 +190,31 @@ mod tests {
         assert!(c.effective_threads() >= 1);
         assert!(c.effective_map_tasks(100) >= 1);
         assert!(c.effective_reduce_tasks() >= 1);
-        assert!(c.sort_reduce_input);
-        assert_eq!(c.shuffle, ShuffleMode::Streaming);
         assert!(c.combine_buffer_records > 0);
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn shuffle_mode_and_buffer_are_configurable() {
+    fn memory_budget_and_spill_dir_are_configurable() {
         let c = JobConfig::named("s")
-            .with_shuffle_mode(ShuffleMode::LegacySort)
+            .with_memory_budget(Some(4096))
+            .with_spill_dir("/tmp/spills")
             .with_combine_buffer_records(16);
-        assert_eq!(c.shuffle, ShuffleMode::LegacySort);
+        assert_eq!(c.memory_budget, Some(4096));
+        assert_eq!(c.spill_dir, Some(PathBuf::from("/tmp/spills")));
         assert_eq!(c.combine_buffer_records, 16);
+        // Explicit None overrides whatever the environment provided.
+        let unlimited = c.with_memory_budget(None);
+        assert_eq!(unlimited.memory_budget, None);
+    }
+
+    #[test]
+    fn zero_budget_means_unlimited() {
+        assert_eq!(
+            JobConfig::default()
+                .with_memory_budget(Some(0))
+                .memory_budget,
+            None
+        );
     }
 
     #[test]
@@ -198,13 +228,11 @@ mod tests {
         let c = JobConfig::named("x")
             .with_threads(3)
             .with_map_tasks(7)
-            .with_reduce_tasks(5)
-            .with_sorted_reduce_input(false);
+            .with_reduce_tasks(5);
         assert_eq!(c.name, "x");
         assert_eq!(c.effective_threads(), 3);
         assert_eq!(c.effective_map_tasks(100), 7);
         assert_eq!(c.effective_reduce_tasks(), 5);
-        assert!(!c.sort_reduce_input);
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub mod builtin {
     pub const MERGE_RUNS: &str = "merge_runs";
     /// In-place combine passes triggered by map-task buffer overflow.
     pub const COMBINE_SPILLS: &str = "combine_spills";
+    /// Encoded bytes of sorted runs spilled to disk under a memory budget.
+    pub const SPILL_BYTES: &str = "spill_bytes";
+    /// Sorted runs spilled to disk under a memory budget.
+    pub const DISK_RUNS: &str = "disk_runs";
     /// Distinct key groups presented to reducers.
     pub const REDUCE_INPUT_GROUPS: &str = "reduce_input_groups";
     /// Records emitted by reduce tasks.

@@ -1,5 +1,5 @@
 //! The parallel job executor: map → combine-while-partitioning → merge →
-//! reduce.
+//! reduce, with disk spilling under a memory budget.
 //!
 //! The executor is an in-process model of a Hadoop job, built around a
 //! *streaming* shuffle:
@@ -11,37 +11,44 @@
 //!    *while partitioning*: when the bounded in-memory buffer overflows it
 //!    combines in place, so a task's memory is bounded by its combined
 //!    working set rather than its raw map output.
-//! 2. **Run generation** — at task end every partition bucket is sorted
-//!    once (at task granularity) and combined, yielding one *sorted run*
-//!    per `(task, partition)` pair.
-//! 3. **Merge** — the shuffle k-way merges each reduce partition's runs
-//!    (`O(n log k)` instead of the legacy concat + full re-sort's
-//!    `O(n log n)`), applying the combiner once more across runs, so
+//! 2. **Spill** — under a [`JobConfig::memory_budget`] each task watches
+//!    its buffer's byte estimate against its share of the budget.  When
+//!    combining cannot keep the buffer under budget, the task drains it
+//!    early: each partition bucket becomes a *sorted run* written to a
+//!    spill file through the job's `SpillManager` (`spill_bytes` /
+//!    `disk_runs` metrics), and the buffer starts over empty.
+//! 3. **Run generation** — at task end every partition bucket is sorted
+//!    once (at task granularity) and combined, yielding the task's final
+//!    in-memory sorted run per partition.
+//! 4. **Merge** — the shuffle k-way merges each reduce partition's runs
+//!    (`O(n log k)`), streaming disk runs and in-memory runs through the
+//!    same heap and applying the combiner once more across runs, so
 //!    records that different tasks emitted for the same key collapse
 //!    before they ever reach a reducer.
-//! 4. **Reduce** — worker threads pull reduce partitions from a second
+//! 5. **Reduce** — worker threads pull reduce partitions from a second
 //!    task queue, group the (already sorted) partition by key and run the
 //!    reducer.
 //!
 //! Determinism: task indices, not worker threads, decide every ordering
-//! decision (runs merge in task order; key ties break by run), so
-//! `JobResult.output` is byte-identical for any thread count — and
-//! byte-identical to the legacy path, which is kept for one release behind
-//! [`ShuffleMode::LegacySort`] so the `shuffle` bench experiment can A/B
-//! the two.  Record counts, shuffled bytes, merged runs and per-phase wall
-//! time are recorded in [`JobMetrics`].
+//! decision — runs merge in `(task, spill sequence)` order and key ties
+//! break by run — so `JobResult.output` is byte-identical for any thread
+//! count **and any memory budget**: a job that spilled every few records
+//! produces exactly the bytes of the unlimited-memory run.  Record counts,
+//! shuffled bytes, merged runs, spilled bytes and per-phase wall time are
+//! recorded in [`JobMetrics`].
 
 use std::mem;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
+use smr_storage::{CompletedRun, RunReader, SpillManager};
 
-use crate::config::{JobConfig, ShuffleMode};
+use crate::config::JobConfig;
 use crate::counters::{builtin, Counters};
 use crate::metrics::JobMetrics;
 use crate::partition::{CombiningPartitionBuffer, HashPartitioner, Partitioner};
-use crate::shuffle::{combine_sorted_groups, merge_runs, merge_runs_combining};
+use crate::shuffle::{merge_streams, merge_streams_combining, RunStream};
 use crate::task_queue::TaskQueue;
 use crate::types::{Combiner, Emitter, Mapper, Reducer};
 
@@ -49,13 +56,35 @@ use crate::types::{Combiner, Emitter, Mapper, Reducer};
 /// thread: spawning merge workers costs more than the merge itself.
 const PARALLEL_MERGE_MIN_RECORDS: usize = 8 * 1024;
 
+/// One sorted run of a reduce partition, tagged with its origin so the
+/// merge can order runs deterministically whatever the completion order
+/// was: `(task, seq)` sorts spilled chunks of a task before the task's
+/// final in-memory run, in emission order.
+struct TaggedRun<K, V> {
+    task: usize,
+    seq: usize,
+    source: RunSource<K, V>,
+}
+
+enum RunSource<K, V> {
+    Memory(Vec<(K, V)>),
+    Disk(CompletedRun),
+}
+
+impl<K, V> RunSource<K, V> {
+    fn len(&self) -> usize {
+        match self {
+            RunSource::Memory(run) => run.len(),
+            RunSource::Disk(run) => run.records as usize,
+        }
+    }
+}
+
 /// The output of a completed job.
 #[derive(Debug, Clone)]
 pub struct JobResult<K, V> {
     /// All pairs emitted by the reducers, in partition order.  Records
-    /// within a partition appear in key order (the streaming shuffle
-    /// always sorts; the legacy path sorts when `sort_reduce_input` is
-    /// set).
+    /// within a partition appear in key order (the shuffle always sorts).
     pub output: Vec<(K, V)>,
     /// Engine-level metrics (record counts, timings).
     pub metrics: JobMetrics,
@@ -159,33 +188,15 @@ impl Job {
         // combining-buffer spills) instead of paying for nothing.
         let combiner = combiner.filter(|c| !c.is_identity());
 
-        // Map + shuffle: both modes end with one vector of records per
-        // reduce partition.
-        #[allow(deprecated)] // LegacySort stays runnable until removal
-        let (partitions, sorted) = match self.config.shuffle {
-            ShuffleMode::Streaming => (
-                self.streaming_map_and_merge(
-                    mapper,
-                    combiner,
-                    partitioner,
-                    &input,
-                    &counters,
-                    &mut metrics,
-                ),
-                true,
-            ),
-            ShuffleMode::LegacySort => (
-                self.legacy_map_and_sort(
-                    mapper,
-                    combiner,
-                    partitioner,
-                    &input,
-                    &counters,
-                    &mut metrics,
-                ),
-                self.config.sort_reduce_input,
-            ),
-        };
+        // Map + shuffle: one sorted vector of records per reduce partition.
+        let partitions = self.streaming_map_and_merge(
+            mapper,
+            combiner,
+            partitioner,
+            &input,
+            &counters,
+            &mut metrics,
+        );
 
         // ------------------------------------------------------------------
         // Reduce phase (workers pull partitions from a task queue).
@@ -206,7 +217,7 @@ impl Job {
                         let partition = &partitions_ref[task.index];
                         let mut emitter = Emitter::new();
                         let mut groups = 0u64;
-                        for (key, values) in group_by_key(partition, sorted) {
+                        for (key, values) in group_by_key(partition) {
                             reducer.reduce(key, &values, &mut emitter);
                             groups += 1;
                         }
@@ -232,6 +243,8 @@ impl Job {
         metrics.shuffle_records = counters.get(builtin::SHUFFLE_RECORDS);
         metrics.shuffle_bytes = counters.get(builtin::SHUFFLE_BYTES);
         metrics.merge_runs = counters.get(builtin::MERGE_RUNS);
+        metrics.spill_bytes = counters.get(builtin::SPILL_BYTES);
+        metrics.disk_runs = counters.get(builtin::DISK_RUNS);
         metrics.reduce_input_groups = counters.get(builtin::REDUCE_INPUT_GROUPS);
         metrics.reduce_output_records = counters.get(builtin::REDUCE_OUTPUT_RECORDS);
         metrics.user_counters = counters.snapshot();
@@ -243,9 +256,10 @@ impl Job {
         }
     }
 
-    /// The streaming path: map tasks emit per-partition sorted runs
-    /// (combining while partitioning); the shuffle k-way merges each
-    /// partition's runs and combines across them.
+    /// The map + shuffle pipeline: map tasks emit per-partition sorted
+    /// runs (combining while partitioning, spilling to disk under a memory
+    /// budget); the shuffle k-way merges each partition's runs — disk and
+    /// memory uniformly — and combines across them.
     fn streaming_map_and_merge<M, C, P>(
         &self,
         mapper: &M,
@@ -264,17 +278,26 @@ impl Job {
         let num_reduce_tasks = self.config.effective_reduce_tasks();
         let combine_buffer_records = self.config.combine_buffer_records;
 
+        // The spill manager exists only under a memory budget; its temp
+        // directory is created lazily on the first spill and removed when
+        // it drops at the end of this function (the merge below has
+        // consumed every disk run by then, so no temp files survive the
+        // job either way).
+        let spill = self
+            .config
+            .memory_budget
+            .map(|budget| SpillManager::new(budget, num_threads, self.config.spill_dir.clone()));
+        let spill = spill.as_ref();
+
         // ------------------------------------------------------------------
-        // Map: pull tasks from the queue, emit one sorted run per
-        // (task, partition).
+        // Map: pull tasks from the queue, emit sorted runs per
+        // (task, partition) — several per task when the task spills.
         // ------------------------------------------------------------------
         let map_start = Instant::now();
         let queue = TaskQueue::split(input.len(), self.config.effective_map_tasks(input.len()));
         metrics.map_tasks = queue.num_tasks();
 
-        // Runs are tagged with their task index so the merge can order
-        // them deterministically, whatever the completion order was.
-        type TaggedRuns<K, V> = Vec<Mutex<Vec<(usize, Vec<(K, V)>)>>>;
+        type TaggedRuns<K, V> = Vec<Mutex<Vec<TaggedRun<K, V>>>>;
         let runs: TaggedRuns<M::OutKey, M::OutValue> = (0..num_reduce_tasks)
             .map(|_| Mutex::new(Vec::new()))
             .collect();
@@ -292,6 +315,10 @@ impl Job {
                     while let Some(task) = queue_ref.claim() {
                         let mut buffer =
                             CombiningPartitionBuffer::new(num_reduce_tasks, combine_buffer_records);
+                        // Spilled chunks of this task get sequence numbers
+                        // 0, 1, …; the final in-memory run sorts after all
+                        // of them (usize::MAX), preserving emission order.
+                        let mut seq = 0usize;
                         for (key, value) in &input[task.range.clone()] {
                             mapper.map(key, value, &mut emitter);
                             emitter.drain_each(|out_key, out_value| {
@@ -299,12 +326,40 @@ impl Job {
                                 let p = partitioner.partition(&out_key, num_reduce_tasks);
                                 buffer.push(p, out_key, out_value, combiner);
                             });
+                            if let Some(manager) = spill {
+                                if buffer.approx_bytes() > manager.task_budget() {
+                                    // Last resort before disk: combine.  The
+                                    // combine must free real headroom (half
+                                    // the budget) to stave off the spill —
+                                    // merely squeaking back under budget
+                                    // would re-trigger a full-buffer combine
+                                    // every few pushes, the thrash the
+                                    // watermark back-off exists to prevent.
+                                    if let Some(combiner) = combiner {
+                                        buffer.combine_now(combiner);
+                                    }
+                                    if buffer.approx_bytes() > manager.task_budget() / 2 {
+                                        combine_output += spill_buffer(
+                                            &mut buffer,
+                                            manager,
+                                            runs_ref,
+                                            task.index,
+                                            seq,
+                                        );
+                                        seq += 1;
+                                    }
+                                }
+                            }
                         }
                         spills_ref.fetch_add(buffer.spills(), Ordering::Relaxed);
                         for (p, run) in buffer.into_sorted_runs(combiner).into_iter().enumerate() {
                             if !run.is_empty() {
                                 combine_output += run.len() as u64;
-                                runs_ref[p].lock().push((task.index, run));
+                                runs_ref[p].lock().push(TaggedRun {
+                                    task: task.index,
+                                    seq: usize::MAX,
+                                    source: RunSource::Memory(run),
+                                });
                             }
                         }
                     }
@@ -315,14 +370,19 @@ impl Job {
         })
         .expect("map worker thread panicked");
         counters.add(builtin::COMBINE_SPILLS, spills.into_inner());
+        if let Some(manager) = spill {
+            counters.add(builtin::SPILL_BYTES, manager.spilled_bytes());
+            counters.add(builtin::DISK_RUNS, manager.disk_runs());
+        }
         metrics.timings.map = map_start.elapsed();
 
         // ------------------------------------------------------------------
         // Shuffle: k-way merge each partition's runs (parallel over
-        // partitions), combining equal keys that straddle runs.  Small
-        // jobs merge inline: spawning workers costs more than merging a
-        // few thousand records, and the merged result is identical either
-        // way (no ordering decision depends on the execution site).
+        // partitions), streaming disk and memory runs uniformly and
+        // combining equal keys that straddle runs.  Small jobs merge
+        // inline: spawning workers costs more than merging a few thousand
+        // records, and the merged result is identical either way (no
+        // ordering decision depends on the execution site).
         // ------------------------------------------------------------------
         let shuffle_start = Instant::now();
         let record_bytes = mem::size_of::<(M::OutKey, M::OutValue)>() as u64;
@@ -339,13 +399,21 @@ impl Job {
             let mut runs_merged = 0u64;
             while let Some(task) = merge_queue_ref.claim() {
                 let mut partition_runs = mem::take(&mut *runs_ref[task.index].lock());
-                partition_runs.sort_unstable_by_key(|(task_index, _)| *task_index);
+                partition_runs.sort_unstable_by_key(|run| (run.task, run.seq));
                 runs_merged += partition_runs.len() as u64;
-                let partition_runs: Vec<_> =
-                    partition_runs.into_iter().map(|(_, run)| run).collect();
+                let streams: Vec<RunStream<M::OutKey, M::OutValue>> = partition_runs
+                    .into_iter()
+                    .map(|run| match run.source {
+                        RunSource::Memory(records) => RunStream::Memory(records.into_iter()),
+                        RunSource::Disk(run) => RunStream::Disk(
+                            RunReader::open(&run.path)
+                                .unwrap_or_else(|e| panic!("spilled run unreadable: {e}")),
+                        ),
+                    })
+                    .collect();
                 let combined = match combiner {
-                    Some(combiner) => merge_runs_combining(partition_runs, combiner),
-                    None => merge_runs(partition_runs),
+                    Some(combiner) => merge_streams_combining(streams, combiner),
+                    None => merge_streams(streams),
                 };
                 shuffled += combined.len() as u64;
                 *merged_ref[task.index].lock() = combined;
@@ -360,7 +428,7 @@ impl Job {
                 partition
                     .lock()
                     .iter()
-                    .map(|(_, run)| run.len())
+                    .map(|run| run.source.len())
                     .sum::<usize>()
             })
             .sum();
@@ -384,139 +452,62 @@ impl Job {
 
         merged.into_iter().map(Mutex::into_inner).collect()
     }
+}
 
-    /// The legacy path: map tasks bucket their (task-combined) output per
-    /// partition; the shuffle concatenates every task's bucket in task
-    /// order and re-sorts whole partitions.
-    fn legacy_map_and_sort<M, C, P>(
-        &self,
-        mapper: &M,
-        combiner: Option<&C>,
-        partitioner: &P,
-        input: &[(M::InKey, M::InValue)],
-        counters: &Counters,
-        metrics: &mut JobMetrics,
-    ) -> Vec<Vec<(M::OutKey, M::OutValue)>>
-    where
-        M: Mapper,
-        C: Combiner<Key = M::OutKey, Value = M::OutValue>,
-        P: Partitioner<M::OutKey>,
+/// Drains `buffer` into sorted runs and writes every non-empty one to a
+/// spill file, registering the disk runs under `(task, seq)`.  Returns the
+/// number of records spilled (they leave the map task here, so they count
+/// as combine output).
+fn spill_buffer<K, V>(
+    buffer: &mut CombiningPartitionBuffer<K, V>,
+    manager: &SpillManager,
+    runs: &[Mutex<Vec<TaggedRun<K, V>>>],
+    task: usize,
+    seq: usize,
+) -> u64
+where
+    K: crate::types::Key,
+    V: crate::types::Value,
+{
+    // The caller just combined (when a combiner exists), so the buckets
+    // only need sorting — pass no combiner to avoid a second pass.
+    let mut spilled = 0u64;
+    for (p, run) in buffer
+        .take_sorted_runs(None::<&crate::types::IdentityCombiner<K, V>>)
+        .into_iter()
+        .enumerate()
     {
-        let num_threads = self.config.effective_threads();
-        let num_reduce_tasks = self.config.effective_reduce_tasks();
-
-        let map_start = Instant::now();
-        let queue = TaskQueue::split(input.len(), self.config.effective_map_tasks(input.len()));
-        metrics.map_tasks = queue.num_tasks();
-
-        type TaskOutputs<K, V> = Mutex<Vec<(usize, Vec<Vec<(K, V)>>)>>;
-        let task_outputs: TaskOutputs<M::OutKey, M::OutValue> =
-            Mutex::new(Vec::with_capacity(queue.num_tasks()));
-        let queue_ref = &queue;
-
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..num_threads.min(queue.num_tasks()) {
-                scope.spawn(|_| {
-                    let mut emitter = Emitter::new();
-                    while let Some(task) = queue_ref.claim() {
-                        for (key, value) in &input[task.range.clone()] {
-                            mapper.map(key, value, &mut emitter);
-                        }
-                        let emitted = emitter.drain();
-                        counters.add(builtin::MAP_OUTPUT_RECORDS, emitted.len() as u64);
-                        let combined = match combiner {
-                            Some(combiner) => combine_task_output(combiner, emitted),
-                            None => emitted,
-                        };
-                        counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
-                        let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
-                            (0..num_reduce_tasks).map(|_| Vec::new()).collect();
-                        for (key, value) in combined {
-                            let p = partitioner.partition(&key, num_reduce_tasks);
-                            buckets[p].push((key, value));
-                        }
-                        task_outputs.lock().push((task.index, buckets));
-                    }
-                });
-            }
-        })
-        .expect("map worker thread panicked");
-        metrics.timings.map = map_start.elapsed();
-
-        let shuffle_start = Instant::now();
-        let mut task_outputs = task_outputs.into_inner();
-        // Concatenate in task-index order (not completion order) so equal
-        // keys interleave deterministically under the stable sort below.
-        task_outputs.sort_unstable_by_key(|(task_index, _)| *task_index);
-        let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
-            (0..num_reduce_tasks).map(|_| Vec::new()).collect();
-        for (_, buckets) in task_outputs {
-            for (p, bucket) in buckets.into_iter().enumerate() {
-                partitions[p].extend(bucket);
-            }
+        if run.is_empty() {
+            continue;
         }
-        let shuffled: u64 = partitions.iter().map(|p| p.len() as u64).sum();
-        counters.add(builtin::SHUFFLE_RECORDS, shuffled);
-        counters.add(
-            builtin::SHUFFLE_BYTES,
-            shuffled * mem::size_of::<(M::OutKey, M::OutValue)>() as u64,
-        );
-        if self.config.sort_reduce_input {
-            for partition in &mut partitions {
-                partition.sort_by(|a, b| a.0.cmp(&b.0));
-            }
-        }
-        metrics.timings.shuffle = shuffle_start.elapsed();
-        partitions
+        spilled += run.len() as u64;
+        let completed = manager
+            .write_run(&run)
+            .unwrap_or_else(|e| panic!("failed to spill run: {e}"));
+        runs[p].lock().push(TaggedRun {
+            task,
+            seq,
+            source: RunSource::Disk(completed),
+        });
     }
+    spilled
 }
 
-/// Applies a combiner to one map task's output: sorts the pairs by key
-/// (stable) and replaces each group's values by the combiner's output.
-fn combine_task_output<C: Combiner>(
-    combiner: &C,
-    mut pairs: Vec<(C::Key, C::Value)>,
-) -> Vec<(C::Key, C::Value)> {
-    pairs.sort_by(|a, b| a.0.cmp(&b.0));
-    combine_sorted_groups(pairs, combiner)
-}
-
-/// Iterates over `(key, values)` groups of a partition.
-///
-/// When the partition is sorted, equal keys are adjacent and the grouping is
-/// a single pass; otherwise a full scan per distinct key would be wrong, so
-/// we sort a copy of the indices instead.
-fn group_by_key<K: Ord + Clone, V: Clone>(partition: &[(K, V)], sorted: bool) -> Vec<(&K, Vec<V>)> {
-    if partition.is_empty() {
-        return Vec::new();
-    }
-    if sorted {
-        let mut groups = Vec::new();
-        let mut i = 0;
-        while i < partition.len() {
-            let mut j = i + 1;
-            while j < partition.len() && partition[j].0 == partition[i].0 {
-                j += 1;
-            }
-            let values: Vec<V> = partition[i..j].iter().map(|(_, v)| v.clone()).collect();
-            groups.push((&partition[i].0, values));
-            i = j;
+/// Iterates over `(key, values)` groups of a sorted partition: equal keys
+/// are adjacent (the shuffle always sorts), so grouping is a single pass.
+fn group_by_key<K: Ord + Clone, V: Clone>(partition: &[(K, V)]) -> Vec<(&K, Vec<V>)> {
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < partition.len() {
+        let mut j = i + 1;
+        while j < partition.len() && partition[j].0 == partition[i].0 {
+            j += 1;
         }
-        groups
-    } else {
-        // Unsorted reduce input: group via an index sort so every key still
-        // reaches the reducer exactly once.
-        let mut idx: Vec<usize> = (0..partition.len()).collect();
-        idx.sort_by(|&a, &b| partition[a].0.cmp(&partition[b].0));
-        let mut groups: Vec<(&K, Vec<V>)> = Vec::new();
-        for &i in &idx {
-            match groups.last_mut() {
-                Some((k, values)) if *k == &partition[i].0 => values.push(partition[i].1.clone()),
-                _ => groups.push((&partition[i].0, vec![partition[i].1.clone()])),
-            }
-        }
-        groups
+        let values: Vec<V> = partition[i..j].iter().map(|(_, v)| v.clone()).collect();
+        groups.push((&partition[i].0, values));
+        i = j;
     }
+    groups
 }
 
 #[cfg(test)]
@@ -617,57 +608,28 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn merge_side_combine_beats_legacy_task_side_combine() {
+    fn merge_side_combine_collapses_cross_task_duplicates() {
         // With several map tasks, the same word is emitted (task-combined)
-        // by more than one task; the streaming merge combines across runs
-        // so strictly fewer records reach the reducers.
+        // by more than one task; the merge-side combine collapses those, so
+        // the shuffle ends with exactly one record per distinct key.
         let config = JobConfig::named("wc-merge-combine")
             .with_threads(2)
             .with_map_tasks(4)
             .with_reduce_tasks(2);
-        let legacy = Job::new(config.clone().with_shuffle_mode(ShuffleMode::LegacySort))
-            .run_with_combiner(&SplitWords, &SumCombiner, &SumCounts, word_count_input());
-        let streaming = Job::new(config).run_with_combiner(
+        let result = Job::new(config).run_with_combiner(
             &SplitWords,
             &SumCombiner,
             &SumCounts,
             word_count_input(),
         );
-        assert_eq!(streaming.output, legacy.output);
-        assert!(
-            streaming.metrics.shuffle_records < legacy.metrics.shuffle_records,
-            "streaming {} vs legacy {}",
-            streaming.metrics.shuffle_records,
-            legacy.metrics.shuffle_records
+        let mut out = result.output;
+        out.sort();
+        assert_eq!(out, expected_counts());
+        assert!(result.metrics.merge_runs > 0);
+        assert_eq!(
+            result.metrics.shuffle_records, 6,
+            "exactly one record per distinct key must cross the shuffle"
         );
-        assert!(streaming.metrics.merge_runs > 0);
-        assert_eq!(legacy.metrics.merge_runs, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn streaming_and_legacy_produce_identical_output() {
-        for (threads, map_tasks, reduce_tasks) in [(1, 1, 1), (2, 3, 2), (4, 7, 5), (8, 13, 3)] {
-            let config = JobConfig::named("ab")
-                .with_threads(threads)
-                .with_map_tasks(map_tasks)
-                .with_reduce_tasks(reduce_tasks);
-            let legacy = Job::new(config.clone().with_shuffle_mode(ShuffleMode::LegacySort)).run(
-                &SplitWords,
-                &SumCounts,
-                word_count_input(),
-            );
-            let streaming = Job::new(config).run(&SplitWords, &SumCounts, word_count_input());
-            assert_eq!(
-                streaming.output, legacy.output,
-                "threads={threads} map={map_tasks} reduce={reduce_tasks}"
-            );
-            assert_eq!(
-                streaming.metrics.shuffle_records,
-                legacy.metrics.shuffle_records
-            );
-        }
     }
 
     #[test]
@@ -718,19 +680,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn empty_input_produces_empty_output_and_schedules_no_map_task() {
-        for mode in [ShuffleMode::Streaming, ShuffleMode::LegacySort] {
-            let job = Job::new(JobConfig::default().with_shuffle_mode(mode));
-            let result = job.run(&SplitWords, &SumCounts, Vec::new());
-            assert!(result.output.is_empty());
-            assert_eq!(result.metrics.map_input_records, 0);
-            assert_eq!(result.metrics.reduce_output_records, 0);
-            assert_eq!(
-                result.metrics.map_tasks, 0,
-                "no empty map task for {mode:?}"
-            );
-        }
+        let job = Job::new(JobConfig::default());
+        let result = job.run(&SplitWords, &SumCounts, Vec::new());
+        assert!(result.output.is_empty());
+        assert_eq!(result.metrics.map_input_records, 0);
+        assert_eq!(result.metrics.reduce_output_records, 0);
+        assert_eq!(result.metrics.map_tasks, 0, "no empty map task");
     }
 
     #[test]
@@ -754,22 +710,6 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn unsorted_reduce_input_still_groups_all_values() {
-        for mode in [ShuffleMode::Streaming, ShuffleMode::LegacySort] {
-            let job = Job::new(
-                JobConfig::named("unsorted")
-                    .with_sorted_reduce_input(false)
-                    .with_shuffle_mode(mode)
-                    .with_threads(3),
-            );
-            let mut out = job.run(&SplitWords, &SumCounts, word_count_input()).output;
-            out.sort();
-            assert_eq!(out, expected_counts(), "{mode:?}");
-        }
     }
 
     #[test]
@@ -815,26 +755,146 @@ mod tests {
         );
     }
 
-    #[test]
-    fn group_by_key_sorted_and_unsorted_agree() {
-        let data = vec![(2, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (1, 'e')];
-        let mut sorted_data = data.clone();
-        sorted_data.sort_by_key(|&(k, _)| k);
-        let sorted_groups: Vec<(i32, Vec<char>)> = group_by_key(&sorted_data, true)
-            .into_iter()
-            .map(|(k, v)| (*k, v))
-            .collect();
-        let unsorted_groups: Vec<(i32, Vec<char>)> = group_by_key(&data, false)
-            .into_iter()
-            .map(|(k, v)| (*k, v))
-            .collect();
-        assert_eq!(sorted_groups.len(), 3);
-        assert_eq!(sorted_groups.len(), unsorted_groups.len());
-        for ((k1, mut v1), (k2, mut v2)) in sorted_groups.into_iter().zip(unsorted_groups) {
-            v1.sort();
-            v2.sort();
-            assert_eq!(k1, k2);
-            assert_eq!(v1, v2);
+    // ----------------------------------------------------------------------
+    // Memory budget / disk spilling
+    // ----------------------------------------------------------------------
+
+    /// Runs word count (with and without combiner) under `budget` and
+    /// returns the result.
+    fn run_budgeted(budget: Option<u64>, use_combiner: bool) -> JobResult<String, u64> {
+        let job = Job::new(
+            JobConfig::named("wc-budget")
+                .with_threads(2)
+                .with_map_tasks(3)
+                .with_reduce_tasks(2)
+                .with_memory_budget(budget),
+        );
+        if use_combiner {
+            job.run_with_combiner(&SplitWords, &SumCombiner, &SumCounts, word_count_input())
+        } else {
+            job.run(&SplitWords, &SumCounts, word_count_input())
         }
+    }
+
+    #[test]
+    fn tiny_memory_budget_spills_to_disk_and_output_is_byte_identical() {
+        for use_combiner in [false, true] {
+            let unlimited = run_budgeted(None, use_combiner);
+            assert_eq!(unlimited.metrics.disk_runs, 0);
+            assert_eq!(unlimited.metrics.spill_bytes, 0);
+
+            // A budget far below one record per worker forces a spill on
+            // (nearly) every push.
+            let spilled = run_budgeted(Some(2), use_combiner);
+            assert_eq!(
+                spilled.output, unlimited.output,
+                "combiner={use_combiner}: spilled output must be byte-identical"
+            );
+            assert!(spilled.metrics.disk_runs > 0, "combiner={use_combiner}");
+            assert!(spilled.metrics.spill_bytes > 0, "combiner={use_combiner}");
+            assert_eq!(
+                spilled.metrics.shuffle_records,
+                unlimited.metrics.shuffle_records
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_near_the_budget_spills_instead_of_thrashing() {
+        // A combined working set of 48 distinct (u32, u64) keys is ~768
+        // bytes: between budget/2 (512) and the 1024-byte budget.  A
+        // combine pass gets back under budget but can never free real
+        // headroom, so without the budget/2 spill rule the engine would
+        // re-sort and re-combine the whole buffer on (nearly) every push.
+        struct KeyMod;
+        impl Mapper for KeyMod {
+            type InKey = u32;
+            type InValue = u64;
+            type OutKey = u32;
+            type OutValue = u64;
+            fn map(&self, k: &u32, v: &u64, out: &mut Emitter<u32, u64>) {
+                out.emit(k % 48, *v);
+            }
+        }
+        struct SumU32;
+        impl Combiner for SumU32 {
+            type Key = u32;
+            type Value = u64;
+            fn combine(&self, _k: &u32, vs: &[u64]) -> Vec<u64> {
+                vec![vs.iter().sum()]
+            }
+        }
+        struct SumRed;
+        impl Reducer for SumRed {
+            type Key = u32;
+            type InValue = u64;
+            type OutKey = u32;
+            type OutValue = u64;
+            fn reduce(&self, k: &u32, vs: &[u64], out: &mut Emitter<u32, u64>) {
+                out.emit(*k, vs.iter().sum());
+            }
+        }
+        let input: Vec<(u32, u64)> = (0..4000u32).map(|i| (i, 1u64)).collect();
+        let job = Job::new(
+            JobConfig::named("near-budget")
+                .with_threads(1)
+                .with_map_tasks(1)
+                .with_reduce_tasks(1)
+                .with_memory_budget(Some(1024)),
+        );
+        let result = job.run_with_combiner(&KeyMod, &SumU32, &SumRed, input);
+        assert_eq!(result.output.len(), 48);
+        assert_eq!(result.output.iter().map(|(_, v)| v).sum::<u64>(), 4000);
+        assert!(result.metrics.disk_runs > 0, "{:?}", result.metrics);
+        let combine_passes = result.counters.get(builtin::COMBINE_SPILLS);
+        assert!(
+            combine_passes < result.metrics.map_output_records / 16,
+            "near-budget steady state must not combine per push: \
+             {combine_passes} passes for {} records",
+            result.metrics.map_output_records
+        );
+    }
+
+    #[test]
+    fn generous_budget_never_touches_disk() {
+        let result = run_budgeted(Some(64 * 1024 * 1024), true);
+        assert_eq!(result.metrics.disk_runs, 0);
+        assert_eq!(result.metrics.spill_bytes, 0);
+    }
+
+    #[test]
+    fn spill_directory_is_left_clean() {
+        let base =
+            std::env::temp_dir().join(format!("smr-executor-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let job = Job::new(
+            JobConfig::named("wc-clean")
+                .with_threads(2)
+                .with_memory_budget(Some(2))
+                .with_spill_dir(&base),
+        );
+        let result = job.run(&SplitWords, &SumCounts, word_count_input());
+        assert!(result.metrics.disk_runs > 0, "the job must actually spill");
+        assert_eq!(
+            std::fs::read_dir(&base).unwrap().count(),
+            0,
+            "no temp files may outlive the job"
+        );
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn group_by_key_groups_adjacent_equal_keys() {
+        let mut data = vec![(2, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (1, 'e')];
+        data.sort_by_key(|&(k, _)| k);
+        let groups: Vec<(i32, Vec<char>)> = group_by_key(&data)
+            .into_iter()
+            .map(|(k, v)| (*k, v))
+            .collect();
+        assert_eq!(
+            groups,
+            vec![(1, vec!['b', 'e']), (2, vec!['a', 'c']), (3, vec!['d'])]
+        );
+        assert!(group_by_key::<i32, char>(&[]).is_empty());
     }
 }

@@ -67,10 +67,12 @@
 //! ```
 
 use std::any::Any;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use smr_storage::{DatasetStore, StorageError};
 
 use crate::config::JobConfig;
 use crate::counters::Counters;
@@ -86,8 +88,66 @@ pub type Records<K, V> = Vec<(K, V)>;
 /// The deferred computation behind a [`Dataset`].
 type SourceThunk<K, V> = Box<dyn FnOnce(&FlowContext) -> Records<K, V>>;
 
-/// A type-erased persisted dataset inside the flow's [`KvStore`].
-type StoredDataset = Arc<dyn Any + Send + Sync>;
+/// A type-erased persisted dataset inside the in-memory flow store,
+/// alongside the `type_name` of its `Records<K, V>` (for typed mismatch
+/// errors).
+type StoredDataset = (Arc<dyn Any + Send + Sync>, &'static str);
+
+/// A typed error raised by the flow's persistence layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// Nothing was persisted at the path.
+    MissingDataset {
+        /// The requested path.
+        path: String,
+    },
+    /// The dataset at the path was persisted with a different record type.
+    TypeMismatch {
+        /// The requested path.
+        path: String,
+        /// Record type the dataset was persisted with.
+        stored: String,
+        /// Record type the caller requested.
+        requested: String,
+    },
+    /// The storage backend failed (I/O error, corrupt file, …).
+    Storage {
+        /// The requested path.
+        path: String,
+        /// The backend's error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::MissingDataset { path } => write!(f, "no dataset persisted at `{path}`"),
+            FlowError::TypeMismatch {
+                path,
+                stored,
+                requested,
+            } => write!(
+                f,
+                "dataset at `{path}` holds `{stored}`, requested `{requested}`"
+            ),
+            FlowError::Storage { path, message } => {
+                write!(f, "storage error at `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Where a flow persists its datasets: the in-memory [`KvStore`] (the
+/// default), or a file-backed [`DatasetStore`] so chained jobs stream
+/// between stages without holding every persisted dataset in RAM.
+#[derive(Debug)]
+enum FlowStore {
+    Memory(KvStore<StoredDataset>),
+    Disk(DatasetStore),
+}
 
 /// Summary of every job a flow has executed so far, in execution order.
 #[derive(Debug, Clone, Default)]
@@ -96,10 +156,14 @@ pub struct FlowReport {
     pub jobs: Vec<JobMetrics>,
     /// Accumulated totals over all jobs.
     pub totals: JobMetrics,
+    /// Persistence errors the flow swallowed to keep a pipeline running
+    /// (e.g. [`FlowContext::load`] on a type-mismatched path).  A healthy
+    /// run has none; anything here is a pipeline bug surfacing.
+    pub errors: Vec<FlowError>,
 }
 
 impl FlowReport {
-    fn from_jobs(jobs: Vec<JobMetrics>) -> Self {
+    fn new(jobs: Vec<JobMetrics>, errors: Vec<FlowError>) -> Self {
         let mut totals = JobMetrics {
             job_name: "totals".to_string(),
             ..JobMetrics::default()
@@ -107,7 +171,11 @@ impl FlowReport {
         for job in &jobs {
             totals.accumulate(job);
         }
-        FlowReport { jobs, totals }
+        FlowReport {
+            jobs,
+            totals,
+            errors,
+        }
     }
 
     /// Number of MapReduce jobs the flow has executed.
@@ -130,7 +198,8 @@ impl FlowReport {
 struct FlowInner {
     config: JobConfig,
     jobs: Mutex<Vec<JobMetrics>>,
-    store: KvStore<StoredDataset>,
+    store: FlowStore,
+    errors: Mutex<Vec<FlowError>>,
     anonymous_jobs: AtomicUsize,
 }
 
@@ -152,20 +221,42 @@ impl std::fmt::Debug for FlowContext {
         f.debug_struct("FlowContext")
             .field("config", &self.inner.config)
             .field("jobs", &self.inner.jobs.lock().len())
-            .field("persisted", &self.inner.store.paths())
+            .field("persisted", &self.persisted_paths())
             .finish()
     }
 }
 
 impl FlowContext {
-    /// Creates a flow whose jobs all run under `config`.  The config's
-    /// `name` prefixes every job name of the chain.
+    /// Creates a flow whose jobs all run under `config`, persisting
+    /// datasets in memory.  The config's `name` prefixes every job name of
+    /// the chain.
     pub fn new(config: JobConfig) -> Self {
+        FlowContext::with_store(config, FlowStore::Memory(KvStore::new()))
+    }
+
+    /// Creates a flow whose persisted datasets live in a file-backed store
+    /// rooted at `dir` (created if missing): `persist` writes encoded
+    /// records to disk and `load` streams them back, so chained jobs
+    /// (similarity join → matching rounds) keep only the stage in flight
+    /// in RAM.  Datasets already present under `dir` (e.g. from an earlier
+    /// run) are visible to `load`.
+    pub fn with_disk_store(
+        config: JobConfig,
+        dir: impl Into<PathBuf>,
+    ) -> Result<Self, StorageError> {
+        Ok(FlowContext::with_store(
+            config,
+            FlowStore::Disk(DatasetStore::open(dir)?),
+        ))
+    }
+
+    fn with_store(config: JobConfig, store: FlowStore) -> Self {
         FlowContext {
             inner: Arc::new(FlowInner {
                 config,
                 jobs: Mutex::new(Vec::new()),
-                store: KvStore::new(),
+                store,
+                errors: Mutex::new(Vec::new()),
                 anonymous_jobs: AtomicUsize::new(0),
             }),
         }
@@ -195,9 +286,13 @@ impl FlowContext {
         jobs.get(start..).unwrap_or_default().to_vec()
     }
 
-    /// Snapshot of every executed job plus accumulated totals.
+    /// Snapshot of every executed job plus accumulated totals and any
+    /// swallowed persistence errors.
     pub fn report(&self) -> FlowReport {
-        FlowReport::from_jobs(self.inner.jobs.lock().clone())
+        FlowReport::new(
+            self.inner.jobs.lock().clone(),
+            self.inner.errors.lock().clone(),
+        )
     }
 
     /// Creates a dataset from already materialized records.  The records
@@ -210,36 +305,94 @@ impl FlowContext {
     }
 
     /// Creates a dataset that lazily reads the records persisted at `path`
-    /// (see [`Dataset::persist`]).  Reading a missing path — or a path
-    /// persisted with a different record type — yields an empty dataset,
-    /// mirroring [`KvStore::read`] on a missing dataset.
+    /// (see [`Dataset::persist`]).  Reading a missing path yields an empty
+    /// dataset, mirroring [`KvStore::read`] on a missing dataset — but a
+    /// path persisted with a **different record type** is a pipeline bug:
+    /// the typed [`FlowError`] is logged and recorded in the flow's
+    /// [`FlowReport::errors`] (the dataset still materializes empty so the
+    /// chain keeps running).  Callers that want the error in hand use
+    /// [`FlowContext::read_persisted`].
     pub fn load<K: Key, V: Value>(&self, path: &str) -> Dataset<K, V> {
         let path = path.to_string();
         Dataset {
             ctx: self.clone(),
-            thunk: Box::new(move |ctx| ctx.read_persisted(&path).unwrap_or_default()),
+            thunk: Box::new(move |ctx| match ctx.read_persisted(&path) {
+                Ok(records) => records,
+                Err(FlowError::MissingDataset { .. }) => Vec::new(),
+                Err(error) => {
+                    eprintln!("flow `{}`: load failed: {error}", ctx.inner.config.name);
+                    ctx.inner.errors.lock().push(error);
+                    Vec::new()
+                }
+            }),
         }
     }
 
-    /// Reads a persisted dataset back out of the flow's store.  Returns
-    /// `None` when nothing was persisted at `path` with this record type.
-    pub fn read_persisted<K: Key, V: Value>(&self, path: &str) -> Option<Records<K, V>> {
-        let stored = self.inner.store.read(path);
-        let any = stored.first()?.clone();
-        let records = any.downcast::<Records<K, V>>().ok()?;
-        Some(records.as_ref().clone())
+    /// Reads a persisted dataset back out of the flow's store, with typed
+    /// errors for missing paths, record-type mismatches and storage
+    /// failures.
+    pub fn read_persisted<K: Key, V: Value>(&self, path: &str) -> Result<Records<K, V>, FlowError> {
+        match &self.inner.store {
+            FlowStore::Memory(store) => {
+                let stored = store.read(path);
+                let Some((any, stored_type)) = stored.first().cloned() else {
+                    return Err(FlowError::MissingDataset {
+                        path: path.to_string(),
+                    });
+                };
+                match any.downcast::<Records<K, V>>() {
+                    Ok(records) => Ok(records.as_ref().clone()),
+                    Err(_) => Err(FlowError::TypeMismatch {
+                        path: path.to_string(),
+                        stored: stored_type.to_string(),
+                        requested: std::any::type_name::<Records<K, V>>().to_string(),
+                    }),
+                }
+            }
+            FlowStore::Disk(store) => match store.read::<(K, V)>(path) {
+                Ok(records) => Ok(records),
+                Err(StorageError::Missing { name }) => {
+                    Err(FlowError::MissingDataset { path: name })
+                }
+                Err(StorageError::TypeMismatch { stored, requested }) => {
+                    Err(FlowError::TypeMismatch {
+                        path: path.to_string(),
+                        stored,
+                        requested,
+                    })
+                }
+                Err(other) => Err(FlowError::Storage {
+                    path: path.to_string(),
+                    message: other.to_string(),
+                }),
+            },
+        }
     }
 
     /// The paths of every persisted dataset, sorted.
     pub fn persisted_paths(&self) -> Vec<String> {
-        self.inner.store.paths()
+        match &self.inner.store {
+            FlowStore::Memory(store) => store.paths(),
+            FlowStore::Disk(store) => store.paths(),
+        }
     }
 
     fn persist_records<K: Key, V: Value>(&self, path: &str, records: Records<K, V>) -> usize {
         let count = records.len();
-        self.inner
-            .store
-            .write(path, vec![Arc::new(records) as StoredDataset]);
+        match &self.inner.store {
+            FlowStore::Memory(store) => {
+                let tagged: StoredDataset =
+                    (Arc::new(records), std::any::type_name::<Records<K, V>>());
+                store.write(path, vec![tagged]);
+            }
+            FlowStore::Disk(store) => {
+                // A failed persist is an environment failure (disk full,
+                // permissions), not a recoverable pipeline state.
+                store
+                    .write(path, &records)
+                    .unwrap_or_else(|e| panic!("failed to persist `{path}`: {e}"));
+            }
+        }
         count
     }
 
@@ -653,9 +806,8 @@ mod tests {
         assert_eq!(inner.report().job_names(), vec!["inner-flow-inner"]);
     }
 
-    #[test]
-    fn persist_and_load_round_trip_through_the_store() {
-        let flow = FlowContext::new(config());
+    /// The persist/load contract is identical for both store backends.
+    fn check_persist_and_load(flow: FlowContext) {
         let written = flow
             .dataset(input())
             .map_with(SplitWords)
@@ -672,11 +824,62 @@ mod tests {
         let the = reloaded.iter().find(|(w, _)| w == "the").expect("the");
         assert_eq!(the.1, 3);
 
-        // Missing paths and wrong record types read as empty.
+        // Missing paths read as empty (like an empty part-file directory)
+        // and are NOT recorded as errors…
         let missing: Vec<(String, u64)> = flow.load("nope").collect();
         assert!(missing.is_empty());
+        assert!(flow.report().errors.is_empty());
+        assert!(matches!(
+            flow.read_persisted::<String, u64>("nope"),
+            Err(FlowError::MissingDataset { .. })
+        ));
+
+        // …but a type-mismatched load is a surfaced pipeline bug: typed
+        // error from read_persisted, recorded in the report by load.
+        assert!(matches!(
+            flow.read_persisted::<u64, u64>("iteration-0/counts"),
+            Err(FlowError::TypeMismatch { .. })
+        ));
         let wrong_type: Vec<(u64, u64)> = flow.load("iteration-0/counts").collect();
         assert!(wrong_type.is_empty());
+        let errors = flow.report().errors;
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(matches!(&errors[0], FlowError::TypeMismatch { path, .. }
+            if path == "iteration-0/counts"));
+    }
+
+    #[test]
+    fn persist_and_load_round_trip_through_the_memory_store() {
+        check_persist_and_load(FlowContext::new(config()));
+    }
+
+    #[test]
+    fn persist_and_load_round_trip_through_the_disk_store() {
+        let dir = std::env::temp_dir().join(format!("smr-flow-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        check_persist_and_load(FlowContext::with_disk_store(config(), &dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_persisted_datasets_survive_the_flow_that_wrote_them() {
+        let dir = std::env::temp_dir().join(format!("smr-flow-surv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let flow = FlowContext::with_disk_store(config(), &dir).unwrap();
+            let _ = flow
+                .dataset(input())
+                .map_with(SplitWords)
+                .reduce_with(SumCounts)
+                .persist("stage-1/counts");
+        }
+        // A fresh flow over the same directory sees the dataset.
+        let flow = FlowContext::with_disk_store(config(), &dir).unwrap();
+        let counts = flow
+            .read_persisted::<String, u64>("stage-1/counts")
+            .unwrap();
+        assert!(counts.iter().any(|(w, c)| w == "the" && *c == 3));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -689,7 +892,7 @@ mod tests {
             .reduce_with(SumCounts)
             .persist("shared");
         assert_eq!(flow.num_jobs(), 1);
-        assert!(flow.read_persisted::<String, u64>("shared").is_some());
+        assert!(flow.read_persisted::<String, u64>("shared").is_ok());
     }
 
     #[test]

@@ -15,20 +15,26 @@
 //! in a distributed file system.  This crate provides exactly those pieces:
 //!
 //! * [`Mapper`], [`Reducer`], [`Combiner`], [`Partitioner`] traits
-//!   ([`types`]),
-//! * a parallel [`executor`] with a *streaming* shuffle: worker threads
-//!   pull map tasks from a work-stealing [`task_queue`], combine while
-//!   partitioning ([`partition::CombiningPartitionBuffer`]), emit
-//!   per-partition sorted runs and k-way merge them per reduce partition
-//!   ([`shuffle`]) — all on a pool of worker threads built with
-//!   `crossbeam` scoped threads (see `docs/engine.md` for the data flow),
+//!   ([`types`]; every key/value type also implements the
+//!   `smr_storage::Codec` binary codec so records can live on disk),
+//! * a parallel [`executor`] with a *streaming, out-of-core* shuffle:
+//!   worker threads pull map tasks from a work-stealing [`task_queue`],
+//!   combine while partitioning
+//!   ([`partition::CombiningPartitionBuffer`]), emit per-partition sorted
+//!   runs — spilled to disk when the task outgrows its share of
+//!   [`JobConfig::memory_budget`] — and k-way merge them per reduce
+//!   partition ([`shuffle`]), streaming disk and in-memory runs uniformly;
+//!   all on a pool of worker threads built with `crossbeam` scoped
+//!   threads (see `docs/engine.md` for the data flow),
 //! * per-job [`counters`] and [`metrics`] (records in/out, groups, bytes
 //!   shuffled, wall-clock per phase) so the experiments can report the same
 //!   efficiency measures the paper reports (number of MapReduce iterations,
 //!   communication cost per round),
 //! * an iterative [`driver`] for algorithms that chain many rounds
 //!   (GreedyMR, StackMR),
-//! * an in-memory record [`store`] standing in for HDFS between rounds.
+//! * a record [`store`] standing in for HDFS between rounds — in memory
+//!   ([`KvStore`]) or on disk (`smr_storage::DiskKvStore`), both behind
+//!   the [`store::RecordStore`] persistence surface.
 //!
 //! The engine is deliberately faithful to the programming model rather than
 //! to the physical deployment: the number of rounds an algorithm needs, the
@@ -140,27 +146,27 @@ pub mod store;
 pub mod task_queue;
 pub mod types;
 
-pub use config::{JobConfig, ShuffleMode};
+pub use config::JobConfig;
 pub use counters::{Counter, Counters};
 pub use driver::{IterativeDriver, IterativeJob, RoundOutcome, RunSummary};
 pub use executor::{Job, JobResult};
-pub use flow::{Dataset, FlowContext, FlowReport};
+pub use flow::{Dataset, FlowContext, FlowError, FlowReport};
 pub use metrics::{JobMetrics, PhaseTimings};
 pub use partition::{CombiningPartitionBuffer, HashPartitioner, Partitioner};
 pub use shuffle::merge_runs;
-pub use store::KvStore;
+pub use store::{KvStore, RecordStore};
 pub use task_queue::{Task, TaskQueue};
-pub use types::{Combiner, Emitter, IdentityCombiner, Mapper, Reducer};
+pub use types::{Codec, Combiner, Emitter, IdentityCombiner, Mapper, Reducer};
 
 /// Convenience re-exports for users of the engine.
 pub mod prelude {
-    pub use crate::config::{JobConfig, ShuffleMode};
+    pub use crate::config::JobConfig;
     pub use crate::counters::Counters;
     pub use crate::driver::{IterativeDriver, IterativeJob, RoundOutcome, RunSummary};
     pub use crate::executor::{Job, JobResult};
-    pub use crate::flow::{Dataset, FlowContext, FlowReport};
+    pub use crate::flow::{Dataset, FlowContext, FlowError, FlowReport};
     pub use crate::metrics::JobMetrics;
     pub use crate::partition::{HashPartitioner, Partitioner};
-    pub use crate::store::KvStore;
-    pub use crate::types::{Combiner, Emitter, IdentityCombiner, Mapper, Reducer};
+    pub use crate::store::{KvStore, RecordStore};
+    pub use crate::types::{Codec, Combiner, Emitter, IdentityCombiner, Mapper, Reducer};
 }

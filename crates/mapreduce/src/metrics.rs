@@ -41,8 +41,15 @@ pub struct JobMetrics {
     /// in both shuffle modes so A/B comparisons are meaningful.
     pub shuffle_bytes: u64,
     /// Sorted runs the streaming shuffle merged across all reduce
-    /// partitions (zero under the legacy concat+sort shuffle).
+    /// partitions (in-memory and on-disk runs alike).
     pub merge_runs: u64,
+    /// Encoded bytes of sorted runs spilled to disk because a map task's
+    /// buffer outgrew its share of the job's memory budget (zero without a
+    /// budget).
+    pub spill_bytes: u64,
+    /// Sorted runs spilled to disk and streamed back through the external
+    /// merge (zero without a memory budget).
+    pub disk_runs: u64,
     /// Distinct key groups presented to reducers.
     pub reduce_input_groups: u64,
     /// Records emitted by reduce tasks.
@@ -76,6 +83,8 @@ impl JobMetrics {
         self.shuffle_records += other.shuffle_records;
         self.shuffle_bytes += other.shuffle_bytes;
         self.merge_runs += other.merge_runs;
+        self.spill_bytes += other.spill_bytes;
+        self.disk_runs += other.disk_runs;
         self.reduce_input_groups += other.reduce_input_groups;
         self.reduce_output_records += other.reduce_output_records;
         self.map_tasks += other.map_tasks;
@@ -116,6 +125,8 @@ mod tests {
             shuffle_records: 2,
             shuffle_bytes: 100,
             merge_runs: 3,
+            spill_bytes: 64,
+            disk_runs: 1,
             ..JobMetrics::default()
         };
         a.user_counters.insert("edges".into(), 10);
@@ -124,6 +135,8 @@ mod tests {
             shuffle_records: 4,
             shuffle_bytes: 50,
             merge_runs: 2,
+            spill_bytes: 36,
+            disk_runs: 2,
             ..JobMetrics::default()
         };
         b.user_counters.insert("edges".into(), 5);
@@ -133,6 +146,8 @@ mod tests {
         assert_eq!(a.shuffle_records, 6);
         assert_eq!(a.shuffle_bytes, 150);
         assert_eq!(a.merge_runs, 5);
+        assert_eq!(a.spill_bytes, 100);
+        assert_eq!(a.disk_runs, 3);
         assert_eq!(a.user_counters["edges"], 15);
         assert_eq!(a.user_counters["nodes"], 7);
     }

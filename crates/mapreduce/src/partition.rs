@@ -54,6 +54,14 @@ impl<K: Hash + Send + Sync> Partitioner<K> for HashPartitioner<K> {
 /// combiner), the watermark doubles so the buffer degrades to plain
 /// buffering instead of re-sorting on every push.
 ///
+/// Under a memory budget the executor additionally watches
+/// [`CombiningPartitionBuffer::approx_bytes`] — an estimate of records ×
+/// `size_of::<(K, V)>()` — and, when combining cannot keep the buffer
+/// under its byte threshold, drains it early with
+/// [`CombiningPartitionBuffer::take_sorted_runs`] and spills the runs to
+/// disk, so the buffer never combines-in-place forever on a working set
+/// that simply does not fit.
+///
 /// [`CombiningPartitionBuffer::into_sorted_runs`] finishes the task: each
 /// bucket is sorted by key (stable) and combined once more, yielding the
 /// per-partition *sorted runs* the streaming shuffle merges.
@@ -95,6 +103,13 @@ impl<K: Key, V: Value> CombiningPartitionBuffer<K, V> {
         self.buffered == 0
     }
 
+    /// Estimated bytes currently buffered: records ×
+    /// `size_of::<(K, V)>()`.  A lower bound for heap-carrying types,
+    /// measured identically to the engine's `shuffle_bytes`.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.buffered * std::mem::size_of::<(K, V)>()) as u64
+    }
+
     /// Adds one intermediate pair to `partition`, combining in place when
     /// the buffer watermark is crossed and a combiner is present.
     pub fn push<C>(&mut self, partition: usize, key: K, value: V, combiner: Option<&C>)
@@ -108,6 +123,12 @@ impl<K: Key, V: Value> CombiningPartitionBuffer<K, V> {
                 self.combine_in_place(combiner);
             }
         }
+    }
+
+    /// Runs one in-place combine pass immediately (the executor's last
+    /// attempt to get back under a byte budget before spilling to disk).
+    pub fn combine_now<C: Combiner<Key = K, Value = V>>(&mut self, combiner: &C) {
+        self.combine_in_place(combiner);
     }
 
     fn combine_in_place<C: Combiner<Key = K, Value = V>>(&mut self, combiner: &C) {
@@ -124,15 +145,21 @@ impl<K: Key, V: Value> CombiningPartitionBuffer<K, V> {
         self.watermark = self.capacity.max(2 * self.buffered);
     }
 
-    /// Finishes the task: sorts every bucket by key (stable) and applies
-    /// the final combine pass, returning one sorted run per partition.
-    pub fn into_sorted_runs<C>(self, combiner: Option<&C>) -> Vec<Vec<(K, V)>>
+    /// Drains the buffer: sorts every bucket by key (stable), applies the
+    /// final combine pass and returns one sorted run per partition,
+    /// leaving the buffer empty and reusable.  This is the spill path's
+    /// entry point; [`CombiningPartitionBuffer::into_sorted_runs`] is the
+    /// end-of-task variant.
+    pub fn take_sorted_runs<C>(&mut self, combiner: Option<&C>) -> Vec<Vec<(K, V)>>
     where
         C: Combiner<Key = K, Value = V>,
     {
+        self.buffered = 0;
+        self.watermark = self.capacity;
         self.buckets
-            .into_iter()
-            .map(|mut bucket| {
+            .iter_mut()
+            .map(|bucket| {
+                let mut bucket = std::mem::take(bucket);
                 bucket.sort_by(|a, b| a.0.cmp(&b.0));
                 match combiner {
                     Some(combiner) => combine_sorted_groups(bucket, combiner),
@@ -140,6 +167,15 @@ impl<K: Key, V: Value> CombiningPartitionBuffer<K, V> {
                 }
             })
             .collect()
+    }
+
+    /// Finishes the task: sorts every bucket by key (stable) and applies
+    /// the final combine pass, returning one sorted run per partition.
+    pub fn into_sorted_runs<C>(mut self, combiner: Option<&C>) -> Vec<Vec<(K, V)>>
+    where
+        C: Combiner<Key = K, Value = V>,
+    {
+        self.take_sorted_runs(combiner)
     }
 }
 
@@ -207,6 +243,22 @@ mod tests {
         assert_eq!(buffer.spills(), 0);
         let runs = buffer.into_sorted_runs(no_combiner);
         assert_eq!(runs[0], vec![(1, 2), (2, 4), (3, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn take_sorted_runs_drains_and_leaves_the_buffer_reusable() {
+        let mut buffer: CombiningPartitionBuffer<u32, u64> = CombiningPartitionBuffer::new(2, 100);
+        for (k, v) in [(4u32, 1u64), (0, 2)] {
+            buffer.push((k % 2) as usize, k, v, Some(&SumCombiner));
+        }
+        assert!(buffer.approx_bytes() > 0);
+        let first = buffer.take_sorted_runs(Some(&SumCombiner));
+        assert_eq!(first[0], vec![(0, 2), (4, 1)]);
+        assert!(buffer.is_empty());
+        assert_eq!(buffer.approx_bytes(), 0);
+        buffer.push(0, 2, 9, Some(&SumCombiner));
+        let second = buffer.into_sorted_runs(Some(&SumCombiner));
+        assert_eq!(second[0], vec![(2, 9)]);
     }
 
     #[test]

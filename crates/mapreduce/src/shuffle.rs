@@ -1,20 +1,61 @@
-//! The streaming shuffle: k-way merge of per-task sorted runs.
+//! The streaming shuffle: external k-way merge of per-task sorted runs.
 //!
-//! Every map task hands the shuffle one *sorted run* per reduce partition
-//! (see [`crate::partition::CombiningPartitionBuffer`]).  Bringing a
-//! partition into reducer order is then a k-way merge of k already-sorted
-//! runs — `O(n log k)` comparisons instead of the `O(n log n)` full re-sort
-//! of the legacy path, and no concatenated intermediate copy.
+//! Every map task hands the shuffle *sorted runs* per reduce partition
+//! (see [`crate::partition::CombiningPartitionBuffer`]) — in memory
+//! normally, on disk when the task ran over its memory budget and spilled.
+//! Bringing a partition into reducer order is then a k-way merge of k
+//! already-sorted runs — `O(n log k)` comparisons instead of an
+//! `O(n log n)` full re-sort, and no concatenated intermediate copy.  The
+//! merge is *external*: disk runs and in-memory runs (the two arms of the
+//! crate-internal `RunStream`) stream through the same heap one record at
+//! a time, so a partition whose runs live on disk is merged without ever
+//! materializing more than one record per run.
 //!
-//! Determinism: runs are merged in **task-index order** and the merge
-//! breaks key ties by run position, so records with equal keys appear in
-//! exactly the order a sequential execution would produce — regardless of
-//! which worker thread ran which task, and byte-identical to the legacy
-//! concatenate-in-task-order + stable-sort path.
+//! Determinism: runs are merged in **(task index, spill sequence) order**
+//! and the merge breaks key ties by run position, so records with equal
+//! keys appear in exactly the order a sequential single-threaded execution
+//! would produce — regardless of which worker thread ran which task and of
+//! where each run's bytes live.
 
 use std::collections::BinaryHeap;
 
-use crate::types::Combiner;
+use smr_storage::RunReader;
+
+use crate::types::{Combiner, Key, Value};
+
+/// One sorted run feeding the merge: either still in memory, or spilled to
+/// a run file and streamed back record by record.
+///
+/// A decode failure while streaming a disk run panics: a spill file the
+/// engine itself just wrote cannot legitimately fail to decode, so this is
+/// corruption (or an exhausted disk), not a recoverable state.
+#[derive(Debug)]
+pub(crate) enum RunStream<K, V> {
+    /// An in-memory sorted run.
+    Memory(std::vec::IntoIter<(K, V)>),
+    /// A sorted run spilled to disk.
+    Disk(RunReader<(K, V)>),
+}
+
+impl<K: Key, V: Value> Iterator for RunStream<K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        match self {
+            RunStream::Memory(iter) => iter.next(),
+            RunStream::Disk(reader) => reader
+                .next_record()
+                .unwrap_or_else(|e| panic!("spilled run unreadable: {e}")),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RunStream::Memory(iter) => iter.size_hint(),
+            RunStream::Disk(reader) => reader.size_hint(),
+        }
+    }
+}
 
 /// A record travelling through the merge heap: ordered by `(key, run)`,
 /// **reversed** so that `BinaryHeap` (a max-heap) pops the smallest key
@@ -51,7 +92,7 @@ impl<K: Ord, V> Ord for HeapEntry<K, V> {
     }
 }
 
-/// Merges sorted runs into one sorted sequence.
+/// Merges sorted in-memory runs into one sorted sequence.
 ///
 /// Each input run must already be sorted by key (stable order within equal
 /// keys).  Ties between runs are broken by run position: for equal keys,
@@ -63,8 +104,18 @@ pub fn merge_runs<K: Ord, V>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
     if runs.len() <= 1 {
         return runs.into_iter().next().unwrap_or_default();
     }
-    let total: usize = runs.iter().map(Vec::len).sum();
-    let mut iters: Vec<std::vec::IntoIter<(K, V)>> = runs.into_iter().map(Vec::into_iter).collect();
+    merge_streams(runs.into_iter().map(Vec::into_iter).collect())
+}
+
+/// The general external merge behind [`merge_runs`]: merges any sorted
+/// record streams (in-memory iterators, disk-run readers, or a mix) in
+/// stream order, one buffered record per stream.
+pub(crate) fn merge_streams<K: Ord, V, I>(streams: Vec<I>) -> Vec<(K, V)>
+where
+    I: Iterator<Item = (K, V)>,
+{
+    let mut iters = streams;
+    let total: usize = iters.iter().map(|i| i.size_hint().0).sum();
     let mut heap: BinaryHeap<HeapEntry<K, V>> = BinaryHeap::with_capacity(iters.len());
     for (run, iter) in iters.iter_mut().enumerate() {
         if let Some((key, value)) = iter.next() {
@@ -85,22 +136,24 @@ pub fn merge_runs<K: Ord, V>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
     merged
 }
 
-/// Merges sorted runs and applies `combiner` to every key group in one
-/// fused pass: records stream from the heap straight into per-key groups,
-/// with no intermediate merged vector and no second scan.
+/// Merges sorted record streams and applies `combiner` to every key group
+/// in one fused pass: records stream from the heap straight into per-key
+/// groups, with no intermediate merged vector and no second scan.
 ///
 /// A group holding a single value passes through untouched — it is
 /// already the output of a map-side combine, so re-applying the combiner
 /// would only burn cycles (the combiner contract makes the extra
 /// application a no-op semantically).  The result is byte-identical to
-/// `merge_runs` followed by a grouped combine.
-pub(crate) fn merge_runs_combining<C: Combiner>(
-    runs: Vec<Vec<(C::Key, C::Value)>>,
+/// [`merge_streams`] followed by a grouped combine.
+pub(crate) fn merge_streams_combining<C: Combiner, I>(
+    streams: Vec<I>,
     combiner: &C,
-) -> Vec<(C::Key, C::Value)> {
-    let total: usize = runs.iter().map(Vec::len).sum();
-    let mut iters: Vec<std::vec::IntoIter<(C::Key, C::Value)>> =
-        runs.into_iter().map(Vec::into_iter).collect();
+) -> Vec<(C::Key, C::Value)>
+where
+    I: Iterator<Item = (C::Key, C::Value)>,
+{
+    let mut iters = streams;
+    let total: usize = iters.iter().map(|i| i.size_hint().0).sum();
     let mut heap: BinaryHeap<HeapEntry<C::Key, C::Value>> = BinaryHeap::with_capacity(iters.len());
     for (run, iter) in iters.iter_mut().enumerate() {
         if let Some((key, value)) = iter.next() {
@@ -168,6 +221,14 @@ pub(crate) fn combine_sorted_groups<C: Combiner>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test shorthand: the fused merge+combine over in-memory runs.
+    fn merge_runs_combining<C: Combiner>(
+        runs: Vec<Vec<(C::Key, C::Value)>>,
+        combiner: &C,
+    ) -> Vec<(C::Key, C::Value)> {
+        merge_streams_combining(runs.into_iter().map(Vec::into_iter).collect(), combiner)
+    }
 
     struct SumCombiner;
     impl Combiner for SumCombiner {
@@ -283,6 +344,31 @@ mod tests {
                 "runs={runs:?}"
             );
         }
+    }
+
+    #[test]
+    fn external_merge_mixes_disk_and_memory_runs() {
+        use smr_storage::RunWriter;
+        let path =
+            std::env::temp_dir().join(format!("smr-shuffle-mixed-{}.run", std::process::id()));
+        let disk_run = vec![(1u32, 'd'), (5, 'e')];
+        let mut writer: RunWriter<(u32, char)> = RunWriter::create(&path).unwrap();
+        for r in &disk_run {
+            writer.push(r).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let memory_run = vec![(2u32, 'm'), (5, 'n')];
+        let streams: Vec<RunStream<u32, char>> = vec![
+            RunStream::Disk(RunReader::open(&path).unwrap()),
+            RunStream::Memory(memory_run.clone().into_iter()),
+        ];
+        let merged = merge_streams(streams);
+        // Same result as an all-in-memory merge in the same run order —
+        // including the (5, _) tie, broken by run position.
+        assert_eq!(merged, merge_runs(vec![disk_run, memory_run]));
+        assert_eq!(merged, vec![(1, 'd'), (2, 'm'), (5, 'e'), (5, 'n')]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,15 +1,53 @@
-//! An in-memory record store standing in for the distributed file system.
+//! Record stores standing in for the distributed file system.
 //!
 //! MapReduce assumes a distributed file system from which map tasks read
 //! their input and to which reduce tasks write their output; iterative
 //! algorithms (GreedyMR, StackMR) persist the graph state between rounds in
-//! it.  [`KvStore`] models exactly that contract: named datasets of records
-//! that can be written once per round and read by the next round.
+//! it.  [`KvStore`] models exactly that contract in memory: named datasets
+//! of records that can be written once per round and read by the next
+//! round.  The [`RecordStore`] trait captures the same persistence surface
+//! abstractly, and is implemented both by [`KvStore`] and by the
+//! file-backed [`smr_storage::DiskKvStore`], so callers that outgrow
+//! memory swap the backend without touching their round logic.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use smr_storage::DiskKvStore;
+
+use crate::types::Codec;
+
+/// The persistence surface of the HDFS stand-in: named datasets of records
+/// written once and read back by later rounds.
+///
+/// Implemented by the in-memory [`KvStore`] and by the disk-backed
+/// [`DiskKvStore`]; both share the same semantics — `write` replaces,
+/// `append` extends, missing paths read as empty.
+pub trait RecordStore<T> {
+    /// Writes (or replaces) the dataset at `path`.
+    fn write(&self, path: &str, records: Vec<T>);
+    /// Appends records to the dataset at `path`, creating it if missing.
+    fn append(&self, path: &str, records: Vec<T>);
+    /// Reads the dataset at `path`; empty when the path does not exist.
+    fn read(&self, path: &str) -> Arc<Vec<T>>;
+    /// Whether a dataset exists at `path`.
+    fn exists(&self, path: &str) -> bool;
+    /// Removes the dataset at `path`, returning whether it existed.
+    fn remove(&self, path: &str) -> bool;
+    /// Number of records stored at `path`.
+    fn len(&self, path: &str) -> usize;
+    /// Whether the dataset at `path` is missing or empty.
+    fn is_empty(&self, path: &str) -> bool {
+        self.len(path) == 0
+    }
+    /// All dataset paths currently stored, sorted.
+    fn paths(&self) -> Vec<String>;
+    /// Total number of records across all datasets.
+    fn total_records(&self) -> usize;
+    /// Removes every dataset.
+    fn clear(&self);
+}
 
 /// A named, append-only collection of record datasets.
 ///
@@ -96,6 +134,66 @@ impl<T: Clone> KvStore<T> {
     }
 }
 
+impl<T: Clone> RecordStore<T> for KvStore<T> {
+    fn write(&self, path: &str, records: Vec<T>) {
+        KvStore::write(self, path, records)
+    }
+    fn append(&self, path: &str, records: Vec<T>) {
+        KvStore::append(self, path, records)
+    }
+    fn read(&self, path: &str) -> Arc<Vec<T>> {
+        KvStore::read(self, path)
+    }
+    fn exists(&self, path: &str) -> bool {
+        KvStore::exists(self, path)
+    }
+    fn remove(&self, path: &str) -> bool {
+        KvStore::remove(self, path)
+    }
+    fn len(&self, path: &str) -> usize {
+        KvStore::len(self, path)
+    }
+    fn paths(&self) -> Vec<String> {
+        KvStore::paths(self)
+    }
+    fn total_records(&self) -> usize {
+        KvStore::total_records(self)
+    }
+    fn clear(&self) {
+        KvStore::clear(self)
+    }
+}
+
+impl<T: Codec + Clone> RecordStore<T> for DiskKvStore<T> {
+    fn write(&self, path: &str, records: Vec<T>) {
+        DiskKvStore::write(self, path, records)
+    }
+    fn append(&self, path: &str, records: Vec<T>) {
+        DiskKvStore::append(self, path, records)
+    }
+    fn read(&self, path: &str) -> Arc<Vec<T>> {
+        Arc::new(DiskKvStore::read(self, path))
+    }
+    fn exists(&self, path: &str) -> bool {
+        DiskKvStore::exists(self, path)
+    }
+    fn remove(&self, path: &str) -> bool {
+        DiskKvStore::remove(self, path)
+    }
+    fn len(&self, path: &str) -> usize {
+        DiskKvStore::len(self, path)
+    }
+    fn paths(&self) -> Vec<String> {
+        DiskKvStore::paths(self)
+    }
+    fn total_records(&self) -> usize {
+        DiskKvStore::total_records(self)
+    }
+    fn clear(&self) {
+        DiskKvStore::clear(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +242,43 @@ mod tests {
         assert_eq!(store.paths(), vec!["b".to_string()]);
         store.clear();
         assert_eq!(store.total_records(), 0);
+    }
+
+    /// Exercises one round-persistence cycle through the abstract surface.
+    fn round_trip_via_trait<S: RecordStore<(u32, u64)>>(store: &S) {
+        assert!(store.read("iteration-0/state").is_empty());
+        store.write("iteration-0/state", vec![(1, 10), (2, 20)]);
+        store.append("iteration-0/state", vec![(3, 30)]);
+        assert_eq!(
+            *store.read("iteration-0/state"),
+            vec![(1, 10), (2, 20), (3, 30)]
+        );
+        assert_eq!(store.len("iteration-0/state"), 3);
+        assert!(store.exists("iteration-0/state"));
+        store.write("iteration-1/state", vec![(4, 40)]);
+        assert_eq!(
+            store.paths(),
+            vec![
+                "iteration-0/state".to_string(),
+                "iteration-1/state".to_string()
+            ]
+        );
+        assert_eq!(store.total_records(), 4);
+        assert!(store.remove("iteration-0/state"));
+        store.clear();
+        assert_eq!(store.total_records(), 0);
+    }
+
+    #[test]
+    fn kv_store_and_disk_kv_store_share_the_persistence_surface() {
+        let memory: KvStore<(u32, u64)> = KvStore::new();
+        round_trip_via_trait(&memory);
+
+        let root = std::env::temp_dir().join(format!("smr-recordstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let disk: DiskKvStore<(u32, u64)> = DiskKvStore::open(&root).unwrap();
+        round_trip_via_trait(&disk);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

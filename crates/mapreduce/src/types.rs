@@ -14,18 +14,25 @@
 
 use std::hash::Hash;
 
+pub use smr_storage::Codec;
+
 /// Bound alias for types usable as keys.
 ///
 /// Keys must be orderable (the shuffle sorts each reduce partition by key,
 /// exactly as Hadoop presents keys to reducers in sorted order), hashable
-/// (for hash partitioning) and cloneable/sendable (the engine moves them
-/// across worker threads).
-pub trait Key: Clone + Send + Sync + Ord + Hash + 'static {}
-impl<T: Clone + Send + Sync + Ord + Hash + 'static> Key for T {}
+/// (for hash partitioning), cloneable/sendable (the engine moves them
+/// across worker threads) and encodable ([`Codec`]): under a memory budget
+/// the shuffle spills sorted runs to disk, and the flow layer persists
+/// datasets in a file-backed store, so every key must have a canonical
+/// binary encoding.  Primitives, `String`, tuples and `Vec`s come with one;
+/// user types get theirs via `smr_storage::impl_codec_struct!`.
+pub trait Key: Clone + Send + Sync + Ord + Hash + Codec + 'static {}
+impl<T: Clone + Send + Sync + Ord + Hash + Codec + 'static> Key for T {}
 
-/// Bound alias for types usable as values.
-pub trait Value: Clone + Send + Sync + 'static {}
-impl<T: Clone + Send + Sync + 'static> Value for T {}
+/// Bound alias for types usable as values.  Values must be encodable for
+/// the same reason keys are (see [`Key`]).
+pub trait Value: Clone + Send + Sync + Codec + 'static {}
+impl<T: Clone + Send + Sync + Codec + 'static> Value for T {}
 
 /// Collects the key-value pairs emitted by a map or reduce invocation.
 ///

@@ -1,0 +1,270 @@
+//! Property tests locking the streaming shuffle to a sequential reference
+//! model: for random mapper/reducer/combiner instances over random inputs,
+//! `JobResult.output` is **byte-identical** to a single-threaded
+//! simulation of the MapReduce contract — across thread counts 1/2/8, map
+//! task counts 1/7/64, tiny combining buffers that force in-place combine
+//! passes, and memory budgets {64 B, 4 KB, unlimited} that force the
+//! disk-spilling shuffle path.
+//!
+//! The reducer family includes an order-sensitive op (`First`) so the
+//! tests pin down not just the multiset of output records but the exact
+//! deterministic ordering contract of the engine — including the
+//! guarantee that spilled runs merge back in emission order.
+
+use proptest::prelude::*;
+use smr_mapreduce::prelude::*;
+use smr_mapreduce::HashPartitioner;
+
+/// A mapper whose shape (fan-out, key space, key mixing) is generated per
+/// test case.
+struct RandomMapper {
+    fanout: u32,
+    key_mod: u32,
+    mix: u32,
+}
+
+impl Mapper for RandomMapper {
+    type InKey = u32;
+    type InValue = u64;
+    type OutKey = u32;
+    type OutValue = u64;
+    fn map(&self, k: &u32, v: &u64, out: &mut Emitter<u32, u64>) {
+        for f in 0..self.fanout {
+            let key = k
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add(f.wrapping_mul(self.mix))
+                % self.key_mod;
+            out.emit(key, v.wrapping_add(u64::from(f)));
+        }
+    }
+}
+
+/// The associative fold a combiner/reducer pair applies.  Every op honours
+/// the combiner contract (applying it any number of times, at any
+/// granularity, leaves the final reduce output unchanged).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Sum,
+    Max,
+    Min,
+    /// Keeps the first value in engine order — order-sensitive on purpose.
+    First,
+}
+
+impl Op {
+    fn from_index(i: u8) -> Op {
+        match i % 4 {
+            0 => Op::Sum,
+            1 => Op::Max,
+            2 => Op::Min,
+            _ => Op::First,
+        }
+    }
+
+    fn fold(self, values: &[u64]) -> u64 {
+        match self {
+            Op::Sum => values.iter().fold(0u64, |a, b| a.wrapping_add(*b)),
+            Op::Max => values.iter().copied().max().unwrap_or(0),
+            Op::Min => values.iter().copied().min().unwrap_or(0),
+            Op::First => values.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+struct OpCombiner(Op);
+impl Combiner for OpCombiner {
+    type Key = u32;
+    type Value = u64;
+    fn combine(&self, _k: &u32, vs: &[u64]) -> Vec<u64> {
+        vec![self.0.fold(vs)]
+    }
+}
+
+struct OpReducer(Op);
+impl Reducer for OpReducer {
+    type Key = u32;
+    type InValue = u64;
+    type OutKey = u32;
+    type OutValue = u64;
+    fn reduce(&self, k: &u32, vs: &[u64], out: &mut Emitter<u32, u64>) {
+        out.emit(*k, self.0.fold(vs));
+    }
+}
+
+struct Case {
+    mapper: RandomMapper,
+    op: Op,
+    use_combiner: bool,
+    reduce_tasks: usize,
+    combine_buffer: usize,
+    input: Vec<(u32, u64)>,
+}
+
+impl Case {
+    fn run(&self, budget: Option<u64>, threads: usize, map_tasks: usize) -> Vec<(u32, u64)> {
+        let job = Job::new(
+            JobConfig::named("prop-model")
+                .with_memory_budget(budget)
+                .with_threads(threads)
+                .with_map_tasks(map_tasks)
+                .with_reduce_tasks(self.reduce_tasks)
+                .with_combine_buffer_records(self.combine_buffer),
+        );
+        let result = if self.use_combiner {
+            job.run_with_combiner(
+                &self.mapper,
+                &OpCombiner(self.op),
+                &OpReducer(self.op),
+                self.input.clone(),
+            )
+        } else {
+            job.run(&self.mapper, &OpReducer(self.op), self.input.clone())
+        };
+        result.output
+    }
+
+    /// A sequential simulation of the MapReduce contract, independent of
+    /// the engine: map every record in input order, partition in emission
+    /// order, stable-sort each partition by key, group adjacent keys and
+    /// reduce.  Combiners are deliberately *not* modelled: by their
+    /// contract they must not change the final output, so one model covers
+    /// every combining schedule (task-side, merge-side, spill-chunked).
+    fn reference_model(&self) -> Vec<(u32, u64)> {
+        let partitioner: HashPartitioner<u32> = HashPartitioner::new();
+        let mut partitions: Vec<Vec<(u32, u64)>> =
+            (0..self.reduce_tasks).map(|_| Vec::new()).collect();
+        let mut emitter = Emitter::new();
+        for (k, v) in &self.input {
+            self.mapper.map(k, v, &mut emitter);
+            emitter.drain_each(|key, value| {
+                let p = partitioner.partition(&key, self.reduce_tasks);
+                partitions[p].push((key, value));
+            });
+        }
+        let reducer = OpReducer(self.op);
+        let mut output = Vec::new();
+        for mut partition in partitions {
+            partition.sort_by_key(|(k, _)| *k);
+            let mut i = 0;
+            while i < partition.len() {
+                let mut j = i + 1;
+                while j < partition.len() && partition[j].0 == partition[i].0 {
+                    j += 1;
+                }
+                let values: Vec<u64> = partition[i..j].iter().map(|(_, v)| *v).collect();
+                let mut out = Emitter::new();
+                reducer.reduce(&partition[i].0, &values, &mut out);
+                output.extend(out.into_pairs());
+                i = j;
+            }
+        }
+        output
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streaming_output_matches_the_sequential_model(
+        input in proptest::collection::vec((0u32..40, 0u64..1_000), 0..70),
+        fanout in 1u32..4,
+        key_mod in 1u32..13,
+        mix in 0u32..100,
+        op_index in 0u8..4,
+        combiner_coin in 0u32..2,
+        reduce_tasks in 1usize..5,
+        combine_buffer in 1usize..20,
+    ) {
+        let case = Case {
+            mapper: RandomMapper { fanout, key_mod, mix },
+            op: Op::from_index(op_index),
+            use_combiner: combiner_coin == 1,
+            reduce_tasks,
+            combine_buffer,
+            input,
+        };
+        let reference = case.reference_model();
+        for threads in [1usize, 2, 8] {
+            for map_tasks in [1usize, 7, 64] {
+                let streaming = case.run(None, threads, map_tasks);
+                prop_assert!(
+                    streaming == reference,
+                    "engine diverged from model (threads={threads} map_tasks={map_tasks}): {streaming:?} != {reference:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_output_is_byte_identical_across_budgets_and_threads(
+        input in proptest::collection::vec((0u32..40, 0u64..1_000), 0..70),
+        fanout in 1u32..4,
+        key_mod in 1u32..13,
+        mix in 0u32..100,
+        op_index in 0u8..4,
+        combiner_coin in 0u32..2,
+        reduce_tasks in 1usize..5,
+        combine_buffer in 1usize..20,
+    ) {
+        let case = Case {
+            mapper: RandomMapper { fanout, key_mod, mix },
+            op: Op::from_index(op_index),
+            use_combiner: combiner_coin == 1,
+            reduce_tasks,
+            combine_buffer,
+            input,
+        };
+        let reference = case.reference_model();
+        // 64 B is below two records per worker (a (u32, u64) pair is 16
+        // bytes and the budget is split across threads), so nearly every
+        // push spills; 4 KB spills on larger cases only; None never does.
+        for budget in [Some(64u64), Some(4096), None] {
+            for threads in [1usize, 8] {
+                let output = case.run(budget, threads, 7);
+                prop_assert!(
+                    output == reference,
+                    "budget={budget:?} threads={threads}: {output:?} != {reference:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_side_combining_never_increases_shuffle_volume(
+        input in proptest::collection::vec((0u32..30, 0u64..1_000), 1..60),
+        key_mod in 1u32..8,
+        map_tasks in 2usize..8,
+    ) {
+        let mapper = RandomMapper { fanout: 2, key_mod, mix: 7 };
+        let run = |use_combiner: bool| {
+            let job = Job::new(
+                JobConfig::named("prop-volume")
+                    .with_memory_budget(None)
+                    .with_threads(2)
+                    .with_map_tasks(map_tasks)
+                    .with_reduce_tasks(2),
+            );
+            if use_combiner {
+                job.run_with_combiner(
+                    &mapper,
+                    &OpCombiner(Op::Sum),
+                    &OpReducer(Op::Sum),
+                    input.clone(),
+                )
+            } else {
+                job.run(&mapper, &OpReducer(Op::Sum), input.clone())
+            }
+        };
+        let plain = run(false);
+        let combined = run(true);
+        prop_assert_eq!(combined.output, plain.output);
+        // Combining can only shrink what reaches reducers.
+        prop_assert!(combined.metrics.shuffle_records <= plain.metrics.shuffle_records);
+        // Both runs agree on what the map side produced.
+        prop_assert_eq!(
+            combined.metrics.map_output_records,
+            plain.metrics.map_output_records
+        );
+    }
+}

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+use smr_storage::impl_codec_struct;
 use smr_text::{SparseVector, TermId};
 
 use crate::prefix::prefix_length;
@@ -16,6 +17,8 @@ pub struct Posting {
     /// Weight of the term in that document.
     pub weight: f64,
 }
+
+impl_codec_struct!(Posting { doc, weight });
 
 /// A term → postings inverted index containing only prefix entries.
 #[derive(Debug, Clone, Default)]

@@ -672,36 +672,42 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_and_streaming_shuffle_produce_the_same_graph() {
-        use smr_mapreduce::ShuffleMode;
+    fn spilled_and_in_memory_joins_produce_the_same_graph() {
         let items = synthetic_vectors(10, 14, 7);
         let consumers = synthetic_vectors(12, 14, 8);
         let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
         let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
         let sigma = 0.2;
-        let streaming = mapreduce_similarity_join_vectors(
+        let in_memory = mapreduce_similarity_join_vectors(
             &items,
             &consumers,
             &names_i,
             &names_c,
-            &config(sigma),
+            &config(sigma).with_job(
+                JobConfig::named("simjoin-memory")
+                    .with_threads(2)
+                    .with_memory_budget(None),
+            ),
         );
-        let legacy_config = SimJoinConfig::default().with_threshold(sigma).with_job(
-            JobConfig::named("simjoin-legacy")
+        // A budget of a few hundred bytes forces both join jobs through
+        // the disk-spilling shuffle.
+        let spilled_config = SimJoinConfig::default().with_threshold(sigma).with_job(
+            JobConfig::named("simjoin-spilled")
                 .with_threads(2)
-                .with_shuffle_mode(ShuffleMode::LegacySort),
+                .with_memory_budget(Some(256)),
         );
-        let legacy = mapreduce_similarity_join_vectors(
+        let spilled = mapreduce_similarity_join_vectors(
             &items,
             &consumers,
             &names_i,
             &names_c,
-            &legacy_config,
+            &spilled_config,
         );
-        assert_eq!(streaming.graph.num_edges(), legacy.graph.num_edges());
-        assert_eq!(streaming.candidate_pairs, legacy.candidate_pairs);
-        assert_eq!(streaming.graph.edges().len(), legacy.graph.edges().len());
+        assert_eq!(spilled.graph.num_edges(), in_memory.graph.num_edges());
+        assert_eq!(spilled.candidate_pairs, in_memory.candidate_pairs);
+        assert_eq!(spilled.graph.edges(), in_memory.graph.edges());
+        let spilled_runs: u64 = spilled.job_metrics.iter().map(|m| m.disk_runs).sum();
+        assert!(spilled_runs > 0, "the budgeted join must hit the disk");
     }
 
     #[test]

@@ -1,0 +1,593 @@
+//! Sorted run files: length-prefixed record frames behind a versioned
+//! header.
+//!
+//! A *run file* holds a sequence of [`Codec`]-encoded records — in the
+//! engine, one sorted run of `(key, value)` pairs spilled by a map task,
+//! or one persisted flow dataset.  The on-disk layout is:
+//!
+//! ```text
+//! ┌──────────────────────────── header ────────────────────────────┐
+//! │ magic "SMRF" │ version u16 │ record count u64 │ type tag string │
+//! ├──────────────────────────── frames ────────────────────────────┤
+//! │ payload_len u32 │ payload (Codec encoding of one record) │ ...  │
+//! └────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers are little-endian.  The record count is written as
+//! [`COUNT_PENDING`] while the file is open and patched in place by
+//! [`RunWriter::finish`], so a crash mid-write leaves a file that
+//! [`RunReader`] rejects as truncated instead of silently yielding a
+//! prefix.  The type tag records `std::any::type_name` of the record type;
+//! readers may check it to reject datasets read back at the wrong type.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{Codec, CodecError};
+
+/// File magic of every smr_storage file.
+pub const MAGIC: [u8; 4] = *b"SMRF";
+
+/// Current format version.  Readers reject any other version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Sentinel record count of a file whose writer has not finished.
+pub const COUNT_PENDING: u64 = u64::MAX;
+
+/// Byte offset of the record count inside the header (magic + version).
+const COUNT_OFFSET: u64 = (MAGIC.len() + std::mem::size_of::<u16>()) as u64;
+
+/// An error raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O error.
+    Io(io::Error),
+    /// The file does not start with the smr_storage magic.
+    InvalidMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// The file was written by a different format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u16,
+        /// Version this build reads and writes.
+        expected: u16,
+    },
+    /// The file's type tag does not match the requested record type.
+    TypeMismatch {
+        /// Type tag stored in the file.
+        stored: String,
+        /// Type the caller asked to decode.
+        requested: String,
+    },
+    /// The file ended before the declared record count was reached (or the
+    /// writer never finished).
+    Truncated {
+        /// Records the header declared.
+        expected: u64,
+        /// Records actually decodable.
+        found: u64,
+    },
+    /// A record payload failed to decode.
+    Codec(CodecError),
+    /// The requested dataset does not exist.
+    Missing {
+        /// The dataset name or path.
+        name: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::InvalidMagic { found } => {
+                write!(f, "not an smr_storage file (magic {found:?})")
+            }
+            StorageError::VersionMismatch { found, expected } => {
+                write!(f, "format version {found} (this build reads {expected})")
+            }
+            StorageError::TypeMismatch { stored, requested } => {
+                write!(f, "dataset holds `{stored}`, requested `{requested}`")
+            }
+            StorageError::Truncated { expected, found } => {
+                write!(f, "truncated file: {found} of {expected} records")
+            }
+            StorageError::Codec(e) => write!(f, "corrupt record: {e}"),
+            StorageError::Missing { name } => write!(f, "no dataset at `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<CodecError> for StorageError {
+    fn from(e: CodecError) -> Self {
+        StorageError::Codec(e)
+    }
+}
+
+/// Writes one run file: header first, then a frame per record.
+///
+/// Dropping a writer without calling [`RunWriter::finish`] leaves the
+/// record count at [`COUNT_PENDING`], which readers reject — a half-written
+/// run can never be mistaken for a complete one.
+#[derive(Debug)]
+pub struct RunWriter<R> {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    records: u64,
+    bytes: u64,
+    scratch: Vec<u8>,
+    _marker: PhantomData<fn(&R)>,
+}
+
+impl<R: Codec> RunWriter<R> {
+    /// Creates the file at `path` and writes the header, tagging the file
+    /// with the record type's `type_name`.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        Self::create_tagged(path, std::any::type_name::<R>())
+    }
+
+    /// Creates the file with an explicit type tag.
+    pub fn create_tagged(path: impl Into<PathBuf>, type_tag: &str) -> Result<Self, StorageError> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        let mut writer = BufWriter::new(file);
+        writer.write_all(&MAGIC)?;
+        writer.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        writer.write_all(&COUNT_PENDING.to_le_bytes())?;
+        let mut tag = Vec::new();
+        type_tag.to_string().encode(&mut tag);
+        writer.write_all(&tag)?;
+        Ok(RunWriter {
+            writer,
+            path,
+            records: 0,
+            bytes: 0,
+            scratch: Vec::new(),
+            _marker: PhantomData,
+        })
+    }
+
+    /// Opens an existing, finished run file to append more frames, without
+    /// reading or rewriting the records already there.
+    ///
+    /// The header is validated first (magic, version, completed count).
+    /// The stored record count stays untouched until [`RunWriter::finish`]
+    /// patches in the new total — so a crash mid-append leaves the file
+    /// readable at its *old* count (any partial trailing frame is beyond
+    /// the count and ignored), and this method truncates such leftovers
+    /// away before appending.
+    pub fn append_to(path: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        let path = path.into();
+        let existing = RunReader::<R>::open(&path)?.records();
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        // Walk the frame lengths to the end of the `existing` committed
+        // frames; anything after that is debris from a crashed append.
+        let mut pos = {
+            file.seek(SeekFrom::Start((MAGIC.len() + 2 + 8) as u64))?;
+            let mut tag_len = [0u8; 8];
+            file.read_exact(&mut tag_len)?;
+            (MAGIC.len() + 2 + 8 + 8) as u64 + u64::from_le_bytes(tag_len)
+        };
+        for _ in 0..existing {
+            file.seek(SeekFrom::Start(pos))?;
+            let mut len = [0u8; 4];
+            file.read_exact(&mut len)?;
+            pos += 4 + u64::from(u32::from_le_bytes(len));
+        }
+        file.set_len(pos)?;
+        file.seek(SeekFrom::Start(pos))?;
+        Ok(RunWriter {
+            writer: BufWriter::new(file),
+            path,
+            records: existing,
+            bytes: 0,
+            scratch: Vec::new(),
+            _marker: PhantomData,
+        })
+    }
+
+    /// Appends one record frame.
+    pub fn push(&mut self, record: &R) -> Result<(), StorageError> {
+        self.scratch.clear();
+        record.encode(&mut self.scratch);
+        let len = u32::try_from(self.scratch.len()).map_err(|_| {
+            StorageError::Codec(CodecError::InvalidData(format!(
+                "record of {} bytes exceeds the 4 GiB frame limit",
+                self.scratch.len()
+            )))
+        })?;
+        self.writer.write_all(&len.to_le_bytes())?;
+        self.writer.write_all(&self.scratch)?;
+        self.records += 1;
+        self.bytes += 4 + u64::from(len);
+        Ok(())
+    }
+
+    /// Number of records pushed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Frame bytes written so far (headers excluded).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flushes, patches the record count into the header and returns a
+    /// handle describing the completed run.
+    pub fn finish(mut self) -> Result<CompletedRun, StorageError> {
+        self.writer.flush()?;
+        let file = self.writer.get_mut();
+        file.seek(SeekFrom::Start(COUNT_OFFSET))?;
+        file.write_all(&self.records.to_le_bytes())?;
+        Ok(CompletedRun {
+            path: self.path,
+            records: self.records,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// A finished run file: its path plus cheap size accounting.
+#[derive(Debug, Clone)]
+pub struct CompletedRun {
+    /// Where the run lives.
+    pub path: PathBuf,
+    /// Records in the file (including pre-existing ones after an
+    /// [`RunWriter::append_to`]).
+    pub records: u64,
+    /// Frame bytes written by *this* writer (header and pre-existing
+    /// frames excluded).
+    pub bytes: u64,
+}
+
+/// Streams the records of a run file back, validating the header up front
+/// and the record count at the end.
+#[derive(Debug)]
+pub struct RunReader<R> {
+    reader: BufReader<File>,
+    type_tag: String,
+    expected: u64,
+    read: u64,
+    /// Bytes of the file left past what has been consumed — bounds every
+    /// frame before any allocation, so a corrupt frame length cannot
+    /// force a multi-gigabyte `resize`.
+    remaining_bytes: u64,
+    payload: Vec<u8>,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<R: Codec> RunReader<R> {
+    /// Opens `path`, validating magic, version and writer completion.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let file = File::open(path.as_ref())?;
+        let file_len = file.metadata()?.len();
+        let mut reader = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        read_exact_or_truncated(&mut reader, &mut magic)?;
+        if magic != MAGIC {
+            return Err(StorageError::InvalidMagic { found: magic });
+        }
+        let mut version = [0u8; 2];
+        read_exact_or_truncated(&mut reader, &mut version)?;
+        let version = u16::from_le_bytes(version);
+        if version != FORMAT_VERSION {
+            return Err(StorageError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let mut count = [0u8; 8];
+        read_exact_or_truncated(&mut reader, &mut count)?;
+        let expected = u64::from_le_bytes(count);
+        if expected == COUNT_PENDING {
+            return Err(StorageError::Truncated {
+                expected: COUNT_PENDING,
+                found: 0,
+            });
+        }
+        let mut len = [0u8; 8];
+        read_exact_or_truncated(&mut reader, &mut len)?;
+        let tag_len = usize::try_from(u64::from_le_bytes(len))
+            .map_err(|_| StorageError::Codec(CodecError::InvalidData("tag length".into())))?;
+        if tag_len > 64 * 1024 {
+            return Err(StorageError::Codec(CodecError::InvalidData(format!(
+                "type tag of {tag_len} bytes"
+            ))));
+        }
+        let mut tag = vec![0u8; tag_len];
+        read_exact_or_truncated(&mut reader, &mut tag)?;
+        let type_tag = String::from_utf8(tag)
+            .map_err(|e| StorageError::Codec(CodecError::InvalidData(format!("type tag: {e}"))))?;
+        let header_len = (MAGIC.len() + 2 + 8 + 8 + tag_len) as u64;
+        Ok(RunReader {
+            reader,
+            type_tag,
+            expected,
+            read: 0,
+            remaining_bytes: file_len.saturating_sub(header_len),
+            payload: Vec::new(),
+            _marker: PhantomData,
+        })
+    }
+
+    /// The type tag the writer stored.
+    pub fn type_tag(&self) -> &str {
+        &self.type_tag
+    }
+
+    /// Errors unless the stored type tag equals the record type's
+    /// `type_name`.
+    pub fn check_type(&self) -> Result<(), StorageError> {
+        let requested = std::any::type_name::<R>();
+        if self.type_tag != requested {
+            return Err(StorageError::TypeMismatch {
+                stored: self.type_tag.clone(),
+                requested: requested.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Records the header declares.
+    pub fn records(&self) -> u64 {
+        self.expected
+    }
+
+    /// Reads the next record; `Ok(None)` at a clean end of file.
+    pub fn next_record(&mut self) -> Result<Option<R>, StorageError> {
+        if self.read == self.expected {
+            return Ok(None);
+        }
+        let mut len = [0u8; 4];
+        self.read_frame_bytes(&mut len)?;
+        let len = u32::from_le_bytes(len) as usize;
+        // A frame cannot be longer than what is left of the file: reject
+        // corrupt lengths *before* allocating the payload buffer.
+        if (len as u64) + 4 > self.remaining_bytes {
+            return Err(StorageError::Truncated {
+                expected: self.expected,
+                found: self.read,
+            });
+        }
+        self.remaining_bytes -= len as u64 + 4;
+        self.payload.resize(len, 0);
+        let mut payload = std::mem::take(&mut self.payload);
+        let result = self.read_frame_bytes(&mut payload);
+        self.payload = payload;
+        result?;
+        let mut slice = &self.payload[..];
+        let record = R::decode(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(StorageError::Codec(CodecError::InvalidData(format!(
+                "{} trailing bytes in frame",
+                slice.len()
+            ))));
+        }
+        self.read += 1;
+        Ok(Some(record))
+    }
+
+    /// Reads the remaining records into a vector.
+    pub fn read_to_end(mut self) -> Result<Vec<R>, StorageError> {
+        let remaining = usize::try_from(self.expected - self.read).unwrap_or(usize::MAX);
+        let mut records = Vec::with_capacity(remaining.min(1 << 20));
+        while let Some(record) = self.next_record()? {
+            records.push(record);
+        }
+        Ok(records)
+    }
+
+    fn read_frame_bytes(&mut self, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.reader.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                StorageError::Truncated {
+                    expected: self.expected,
+                    found: self.read,
+                }
+            } else {
+                StorageError::Io(e)
+            }
+        })
+    }
+}
+
+impl<R: Codec> Iterator for RunReader<R> {
+    type Item = Result<R, StorageError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = usize::try_from(self.expected.saturating_sub(self.read)).unwrap_or(0);
+        (remaining, Some(remaining))
+    }
+}
+
+fn read_exact_or_truncated(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), StorageError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StorageError::Truncated {
+                expected: 0,
+                found: 0,
+            }
+        } else {
+            StorageError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("smr-run-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let path = temp_path("round-trip.run");
+        let records: Vec<(u32, String)> = (0..100).map(|i| (i, format!("value-{i}"))).collect();
+        let mut writer: RunWriter<(u32, String)> = RunWriter::create(&path).unwrap();
+        for r in &records {
+            writer.push(r).unwrap();
+        }
+        let run = writer.finish().unwrap();
+        assert_eq!(run.records, 100);
+        assert!(run.bytes > 0);
+
+        let reader: RunReader<(u32, String)> = RunReader::open(&path).unwrap();
+        reader.check_type().unwrap();
+        assert_eq!(reader.records(), 100);
+        assert_eq!(reader.read_to_end().unwrap(), records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_run_round_trips() {
+        let path = temp_path("empty.run");
+        let writer: RunWriter<u64> = RunWriter::create(&path).unwrap();
+        writer.finish().unwrap();
+        let reader: RunReader<u64> = RunReader::open(&path).unwrap();
+        assert!(reader.read_to_end().unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_a_rejected_file() {
+        let path = temp_path("unfinished.run");
+        {
+            let mut writer: RunWriter<u64> = RunWriter::create(&path).unwrap();
+            writer.push(&7).unwrap();
+            // Dropped without finish(): count stays COUNT_PENDING.
+        }
+        match RunReader::<u64>::open(&path) {
+            Err(StorageError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let path = temp_path("version.run");
+        let mut writer: RunWriter<u64> = RunWriter::create(&path).unwrap();
+        writer.push(&1).unwrap();
+        writer.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 0xfe;
+        bytes[5] = 0xca;
+        std::fs::write(&path, bytes).unwrap();
+        match RunReader::<u64>::open(&path) {
+            Err(StorageError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, 0xcafe);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = temp_path("magic.run");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        assert!(matches!(
+            RunReader::<u64>::open(&path),
+            Err(StorageError::InvalidMagic { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn type_check_rejects_the_wrong_record_type() {
+        let path = temp_path("type.run");
+        let mut writer: RunWriter<u64> = RunWriter::create(&path).unwrap();
+        writer.push(&1).unwrap();
+        writer.finish().unwrap();
+        let reader: RunReader<(u32, u32)> = RunReader::open(&path).unwrap();
+        assert!(matches!(
+            reader.check_type(),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_length_is_rejected_before_allocating() {
+        let path = temp_path("corrupt-len.run");
+        let mut writer: RunWriter<String> = RunWriter::create(&path).unwrap();
+        writer.push(&"payload".to_string()).unwrap();
+        writer.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The first frame's length prefix sits right after the header.
+        let frame_len_at = 4 + 2 + 8 + 8 + std::any::type_name::<String>().len();
+        bytes[frame_len_at..frame_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let mut reader: RunReader<String> = RunReader::open(&path).unwrap();
+        // Must fail with a typed error (never attempt a ~4 GiB resize).
+        assert!(matches!(
+            reader.next_record(),
+            Err(StorageError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let path = temp_path("truncated.run");
+        let mut writer: RunWriter<String> = RunWriter::create(&path).unwrap();
+        writer.push(&"first".to_string()).unwrap();
+        writer.push(&"second".to_string()).unwrap();
+        writer.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut the file anywhere inside the frame section: the reader must
+        // error (never silently yield a prefix).
+        let frames_start = 4 + 2 + 8 + 8 + std::any::type_name::<String>().len();
+        for cut in frames_start..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let mut reader: RunReader<String> = RunReader::open(&path).unwrap();
+            let mut failed = false;
+            loop {
+                match reader.next_record() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            assert!(failed, "cut at {cut} silently succeeded");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -6,6 +6,7 @@
 //! dot product is a linear merge.
 
 use serde::{Deserialize, Serialize};
+use smr_storage::impl_codec_struct;
 
 use crate::vocab::TermId;
 
@@ -14,6 +15,8 @@ use crate::vocab::TermId;
 pub struct SparseVector {
     entries: Vec<(TermId, f64)>,
 }
+
+impl_codec_struct!(SparseVector { entries });
 
 impl SparseVector {
     /// Creates an empty vector.

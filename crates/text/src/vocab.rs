@@ -3,12 +3,15 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+use smr_storage::impl_codec_newtype;
 
 /// Dense identifier of a term in a [`Vocabulary`].
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
 pub struct TermId(pub u32);
+
+impl_codec_newtype!(TermId(u32));
 
 impl TermId {
     /// The dense index of this term.

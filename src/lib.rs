@@ -11,7 +11,9 @@
 //! * [`matching`] — the paper's algorithms: GreedyMR, StackMR,
 //!   StackGreedyMR, centralized greedy/stack and an exact solver,
 //! * [`datagen`] — synthetic dataset generators standing in for the paper's
-//!   flickr and Yahoo! Answers crawls.
+//!   flickr and Yahoo! Answers crawls,
+//! * [`storage`] — the out-of-core layer: binary record codec, spill-run
+//!   files, the spill manager and disk-backed dataset stores.
 //!
 //! The end-to-end chain — tokenize, similarity-join, assign capacities,
 //! match — is packaged as the [`MatchingPipeline`] builder ([`pipeline`]),
@@ -24,6 +26,7 @@ pub use smr_graph as graph;
 pub use smr_mapreduce as mapreduce;
 pub use smr_matching as matching;
 pub use smr_simjoin as simjoin;
+pub use smr_storage as storage;
 pub use smr_text as text;
 
 pub mod pipeline;

@@ -145,10 +145,29 @@ impl MatchingPipeline {
     }
 
     /// Sets the MapReduce job configuration every job runs under (threads,
-    /// task counts, shuffle mode); the config's name prefixes every job
+    /// task counts, memory budget); the config's name prefixes every job
     /// name in the [`FlowReport`].
     pub fn job(mut self, job: JobConfig) -> Self {
         self.job = job;
+        self
+    }
+
+    /// Sets the engine memory budget in bytes for every job of the
+    /// pipeline (`None` = unlimited).  Map tasks whose buffers outgrow
+    /// their share of the budget spill sorted runs to disk and the shuffle
+    /// streams them back — the pipeline's output is byte-identical for
+    /// every budget, and the spill volume is reported as
+    /// `spill_bytes`/`disk_runs` in the run's [`FlowReport`].
+    pub fn memory_budget(mut self, bytes: Option<u64>) -> Self {
+        self.job = self.job.with_memory_budget(bytes);
+        self
+    }
+
+    /// Sets the directory spilled runs are written under (default: the
+    /// system temp directory).  Each job cleans its spill files up when it
+    /// finishes.
+    pub fn spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.job = self.job.with_spill_dir(dir);
         self
     }
 
