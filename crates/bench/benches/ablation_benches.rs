@@ -4,7 +4,6 @@
 //!   (random = StackMR, heaviest-first = StackGreedyMR,
 //!   weight-proportional = the third variant the paper dismisses),
 //! * the slackness parameter ε (violation vs rounds trade-off),
-//! * prefix-filtering similarity join vs the brute-force baseline,
 //! * the thread count of the MapReduce engine (scaling of one GreedyMR
 //!   round),
 //! * the shuffle engine: streaming sorted-runs + k-way merge vs the
@@ -13,12 +12,10 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use smr_datagen::{DatasetPreset, RandomGraphConfig, WeightDistribution};
+use smr_datagen::{RandomGraphConfig, WeightDistribution};
 use smr_graph::Capacities;
 use smr_mapreduce::JobConfig;
 use smr_matching::{GreedyMr, GreedyMrConfig, MarkingStrategy, StackMr, StackMrConfig};
-use smr_simjoin::{baseline_similarity_join, mapreduce_similarity_join, SimJoinConfig};
-use smr_text::{Corpus, TokenizerConfig};
 
 fn bench_graph(num_edges: usize, seed: u64) -> (smr_graph::BipartiteGraph, Capacities) {
     let graph = RandomGraphConfig {
@@ -94,34 +91,6 @@ fn bench_epsilon(c: &mut Criterion) {
     group.finish();
 }
 
-/// Similarity-join ablation: prefix-filtering MapReduce join vs the
-/// brute-force all-pairs baseline.
-fn bench_simjoin(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_similarity_join");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    let dataset = DatasetPreset::FlickrSmall.generate();
-    let items = Corpus::build(dataset.items.clone(), &TokenizerConfig::tags_only());
-    let consumers = Corpus::build(dataset.consumers.clone(), &TokenizerConfig::tags_only());
-    let sigma = DatasetPreset::FlickrSmall.default_sigma();
-    group.bench_function("mapreduce_prefix_filtering", |b| {
-        b.iter(|| {
-            mapreduce_similarity_join(
-                &items,
-                &consumers,
-                &SimJoinConfig::default()
-                    .with_threshold(sigma)
-                    .with_job(JobConfig::named("ablation-join")),
-            )
-        })
-    });
-    group.bench_function("brute_force_baseline", |b| {
-        b.iter(|| baseline_similarity_join(&items, &consumers, sigma))
-    });
-    group.finish();
-}
-
 /// Thread-count ablation of the MapReduce engine, measured on a full
 /// GreedyMR run.
 fn bench_threads(c: &mut Criterion) {
@@ -180,7 +149,6 @@ criterion_group!(
     ablation_benches,
     bench_marking_strategy,
     bench_epsilon,
-    bench_simjoin,
     bench_threads,
     bench_memory_budget,
 );

@@ -1,0 +1,58 @@
+//! Criterion group for the streaming similarity join — the group the CI
+//! bench smoke step runs:
+//!
+//! * the two-job MapReduce join (prefix filter + partial products +
+//!   suffix-bound pruning) vs the brute-force all-pairs baseline,
+//! * the same join under a 4 KiB memory budget, forcing the out-of-core
+//!   shuffle on both jobs (the regime the `spill-test` CI job runs the
+//!   whole suite in).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smr_datagen::DatasetPreset;
+use smr_mapreduce::JobConfig;
+use smr_simjoin::{baseline_similarity_join, mapreduce_similarity_join, SimJoinConfig};
+use smr_text::{Corpus, TokenizerConfig};
+
+/// Streaming similarity join vs the brute-force baseline, in memory and
+/// under a tiny budget.
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_similarity");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let dataset = DatasetPreset::FlickrSmall.generate();
+    let items = Corpus::build(dataset.items.clone(), &TokenizerConfig::tags_only());
+    let consumers = Corpus::build(dataset.consumers.clone(), &TokenizerConfig::tags_only());
+    let sigma = DatasetPreset::FlickrSmall.default_sigma();
+    group.bench_function("streaming_prefix_filtering", |b| {
+        b.iter(|| {
+            mapreduce_similarity_join(
+                &items,
+                &consumers,
+                &SimJoinConfig::default()
+                    .with_threshold(sigma)
+                    .with_job(JobConfig::named("join-bench")),
+            )
+        })
+    });
+    group.bench_function("streaming_budget_4KiB", |b| {
+        b.iter(|| {
+            mapreduce_similarity_join(
+                &items,
+                &consumers,
+                &SimJoinConfig::default().with_threshold(sigma).with_job(
+                    JobConfig::named("join-bench-spill").with_memory_budget(Some(4 * 1024)),
+                ),
+            )
+        })
+    });
+    group.bench_function("brute_force_baseline", |b| {
+        b.iter(|| baseline_similarity_join(&items, &consumers, sigma))
+    });
+    group.finish();
+}
+
+criterion_group!(join_benches, bench_join);
+criterion_main!(join_benches);

@@ -521,6 +521,113 @@ pub fn shuffle_ablation(set: &mut ExperimentSet) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Similarity-join ablation (streaming join with suffix-bound pruning)
+// ---------------------------------------------------------------------------
+
+/// One measured configuration of the streaming similarity join.
+#[derive(Debug, Clone)]
+pub struct JoinAblationRow {
+    /// Dataset preset the join ran on.
+    pub preset: DatasetPreset,
+    /// Similarity threshold σ.
+    pub sigma: f64,
+    /// Candidate pairs generated by probing (what a dedup-only probe —
+    /// the pre-streaming join — would have shuffled).
+    pub candidates: u64,
+    /// Candidates pruned on `partial score + remainder bound < σ` without
+    /// a shuffle record or a vector fetch.
+    pub pruned_cheap: u64,
+    /// Candidates verified with an exact dot product (the survivors).
+    pub verified_exact: u64,
+    /// Records the probe job actually shuffled.
+    pub records_shuffled: u64,
+    /// Bytes the probe job shuffled.
+    pub shuffle_bytes: u64,
+    /// Term-range partitions the inverted index was persisted into.
+    pub index_partitions: u64,
+    /// Candidate edges in the verified graph.
+    pub edges: usize,
+}
+
+/// Runs the streaming similarity join over every preset × σ of the scale's
+/// sweep (fresh join per σ, through the facade's `MatchingPipeline`) and
+/// reports the candidate accounting: generated vs pruned-cheap vs
+/// verified-exact, plus the probe job's shuffle volume.  `candidates`
+/// doubles as the A/B baseline — it is exactly what the pre-streaming
+/// dedup probe shuffled.
+pub fn join_rows(set: &mut ExperimentSet) -> Vec<JoinAblationRow> {
+    use smr_text::TokenizerConfig;
+    let mut rows = Vec::new();
+    for preset in set.scale.presets() {
+        let dataset = preset.generate();
+        for sigma in set.scale.sigma_sweep(preset) {
+            let candidate = social_content_matching::MatchingPipeline::new(dataset.clone())
+                .tokenizer(TokenizerConfig::tags_only())
+                .sigma(sigma)
+                .job(set.job().with_name(format!("join-{}", preset.name())))
+                .build_graph();
+            let probe = candidate
+                .report
+                .jobs
+                .last()
+                .expect("the join always runs a probe job");
+            rows.push(JoinAblationRow {
+                preset,
+                sigma,
+                candidates: candidate.candidate_pairs as u64,
+                pruned_cheap: candidate.candidates_pruned as u64,
+                verified_exact: candidate.verify_exact as u64,
+                records_shuffled: probe.shuffle_records,
+                shuffle_bytes: probe.shuffle_bytes,
+                index_partitions: probe
+                    .user_counters
+                    .get(smr_simjoin::join::counter::INDEX_PARTITIONS)
+                    .copied()
+                    .unwrap_or(0),
+                edges: candidate.graph.num_edges(),
+            });
+        }
+    }
+    rows
+}
+
+/// Streaming-join profile: candidates generated / pruned cheap / verified
+/// exact per preset × σ, with the probe shuffle volume.  The `candidates`
+/// column is the pre-streaming baseline (dedup probe shuffled one record
+/// per candidate), so `shuffled` vs `candidates` is the communication A/B.
+pub fn join_ablation(set: &mut ExperimentSet) -> Table {
+    let mut table = Table::new(
+        "Join profile: partial products + suffix-bound pruning \
+         (candidates = dedup-probe baseline shuffle)",
+        &[
+            "dataset",
+            "sigma",
+            "candidates",
+            "pruned-cheap",
+            "verified-exact",
+            "shuffled",
+            "shuffle-bytes",
+            "index-parts",
+            "edges",
+        ],
+    );
+    for row in join_rows(set) {
+        table.push_row(vec![
+            row.preset.name().to_string(),
+            fmt_f(row.sigma, 2),
+            row.candidates.to_string(),
+            row.pruned_cheap.to_string(),
+            row.verified_exact.to_string(),
+            row.records_shuffled.to_string(),
+            row.shuffle_bytes.to_string(),
+            row.index_partitions.to_string(),
+            row.edges.to_string(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Spill (out-of-core) ablation
 // ---------------------------------------------------------------------------
 
@@ -766,6 +873,53 @@ mod tests {
         for row in &rows {
             assert!(row.merge_runs > 0, "{row:?}");
         }
+    }
+
+    #[test]
+    fn join_profile_closes_its_candidate_accounting() {
+        let mut set = smoke_set();
+        let rows = join_rows(&mut set);
+        // 1 preset × 2 σ points at smoke scale.
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(
+                row.candidates,
+                row.pruned_cheap + row.records_shuffled,
+                "{row:?}"
+            );
+            assert_eq!(row.verified_exact, row.records_shuffled, "{row:?}");
+            assert!(row.edges as u64 <= row.verified_exact, "{row:?}");
+            assert!(row.index_partitions >= 1, "{row:?}");
+        }
+        // The probe shuffles strictly fewer records than the dedup-probe
+        // baseline (= candidates) on every smoke configuration.
+        assert!(rows.iter().all(|r| r.records_shuffled < r.candidates));
+        let rendered = join_ablation(&mut smoke_set()).render();
+        assert!(rendered.contains("pruned-cheap"));
+    }
+
+    /// CI regression guard: the streaming join's candidate accounting for
+    /// `flickr-small` at σ = 0.16 is deterministic (map-side pruning runs
+    /// on complete per-item scores, independent of threads and budgets).
+    /// These exact counts gate against silent regressions in the prefix
+    /// filter, the suffix bound or the partial-product accumulation.
+    #[test]
+    fn join_counts_regression_guard_flickr_small_sigma_016() {
+        use smr_text::TokenizerConfig;
+        let candidate =
+            social_content_matching::MatchingPipeline::new(DatasetPreset::FlickrSmall.generate())
+                .tokenizer(TokenizerConfig::tags_only())
+                .sigma(0.16)
+                .job(JobConfig::named("join-guard").with_threads(2))
+                .build_graph();
+        // 12 654 candidates is also what the pre-streaming dedup probe
+        // shuffled (and exactly verified) at this σ; the suffix bound now
+        // prunes 2 025 of them before the shuffle.  3 502 edges matches
+        // the seed baseline in EXPERIMENTS.md, byte for byte.
+        assert_eq!(candidate.candidate_pairs, 12_654);
+        assert_eq!(candidate.candidates_pruned, 2_025);
+        assert_eq!(candidate.verify_exact, 10_629);
+        assert_eq!(candidate.graph.num_edges(), 3_502);
     }
 
     #[test]

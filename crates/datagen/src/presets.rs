@@ -3,9 +3,15 @@
 //! | Preset | Paper size (|T| / |C| / |E|) | This preset (|T| / |C|) |
 //! |---|---|---|
 //! | `flickr-small`   | 2 817 / 526 / 550 667            | 300 / 80   |
-//! | `flickr-large`   | 373 373 / 32 707 / 1 995 123 827 | 2 500 / 400 |
-//! | `yahoo-answers`  | 4 852 689 / 1 149 714 / 18 847 281 236 | 1 500 / 500 |
-//! | `flickr-xl`      | — (scale tier)                   | 12 000 / 1 500 |
+//! | `flickr-large`   | 373 373 / 32 707 / 1 995 123 827 | 3 600 / 560 |
+//! | `yahoo-answers`  | 4 852 689 / 1 149 714 / 18 847 281 236 | 2 200 / 700 |
+//! | `flickr-xl`      | — (scale tier)                   | 12 000 / 1 800 |
+//!
+//! `flickr-large` and `yahoo-answers` grow a notch toward the paper's
+//! sizes with every scaling PR (they were 2 500 / 400 and 1 500 / 500
+//! before the streaming similarity join landed); the sweeps stay
+//! laptop-scale because the join no longer materializes its candidate set
+//! in RAM.
 //!
 //! The absolute sizes are scaled down by orders of magnitude so that the
 //! full pipeline (similarity join + matching + parameter sweeps) runs on a
@@ -101,9 +107,9 @@ impl DatasetPreset {
             }
             .generate(),
             DatasetPreset::FlickrLarge => FlickrGenerator {
-                num_photos: 2_500,
-                num_users: 400,
-                vocabulary: 900,
+                num_photos: 3_600,
+                num_users: 560,
+                vocabulary: 1_100,
                 interests_per_user: 10,
                 tags_per_photo: 6,
                 topicality: 0.7,
@@ -116,17 +122,17 @@ impl DatasetPreset {
             }
             .generate(),
             DatasetPreset::YahooAnswers => AnswersGenerator {
-                num_questions: 1_500,
-                num_users: 500,
-                vocabulary: 1_200,
-                num_topics: 30,
+                num_questions: 2_200,
+                num_users: 700,
+                vocabulary: 1_500,
+                num_topics: 36,
                 seed,
                 ..AnswersGenerator::default()
             }
             .generate(),
             DatasetPreset::FlickrXl => FlickrGenerator {
                 num_photos: 12_000,
-                num_users: 1_500,
+                num_users: 1_800,
                 vocabulary: 2_000,
                 interests_per_user: 10,
                 tags_per_photo: 6,
@@ -227,12 +233,15 @@ mod tests {
     }
 
     #[test]
-    fn xl_tier_is_an_order_of_magnitude_beyond_large() {
+    fn xl_tier_stays_well_beyond_the_growing_large_tier() {
         // Sizing only — generating the documents is cheap; the XL tier is
-        // consumed by shuffle workloads, not by the full join sweep.
+        // consumed by shuffle workloads, not by the full join sweep.  The
+        // paper tiers grow toward paper scale PR by PR, so the headroom
+        // ratio shrinks over time; 3× is the floor before the spill tier
+        // itself must grow.
         let xl = DatasetPreset::FlickrXl.generate();
         let large = DatasetPreset::FlickrLarge.generate();
-        assert!(xl.num_items() >= 4 * large.num_items());
+        assert!(xl.num_items() >= 3 * large.num_items());
         assert!(xl.num_consumers() >= 3 * large.num_consumers());
         assert_eq!(xl.name, "flickr-xl");
         assert!(

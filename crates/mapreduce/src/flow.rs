@@ -201,6 +201,18 @@ struct FlowInner {
     store: FlowStore,
     errors: Mutex<Vec<FlowError>>,
     anonymous_jobs: AtomicUsize,
+    /// Lazily created side-data store (see [`FlowContext::side_store`]).
+    side: Mutex<Option<DatasetStore>>,
+}
+
+impl Drop for FlowInner {
+    fn drop(&mut self) {
+        // Side data is transient by contract: whatever jobs parked there
+        // (index partitions, vector chunks) dies with the flow.
+        if let Some(store) = self.side.lock().take() {
+            let _ = std::fs::remove_dir_all(store.root());
+        }
+    }
 }
 
 /// Shared state of a job chain: the [`JobConfig`] every job runs under,
@@ -258,6 +270,7 @@ impl FlowContext {
                 store,
                 errors: Mutex::new(Vec::new()),
                 anonymous_jobs: AtomicUsize::new(0),
+                side: Mutex::new(None),
             }),
         }
     }
@@ -369,6 +382,42 @@ impl FlowContext {
         }
     }
 
+    /// The flow's *side-data* store: a disk-backed [`DatasetStore`] for
+    /// data that jobs ship around outside the shuffle — the Hadoop
+    /// distributed-cache role.  A job chain parks derived artifacts here
+    /// (an inverted index in term-range partitions, a corpus in vector
+    /// chunks) and later stages open them on demand instead of holding
+    /// them in memory for the whole chain.
+    ///
+    /// The store is created lazily on first use — under the disk store's
+    /// root for [`FlowContext::with_disk_store`] flows, under the system
+    /// temp directory otherwise — is shared by every clone of the context,
+    /// and is deleted when the flow drops: side data is transient, unlike
+    /// [`Dataset::persist`] outputs.
+    ///
+    /// # Panics
+    /// Panics when the store directory cannot be created (an environment
+    /// failure, like a failed persist).
+    pub fn side_store(&self) -> DatasetStore {
+        static SIDE_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let mut guard = self.inner.side.lock();
+        if let Some(store) = guard.as_ref() {
+            return store.clone();
+        }
+        let dir = match &self.inner.store {
+            FlowStore::Disk(store) => store.root().join("_side"),
+            FlowStore::Memory(_) => std::env::temp_dir().join(format!(
+                "smr-flow-side-{}-{}",
+                std::process::id(),
+                SIDE_SEQ.fetch_add(1, Ordering::Relaxed)
+            )),
+        };
+        let store = DatasetStore::open(&dir)
+            .unwrap_or_else(|e| panic!("failed to open flow side store at {dir:?}: {e}"));
+        *guard = Some(store.clone());
+        store
+    }
+
     /// The paths of every persisted dataset, sorted.
     pub fn persisted_paths(&self) -> Vec<String> {
         match &self.inner.store {
@@ -450,6 +499,7 @@ impl<K: Key, V: Value> Dataset<K, V> {
             combiner: None,
             partitioner: HashPartitioner::new(),
             stage_name: None,
+            counters: None,
         }
     }
 
@@ -521,6 +571,7 @@ pub struct JobStage<M: Mapper, C, P> {
     combiner: Option<C>,
     partitioner: P,
     stage_name: Option<String>,
+    counters: Option<Counters>,
 }
 
 impl<M: Mapper, C, P> std::fmt::Debug for JobStage<M, C, P> {
@@ -558,6 +609,7 @@ where
             combiner: Some(combiner),
             partitioner: self.partitioner,
             stage_name: self.stage_name,
+            counters: self.counters,
         }
     }
 
@@ -573,7 +625,19 @@ where
             combiner: self.combiner,
             partitioner,
             stage_name: self.stage_name,
+            counters: self.counters,
         }
+    }
+
+    /// Runs the job with an externally supplied [`Counters`] set instead
+    /// of a fresh one.  User counters bumped from map/reduce code holding
+    /// a clone of the same set (e.g. domain counters like pruned
+    /// candidates) are snapshotted into the job's
+    /// [`JobMetrics::user_counters`] when the job completes, alongside the
+    /// built-in counters.
+    pub fn with_counters(mut self, counters: Counters) -> Self {
+        self.counters = Some(counters);
+        self
     }
 
     /// Seals the job with its reducer, yielding the next dataset of the
@@ -590,6 +654,7 @@ where
             combiner,
             partitioner,
             stage_name,
+            counters,
         } = self;
         Dataset {
             ctx,
@@ -603,7 +668,7 @@ where
                     &reducer,
                     &partitioner,
                     records,
-                    Counters::new(),
+                    counters.unwrap_or_default(),
                 );
                 ctx.record_job(result.metrics);
                 result.output
@@ -879,6 +944,83 @@ mod tests {
             .read_persisted::<String, u64>("stage-1/counts")
             .unwrap();
         assert!(counts.iter().any(|(w, c)| w == "the" && *c == 3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn external_counters_land_in_the_job_metrics() {
+        struct CountingMapper(Counters);
+        impl Mapper for CountingMapper {
+            type InKey = usize;
+            type InValue = String;
+            type OutKey = String;
+            type OutValue = u64;
+            fn map(&self, _k: &usize, text: &String, out: &mut Emitter<String, u64>) {
+                for w in text.split_whitespace() {
+                    self.0.add("words_seen", 1);
+                    out.emit(w.to_string(), 1);
+                }
+            }
+        }
+        let flow = FlowContext::new(config());
+        let counters = Counters::new();
+        counters.add("partitions_prepared", 3);
+        let _ = flow
+            .dataset(input())
+            .map_with(CountingMapper(counters.clone()))
+            .named("counted")
+            .with_counters(counters.clone())
+            .reduce_with(SumCounts)
+            .collect();
+        let job = &flow.report().jobs[0];
+        assert_eq!(job.user_counters["words_seen"], 10);
+        assert_eq!(job.user_counters["partitions_prepared"], 3);
+        assert_eq!(counters.get("words_seen"), 10);
+    }
+
+    #[test]
+    fn side_store_is_shared_lazy_and_removed_with_the_flow() {
+        let side_root;
+        {
+            let flow = FlowContext::new(config());
+            let store = flow.side_store();
+            side_root = store.root().to_path_buf();
+            store.write("chunk-0", &[1u64, 2]).unwrap();
+            // Clones see the same store (and the same datasets).
+            assert_eq!(
+                flow.clone().side_store().read::<u64>("chunk-0").unwrap(),
+                [1, 2]
+            );
+            // Side data never shows up among persisted datasets.
+            assert!(flow.persisted_paths().is_empty());
+        }
+        assert!(
+            !side_root.exists(),
+            "side data must not survive the flow that wrote it"
+        );
+    }
+
+    #[test]
+    fn disk_flow_side_store_lives_under_the_store_root_and_is_transient() {
+        let dir = std::env::temp_dir().join(format!("smr-flow-sidedisk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let flow = FlowContext::with_disk_store(config(), &dir).unwrap();
+            let side = flow.side_store();
+            assert!(side.root().starts_with(&dir));
+            side.write("x", &[7u8]).unwrap();
+            let _ = flow
+                .dataset(input())
+                .map_with(SplitWords)
+                .reduce_with(SumCounts)
+                .persist("kept");
+            // Side data stays invisible to the persisted namespace.
+            assert_eq!(flow.persisted_paths(), vec!["kept".to_string()]);
+        }
+        // The persisted dataset survives; the side data does not.
+        let reopened = FlowContext::with_disk_store(config(), &dir).unwrap();
+        assert_eq!(reopened.persisted_paths(), vec!["kept".to_string()]);
+        assert!(!dir.join("_side").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

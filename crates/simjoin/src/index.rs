@@ -1,4 +1,13 @@
-//! The pruned inverted index over consumer vectors.
+//! The pruned inverted index over consumer vectors — the single-machine
+//! **reference implementation** of the filter.
+//!
+//! The MapReduce join itself no longer holds an index like this in
+//! memory: job 1's output goes straight to disk as term-range partitions
+//! ([`crate::store::PartitionedIndex`]) that probe mappers open on
+//! demand.  [`InvertedIndex`] stays as the in-memory reference the
+//! equivalence tests and the filter documentation are written against;
+//! both implementations index exactly the prefix entries and carry the
+//! same per-posting suffix remainder bound.
 
 use std::collections::HashMap;
 
@@ -6,19 +15,25 @@ use serde::{Deserialize, Serialize};
 use smr_storage::impl_codec_struct;
 use smr_text::{SparseVector, TermId};
 
-use crate::prefix::prefix_length;
+use crate::prefix::{prefix_length, suffix_remainder_bound};
 
-/// One posting: a consumer (by dense index) and the weight of the indexed
-/// term in its vector.
+/// One posting: a consumer (by dense index), the weight of the indexed
+/// term in its vector, and the consumer's suffix remainder bound.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Posting {
     /// Dense index of the consumer document.
     pub doc: usize,
     /// Weight of the term in that document.
     pub weight: f64,
+    /// Upper bound on what the document's *unindexed* suffix can add to a
+    /// dot product with any item
+    /// ([`suffix_remainder_bound`]), carried with
+    /// every posting so partial-product verification can threshold
+    /// `accumulated score + bound` without fetching the vectors.
+    pub bound: f64,
 }
 
-impl_codec_struct!(Posting { doc, weight });
+impl_codec_struct!(Posting { doc, weight, bound });
 
 /// A term → postings inverted index containing only prefix entries.
 #[derive(Debug, Clone, Default)]
@@ -45,12 +60,14 @@ impl InvertedIndex {
         for (doc, vector) in consumers.iter().enumerate() {
             let ordered = vector.terms_in_order(term_order_rank);
             let plen = prefix_length(vector, &ordered, max_weights, sigma);
+            let bound = suffix_remainder_bound(vector, &ordered, plen, max_weights);
             index.total_entries += vector.len();
             for term in &ordered[..plen] {
                 index.indexed_entries += 1;
                 index.postings.entry(*term).or_default().push(Posting {
                     doc,
                     weight: vector.weight(*term),
+                    bound,
                 });
             }
         }
@@ -165,6 +182,7 @@ mod tests {
                 vec![Posting {
                     doc: 0,
                     weight: 0.5,
+                    bound: 0.0,
                 }],
             ),
             (
@@ -172,6 +190,7 @@ mod tests {
                 vec![Posting {
                     doc: 1,
                     weight: 0.25,
+                    bound: 0.0,
                 }],
             ),
         ]);

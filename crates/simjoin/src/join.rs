@@ -1,38 +1,79 @@
 //! The two-round MapReduce similarity join (adaptation of Baraglia et al.
-//! to the bipartite item × consumer case).
+//! to the bipartite item × consumer case), streaming end to end.
 //!
 //! * **Job 1 — indexing**: every consumer vector is mapped to
-//!   `(term, posting)` pairs for the terms of its prefix only; the reducer
-//!   groups postings per term, producing the pruned inverted index.
-//! * **Job 2 — probing and verification**: every item vector is mapped
-//!   against the index (shipped to the mappers like a distributed-cache
-//!   file): each indexed term shared with a consumer generates a candidate
-//!   pair; a map-side combiner collapses duplicate generations of the same
-//!   pair while partitioning (one record per candidate crosses the
-//!   shuffle); the reducer recomputes the exact similarity from the two
-//!   vectors and keeps the pair when it reaches σ.
+//!   `(term, posting)` pairs for the terms of its prefix only; each
+//!   posting carries the consumer's *suffix remainder bound* (what the
+//!   pruned tail of its vector could still contribute to any dot product).
+//!   The reducer streams the grouped postings through unchanged — the
+//!   engine's deterministic merge already delivers them in doc order — and
+//!   the index is persisted in **term-range partitions** through the
+//!   flow's side [`smr_storage::DatasetStore`].
+//! * **Job 2 — probing and verification with partial products**: every
+//!   item probes only the index partitions its terms fall into (opened on
+//!   demand, never the whole index), accumulating
+//!   `w_item · w_consumer` **partial products** per candidate.  A
+//!   candidate whose accumulated score plus remainder bound cannot reach σ
+//!   is pruned *before the shuffle* — it never becomes a record.  The
+//!   summing `PartialScoreCombiner` keeps the per-pair accumulation
+//!   correct at any engine granularity, and the verify reducer thresholds
+//!   the accumulated score once more, fetching the two vectors of a
+//!   surviving pair from the flow's chunked [`DiskVectorStore`] — it holds
+//!   no `Arc` of either corpus — for the exact dot product.
 //!
 //! The two jobs run as one lazy [`Dataset`](smr_mapreduce::flow::Dataset)
-//! chain over a shared [`FlowContext`]: job 1's output is turned into the
-//! inverted index inside the chain's `then` stage, which constructs job 2
-//! around it.  [`mapreduce_similarity_join_flow`] joins through a
-//! caller-provided flow (so a whole pipeline reports one
-//! [`smr_mapreduce::FlowReport`]); the original entry points wrap it with
-//! a private flow.
+//! chain over a shared [`FlowContext`]; the probe job reports the join's
+//! domain counters ([`counter`]) — `candidates_pruned`, `verify_exact`,
+//! `index_partitions` — in its [`JobMetrics::user_counters`].
 //!
 //! The output is the candidate-edge [`BipartiteGraph`] handed to the
-//! matching algorithms.
+//! matching algorithms, byte-identical to an exact all-pairs join
+//! thresholded at σ.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use serde::{Deserialize, Serialize};
 use smr_graph::{BipartiteGraph, GraphBuilder};
 use smr_mapreduce::flow::FlowContext;
-use smr_mapreduce::{Combiner, Emitter, JobConfig, JobMetrics, Mapper, Reducer};
+use smr_mapreduce::{Combiner, Counters, Emitter, JobConfig, JobMetrics, Mapper, Reducer};
+use smr_storage::impl_codec_struct;
 use smr_text::{Corpus, SparseVector, TermId};
 
-use crate::index::{InvertedIndex, Posting};
-use crate::prefix::{prefix_length, term_max_weights};
+use crate::index::Posting;
+use crate::prefix::{prefix_length, suffix_remainder_bound, term_max_weights};
+use crate::store::{DiskVectorStore, IndexPartition, PartitionedIndex};
+
+/// Names of the join's domain counters, reported in the probe job's
+/// [`JobMetrics::user_counters`].
+pub mod counter {
+    /// Candidate pairs discarded because accumulated partial products plus
+    /// the remainder bound cannot reach σ — no vector fetch, no dot
+    /// product (and, for the map-side majority, no shuffle record).
+    pub const CANDIDATES_PRUNED: &str = "candidates_pruned";
+    /// The subset of [`CANDIDATES_PRUNED`] discarded at the *reducer*:
+    /// pairs whose accumulated evidence only revealed them unreachable
+    /// after the shuffle.  Zero in the current dataflow (the mapper prunes
+    /// on complete per-item scores), but kept separate so the candidate
+    /// accounting cannot double-count a reduce-input group as a map-side
+    /// prune if a future dataflow splits a pair's partials.
+    pub const VERIFY_PRUNED: &str = "verify_pruned";
+    /// Surviving candidates verified with an exact dot product against
+    /// vectors fetched from the disk store.
+    pub const VERIFY_EXACT: &str = "verify_exact";
+    /// Term-range partitions job 1's index was persisted into.
+    pub const INDEX_PARTITIONS: &str = "index_partitions";
+}
+
+/// Absolute slack subtracted from σ before a candidate is pruned on its
+/// partial score.  Partial products are accumulated in a different
+/// floating-point order than the exact verification dot product, so the
+/// two can differ in the last bits; the slack keeps the prune strictly
+/// conservative (a pair at exactly σ always survives to exact
+/// verification) while remaining far below any meaningful similarity
+/// difference of unit-normalized vectors.
+const PRUNE_SLACK: f64 = 1e-9;
 
 /// Configuration of the MapReduce similarity join.
 #[derive(Debug, Clone)]
@@ -76,8 +117,17 @@ impl SimJoinConfig {
 pub struct SimJoinResult {
     /// The candidate-edge graph (items × consumers, weights = similarity).
     pub graph: BipartiteGraph,
-    /// Number of candidate pairs generated before verification.
+    /// Number of candidate pairs generated by probing, before any pruning
+    /// or verification (what a dedup-only probe would have shuffled).
     pub candidate_pairs: usize,
+    /// Candidates discarded on `partial score + remainder bound < σ`
+    /// without a shuffle record or a vector fetch.
+    pub candidates_pruned: usize,
+    /// Candidates that reached exact verification (a vector fetch and a
+    /// dot product each).
+    pub verify_exact: usize,
+    /// Term-range partitions the inverted index was persisted into.
+    pub index_partitions: usize,
     /// Number of (term, document) entries indexed by job 1 (after prefix
     /// pruning).
     pub indexed_entries: usize,
@@ -90,6 +140,7 @@ pub struct SimJoinResult {
 // ---------------------------------------------------------------------------
 
 struct IndexMapper {
+    consumers: Arc<[SparseVector]>,
     term_order_rank: Arc<Vec<u32>>,
     max_weights: Arc<Vec<f64>>,
     sigma: f64,
@@ -97,104 +148,232 @@ struct IndexMapper {
 
 impl Mapper for IndexMapper {
     type InKey = usize; // consumer dense index
-    type InValue = SparseVector;
+    type InValue = usize; // ditto (the corpus itself rides in the mapper)
     type OutKey = u32; // term id
     type OutValue = Posting;
 
-    fn map(&self, doc: &usize, vector: &SparseVector, out: &mut Emitter<u32, Posting>) {
+    fn map(&self, doc: &usize, _: &usize, out: &mut Emitter<u32, Posting>) {
+        let vector = &self.consumers[*doc];
         let ordered = vector.terms_in_order(&self.term_order_rank);
         let plen = prefix_length(vector, &ordered, &self.max_weights, self.sigma);
+        let bound = suffix_remainder_bound(vector, &ordered, plen, &self.max_weights);
         for term in &ordered[..plen] {
             out.emit(
                 term.0,
                 Posting {
                     doc: *doc,
                     weight: vector.weight(*term),
+                    bound,
                 },
             );
         }
     }
 }
 
+/// Streams each term's postings through unchanged.  The engine's merge is
+/// deterministic — map tasks cover contiguous input ranges and runs merge
+/// in task order — so the grouped postings already arrive in ascending doc
+/// order; re-sorting (or cloning into per-term lists) would be pure waste.
 struct IndexReducer;
 
 impl Reducer for IndexReducer {
     type Key = u32;
     type InValue = Posting;
     type OutKey = u32;
-    type OutValue = Vec<Posting>;
+    type OutValue = Posting;
 
-    fn reduce(&self, term: &u32, postings: &[Posting], out: &mut Emitter<u32, Vec<Posting>>) {
-        let mut list = postings.to_vec();
-        list.sort_by_key(|p| p.doc);
-        out.emit(*term, list);
+    fn reduce(&self, term: &u32, postings: &[Posting], out: &mut Emitter<u32, Posting>) {
+        debug_assert!(
+            postings.windows(2).all(|w| w[0].doc <= w[1].doc),
+            "the engine's merge must deliver postings in doc order"
+        );
+        for posting in postings {
+            out.emit(*term, *posting);
+        }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Job 2: probing + verification
+// Job 2: probing + partial-product verification
 // ---------------------------------------------------------------------------
 
-struct ProbeMapper {
-    index: Arc<InvertedIndex>,
+/// The accumulated evidence for one candidate pair: the sum of partial
+/// products over shared indexed terms, and the upper bound on what the
+/// consumer's unindexed suffix could still add.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartialScore {
+    /// `Σ w_item(t) · w_consumer(t)` over the shared indexed terms seen so
+    /// far.
+    pub score: f64,
+    /// Upper bound on the unindexed remainder of the dot product (the
+    /// consumer's suffix bound; every partial of a pair carries the same
+    /// value).
+    pub remainder: f64,
 }
 
-impl Mapper for ProbeMapper {
-    type InKey = usize; // item dense index
-    type InValue = SparseVector;
-    type OutKey = (usize, usize); // (item, consumer) candidate pair
-    type OutValue = u8;
+impl_codec_struct!(PartialScore { score, remainder });
 
-    fn map(&self, item: &usize, vector: &SparseVector, out: &mut Emitter<(usize, usize), u8>) {
-        // One record per (query term, posting) hit — a pair sharing
-        // several indexed terms is emitted several times, exactly as in
-        // the paper's formulation.  [`CandidateDedupCombiner`] collapses
-        // the duplicates while the engine partitions, so a single record
-        // per candidate crosses the shuffle.
-        for &(term, _) in vector.entries() {
-            for posting in self.index.postings(term) {
-                out.emit((*item, posting.doc), 1);
+struct ProbeMapper {
+    items: Arc<[SparseVector]>,
+    index: Arc<PartitionedIndex>,
+    sigma: f64,
+    counters: Counters,
+}
+
+impl ProbeMapper {
+    /// Accumulates this item's partial products against one index
+    /// partition.  Both the query slice and the partition's postings lists
+    /// are sorted by term id; iterate whichever side is shorter and look
+    /// the term up on the other — and skip terms with empty postings
+    /// before ever entering the posting loop.
+    fn probe_partition(
+        partition: &IndexPartition,
+        query: &[(TermId, f64)],
+        scores: &mut HashMap<usize, PartialScore>,
+    ) {
+        let accumulate =
+            |weight: f64, postings: &[Posting], scores: &mut HashMap<usize, PartialScore>| {
+                for posting in postings {
+                    let entry = scores.entry(posting.doc).or_insert(PartialScore {
+                        score: 0.0,
+                        remainder: posting.bound,
+                    });
+                    entry.score += weight * posting.weight;
+                }
+            };
+        if partition.num_terms() < query.len() {
+            for (term, postings) in partition.terms() {
+                if let Ok(i) = query.binary_search_by_key(&TermId(*term), |&(t, _)| t) {
+                    accumulate(query[i].1, postings, scores);
+                }
+            }
+        } else {
+            for &(term, weight) in query {
+                let postings = partition.postings(term.0);
+                if postings.is_empty() {
+                    continue;
+                }
+                accumulate(weight, postings, scores);
             }
         }
     }
 }
 
-/// Map-side combiner of job 2: a candidate pair generated once per shared
-/// indexed term collapses to a single record before the shuffle.  The
-/// verify reducer ignores the counts entirely, so this is a pure
-/// communication saving (the engine applies it both while partitioning
-/// and across runs during the merge).
-struct CandidateDedupCombiner;
+impl Mapper for ProbeMapper {
+    type InKey = usize; // item dense index
+    type InValue = usize; // ditto
+    type OutKey = (usize, usize); // (item, consumer) candidate pair
+    type OutValue = PartialScore;
 
-impl Combiner for CandidateDedupCombiner {
-    type Key = (usize, usize);
-    type Value = u8;
-
-    fn combine(&self, _pair: &(usize, usize), _counts: &[u8]) -> Vec<u8> {
-        vec![1]
+    fn map(&self, item: &usize, _: &usize, out: &mut Emitter<(usize, usize), PartialScore>) {
+        let entries = self.items[*item].entries();
+        if entries.is_empty() {
+            return;
+        }
+        // All of an item's probes happen in this one call, so the partial
+        // products accumulate locally (in ascending term order — the
+        // floating-point sum is scheduling-independent) and the
+        // suffix-bound prune can run on *complete* scores before anything
+        // is emitted: a pruned candidate never crosses the shuffle.
+        let mut scores: HashMap<usize, PartialScore> = HashMap::new();
+        let mut start = 0;
+        while start < entries.len() {
+            let p = self.index.partition_of(entries[start].0);
+            let mut end = start + 1;
+            while end < entries.len() && self.index.partition_of(entries[end].0) == p {
+                end += 1;
+            }
+            let partition = self.index.partition(p);
+            if !partition.is_empty() {
+                Self::probe_partition(&partition, &entries[start..end], &mut scores);
+            }
+            start = end;
+        }
+        let mut candidates: Vec<(usize, PartialScore)> = scores.into_iter().collect();
+        candidates.sort_unstable_by_key(|(doc, _)| *doc);
+        let mut pruned = 0u64;
+        for (doc, partial) in candidates {
+            if partial.score + partial.remainder >= self.sigma - PRUNE_SLACK {
+                out.emit((*item, doc), partial);
+            } else {
+                pruned += 1;
+            }
+        }
+        if pruned > 0 {
+            self.counters.add(counter::CANDIDATES_PRUNED, pruned);
+        }
     }
 }
 
+/// Map-side combiner of job 2: partial products of the same pair **sum**
+/// (and the remainder bounds — identical by construction — take their
+/// max), so however the engine slices a pair's records across buffers,
+/// spills and runs, exactly one accumulated record per candidate reaches
+/// the reducer, carrying the full prefix score.
+struct PartialScoreCombiner;
+
+impl Combiner for PartialScoreCombiner {
+    type Key = (usize, usize);
+    type Value = PartialScore;
+
+    fn combine(&self, _pair: &(usize, usize), partials: &[PartialScore]) -> Vec<PartialScore> {
+        let mut total = PartialScore {
+            score: 0.0,
+            remainder: 0.0,
+        };
+        for partial in partials {
+            total.score += partial.score;
+            total.remainder = total.remainder.max(partial.remainder);
+        }
+        vec![total]
+    }
+}
+
+/// Verifies surviving candidates exactly.  The reducer holds **no**
+/// in-memory copy of either corpus: the accumulated score is thresholded
+/// first (a pair that cannot reach σ is dropped without any fetch), and
+/// only survivors cost a chunked read from the [`DiskVectorStore`]s plus
+/// one exact dot product.
 struct VerifyReducer {
-    items: Arc<Vec<SparseVector>>,
-    consumers: Arc<Vec<SparseVector>>,
+    items: DiskVectorStore,
+    consumers: DiskVectorStore,
     sigma: f64,
+    counters: Counters,
 }
 
 impl Reducer for VerifyReducer {
     type Key = (usize, usize);
-    type InValue = u8;
+    type InValue = PartialScore;
     type OutKey = (usize, usize);
     type OutValue = f64;
 
     fn reduce(
         &self,
         pair: &(usize, usize),
-        _counts: &[u8],
+        partials: &[PartialScore],
         out: &mut Emitter<(usize, usize), f64>,
     ) {
+        let mut score = 0.0;
+        let mut remainder = 0.0f64;
+        for partial in partials {
+            score += partial.score;
+            remainder = remainder.max(partial.remainder);
+        }
+        if score + remainder < self.sigma - PRUNE_SLACK {
+            // Map-side pruning already catches this in the current
+            // dataflow; the guard keeps the reducer correct on its own
+            // terms (it sees only accumulated evidence, never vectors).
+            // VERIFY_PRUNED marks it as a post-shuffle prune so the
+            // candidate accounting can tell it apart from map-side ones.
+            self.counters.add(counter::CANDIDATES_PRUNED, 1);
+            self.counters.add(counter::VERIFY_PRUNED, 1);
+            return;
+        }
         let (item, consumer) = *pair;
-        let similarity = self.items[item].dot(&self.consumers[consumer]);
+        self.counters.add(counter::VERIFY_EXACT, 1);
+        let similarity = self
+            .items
+            .with_vector(item, |x| self.consumers.with_vector(consumer, |y| x.dot(y)));
         if similarity >= self.sigma {
             out.emit(*pair, similarity);
         }
@@ -259,13 +438,18 @@ pub fn mapreduce_similarity_join_vectors(
 }
 
 /// The core of the join: a two-stage [`Dataset`](smr_mapreduce::flow::Dataset)
-/// chain over `flow`.
+/// chain over `flow`, streaming its side data through the flow's side
+/// store.
 ///
-/// Stage 1 (`…-index`) builds the pruned inverted index over the
-/// consumers; the chain's `then` combinator turns stage 1's output into
-/// the [`InvertedIndex`] and constructs stage 2 (`…-probe`) around it:
-/// probing, map-side candidate dedup while partitioning, and exact
-/// verification in the reducer.  Records flow between the stages by move;
+/// Each corpus enters the chain exactly once, behind a shared
+/// `Arc<[SparseVector]>` riding in the job's mapper (the job *inputs* are
+/// just dense indices), and is additionally persisted as chunked vector
+/// datasets for the verify stage.  Stage 1 (`…-index`) builds the pruned
+/// inverted index; the chain's `then` combinator persists it in term-range
+/// partitions and constructs stage 2 (`…-probe`) around the partition
+/// handle: on-demand probing, partial-product accumulation with map-side
+/// suffix-bound pruning, summing combiner, and exact verification against
+/// the disk-backed vectors.  Records flow between the stages by move;
 /// nothing executes until the terminal `collect`.
 pub fn mapreduce_similarity_join_vectors_flow(
     item_vectors: &[SparseVector],
@@ -292,21 +476,36 @@ pub fn mapreduce_similarity_join_vectors_flow(
         vocab_size,
     ));
 
-    let index_input: Vec<(usize, SparseVector)> =
-        consumer_vectors.iter().cloned().enumerate().collect();
-    let probe_input: Vec<(usize, SparseVector)> =
-        item_vectors.iter().cloned().enumerate().collect();
-    let items_arc = Arc::new(item_vectors.to_vec());
-    let consumers_arc = Arc::new(consumer_vectors.to_vec());
+    // One shared copy of each corpus; the per-job clones of the old
+    // dataflow are gone (job inputs are index lists).
+    let items: Arc<[SparseVector]> = item_vectors.into();
+    let consumers: Arc<[SparseVector]> = consumer_vectors.into();
+
+    let jobs_start = flow.num_jobs();
+    let side = flow.side_store();
+    // Unique per join within this flow, so chained joins never collide.
+    let side_prefix = format!("simjoin-{jobs_start}");
+    let item_store = DiskVectorStore::write(&side, &format!("{side_prefix}/items"), &items);
+    let consumer_store =
+        DiskVectorStore::write(&side, &format!("{side_prefix}/consumers"), &consumers);
+
+    let counters = Counters::new();
     // `then` runs inside the lazy plan, so the index size is smuggled out
     // through a shared cell instead of a return value.
     let indexed_entries = Arc::new(AtomicUsize::new(0));
     let indexed_entries_probe = Arc::clone(&indexed_entries);
 
-    let jobs_start = flow.num_jobs();
+    let index_input: Vec<(usize, usize)> = (0..consumers.len()).map(|i| (i, i)).collect();
+    let probe_input: Vec<(usize, usize)> = (0..items.len()).map(|i| (i, i)).collect();
+    let probe_items = Arc::clone(&items);
+    let probe_counters = counters.clone();
+    let side_index = side.clone();
+    let index_prefix = format!("{side_prefix}/index");
+
     let verified = flow
         .dataset(index_input)
         .map_with(IndexMapper {
+            consumers: Arc::clone(&consumers),
             term_order_rank,
             max_weights,
             sigma,
@@ -314,32 +513,59 @@ pub fn mapreduce_similarity_join_vectors_flow(
         .named("index")
         .reduce_with(IndexReducer)
         .then(move |postings, flow| {
-            // Job 1's output becomes job 2's side data: the inverted index
-            // is shipped to the probe mappers like a distributed-cache
-            // file.
-            let index = Arc::new(InvertedIndex::from_postings(
-                postings
-                    .into_iter()
-                    .map(|(term, postings)| (TermId(term), postings)),
+            // Job 1's output becomes job 2's side data: the index goes to
+            // the flow's side store in term-range partitions that probe
+            // mappers open on demand (the distributed-cache role, without
+            // shipping the whole index to every mapper).
+            indexed_entries_probe.store(postings.len(), Ordering::Relaxed);
+            let index = Arc::new(PartitionedIndex::write(
+                &side_index,
+                &index_prefix,
+                postings,
+                vocab_size,
             ));
-            indexed_entries_probe.store(index.num_entries(), Ordering::Relaxed);
+            probe_counters.add(counter::INDEX_PARTITIONS, index.num_partitions() as u64);
             flow.dataset(probe_input)
-                .map_with(ProbeMapper { index })
-                .named("probe")
-                .combined_with(CandidateDedupCombiner)
-                .reduce_with(VerifyReducer {
-                    items: items_arc,
-                    consumers: consumers_arc,
+                .map_with(ProbeMapper {
+                    items: probe_items,
+                    index,
                     sigma,
+                    counters: probe_counters.clone(),
+                })
+                .named("probe")
+                .combined_with(PartialScoreCombiner)
+                .with_counters(probe_counters.clone())
+                .reduce_with(VerifyReducer {
+                    items: item_store,
+                    consumers: consumer_store,
+                    sigma,
+                    counters: probe_counters,
                 })
         })
         .collect();
 
+    // This join's side data (index partitions, vector chunks) is dead once
+    // the chain has run; reclaim it now instead of at flow drop.
+    let dataset_prefix = format!("{side_prefix}/");
+    for path in side.paths() {
+        if path.starts_with(&dataset_prefix) {
+            side.remove(&path);
+        }
+    }
+
     let job_metrics = flow.jobs_from(jobs_start);
+    let candidates_pruned = counters.get(counter::CANDIDATES_PRUNED) as usize;
+    let verify_exact = counters.get(counter::VERIFY_EXACT) as usize;
+    let index_partitions = counters.get(counter::INDEX_PARTITIONS) as usize;
+    // Generated candidates = reduce-input groups + *map-side* prunes.  A
+    // reducer-side prune (VERIFY_PRUNED, a subset of CANDIDATES_PRUNED)
+    // is already one of the groups, so it must not be added again.
+    let map_side_pruned = candidates_pruned - counters.get(counter::VERIFY_PRUNED) as usize;
     let candidate_pairs = job_metrics
         .last()
         .map(|m| m.reduce_input_groups as usize)
-        .unwrap_or(0);
+        .unwrap_or(0)
+        + map_side_pruned;
 
     // Assemble the candidate-edge graph.
     let mut builder = GraphBuilder::new();
@@ -360,6 +586,9 @@ pub fn mapreduce_similarity_join_vectors_flow(
     SimJoinResult {
         graph: builder.build(),
         candidate_pairs,
+        candidates_pruned,
+        verify_exact,
+        index_partitions,
         indexed_entries: indexed_entries.load(Ordering::Relaxed),
         job_metrics,
     }
@@ -519,6 +748,15 @@ mod tests {
             );
             assert!(result.graph.edges().iter().all(|e| e.weight >= sigma));
             assert_eq!(result.job_metrics.len(), 2);
+            // Candidate accounting is closed: generated = pruned + shuffled.
+            let probe = &result.job_metrics[1];
+            assert_eq!(
+                result.candidate_pairs,
+                result.candidates_pruned + probe.reduce_input_groups as usize,
+                "sigma={sigma}"
+            );
+            assert_eq!(result.verify_exact, probe.reduce_input_groups as usize);
+            assert!(result.index_partitions >= 1);
         }
     }
 
@@ -543,40 +781,68 @@ mod tests {
     }
 
     #[test]
-    fn candidate_dedup_combiner_shrinks_the_probe_shuffle() {
-        // Vectors share many terms, so the same (item, consumer) candidate
-        // is generated once per shared indexed term; the combiner must
-        // collapse those duplicates before the shuffle.
+    fn suffix_bound_pruning_shrinks_the_probe_shuffle() {
+        // Vectors share many terms with wide weight spreads, so plenty of
+        // candidate pairs share only light terms: their partial score plus
+        // remainder bound cannot reach σ and they must be pruned *before*
+        // the shuffle.
         let items = synthetic_vectors(12, 10, 5);
         let consumers = synthetic_vectors(14, 10, 6);
         let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
         let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
-        let result = mapreduce_similarity_join_vectors(
-            &items,
-            &consumers,
-            &names_i,
-            &names_c,
-            &config(0.05),
-        );
+        let result =
+            mapreduce_similarity_join_vectors(&items, &consumers, &names_i, &names_c, &config(0.4));
         let probe = &result.job_metrics[1];
-        assert!(
-            probe.shuffle_records < probe.map_output_records,
-            "dedup combiner should shrink the shuffle: {} vs {}",
+        assert!(result.candidates_pruned > 0, "{result:?}");
+        assert_eq!(
             probe.shuffle_records,
-            probe.map_output_records
+            (result.candidate_pairs - result.candidates_pruned) as u64,
+            "only unpruned candidates may cross the shuffle"
         );
-        // Every candidate crosses the shuffle exactly once.
-        assert_eq!(probe.shuffle_records, result.candidate_pairs as u64);
+        assert!(
+            (probe.shuffle_records as usize) < result.candidate_pairs,
+            "pruning must shrink the shuffle below the generated candidates"
+        );
+        // Exact verification is exactly the surviving candidates — pruned
+        // pairs never cost a vector fetch.
+        assert_eq!(
+            result.verify_exact, probe.shuffle_records as usize,
+            "one exact verification per survivor"
+        );
+        // The domain counters are reported through the probe job.
+        assert_eq!(
+            probe.user_counters[counter::CANDIDATES_PRUNED] as usize,
+            result.candidates_pruned
+        );
+        assert_eq!(
+            probe.user_counters[counter::VERIFY_EXACT] as usize,
+            result.verify_exact
+        );
+        assert_eq!(
+            probe.user_counters[counter::INDEX_PARTITIONS] as usize,
+            result.index_partitions
+        );
+        // Pruning never loses a true pair.
+        let mut expected = 0usize;
+        for x in &items {
+            for y in &consumers {
+                if x.dot(y) >= 0.4 {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(result.graph.num_edges(), expected);
     }
 
-    /// Replicates the pre-redesign entry point — two hand-wired [`Job`]
-    /// runs with the index materialized in between — and checks the flow
-    /// chain against it, byte for byte: same edges in the same order with
-    /// the same weights, same candidate count and same per-job record
+    /// Hand-wires the two jobs — index persisted to a side store, probe
+    /// verified against disk-backed vectors — and checks the flow chain
+    /// against it, byte for byte: same edges in the same order with the
+    /// same weights, same candidate accounting and same per-job record
     /// flow.
     #[test]
     fn flow_chain_is_byte_identical_to_the_hand_wired_two_job_path() {
         use smr_mapreduce::Job;
+        use smr_storage::DatasetStore;
 
         let items = synthetic_vectors(14, 16, 21);
         let consumers = synthetic_vectors(17, 16, 22);
@@ -585,7 +851,11 @@ mod tests {
         let sigma = 0.15;
         let job_config = JobConfig::named("regression").with_threads(2);
 
-        // --- the pre-redesign path, verbatim ---
+        // --- the hand-wired path ---
+        let side_root =
+            std::env::temp_dir().join(format!("smr-simjoin-regression-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&side_root);
+        let side = DatasetStore::open(&side_root).unwrap();
         let vocab_size = items
             .iter()
             .chain(consumers.iter())
@@ -594,33 +864,41 @@ mod tests {
             .unwrap_or(0);
         let max_weights = Arc::new(term_max_weights(&items, vocab_size));
         let term_order_rank = Arc::new(rarest_first_rank(&items, &consumers, vocab_size));
+        let items_arc: Arc<[SparseVector]> = items.as_slice().into();
+        let consumers_arc: Arc<[SparseVector]> = consumers.as_slice().into();
         let index_result = Job::new(job_config.clone().with_name("regression-index")).run(
             &IndexMapper {
+                consumers: Arc::clone(&consumers_arc),
                 term_order_rank,
                 max_weights,
                 sigma,
             },
             &IndexReducer,
-            consumers.iter().cloned().enumerate().collect(),
+            (0..consumers.len()).map(|i| (i, i)).collect(),
         );
-        let index = Arc::new(InvertedIndex::from_postings(
-            index_result
-                .output
-                .into_iter()
-                .map(|(term, postings)| (TermId(term), postings)),
+        let index = Arc::new(PartitionedIndex::write(
+            &side,
+            "index",
+            index_result.output,
+            vocab_size,
         ));
+        let manual_counters = Counters::new();
         let probe_result = Job::new(job_config.clone().with_name("regression-probe"))
             .run_with_combiner(
                 &ProbeMapper {
+                    items: Arc::clone(&items_arc),
                     index: Arc::clone(&index),
-                },
-                &CandidateDedupCombiner,
-                &VerifyReducer {
-                    items: Arc::new(items.clone()),
-                    consumers: Arc::new(consumers.clone()),
                     sigma,
+                    counters: manual_counters.clone(),
                 },
-                items.iter().cloned().enumerate().collect(),
+                &PartialScoreCombiner,
+                &VerifyReducer {
+                    items: DiskVectorStore::write(&side, "items", &items),
+                    consumers: DiskVectorStore::write(&side, "consumers", &consumers),
+                    sigma,
+                    counters: manual_counters.clone(),
+                },
+                (0..items.len()).map(|i| (i, i)).collect(),
             );
 
         // --- the flow chain ---
@@ -641,12 +919,28 @@ mod tests {
             assert_eq!(edge.weight, *weight, "weights must be bit-identical");
         }
 
-        // Same stage structure and record flow, reported through one
-        // FlowReport.
+        // Same candidate accounting and stage structure, reported through
+        // one FlowReport.
         assert_eq!(result.indexed_entries, index.num_entries());
         assert_eq!(
+            result.candidates_pruned,
+            manual_counters.get(counter::CANDIDATES_PRUNED) as usize
+        );
+        assert_eq!(
+            result.verify_exact,
+            manual_counters.get(counter::VERIFY_EXACT) as usize
+        );
+        assert_eq!(
             result.candidate_pairs,
-            probe_result.metrics.reduce_input_groups as usize
+            (probe_result.metrics.reduce_input_groups
+                + manual_counters.get(counter::CANDIDATES_PRUNED)
+                - manual_counters.get(counter::VERIFY_PRUNED)) as usize
+        );
+        assert_eq!(
+            manual_counters.get(counter::VERIFY_PRUNED),
+            0,
+            "the map-side prune runs on complete scores; nothing is left \
+             for the reducer guard"
         );
         let report = flow.report();
         assert_eq!(report.num_jobs(), 2, "the join is exactly two jobs");
@@ -669,6 +963,7 @@ mod tests {
             report.total_shuffled_records(),
             index_result.metrics.shuffle_records + probe_result.metrics.shuffle_records
         );
+        std::fs::remove_dir_all(&side_root).unwrap();
     }
 
     #[test]
@@ -705,9 +1000,27 @@ mod tests {
         );
         assert_eq!(spilled.graph.num_edges(), in_memory.graph.num_edges());
         assert_eq!(spilled.candidate_pairs, in_memory.candidate_pairs);
+        assert_eq!(spilled.candidates_pruned, in_memory.candidates_pruned);
+        assert_eq!(spilled.verify_exact, in_memory.verify_exact);
         assert_eq!(spilled.graph.edges(), in_memory.graph.edges());
         let spilled_runs: u64 = spilled.job_metrics.iter().map(|m| m.disk_runs).sum();
         assert!(spilled_runs > 0, "the budgeted join must hit the disk");
+    }
+
+    #[test]
+    fn side_data_is_reclaimed_from_the_flow_store() {
+        let items = synthetic_vectors(8, 12, 31);
+        let consumers = synthetic_vectors(9, 12, 32);
+        let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
+        let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
+        let flow = FlowContext::new(JobConfig::named("cleanup").with_threads(2));
+        let _ = mapreduce_similarity_join_vectors_flow(
+            &items, &consumers, &names_i, &names_c, 0.2, &flow,
+        );
+        assert!(
+            flow.side_store().paths().is_empty(),
+            "the join must not leak side datasets into the flow"
+        );
     }
 
     #[test]
@@ -716,6 +1029,9 @@ mod tests {
         let result = mapreduce_similarity_join_vectors(&empty, &empty, &[], &[], &config(0.2));
         assert_eq!(result.graph.num_edges(), 0);
         assert_eq!(result.graph.num_items(), 0);
+        assert_eq!(result.candidate_pairs, 0);
+        assert_eq!(result.candidates_pruned, 0);
+        assert_eq!(result.verify_exact, 0);
     }
 
     #[test]
@@ -742,7 +1058,8 @@ mod tests {
         }
         assert_eq!(result.graph.num_edges(), true_pairs);
         // Prefix filtering may generate extra candidates, never fewer than
-        // the verified result.
+        // the verified result; pruning may only eat into that surplus.
         assert!(result.candidate_pairs >= result.graph.num_edges());
+        assert!(result.verify_exact >= result.graph.num_edges());
     }
 }

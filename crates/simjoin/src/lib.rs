@@ -7,14 +7,18 @@
 //! prefix-filtering self-join of Baraglia, De Francisci Morales and
 //! Lucchese to the bipartite (item × consumer) case.
 //!
-//! * [`prefix`] — the prefix-filtering bound: which entries of a consumer
+//! * [`prefix`] — the prefix-filtering bounds: which entries of a consumer
 //!   vector must be indexed so that no pair above the threshold can be
-//!   missed,
+//!   missed, and what the pruned suffix could still contribute (the
+//!   *remainder bound* of partial-product verification),
 //! * [`index`] — the pruned inverted index over consumer vectors,
+//! * [`store`] — the join's disk-backed side data: the index in term-range
+//!   partitions and the corpora in vector chunks, both opened on demand,
 //! * [`baseline`] — an exact all-pairs join used as ground truth,
 //! * [`join`] — the two-MapReduce-job join (index construction, then
-//!   candidate generation + verification) producing a
-//!   [`smr_graph::BipartiteGraph`].
+//!   partial-product probing with suffix-bound pruning + exact
+//!   verification) producing a [`smr_graph::BipartiteGraph`]; see
+//!   `docs/simjoin.md` for the filter math and the dataflow.
 //!
 //! # Example
 //!
@@ -49,20 +53,26 @@ pub mod baseline;
 pub mod index;
 pub mod join;
 pub mod prefix;
+pub mod store;
 
 pub use baseline::baseline_similarity_join;
 pub use index::{InvertedIndex, Posting};
 pub use join::{
-    mapreduce_similarity_join, mapreduce_similarity_join_flow, SimJoinConfig, SimJoinResult,
+    mapreduce_similarity_join, mapreduce_similarity_join_flow, mapreduce_similarity_join_vectors,
+    mapreduce_similarity_join_vectors_flow, PartialScore, SimJoinConfig, SimJoinResult,
 };
-pub use prefix::{prefix_length, term_max_weights};
+pub use prefix::{prefix_length, suffix_remainder_bound, term_max_weights};
+pub use store::{DiskVectorStore, IndexPartition, PartitionedIndex};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::baseline::baseline_similarity_join;
     pub use crate::index::{InvertedIndex, Posting};
     pub use crate::join::{
-        mapreduce_similarity_join, mapreduce_similarity_join_flow, SimJoinConfig, SimJoinResult,
+        mapreduce_similarity_join, mapreduce_similarity_join_flow,
+        mapreduce_similarity_join_vectors, mapreduce_similarity_join_vectors_flow, PartialScore,
+        SimJoinConfig, SimJoinResult,
     };
-    pub use crate::prefix::{prefix_length, term_max_weights};
+    pub use crate::prefix::{prefix_length, suffix_remainder_bound, term_max_weights};
+    pub use crate::store::{DiskVectorStore, IndexPartition, PartitionedIndex};
 }

@@ -67,6 +67,31 @@ pub fn prefix_length(
     prefix
 }
 
+/// Upper bound on the contribution of the *unindexed* suffix of a vector
+/// to its dot product with **any** vector of the opposite side:
+/// `Σ_{k ≥ prefix_len} |w_k| · maxw(term_k)`.
+///
+/// This is the quantity [`prefix_length`] drives below σ; materialized per
+/// vector it becomes the *remainder bound* of partial-product
+/// verification: the similarity of a pair is at most the sum of its
+/// partial products over shared indexed terms plus this bound, so a pair
+/// whose accumulated partial score plus remainder stays below σ can be
+/// discarded without ever touching the vectors.
+pub fn suffix_remainder_bound(
+    vector: &SparseVector,
+    ordered_terms: &[TermId],
+    prefix_len: usize,
+    max_weights: &[f64],
+) -> f64 {
+    ordered_terms[prefix_len.min(ordered_terms.len())..]
+        .iter()
+        .map(|term| {
+            let maxw = max_weights.get(term.index()).copied().unwrap_or(0.0);
+            vector.weight(*term).abs() * maxw
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +144,59 @@ mod tests {
         // Suffix {t1,t2}: bound 0.4 < 0.5 -> prunable.
         // Suffix {t0,t1,t2}: bound 1.4 ≥ 0.5 -> t0 must be indexed.
         assert_eq!(prefix_length(&v, &order, &maxw, 0.5), 1);
+    }
+
+    #[test]
+    fn suffix_remainder_bound_sums_the_pruned_tail() {
+        let v = vec_of(&[(0, 1.0), (1, 0.3), (2, 0.1)]);
+        let order = vec![TermId(0), TermId(1), TermId(2)];
+        let maxw = vec![1.0, 0.5, 1.0];
+        // Suffix {t1, t2}: 0.3·0.5 + 0.1·1.0.
+        let bound = suffix_remainder_bound(&v, &order, 1, &maxw);
+        assert!((bound - 0.25).abs() < 1e-12);
+        // Whole vector indexed ⇒ nothing remains.
+        assert_eq!(suffix_remainder_bound(&v, &order, 3, &maxw), 0.0);
+        // Out-of-range prefix lengths clamp instead of panicking.
+        assert_eq!(suffix_remainder_bound(&v, &order, 9, &maxw), 0.0);
+    }
+
+    #[test]
+    fn remainder_bound_dominates_every_true_suffix_contribution() {
+        // For every pair: dot(x, y) ≤ (prefix part of y) + remainder(y).
+        let items = vec![
+            vec_of(&[(0, 0.9), (1, 0.2)]),
+            vec_of(&[(1, 0.8), (2, 0.4)]),
+            vec_of(&[(2, 0.6), (3, 0.6)]),
+        ];
+        let consumers = vec![
+            vec_of(&[(0, 0.7), (2, 0.5)]),
+            vec_of(&[(1, 0.5), (3, 0.5)]),
+            vec_of(&[(0, 0.1), (3, 0.9)]),
+        ];
+        let maxw = term_max_weights(&items, 4);
+        let order: Vec<TermId> = (0..4).map(TermId).collect();
+        for sigma in [0.1, 0.3, 0.5] {
+            for y in &consumers {
+                let ordered: Vec<TermId> = order
+                    .iter()
+                    .copied()
+                    .filter(|t| y.weight(*t) != 0.0)
+                    .collect();
+                let plen = prefix_length(y, &ordered, &maxw, sigma);
+                let bound = suffix_remainder_bound(y, &ordered, plen, &maxw);
+                assert!(bound < sigma, "the pruned suffix can never reach sigma");
+                for x in &items {
+                    let prefix_part: f64 = ordered[..plen]
+                        .iter()
+                        .map(|t| x.weight(*t) * y.weight(*t))
+                        .sum();
+                    assert!(
+                        prefix_part + bound >= x.dot(y) - 1e-12,
+                        "partial products + remainder must bound the dot product"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Disk-backed side data of the streaming join.
+//!
+//! The two artifacts the join used to hold wholesale in memory now live in
+//! a [`DatasetStore`] (normally a flow's side store) and are opened on
+//! demand:
+//!
+//! * [`PartitionedIndex`] — job 1's pruned inverted index, persisted in
+//!   **term-range partitions**.  A probe mapper only opens the partitions
+//!   its query terms fall into, so a mapper's working set is a handful of
+//!   partitions instead of the whole index.
+//! * [`DiskVectorStore`] — a corpus as fixed-size **vector chunks**.  The
+//!   verify reducer fetches the two vectors of a surviving candidate from
+//!   here instead of holding `Arc` clones of both corpora.
+//!
+//! Both keep a small bounded FIFO cache of decoded partitions/chunks
+//! behind a mutex, so repeated lookups stay cheap while memory stays
+//! bounded at any corpus size.  Caching only affects speed: every lookup
+//! returns exactly what was written, whatever was evicted in between.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use smr_storage::{DatasetStore, DiskKvStore};
+use smr_text::{SparseVector, TermId};
+
+use crate::index::Posting;
+
+/// Target number of postings per index partition.
+const TARGET_ENTRIES_PER_PARTITION: usize = 4 * 1024;
+
+/// Vectors per corpus chunk.
+const VECTOR_CHUNK: usize = 256;
+
+/// Decoded partitions / chunks kept in memory per handle.
+const MAX_CACHED: usize = 16;
+
+/// A bounded FIFO cache of decoded side-data blocks.
+#[derive(Debug, Default)]
+struct BlockCache<T> {
+    blocks: HashMap<usize, Arc<T>>,
+    order: VecDeque<usize>,
+}
+
+impl<T> BlockCache<T> {
+    fn get(&self, key: usize) -> Option<Arc<T>> {
+        self.blocks.get(&key).cloned()
+    }
+
+    fn insert(&mut self, key: usize, block: Arc<T>) {
+        if self.blocks.insert(key, block).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > MAX_CACHED {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.blocks.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned inverted index
+// ---------------------------------------------------------------------------
+
+/// One decoded term-range partition: postings lists sorted by term id.
+#[derive(Debug, Default)]
+pub struct IndexPartition {
+    terms: Vec<(u32, Vec<Posting>)>,
+}
+
+impl IndexPartition {
+    fn from_records(records: Vec<(u32, Posting)>) -> Self {
+        let mut terms: Vec<(u32, Vec<Posting>)> = Vec::new();
+        for (term, posting) in records {
+            match terms.last_mut() {
+                Some((last, list)) if *last == term => list.push(posting),
+                _ => terms.push((term, vec![posting])),
+            }
+        }
+        IndexPartition { terms }
+    }
+
+    /// The postings of `term` (empty when the term is not indexed).
+    pub fn postings(&self, term: u32) -> &[Posting] {
+        self.terms
+            .binary_search_by_key(&term, |(t, _)| *t)
+            .map(|i| self.terms[i].1.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The postings lists of this partition, sorted by term id.
+    pub fn terms(&self) -> &[(u32, Vec<Posting>)] {
+        &self.terms
+    }
+
+    /// Number of distinct indexed terms in this partition.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the partition indexes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// The pruned inverted index, persisted as term-range partitions in a
+/// [`DatasetStore`] and opened partition-by-partition on demand.
+#[derive(Debug)]
+pub struct PartitionedIndex {
+    store: DiskKvStore<(u32, Posting)>,
+    prefix: String,
+    /// Contiguous term ids per partition.
+    span: u32,
+    num_partitions: usize,
+    num_entries: usize,
+    cache: Mutex<BlockCache<IndexPartition>>,
+}
+
+impl PartitionedIndex {
+    /// Partitions `postings` by contiguous term-id ranges and writes each
+    /// non-empty partition as one dataset (`{prefix}/part-{p}`), returning
+    /// the read handle.
+    ///
+    /// The records are moved, grouped and written — never re-sorted across
+    /// terms: within a term the engine's deterministic merge order (doc
+    /// ascending) is preserved as-is.
+    pub fn write(
+        store: &DatasetStore,
+        prefix: &str,
+        postings: Vec<(u32, Posting)>,
+        vocab_size: usize,
+    ) -> Self {
+        let num_entries = postings.len();
+        let num_partitions = num_entries.div_ceil(TARGET_ENTRIES_PER_PARTITION).max(1);
+        let span = (vocab_size.div_ceil(num_partitions).max(1)) as u32;
+        // Re-derive the partition count from the span so every term id in
+        // 0..vocab_size maps to a partition index below `num_partitions`.
+        let num_partitions = vocab_size.div_ceil(span as usize).max(1);
+
+        let mut buckets: Vec<Vec<(u32, Posting)>> =
+            (0..num_partitions).map(|_| Vec::new()).collect();
+        for record in postings {
+            let p = ((record.0 / span) as usize).min(num_partitions - 1);
+            buckets[p].push(record);
+        }
+        let typed: DiskKvStore<(u32, Posting)> = DiskKvStore::from_store(store.clone());
+        for (p, mut bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            // The reduce output interleaves terms of different engine
+            // partitions; a stable sort by term restores term order while
+            // keeping each term's postings in their deterministic doc
+            // order.
+            bucket.sort_by_key(|(term, _)| *term);
+            typed.write(&format!("{prefix}/part-{p}"), bucket);
+        }
+        PartitionedIndex {
+            store: typed,
+            prefix: prefix.to_string(),
+            span,
+            num_partitions,
+            num_entries,
+            cache: Mutex::new(BlockCache::default()),
+        }
+    }
+
+    /// The partition a term id falls into.
+    pub fn partition_of(&self, term: TermId) -> usize {
+        ((term.0 / self.span) as usize).min(self.num_partitions - 1)
+    }
+
+    /// Opens (or returns the cached copy of) partition `p`.  Partitions
+    /// with no indexed term read as empty.
+    pub fn partition(&self, p: usize) -> Arc<IndexPartition> {
+        if let Some(partition) = self.cache.lock().expect("index cache poisoned").get(p) {
+            return partition;
+        }
+        let records = self.store.read(&format!("{}/part-{p}", self.prefix));
+        let partition = Arc::new(IndexPartition::from_records(records));
+        self.cache
+            .lock()
+            .expect("index cache poisoned")
+            .insert(p, Arc::clone(&partition));
+        partition
+    }
+
+    /// Number of term-range partitions (including empty ones).
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Number of indexed `(term, doc)` entries across all partitions.
+    pub fn num_entries(&self) -> usize {
+        self.num_entries
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked vector store
+// ---------------------------------------------------------------------------
+
+/// A corpus persisted as fixed-size chunks of [`SparseVector`]s, with
+/// random access by dense index through a bounded chunk cache.
+#[derive(Debug)]
+pub struct DiskVectorStore {
+    store: DiskKvStore<SparseVector>,
+    prefix: String,
+    len: usize,
+    cache: Mutex<BlockCache<Vec<SparseVector>>>,
+}
+
+impl DiskVectorStore {
+    /// Writes `vectors` in chunks under `{prefix}/chunk-{c}` and returns
+    /// the read handle.
+    pub fn write(store: &DatasetStore, prefix: &str, vectors: &[SparseVector]) -> Self {
+        let typed: DiskKvStore<SparseVector> = DiskKvStore::from_store(store.clone());
+        for (c, chunk) in vectors.chunks(VECTOR_CHUNK).enumerate() {
+            typed.write(&format!("{prefix}/chunk-{c}"), chunk.to_vec());
+        }
+        DiskVectorStore {
+            store: typed,
+            prefix: prefix.to_string(),
+            len: vectors.len(),
+            cache: Mutex::new(BlockCache::default()),
+        }
+    }
+
+    /// Number of vectors in the store.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn chunk(&self, c: usize) -> Arc<Vec<SparseVector>> {
+        if let Some(chunk) = self.cache.lock().expect("vector cache poisoned").get(c) {
+            return chunk;
+        }
+        let chunk = Arc::new(self.store.read(&format!("{}/chunk-{c}", self.prefix)));
+        self.cache
+            .lock()
+            .expect("vector cache poisoned")
+            .insert(c, Arc::clone(&chunk));
+        chunk
+    }
+
+    /// Calls `f` with the vector at dense index `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn with_vector<R>(&self, i: usize, f: impl FnOnce(&SparseVector) -> R) -> R {
+        assert!(i < self.len, "vector index {i} out of range ({})", self.len);
+        let chunk = self.chunk(i / VECTOR_CHUNK);
+        f(&chunk[i % VECTOR_CHUNK])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> DatasetStore {
+        let root =
+            std::env::temp_dir().join(format!("smr-simjoin-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        DatasetStore::open(root).unwrap()
+    }
+
+    fn posting(doc: usize, weight: f64) -> Posting {
+        Posting {
+            doc,
+            weight,
+            bound: 0.0,
+        }
+    }
+
+    #[test]
+    fn partitioned_index_round_trips_and_ranges_terms() {
+        let store = temp_store("index");
+        // 3 terms spread over a vocabulary of 10; tiny target sizes are
+        // irrelevant here (everything fits one partition anyway).
+        let postings = vec![
+            (7, posting(1, 0.5)),
+            (0, posting(0, 0.9)),
+            (0, posting(2, 0.4)),
+            (9, posting(0, 0.1)),
+        ];
+        let index = PartitionedIndex::write(&store, "idx", postings, 10);
+        assert_eq!(index.num_entries(), 4);
+        assert!(index.num_partitions() >= 1);
+        let p0 = index.partition(index.partition_of(TermId(0)));
+        assert_eq!(p0.postings(0).len(), 2);
+        // Doc order within a term is preserved, not re-sorted.
+        assert_eq!(p0.postings(0)[0].doc, 0);
+        assert_eq!(p0.postings(0)[1].doc, 2);
+        let p9 = index.partition(index.partition_of(TermId(9)));
+        assert_eq!(p9.postings(9).len(), 1);
+        assert!(p9.postings(3).is_empty());
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn partitioned_index_splits_large_inputs_into_several_partitions() {
+        let store = temp_store("split");
+        let vocab = 50_000usize;
+        let postings: Vec<(u32, Posting)> = (0..3 * TARGET_ENTRIES_PER_PARTITION)
+            .map(|i| ((i % vocab) as u32, posting(i, 0.5)))
+            .collect();
+        let index = PartitionedIndex::write(&store, "idx", postings.clone(), vocab);
+        assert!(index.num_partitions() > 1, "{}", index.num_partitions());
+        // Every posting is found in its term's partition.
+        for (term, p) in postings.iter().step_by(997) {
+            let partition = index.partition(index.partition_of(TermId(*term)));
+            assert!(partition.postings(*term).iter().any(|q| q.doc == p.doc));
+        }
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn empty_index_and_out_of_range_partitions_read_as_empty() {
+        let store = temp_store("empty");
+        let index = PartitionedIndex::write(&store, "idx", Vec::new(), 0);
+        assert_eq!(index.num_partitions(), 1);
+        assert!(index.partition(0).is_empty());
+        assert_eq!(index.partition_of(TermId(1234)), 0, "clamped to the last");
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn vector_store_round_trips_across_chunk_boundaries() {
+        let store = temp_store("vectors");
+        let vectors: Vec<SparseVector> = (0..VECTOR_CHUNK + 3)
+            .map(|i| SparseVector::from_entries([(TermId(i as u32), 1.0 + i as f64)]))
+            .collect();
+        let disk = DiskVectorStore::write(&store, "items", &vectors);
+        assert_eq!(disk.len(), vectors.len());
+        assert!(!disk.is_empty());
+        for i in [0, 1, VECTOR_CHUNK - 1, VECTOR_CHUNK, VECTOR_CHUNK + 2] {
+            disk.with_vector(i, |v| assert_eq!(v, &vectors[i], "vector {i}"));
+        }
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn caches_stay_bounded_while_reads_stay_correct() {
+        let store = temp_store("bounded");
+        let vectors: Vec<SparseVector> = (0..(MAX_CACHED + 4) * VECTOR_CHUNK)
+            .map(|i| SparseVector::from_entries([(TermId(0), i as f64)]))
+            .collect();
+        let disk = DiskVectorStore::write(&store, "v", &vectors);
+        // Touch every chunk (more than the cache holds), then re-read.
+        for i in (0..vectors.len()).step_by(VECTOR_CHUNK) {
+            disk.with_vector(i, |v| assert_eq!(v.weight(TermId(0)), i as f64));
+        }
+        assert!(disk.cache.lock().unwrap().blocks.len() <= MAX_CACHED);
+        disk.with_vector(0, |v| assert_eq!(v.weight(TermId(0)), 0.0));
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vector_store_rejects_out_of_range_indices() {
+        let store = temp_store("range");
+        let disk = DiskVectorStore::write(&store, "v", &[]);
+        disk.with_vector(0, |_| ());
+    }
+}

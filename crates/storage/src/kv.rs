@@ -223,6 +223,17 @@ impl<T: Codec + Clone> DiskKvStore<T> {
         })
     }
 
+    /// Wraps an already opened [`DatasetStore`] as a typed view.  Several
+    /// typed views (of different record types) can share one directory:
+    /// each dataset file still carries its own type tag, so reading a
+    /// dataset another view wrote at a different type stays a typed error.
+    pub fn from_store(store: DatasetStore) -> Self {
+        DiskKvStore {
+            store,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
     /// The root directory.
     pub fn root(&self) -> &Path {
         self.store.root()
@@ -423,6 +434,25 @@ mod tests {
         assert!(!store.remove("a"));
         store.clear();
         assert!(store.paths().is_empty());
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn typed_views_share_one_dataset_store() {
+        let store = temp_store("views");
+        let numbers: DiskKvStore<u32> = DiskKvStore::from_store(store.clone());
+        let words: DiskKvStore<String> = DiskKvStore::from_store(store.clone());
+        numbers.write("n", vec![1, 2]);
+        words.write("w", vec!["a".to_string()]);
+        assert_eq!(numbers.read("n"), vec![1, 2]);
+        assert_eq!(words.read("w"), vec!["a".to_string()]);
+        // Both datasets live in the same directory…
+        assert_eq!(store.paths(), vec!["n".to_string(), "w".to_string()]);
+        // …and reading across views is a typed error, not garbage.
+        assert!(matches!(
+            numbers.try_read("w"),
+            Err(StorageError::TypeMismatch { .. })
+        ));
         std::fs::remove_dir_all(store.root()).unwrap();
     }
 

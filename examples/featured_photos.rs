@@ -48,9 +48,12 @@ fn main() {
         .alpha(1.0)
         .build_graph();
     println!(
-        "similarity join (sigma={sigma}): {} candidate edges, {} candidate pairs verified, {} MapReduce jobs",
+        "similarity join (sigma={sigma}): {} candidate edges from {} candidates \
+         ({} pruned cheap, {} verified exact), {} MapReduce jobs",
         candidate.graph.num_edges(),
         candidate.candidate_pairs,
+        candidate.candidates_pruned,
+        candidate.verify_exact,
         candidate.simjoin_jobs,
     );
     println!(

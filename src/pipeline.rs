@@ -69,6 +69,12 @@ pub struct CandidateGraph {
     pub capacities: Capacities,
     /// Candidate pairs generated before verification.
     pub candidate_pairs: usize,
+    /// Candidates the join discarded on `partial score + remainder bound
+    /// < σ` without touching the vectors.
+    pub candidates_pruned: usize,
+    /// Candidates that cost an exact dot product against the disk-backed
+    /// vector store.
+    pub verify_exact: usize,
     /// `(term, document)` entries indexed after prefix pruning.
     pub indexed_entries: usize,
     /// MapReduce jobs the similarity join ran (always 2).
@@ -88,6 +94,10 @@ pub struct PipelineRun {
     pub capacities: Capacities,
     /// Candidate pairs generated before verification.
     pub candidate_pairs: usize,
+    /// Candidates the join pruned without touching the vectors.
+    pub candidates_pruned: usize,
+    /// Candidates that cost an exact dot product.
+    pub verify_exact: usize,
     /// `(term, document)` entries indexed after prefix pruning.
     pub indexed_entries: usize,
     /// MapReduce jobs the similarity join ran (always 2).
@@ -230,6 +240,8 @@ impl MatchingPipeline {
             graph: candidate.graph,
             capacities: candidate.capacities,
             candidate_pairs: candidate.candidate_pairs,
+            candidates_pruned: candidate.candidates_pruned,
+            verify_exact: candidate.verify_exact,
             indexed_entries: candidate.indexed_entries,
             simjoin_jobs: candidate.simjoin_jobs,
             matching,
@@ -247,6 +259,8 @@ impl MatchingPipeline {
             graph: join.graph,
             capacities,
             candidate_pairs: join.candidate_pairs,
+            candidates_pruned: join.candidates_pruned,
+            verify_exact: join.verify_exact,
             indexed_entries: join.indexed_entries,
             simjoin_jobs: join.job_metrics.len(),
             report: flow.report(),
@@ -280,6 +294,12 @@ mod tests {
         assert_eq!(candidate.simjoin_jobs, 2);
         assert_eq!(candidate.report.num_jobs(), 2);
         assert!(candidate.capacities.matches(&candidate.graph));
+        // The join's candidate accounting closes and surfaces here.
+        assert_eq!(
+            candidate.candidate_pairs,
+            candidate.candidates_pruned + candidate.verify_exact
+        );
+        assert!(candidate.verify_exact >= candidate.graph.num_edges());
         assert_eq!(
             candidate.report.job_names(),
             vec!["pipeline-test-index", "pipeline-test-probe"]
