@@ -14,7 +14,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smr_datagen::{RandomGraphConfig, WeightDistribution};
 use smr_graph::Capacities;
-use smr_mapreduce::JobConfig;
+use smr_mapreduce::{FlowContext, JobConfig};
 use smr_matching::{GreedyMr, GreedyMrConfig, MarkingStrategy, StackMr, StackMrConfig};
 
 fn bench_graph(num_edges: usize, seed: u64) -> (smr_graph::BipartiteGraph, Capacities) {
@@ -50,13 +50,14 @@ fn bench_marking_strategy(c: &mut Criterion) {
     ] {
         group.bench_function(BenchmarkId::new("stack_mr", name), |b| {
             b.iter(|| {
+                let job = JobConfig::named("ablation");
                 StackMr::new(
                     StackMrConfig::default()
                         .with_seed(5)
                         .with_marking(strategy)
-                        .with_job(JobConfig::named("ablation")),
+                        .with_job(job.clone()),
                 )
-                .run(&graph, &caps)
+                .run(&graph, &caps, &FlowContext::new(job))
             })
         });
     }
@@ -77,13 +78,14 @@ fn bench_epsilon(c: &mut Criterion) {
             &epsilon,
             |b, &eps| {
                 b.iter(|| {
+                    let job = JobConfig::named("ablation");
                     StackMr::new(
                         StackMrConfig::default()
                             .with_seed(5)
                             .with_epsilon(eps)
-                            .with_job(JobConfig::named("ablation")),
+                            .with_job(job.clone()),
                     )
-                    .run(&graph, &caps)
+                    .run(&graph, &caps, &FlowContext::new(job))
                 })
             },
         );
@@ -105,11 +107,12 @@ fn bench_threads(c: &mut Criterion) {
             &threads,
             |b, &t| {
                 b.iter(|| {
-                    GreedyMr::new(
-                        GreedyMrConfig::default()
-                            .with_job(JobConfig::named("ablation").with_threads(t)),
+                    let job = JobConfig::named("ablation").with_threads(t);
+                    GreedyMr::new(GreedyMrConfig::default().with_job(job.clone())).run(
+                        &graph,
+                        &caps,
+                        &FlowContext::new(job),
                     )
-                    .run(&graph, &caps)
                 })
             },
         );
@@ -133,12 +136,12 @@ fn bench_memory_budget(c: &mut Criterion) {
     ] {
         group.bench_function(BenchmarkId::new("greedymr_budget", name), |b| {
             b.iter(|| {
-                GreedyMr::new(
-                    GreedyMrConfig::default()
-                        .with_job(JobConfig::named("ablation"))
-                        .with_memory_budget(budget),
+                let job = JobConfig::named("ablation").with_memory_budget(budget);
+                GreedyMr::new(GreedyMrConfig::default().with_job(job.clone())).run(
+                    &graph,
+                    &caps,
+                    &FlowContext::new(job),
                 )
-                .run(&graph, &caps)
             })
         });
     }

@@ -12,11 +12,15 @@ use smr_bench::experiments::{self, ExperimentScale, ExperimentSet};
 use smr_bench::pipeline::DatasetInstance;
 use smr_datagen::{DatasetPreset, RandomGraphConfig, WeightDistribution};
 use smr_graph::Capacities;
-use smr_mapreduce::JobConfig;
+use smr_mapreduce::{FlowContext, JobConfig};
 use smr_matching::{GreedyMr, GreedyMrConfig, StackMr, StackMrConfig};
 
 fn bench_job() -> JobConfig {
     JobConfig::named("bench").with_threads(0)
+}
+
+fn bench_flow() -> FlowContext {
+    FlowContext::new(bench_job())
 }
 
 fn smoke_set() -> ExperimentSet {
@@ -66,13 +70,20 @@ fn bench_quality_figures(c: &mut Criterion) {
         let (graph, caps) = bench_graph(edges);
         group.bench_with_input(BenchmarkId::new("GreedyMR", edges), &edges, |b, _| {
             b.iter(|| {
-                GreedyMr::new(GreedyMrConfig::default().with_job(bench_job())).run(&graph, &caps)
+                GreedyMr::new(GreedyMrConfig::default().with_job(bench_job())).run(
+                    &graph,
+                    &caps,
+                    &bench_flow(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("StackMR", edges), &edges, |b, _| {
             b.iter(|| {
-                StackMr::new(StackMrConfig::default().with_seed(1).with_job(bench_job()))
-                    .run(&graph, &caps)
+                StackMr::new(StackMrConfig::default().with_seed(1).with_job(bench_job())).run(
+                    &graph,
+                    &caps,
+                    &bench_flow(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("StackGreedyMR", edges), &edges, |b, _| {
@@ -83,7 +94,7 @@ fn bench_quality_figures(c: &mut Criterion) {
                         .with_job(bench_job())
                         .stack_greedy(),
                 )
-                .run(&graph, &caps)
+                .run(&graph, &caps, &bench_flow())
             })
         });
     }
@@ -100,7 +111,7 @@ fn bench_violations(c: &mut Criterion) {
     group.bench_function("stackmr_with_violation_report", |b| {
         b.iter(|| {
             let run = StackMr::new(StackMrConfig::default().with_seed(3).with_job(bench_job()))
-                .run(&graph, &caps);
+                .run(&graph, &caps, &bench_flow());
             run.average_violation(&graph, &caps)
         })
     });
@@ -116,8 +127,11 @@ fn bench_anytime(c: &mut Criterion) {
     let (graph, caps) = bench_graph(2_000);
     group.bench_function("greedymr_value_trace", |b| {
         b.iter(|| {
-            let run =
-                GreedyMr::new(GreedyMrConfig::default().with_job(bench_job())).run(&graph, &caps);
+            let run = GreedyMr::new(GreedyMrConfig::default().with_job(bench_job())).run(
+                &graph,
+                &caps,
+                &bench_flow(),
+            );
             run.rounds_to_reach_fraction(0.95)
         })
     });
@@ -154,7 +168,11 @@ fn bench_greedymr_worst_case(c: &mut Criterion) {
         let (graph, caps) = smr_datagen::pathological::increasing_weight_path(length);
         group.bench_with_input(BenchmarkId::new("path", length), &length, |b, _| {
             b.iter(|| {
-                GreedyMr::new(GreedyMrConfig::default().with_job(bench_job())).run(&graph, &caps)
+                GreedyMr::new(GreedyMrConfig::default().with_job(bench_job())).run(
+                    &graph,
+                    &caps,
+                    &bench_flow(),
+                )
             })
         });
     }

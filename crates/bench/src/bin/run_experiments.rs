@@ -4,14 +4,16 @@
 //! run-experiments [EXPERIMENT ...] [--scale smoke|full] [--threads N] [--seed S]
 //!
 //! EXPERIMENT: table1 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7
-//!           | shuffle | spill | join | all
+//!           | shuffle | spill | join | rounds | all
 //! ```
 //!
-//! `shuffle`, `spill` and `join` are not paper artefacts: `shuffle`
+//! `shuffle`, `spill`, `join` and `rounds` are not paper artefacts: `shuffle`
 //! profiles the engine's streaming shuffle (sorted runs + k-way merge,
 //! combine-while-partitioning), `spill` A/Bs memory budgets on the
 //! disk-spilling out-of-core path (output checked byte-identical to the
-//! in-memory run), and `join` profiles the streaming similarity join
+//! in-memory run), `rounds` A/Bs memory budgets on the out-of-core
+//! matching rounds (final matching checked byte-identical to the
+//! unlimited-budget run), and `join` profiles the streaming similarity join
 //! (candidates generated vs pruned cheap vs verified exact, per preset
 //! and σ).
 
@@ -76,7 +78,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 
 fn usage() -> String {
     "usage: run-experiments \
-     [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|spill|join|all ...] \
+     [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|spill|join|rounds|all ...] \
      [--scale smoke|full] [--threads N] [--seed S]"
         .to_string()
 }
@@ -111,10 +113,11 @@ fn run_experiment(name: &str, set: &mut ExperimentSet) -> Result<(), String> {
         "shuffle" => println!("{}", experiments::shuffle_ablation(set)),
         "spill" => println!("{}", experiments::spill_ablation(set)),
         "join" => println!("{}", experiments::join_ablation(set)),
+        "rounds" => println!("{}", experiments::rounds_ablation(set)),
         "all" => {
             let all = [
                 "table1", "fig6", "fig7", "fig1", "fig2", "fig3", "fig4", "fig5", "shuffle",
-                "spill", "join",
+                "spill", "join", "rounds",
             ];
             for exp in all {
                 run_experiment(exp, set)?;
@@ -205,6 +208,12 @@ mod tests {
     fn spill_experiment_runs_at_smoke_scale() {
         let mut set = ExperimentSet::new(ExperimentScale::Smoke, 2, 1);
         assert!(run_experiment("spill", &mut set).is_ok());
+    }
+
+    #[test]
+    fn rounds_experiment_runs_at_smoke_scale() {
+        let mut set = ExperimentSet::new(ExperimentScale::Smoke, 2, 1);
+        assert!(run_experiment("rounds", &mut set).is_ok());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::time::Duration;
 use smr_datagen::DatasetPreset;
 use smr_graph::stats::{capacity_histograms, similarity_histogram};
 use smr_graph::{BipartiteGraph, Capacities};
-use smr_mapreduce::{Combiner, Emitter, Job, JobConfig, Mapper, Reducer};
+use smr_mapreduce::{Combiner, Emitter, FlowContext, Job, JobConfig, Mapper, Reducer};
 use smr_matching::{AlgorithmKind, GreedyMr, GreedyMrConfig, MatchingRun, StackMr, StackMrConfig};
 
 use crate::pipeline::DatasetInstance;
@@ -107,22 +107,15 @@ impl ExperimentSet {
         caps: &Capacities,
         epsilon: f64,
     ) -> MatchingRun {
-        match algorithm {
-            AlgorithmKind::GreedyMr => GreedyMr::new(self.greedy_config()).run(graph, caps),
-            AlgorithmKind::StackMr => StackMr::new(self.stack_config(epsilon)).run(graph, caps),
-            AlgorithmKind::StackGreedyMr => {
-                StackMr::new(self.stack_config(epsilon).stack_greedy()).run(graph, caps)
-            }
-            other => smr_matching::run_algorithm(
-                other,
-                graph,
-                caps,
-                &smr_matching::runner::RunnerConfig {
-                    greedy_mr: self.greedy_config(),
-                    stack_mr: self.stack_config(epsilon),
-                },
-            ),
-        }
+        let config = smr_matching::runner::RunnerConfig {
+            greedy_mr: self.greedy_config(),
+            stack_mr: self.stack_config(epsilon),
+        };
+        let job = match algorithm {
+            AlgorithmKind::GreedyMr => config.greedy_mr.job.clone(),
+            _ => config.stack_mr.job.clone(),
+        };
+        smr_matching::run_algorithm(algorithm, graph, caps, &config, &FlowContext::new(job))
     }
 }
 
@@ -467,10 +460,12 @@ pub fn shuffle_rows(set: &mut ExperimentSet) -> Vec<ShuffleAblationRow> {
             total: result.metrics.timings.total(),
         });
 
-        let run = GreedyMr::new(
-            GreedyMrConfig::default().with_job(set.job().with_name("shuffle-ablation-greedy")),
-        )
-        .run(&graph, &caps);
+        let job = set.job().with_name("shuffle-ablation-greedy");
+        let run = GreedyMr::new(GreedyMrConfig::default().with_job(job.clone())).run(
+            &graph,
+            &caps,
+            &FlowContext::new(job),
+        );
         let rounds = run.rounds.max(1);
         let shuffle_total: Duration = run.job_metrics.iter().map(|m| m.timings.shuffle).sum();
         let wall_total: Duration = run.job_metrics.iter().map(|m| m.timings.total()).sum();
@@ -768,6 +763,146 @@ pub fn spill_ablation(set: &mut ExperimentSet) -> Table {
     table
 }
 
+// ---------------------------------------------------------------------------
+// Matching-rounds (out-of-core round state) ablation
+// ---------------------------------------------------------------------------
+
+/// One measured (algorithm × memory budget) configuration of the rounds
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct RoundsAblationRow {
+    /// Name of the dataset the matchers ran on.
+    pub dataset: String,
+    /// Which matcher ran.
+    pub algorithm: AlgorithmKind,
+    /// Engine memory budget in bytes (`None` = unlimited).
+    pub budget: Option<u64>,
+    /// σ the candidate graph was thresholded at.
+    pub sigma: f64,
+    /// Candidate edges of the thresholded graph.
+    pub edges: usize,
+    /// Algorithm-level rounds to convergence.
+    pub rounds: usize,
+    /// Records shuffled across every MapReduce job of the run.
+    pub records_shuffled: u64,
+    /// Sorted runs the engine spilled to disk and merged back.
+    pub disk_runs: u64,
+    /// Largest on-disk inter-round state the run held at any point — the
+    /// peak-resident proxy for what the in-memory round path would have
+    /// kept in RAM between rounds.
+    pub max_round_state_bytes: u64,
+    /// Whether the final matching was byte-identical to the
+    /// unlimited-budget run of the same algorithm (always checked, never
+    /// assumed).
+    pub matches_unlimited: bool,
+}
+
+/// Runs the matching-rounds ablation: GreedyMR and StackMR on the rounds
+/// tier (`flickr-large` at full scale, `flickr-small` at smoke scale) at
+/// the preset's default σ, A/B-ing an unlimited engine budget against
+/// 4 KiB.  Round state is disk-backed in both configurations (the
+/// default); the budget controls the *shuffle* spill path, so `disk_runs`
+/// measures the engine going out-of-core while `max_round_state_bytes`
+/// measures the inter-round state that no longer lives in RAM.  Every
+/// budgeted run's final matching is compared against the
+/// unlimited-budget reference.
+pub fn rounds_rows(set: &mut ExperimentSet) -> Vec<RoundsAblationRow> {
+    let preset = match set.scale {
+        ExperimentScale::Smoke => DatasetPreset::FlickrSmall,
+        ExperimentScale::Full => DatasetPreset::FlickrLarge,
+    };
+    let sigma = preset.default_sigma();
+    let (dataset_name, graph, caps) = {
+        let instance = set.instance(preset);
+        (
+            instance.dataset.name.clone(),
+            instance.graph_at(sigma),
+            instance.capacities(1.0),
+        )
+    };
+    let seed = set.seed;
+    let base_job = set.job();
+    let mut rows = Vec::new();
+    for algorithm in [AlgorithmKind::GreedyMr, AlgorithmKind::StackMr] {
+        let run_at = |budget: Option<u64>| -> MatchingRun {
+            let job = base_job
+                .clone()
+                .with_name(format!("rounds-{}", algorithm.name()))
+                .with_memory_budget(budget);
+            let flow = FlowContext::new(job.clone());
+            match algorithm {
+                AlgorithmKind::GreedyMr => {
+                    GreedyMr::new(GreedyMrConfig::default().with_job(job)).run(&graph, &caps, &flow)
+                }
+                _ => StackMr::new(StackMrConfig::default().with_seed(seed).with_job(job))
+                    .run(&graph, &caps, &flow),
+            }
+        };
+        let reference = run_at(None);
+        for budget in [None, Some(4 * 1024)] {
+            let run = if budget.is_none() {
+                reference.clone()
+            } else {
+                run_at(budget)
+            };
+            rows.push(RoundsAblationRow {
+                dataset: dataset_name.clone(),
+                algorithm,
+                budget,
+                sigma,
+                edges: graph.num_edges(),
+                rounds: run.rounds,
+                records_shuffled: run.total_shuffled_records(),
+                disk_runs: run.job_metrics.iter().map(|m| m.disk_runs).sum(),
+                max_round_state_bytes: run.max_round_state_bytes,
+                matches_unlimited: run.matching == reference.matching,
+            });
+        }
+    }
+    rows
+}
+
+/// Matching-rounds ablation: rounds, shuffle volume, engine disk runs and
+/// peak round state as a function of the memory budget, with a
+/// byte-identity check of the final matching against the unlimited-budget
+/// run.
+pub fn rounds_ablation(set: &mut ExperimentSet) -> Table {
+    let mut table = Table::new(
+        "Rounds ablation: out-of-core matching rounds (final matching checked byte-identical)",
+        &[
+            "dataset",
+            "algorithm",
+            "budget",
+            "sigma",
+            "edges",
+            "rounds",
+            "shuffled",
+            "disk-runs",
+            "round-state-bytes",
+            "identical",
+        ],
+    );
+    for row in rounds_rows(set) {
+        table.push_row(vec![
+            row.dataset.clone(),
+            row.algorithm.name().to_string(),
+            budget_name(row.budget),
+            fmt_f(row.sigma, 2),
+            row.edges.to_string(),
+            row.rounds.to_string(),
+            row.records_shuffled.to_string(),
+            row.disk_runs.to_string(),
+            row.max_round_state_bytes.to_string(),
+            if row.matches_unlimited {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -920,6 +1055,55 @@ mod tests {
         assert_eq!(candidate.candidates_pruned, 2_025);
         assert_eq!(candidate.verify_exact, 10_629);
         assert_eq!(candidate.graph.num_edges(), 3_502);
+    }
+
+    #[test]
+    fn rounds_regression_guard_flickr_large_sigma_009() {
+        // The densest point of the flickr-large sweep at the grown preset
+        // size (4 200 photos / 640 users).  Rounds-to-convergence and the
+        // total shuffle volume are exact-deterministic for GreedyMR (no
+        // combiner on the round jobs, so threads and memory budgets move
+        // bytes around without changing what crosses the shuffle); any
+        // drift here means the round semantics changed, not just the
+        // schedule.
+        let mut set = ExperimentSet::new(ExperimentScale::Full, 2, 2011);
+        let (graph, caps) = {
+            let instance = set.instance(DatasetPreset::FlickrLarge);
+            (instance.graph_at(0.09), instance.capacities(1.0))
+        };
+        assert_eq!(graph.num_edges(), 372_730);
+        let run = set.run(AlgorithmKind::GreedyMr, &graph, &caps, 1.0);
+        assert_eq!(run.rounds, 32);
+        assert_eq!(run.total_shuffled_records(), 5_349_918);
+        assert!(run.matching.is_feasible(&graph, &caps));
+    }
+
+    #[test]
+    fn rounds_ablation_spills_under_a_tiny_budget_and_keeps_matchings_identical() {
+        let mut set = smoke_set();
+        let rows = rounds_rows(&mut set);
+        assert_eq!(rows.len(), 4, "2 algorithms x 2 budgets");
+        for row in &rows {
+            assert!(row.matches_unlimited, "{row:?}");
+            assert!(row.rounds > 0, "{row:?}");
+            // Round state is disk-backed at every budget: the peak is the
+            // size of the largest inter-round run file, never zero.
+            assert!(row.max_round_state_bytes > 0, "{row:?}");
+            match row.budget {
+                None => assert_eq!(row.disk_runs, 0, "{row:?}"),
+                Some(_) => assert!(row.disk_runs > 0, "{row:?}"),
+            }
+        }
+        // The budget changes where the shuffle lives, not what it moves:
+        // each algorithm shuffles the same records at both budgets.
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].algorithm, pair[1].algorithm);
+            assert_eq!(
+                pair[0].records_shuffled, pair[1].records_shuffled,
+                "{pair:?}"
+            );
+            assert_eq!(pair[0].rounds, pair[1].rounds, "{pair:?}");
+        }
     }
 
     #[test]

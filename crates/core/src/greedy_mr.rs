@@ -21,15 +21,18 @@
 //! Execution is structured as an [`IterativeJob`] driven by the
 //! [`IterativeDriver`], with every round's MapReduce job built through a
 //! [`FlowContext`] — so the driver's round accounting and the flow's
-//! per-job metrics describe the same jobs, and a caller-provided flow
-//! ([`GreedyMr::run_with_flow`]) folds the rounds into a larger pipeline's
-//! [`smr_mapreduce::FlowReport`].
+//! per-job metrics describe the same jobs, and the caller-provided flow
+//! of [`GreedyMr::run`] folds the rounds into a larger pipeline's
+//! [`smr_mapreduce::FlowReport`].  Between rounds the surviving node
+//! records live in a [`RoundState`] (disk-backed by default), so the
+//! run never retains the full candidate edge list in memory.
 
 use serde::{Deserialize, Serialize};
 use smr_graph::{BipartiteGraph, Capacities, EdgeId, Matching, NodeId};
 use smr_mapreduce::flow::FlowContext;
 use smr_mapreduce::{
-    Emitter, IterativeDriver, IterativeJob, JobMetrics, Mapper, Reducer, RoundOutcome, RunSummary,
+    Emitter, IterativeDriver, IterativeJob, JobMetrics, Mapper, Reducer, RoundOutcome, RoundState,
+    RunSummary,
 };
 use smr_storage::impl_codec_struct;
 
@@ -208,34 +211,49 @@ impl GreedyMr {
         &self.config
     }
 
-    /// Runs GreedyMR on a graph with capacities and returns the matching
-    /// together with the per-round trace.
-    pub fn run(&self, graph: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
-        let flow = FlowContext::new(self.config.job.clone());
-        self.run_with_flow(graph, caps, &flow)
-    }
-
     /// Runs GreedyMR with every round's job built through `flow`: the
     /// flow's `JobConfig` governs the engine (threads, shuffle mode,
     /// reduce tasks) and every round reports into the flow's
     /// [`smr_mapreduce::FlowReport`], unified with whatever other jobs the
     /// surrounding pipeline ran.
-    pub fn run_with_flow(
+    ///
+    /// Between rounds the surviving node records live in a
+    /// [`RoundState`] — on disk in the flow's side store by default
+    /// ([`crate::GreedyMrConfig::round_state`]), with matched-out nodes
+    /// retired via tombstones instead of a rewritten survivor list — so
+    /// no stage of the run holds the full candidate edge list in memory.
+    pub fn run(
         &self,
         graph: &BipartiteGraph,
         caps: &Capacities,
         flow: &FlowContext,
     ) -> MatchingRun {
+        let mut state: RoundState<NodeId, GreedyRoundOutput> =
+            flow.round_state("greedy-rounds", self.config.round_state);
+        state.seed(
+            build_node_records(graph, caps)
+                .into_iter()
+                .map(|(node, record)| {
+                    (
+                        node,
+                        GreedyRoundOutput {
+                            record,
+                            matched: Vec::new(),
+                        },
+                    )
+                })
+                .collect(),
+        );
         let mut rounds = GreedyRounds {
             flow,
             graph,
-            records: build_node_records(graph, caps),
+            state,
             matching: Matching::new(graph.num_edges()),
             value_per_round: Vec::new(),
         };
         // An edgeless graph runs zero rounds (and zero jobs), exactly like
         // the pre-flow driver loop.
-        let summary = if rounds.records.is_empty() {
+        let summary = if rounds.state.is_empty() {
             RunSummary::default()
         } else {
             IterativeDriver::new(self.config.max_rounds).run(&mut rounds)
@@ -248,47 +266,72 @@ impl GreedyMr {
             rounds: summary.rounds,
             value_per_round: rounds.value_per_round,
             job_metrics: summary.job_metrics,
+            max_round_state_bytes: rounds.state.max_state_bytes(),
         }
+    }
+
+    /// Runs GreedyMR under a throwaway flow created from the config's own
+    /// [`crate::GreedyMrConfig::job`].
+    #[deprecated(
+        note = "use `run` with an explicit `FlowContext` (the one flow-first entry point); \
+                this convenience wrapper remains for one release"
+    )]
+    pub fn run_in_memory(&self, graph: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
+        let flow = FlowContext::new(self.config.job.clone());
+        self.run(graph, caps, &flow)
+    }
+
+    /// Former name of [`GreedyMr::run`].
+    #[deprecated(note = "renamed to `run`; this alias remains for one release")]
+    pub fn run_with_flow(
+        &self,
+        graph: &BipartiteGraph,
+        caps: &Capacities,
+        flow: &FlowContext,
+    ) -> MatchingRun {
+        self.run(graph, caps, flow)
     }
 }
 
 /// The per-round state of a GreedyMR run, driven by [`IterativeDriver`].
+/// The records surviving between rounds live in `state` (disk-backed by
+/// default), not in this struct.
 struct GreedyRounds<'a> {
     flow: &'a FlowContext,
     graph: &'a BipartiteGraph,
-    records: Vec<(NodeId, NodeRecord)>,
+    state: RoundState<NodeId, GreedyRoundOutput>,
     matching: Matching,
     value_per_round: Vec<f64>,
 }
 
 impl IterativeJob for GreedyRounds<'_> {
     fn run_round(&mut self, round: usize) -> (RoundOutcome, Vec<JobMetrics>) {
+        self.flow.mark_round();
         let jobs_before = self.flow.num_jobs();
-        let input = std::mem::take(&mut self.records);
         let output = self
-            .flow
-            .dataset(input)
+            .state
+            .dataset_with(|node, out| (node, out.record))
             .map_with(ProposeMapper)
             .named(format!("round-{round}"))
             .reduce_with(IntersectReducer)
             .collect();
         let metrics = self.flow.jobs_from(jobs_before);
 
-        // Collect the matched edges and the surviving node records.
-        // Progress is guaranteed: the globally heaviest live edge is the
-        // heaviest live edge of both of its endpoints, so both propose
-        // it and it is matched — every round either matches an edge or
-        // runs on an already-empty graph.
-        for (node, output) in output {
-            for e in output.matched {
-                self.matching.insert(e);
+        // Absorb the round output: matched edges land in the matching,
+        // matched-out (isolated) nodes are retired from the next round's
+        // input.  Progress is guaranteed: the globally heaviest live edge
+        // is the heaviest live edge of both of its endpoints, so both
+        // propose it and it is matched — every round either matches an
+        // edge or runs on an already-empty graph.
+        let matching = &mut self.matching;
+        self.state.absorb(output, |_, out| {
+            for &e in &out.matched {
+                matching.insert(e);
             }
-            if !output.record.is_isolated() {
-                self.records.push((node, output.record));
-            }
-        }
+            !out.record.is_isolated()
+        });
         self.value_per_round.push(self.matching.value(self.graph));
-        if self.records.is_empty() {
+        if self.state.is_empty() {
             (RoundOutcome::Converged, metrics)
         } else {
             (RoundOutcome::Continue, metrics)
@@ -306,6 +349,13 @@ mod tests {
 
     fn config() -> GreedyMrConfig {
         GreedyMrConfig::default().with_job(JobConfig::named("greedy-mr-test").with_threads(2))
+    }
+
+    /// Test helper: run under a throwaway flow built from the config's job
+    /// (keeps the deprecated convenience wrapper exercised until removal).
+    #[allow(deprecated)]
+    fn run(alg: GreedyMr, g: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
+        alg.run_in_memory(g, caps)
     }
 
     fn small_instance() -> (BipartiteGraph, Capacities) {
@@ -326,7 +376,7 @@ mod tests {
     #[test]
     fn greedy_mr_finds_the_same_value_as_centralized_greedy_on_unique_weights() {
         let (g, caps) = small_instance();
-        let run = GreedyMr::new(config()).run(&g, &caps);
+        let run = run(GreedyMr::new(config()), &g, &caps);
         let centralized = greedy_matching(&g, &caps);
         assert!(run.matching.is_feasible(&g, &caps));
         // With all-distinct weights both algorithms pick the same edges.
@@ -351,7 +401,7 @@ mod tests {
         }
         let g = b.build();
         let caps = Capacities::uniform(&g, 3, 2);
-        let run = GreedyMr::new(config()).run(&g, &caps);
+        let run = run(GreedyMr::new(config()), &g, &caps);
         assert!(run.matching.is_feasible(&g, &caps));
         let opt = optimal_matching(&g, &caps);
         assert!(
@@ -365,7 +415,7 @@ mod tests {
     #[test]
     fn value_trace_is_monotone_and_any_time() {
         let (g, caps) = small_instance();
-        let run = GreedyMr::new(config()).run(&g, &caps);
+        let run = run(GreedyMr::new(config()), &g, &caps);
         assert!(!run.value_per_round.is_empty());
         for pair in run.value_per_round.windows(2) {
             assert!(pair[1] >= pair[0] - 1e-12, "value decreased across rounds");
@@ -376,7 +426,7 @@ mod tests {
     #[test]
     fn rounds_and_jobs_are_counted() {
         let (g, caps) = small_instance();
-        let run = GreedyMr::new(config()).run(&g, &caps);
+        let run = run(GreedyMr::new(config()), &g, &caps);
         assert!(run.rounds >= 1);
         assert_eq!(run.mr_jobs, run.rounds);
         assert_eq!(run.job_metrics.len(), run.mr_jobs);
@@ -387,7 +437,7 @@ mod tests {
     fn empty_graph_finishes_without_rounds() {
         let g = BipartiteGraph::from_edges(3, 3, vec![]);
         let caps = Capacities::uniform(&g, 1, 1);
-        let run = GreedyMr::new(config()).run(&g, &caps);
+        let run = run(GreedyMr::new(config()), &g, &caps);
         assert_eq!(run.rounds, 0);
         assert!(run.matching.is_empty());
     }
@@ -414,7 +464,7 @@ mod tests {
         }
         let g = builder.build();
         let caps = Capacities::uniform(&g, 1, 1);
-        let run = GreedyMr::new(config()).run(&g, &caps);
+        let run = run(GreedyMr::new(config()), &g, &caps);
         assert!(run.matching.is_feasible(&g, &caps));
         // The number of rounds grows with the path length (not O(1)).
         assert!(
@@ -429,10 +479,10 @@ mod tests {
     fn shared_flow_reports_every_round_of_the_run() {
         use smr_mapreduce::flow::FlowContext;
         let (g, caps) = small_instance();
-        let baseline = GreedyMr::new(config()).run(&g, &caps);
+        let baseline = run(GreedyMr::new(config()), &g, &caps);
 
         let flow = FlowContext::new(JobConfig::named("greedy-mr-test").with_threads(2));
-        let run = GreedyMr::new(config()).run_with_flow(&g, &caps, &flow);
+        let run = GreedyMr::new(config()).run(&g, &caps, &flow);
 
         // Same result as the self-contained entry point…
         assert_eq!(run.matching.to_edge_vec(), baseline.matching.to_edge_vec());
@@ -454,8 +504,12 @@ mod tests {
     #[test]
     fn spilled_and_in_memory_runs_agree_on_the_matching() {
         let (g, caps) = small_instance();
-        let in_memory = GreedyMr::new(config().with_memory_budget(None)).run(&g, &caps);
-        let spilled = GreedyMr::new(config().with_memory_budget(Some(256))).run(&g, &caps);
+        let in_memory = run(GreedyMr::new(config().with_memory_budget(None)), &g, &caps);
+        let spilled = run(
+            GreedyMr::new(config().with_memory_budget(Some(256))),
+            &g,
+            &caps,
+        );
         assert_eq!(
             spilled.matching.to_edge_vec(),
             in_memory.matching.to_edge_vec()
@@ -475,7 +529,7 @@ mod tests {
     #[test]
     fn respects_round_budget() {
         let (g, caps) = small_instance();
-        let run = GreedyMr::new(config().with_max_rounds(1)).run(&g, &caps);
+        let run = run(GreedyMr::new(config().with_max_rounds(1)), &g, &caps);
         assert_eq!(run.rounds, 1);
         // Still feasible (any-time property).
         assert!(run.matching.is_feasible(&g, &caps));
@@ -485,7 +539,7 @@ mod tests {
     fn capacities_above_degree_match_every_edge() {
         let (g, _) = small_instance();
         let caps = Capacities::uniform(&g, 10, 10);
-        let run = GreedyMr::new(config()).run(&g, &caps);
+        let run = run(GreedyMr::new(config()), &g, &caps);
         assert_eq!(run.matching.len(), g.num_edges());
     }
 }

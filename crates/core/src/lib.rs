@@ -42,7 +42,11 @@
 //! let graph = b.build();
 //! let caps = Capacities::uniform(&graph, 2, 1);
 //!
-//! let run = GreedyMr::new(GreedyMrConfig::default()).run(&graph, &caps);
+//! // One flow hosts every job of the run (and anything else the
+//! // surrounding pipeline executes); inter-round state lives in the
+//! // flow's disk-backed side store.
+//! let flow = smr_mapreduce::FlowContext::new(smr_mapreduce::JobConfig::named("quick-start"));
+//! let run = GreedyMr::new(GreedyMrConfig::default()).run(&graph, &caps, &flow);
 //! assert!(run.matching.is_feasible(&graph, &caps));
 //! assert!(run.matching.value(&graph) > 0.0);
 //! ```
@@ -69,7 +73,9 @@ pub use greedy_mr::GreedyMr;
 pub use maximal::{maximal_b_matching_centralized, MaximalMatcher};
 pub use repair::{repair_violations, RepairReport};
 pub use result::{AlgorithmKind, MatchingRun};
-pub use runner::{run_algorithm, run_algorithm_with_flow};
+pub use runner::run_algorithm;
+#[allow(deprecated)]
+pub use runner::{run_algorithm_in_memory, run_algorithm_with_flow};
 pub use stack::stack_matching;
 pub use stack_mr::StackMr;
 
@@ -82,7 +88,9 @@ pub mod prelude {
     pub use crate::maximal::{maximal_b_matching_centralized, MaximalMatcher};
     pub use crate::repair::{repair_violations, RepairReport};
     pub use crate::result::{AlgorithmKind, MatchingRun};
-    pub use crate::runner::{run_algorithm, run_algorithm_with_flow};
+    pub use crate::runner::run_algorithm;
+    #[allow(deprecated)]
+    pub use crate::runner::{run_algorithm_in_memory, run_algorithm_with_flow};
     pub use crate::stack::stack_matching;
     pub use crate::stack_mr::StackMr;
 }

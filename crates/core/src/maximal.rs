@@ -29,7 +29,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use smr_graph::{EdgeId, NodeId};
 use smr_mapreduce::flow::FlowContext;
-use smr_mapreduce::{Emitter, JobConfig, JobMetrics, Mapper, Reducer};
+use smr_mapreduce::{Emitter, JobConfig, JobMetrics, Mapper, Reducer, RoundState, RoundStateMode};
 use smr_storage::impl_codec_struct;
 
 use crate::config::MarkingStrategy;
@@ -139,6 +139,8 @@ pub struct MaximalResult {
     pub jobs: usize,
     /// Metrics of every job in order.
     pub job_metrics: Vec<JobMetrics>,
+    /// Largest on-disk inter-iteration state (zero in `InMemory` mode).
+    pub max_round_state_bytes: u64,
 }
 
 /// Deterministic per-node RNG: the same `(seed, iteration, node)` triple
@@ -575,6 +577,9 @@ pub struct MaximalMatcher {
     pub job: JobConfig,
     /// Safety bound on the number of iterations.
     pub max_iterations: usize,
+    /// Where the working records live between Garrido iterations
+    /// (disk-backed in the flow's side store by default).
+    pub round_state: RoundStateMode,
 }
 
 impl MaximalMatcher {
@@ -585,24 +590,21 @@ impl MaximalMatcher {
             seed,
             job,
             max_iterations: 10_000,
+            round_state: RoundStateMode::default(),
         }
     }
 
     /// Computes a maximal b-matching of the subgraph described by
-    /// `records` (node, capacity `c(v)`, live adjacency).
-    pub fn compute(&self, records: &[(NodeId, NodeRecord)]) -> MaximalResult {
-        let flow = FlowContext::new(self.job.clone());
-        self.compute_with_flow(records, &flow, "")
-    }
-
-    /// Computes the maximal b-matching with every iteration's four stage
-    /// jobs chained through `flow` — one lazy `Dataset` chain per
-    /// iteration (mark → select → match → cleanup), records moving
-    /// between the stages by value.  `stage_prefix` namespaces the job
-    /// names when the matcher runs inside a larger flow (StackMR passes
-    /// `maximal-{push_round}`); an empty prefix names jobs
-    /// `{flow}-mark-{i}` etc.
-    pub fn compute_with_flow(
+    /// `records` (node, capacity `c(v)`, live adjacency), with every
+    /// iteration's four stage jobs chained through `flow` — one lazy
+    /// `Dataset` chain per iteration (mark → select → match → cleanup),
+    /// records moving between the stages by value.  Between iterations
+    /// the working records live in a [`RoundState`] (disk-backed by
+    /// default), with finished nodes retired via tombstones.
+    /// `stage_prefix` namespaces the job names when the matcher runs
+    /// inside a larger flow (StackMR passes `maximal-{push_round}`); an
+    /// empty prefix names jobs `{flow}-mark-{i}` etc.
+    pub fn compute(
         &self,
         records: &[(NodeId, NodeRecord)],
         flow: &FlowContext,
@@ -616,28 +618,35 @@ impl MaximalMatcher {
             }
         };
 
-        let mut work: Vec<(NodeId, WorkRecord)> = records
-            .iter()
-            .filter(|(_, r)| !r.adjacency.is_empty() && r.capacity > 0)
-            .map(|(n, r)| {
-                (
-                    *n,
-                    WorkRecord {
-                        node: r.node,
-                        capacity: r.capacity,
-                        edges: r.adjacency.iter().map(WorkEdge::from_adj).collect(),
-                    },
-                )
-            })
-            .collect();
+        let mut state: RoundState<NodeId, CleanupOutput> =
+            flow.round_state("maximal-work", self.round_state);
+        state.seed(
+            records
+                .iter()
+                .filter(|(_, r)| !r.adjacency.is_empty() && r.capacity > 0)
+                .map(|(n, r)| {
+                    (
+                        *n,
+                        CleanupOutput {
+                            record: WorkRecord {
+                                node: r.node,
+                                capacity: r.capacity,
+                                edges: r.adjacency.iter().map(WorkEdge::from_adj).collect(),
+                            },
+                            matched: Vec::new(),
+                        },
+                    )
+                })
+                .collect(),
+        );
 
         let jobs_start = flow.num_jobs();
         let mut result = MaximalResult::default();
-        while !work.is_empty() && result.iterations < self.max_iterations {
+        while !state.is_empty() && result.iterations < self.max_iterations {
             let iteration = result.iterations as u64;
             // One Garrido iteration = one four-job chain.
-            let cleaned = flow
-                .dataset(work)
+            let cleaned = state
+                .dataset_with(|node, out| (node, out.record))
                 .map_with(MarkMapper {
                     strategy: self.strategy,
                     seed: self.seed,
@@ -665,19 +674,41 @@ impl MaximalMatcher {
             result.jobs += 4;
             result.iterations += 1;
 
-            let mut next: Vec<(NodeId, WorkRecord)> = Vec::new();
-            for (node, output) in cleaned {
-                result.edges.extend(output.matched);
-                if !output.record.edges.is_empty() && output.record.capacity > 0 {
-                    next.push((node, output.record));
-                }
-            }
-            work = next;
+            // Matched edges land in the result; saturated and edgeless
+            // nodes are retired from the next iteration's input.
+            let edges = &mut result.edges;
+            state.absorb(cleaned, |_, output| {
+                edges.extend(output.matched.iter().copied());
+                !output.record.edges.is_empty() && output.record.capacity > 0
+            });
         }
         result.job_metrics = flow.jobs_from(jobs_start);
+        result.max_round_state_bytes = state.max_state_bytes();
         result.edges.sort_unstable();
         result.edges.dedup();
         result
+    }
+
+    /// Computes the maximal b-matching under a throwaway flow created
+    /// from the matcher's own [`MaximalMatcher::job`].
+    #[deprecated(
+        note = "use `compute` with an explicit `FlowContext` (the one flow-first entry point); \
+                this convenience wrapper remains for one release"
+    )]
+    pub fn compute_in_memory(&self, records: &[(NodeId, NodeRecord)]) -> MaximalResult {
+        let flow = FlowContext::new(self.job.clone());
+        self.compute(records, &flow, "")
+    }
+
+    /// Former name of [`MaximalMatcher::compute`].
+    #[deprecated(note = "renamed to `compute`; this alias remains for one release")]
+    pub fn compute_with_flow(
+        &self,
+        records: &[(NodeId, NodeRecord)],
+        flow: &FlowContext,
+        stage_prefix: &str,
+    ) -> MaximalResult {
+        self.compute(records, flow, stage_prefix)
     }
 }
 
@@ -765,12 +796,19 @@ mod tests {
         )
     }
 
+    /// Test helper: run under a throwaway flow built from the matcher's job
+    /// (keeps the deprecated convenience wrapper exercised until removal).
+    #[allow(deprecated)]
+    fn compute(m: &MaximalMatcher, records: &[(NodeId, NodeRecord)]) -> MaximalResult {
+        m.compute_in_memory(records)
+    }
+
     #[test]
     fn produces_a_maximal_matching_with_unit_capacities() {
         let g = grid_graph(6, 6);
         let caps = Capacities::uniform(&g, 1, 1);
         let records = build_node_records(&g, &caps);
-        let result = matcher(MarkingStrategy::Random, 1).compute(&records);
+        let result = compute(&matcher(MarkingStrategy::Random, 1), &records);
         assert_maximal(&g, &caps, &result.edges);
         assert!(result.iterations >= 1);
         assert_eq!(result.jobs, result.iterations * 4);
@@ -781,7 +819,7 @@ mod tests {
         let g = grid_graph(5, 7);
         let caps = Capacities::uniform(&g, 3, 2);
         let records = build_node_records(&g, &caps);
-        let result = matcher(MarkingStrategy::Random, 7).compute(&records);
+        let result = compute(&matcher(MarkingStrategy::Random, 7), &records);
         assert_maximal(&g, &caps, &result.edges);
     }
 
@@ -790,7 +828,7 @@ mod tests {
         let g = grid_graph(6, 5);
         let caps = Capacities::uniform(&g, 2, 2);
         let records = build_node_records(&g, &caps);
-        let result = matcher(MarkingStrategy::HeaviestFirst, 3).compute(&records);
+        let result = compute(&matcher(MarkingStrategy::HeaviestFirst, 3), &records);
         assert_maximal(&g, &caps, &result.edges);
     }
 
@@ -799,7 +837,7 @@ mod tests {
         let g = grid_graph(4, 6);
         let caps = Capacities::uniform(&g, 2, 1);
         let records = build_node_records(&g, &caps);
-        let result = matcher(MarkingStrategy::WeightProportional, 11).compute(&records);
+        let result = compute(&matcher(MarkingStrategy::WeightProportional, 11), &records);
         assert_maximal(&g, &caps, &result.edges);
     }
 
@@ -808,11 +846,11 @@ mod tests {
         let g = grid_graph(6, 6);
         let caps = Capacities::uniform(&g, 2, 2);
         let records = build_node_records(&g, &caps);
-        let a = matcher(MarkingStrategy::Random, 99).compute(&records);
-        let b = matcher(MarkingStrategy::Random, 99).compute(&records);
+        let a = compute(&matcher(MarkingStrategy::Random, 99), &records);
+        let b = compute(&matcher(MarkingStrategy::Random, 99), &records);
         assert_eq!(a.edges, b.edges);
         assert_eq!(a.iterations, b.iterations);
-        let c = matcher(MarkingStrategy::Random, 100).compute(&records);
+        let c = compute(&matcher(MarkingStrategy::Random, 100), &records);
         // A different seed is allowed to (and almost surely does) produce a
         // different maximal matching, but both must be maximal.
         assert_maximal(&g, &caps, &c.edges);
@@ -820,7 +858,7 @@ mod tests {
 
     #[test]
     fn empty_input_terminates_immediately() {
-        let result = matcher(MarkingStrategy::Random, 0).compute(&[]);
+        let result = compute(&matcher(MarkingStrategy::Random, 0), &[]);
         assert!(result.edges.is_empty());
         assert_eq!(result.iterations, 0);
         assert_eq!(result.jobs, 0);

@@ -132,12 +132,12 @@ mod tests {
     fn repaired_stackmr_solutions_are_feasible_and_keep_most_value() {
         let g = smr_datagen_free_grid();
         let caps = Capacities::uniform(&g, 2, 2);
-        let run = StackMr::new(
-            StackMrConfig::default()
-                .with_seed(23)
-                .with_job(JobConfig::named("repair-test").with_threads(1)),
-        )
-        .run(&g, &caps);
+        let job = JobConfig::named("repair-test").with_threads(1);
+        let run = StackMr::new(StackMrConfig::default().with_seed(23).with_job(job.clone())).run(
+            &g,
+            &caps,
+            &smr_mapreduce::FlowContext::new(job),
+        );
         let report = repair_violations(&g, &caps, &run.matching);
         assert!(report.matching.is_feasible(&g, &caps));
         assert!(report.matching.value(&g) <= run.matching.value(&g) + 1e-9);

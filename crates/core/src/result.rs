@@ -62,6 +62,11 @@ pub struct MatchingRun {
     pub value_per_round: Vec<f64>,
     /// Metrics of every MapReduce job in execution order.
     pub job_metrics: Vec<JobMetrics>,
+    /// Largest on-disk inter-round state the run held at any point, in
+    /// bytes — what the in-memory round path would have kept resident
+    /// between rounds.  Zero for centralized algorithms and for runs in
+    /// [`smr_mapreduce::RoundStateMode::InMemory`] mode.
+    pub max_round_state_bytes: u64,
 }
 
 impl MatchingRun {
@@ -74,6 +79,7 @@ impl MatchingRun {
             rounds: 1,
             value_per_round: vec![value],
             job_metrics: Vec::new(),
+            max_round_state_bytes: 0,
         }
     }
 
@@ -154,6 +160,7 @@ mod tests {
             rounds: 4,
             value_per_round: vec![1.0, 5.0, 9.0, 10.0],
             job_metrics: Vec::new(),
+            max_round_state_bytes: 0,
         };
         // 95% of 10.0 = 9.5 is first reached at round 4.
         assert_eq!(run.rounds_to_reach_fraction(0.95), Some((4, 1.0)));
@@ -170,6 +177,7 @@ mod tests {
             rounds: 0,
             value_per_round: vec![],
             job_metrics: Vec::new(),
+            max_round_state_bytes: 0,
         };
         assert_eq!(empty.rounds_to_reach_fraction(0.95), None);
         let zero = MatchingRun {

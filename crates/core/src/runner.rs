@@ -23,7 +23,11 @@ pub struct RunnerConfig {
     pub stack_mr: StackMrConfig,
 }
 
-/// Runs the requested algorithm on the instance.
+/// Runs the requested algorithm with every MapReduce job built through
+/// `flow` (see [`GreedyMr::run`] / [`StackMr::run`]): the flow's
+/// `JobConfig` governs the engine and the whole run reports into the
+/// flow's [`smr_mapreduce::FlowReport`].  Centralized algorithms run no
+/// jobs and leave the flow untouched.
 ///
 /// For the centralized algorithms the `MatchingRun` has `mr_jobs == 0`; for
 /// `StackGreedyMr` the stack configuration's marking strategy is overridden
@@ -33,22 +37,40 @@ pub fn run_algorithm(
     graph: &BipartiteGraph,
     caps: &Capacities,
     config: &RunnerConfig,
+    flow: &FlowContext,
 ) -> MatchingRun {
     match algorithm {
-        AlgorithmKind::GreedyMr => GreedyMr::new(config.greedy_mr.clone()).run(graph, caps),
-        AlgorithmKind::StackMr => StackMr::new(config.stack_mr.clone()).run(graph, caps),
+        AlgorithmKind::GreedyMr => GreedyMr::new(config.greedy_mr.clone()).run(graph, caps, flow),
+        AlgorithmKind::StackMr => StackMr::new(config.stack_mr.clone()).run(graph, caps, flow),
         AlgorithmKind::StackGreedyMr => {
-            StackMr::new(config.stack_mr.clone().stack_greedy()).run(graph, caps)
+            StackMr::new(config.stack_mr.clone().stack_greedy()).run(graph, caps, flow)
         }
         centralized => run_centralized(centralized, graph, caps, config),
     }
 }
 
-/// Runs the requested algorithm with every MapReduce job built through
-/// `flow` (see [`GreedyMr::run_with_flow`] / [`StackMr::run_with_flow`]):
-/// the flow's `JobConfig` governs the engine and the whole run reports
-/// into the flow's [`smr_mapreduce::FlowReport`].  Centralized algorithms
-/// run no jobs and leave the flow untouched.
+/// Runs the requested algorithm under a throwaway flow created from the
+/// algorithm's own `JobConfig`.
+#[deprecated(
+    note = "use `run_algorithm` with an explicit `FlowContext` (the one flow-first entry \
+            point); this convenience wrapper remains for one release"
+)]
+pub fn run_algorithm_in_memory(
+    algorithm: AlgorithmKind,
+    graph: &BipartiteGraph,
+    caps: &Capacities,
+    config: &RunnerConfig,
+) -> MatchingRun {
+    let job = match algorithm {
+        AlgorithmKind::GreedyMr => config.greedy_mr.job.clone(),
+        _ => config.stack_mr.job.clone(),
+    };
+    let flow = FlowContext::new(job);
+    run_algorithm(algorithm, graph, caps, config, &flow)
+}
+
+/// Former name of [`run_algorithm`] (which is now flow-first).
+#[deprecated(note = "merged into `run_algorithm`; this alias remains for one release")]
 pub fn run_algorithm_with_flow(
     algorithm: AlgorithmKind,
     graph: &BipartiteGraph,
@@ -56,18 +78,7 @@ pub fn run_algorithm_with_flow(
     config: &RunnerConfig,
     flow: &FlowContext,
 ) -> MatchingRun {
-    match algorithm {
-        AlgorithmKind::GreedyMr => {
-            GreedyMr::new(config.greedy_mr.clone()).run_with_flow(graph, caps, flow)
-        }
-        AlgorithmKind::StackMr => {
-            StackMr::new(config.stack_mr.clone()).run_with_flow(graph, caps, flow)
-        }
-        AlgorithmKind::StackGreedyMr => {
-            StackMr::new(config.stack_mr.clone().stack_greedy()).run_with_flow(graph, caps, flow)
-        }
-        centralized => run_centralized(centralized, graph, caps, config),
-    }
+    run_algorithm(algorithm, graph, caps, config, flow)
 }
 
 fn run_centralized(
@@ -119,6 +130,18 @@ mod tests {
         (g, caps)
     }
 
+    /// Test helper: run under a throwaway flow (keeps the deprecated
+    /// convenience wrapper exercised until removal).
+    #[allow(deprecated)]
+    fn run(
+        algorithm: AlgorithmKind,
+        g: &BipartiteGraph,
+        caps: &Capacities,
+        config: &RunnerConfig,
+    ) -> MatchingRun {
+        run_algorithm_in_memory(algorithm, g, caps, config)
+    }
+
     fn runner_config() -> RunnerConfig {
         RunnerConfig {
             greedy_mr: GreedyMrConfig::default()
@@ -141,7 +164,7 @@ mod tests {
             AlgorithmKind::StackMr,
             AlgorithmKind::StackGreedyMr,
         ] {
-            let run = run_algorithm(algorithm, &g, &caps, &config);
+            let run = run(algorithm, &g, &caps, &config);
             assert_eq!(run.algorithm, algorithm, "{algorithm}");
             assert!(!run.matching.is_empty(), "{algorithm} matched nothing");
             assert!(run.value(&g) > 0.0);
@@ -157,10 +180,10 @@ mod tests {
             AlgorithmKind::Stack,
             AlgorithmKind::Exact,
         ] {
-            let run = run_algorithm(algorithm, &g, &caps, &config);
+            let run = run(algorithm, &g, &caps, &config);
             assert_eq!(run.mr_jobs, 0);
         }
-        let mr = run_algorithm(AlgorithmKind::GreedyMr, &g, &caps, &config);
+        let mr = run(AlgorithmKind::GreedyMr, &g, &caps, &config);
         assert!(mr.mr_jobs > 0);
     }
 
@@ -168,13 +191,13 @@ mod tests {
     fn exact_dominates_the_approximations() {
         let (g, caps) = instance();
         let config = runner_config();
-        let exact = run_algorithm(AlgorithmKind::Exact, &g, &caps, &config);
+        let exact = run(AlgorithmKind::Exact, &g, &caps, &config);
         for algorithm in [
             AlgorithmKind::Greedy,
             AlgorithmKind::GreedyMr,
             AlgorithmKind::Stack,
         ] {
-            let run = run_algorithm(algorithm, &g, &caps, &config);
+            let run = run(algorithm, &g, &caps, &config);
             assert!(
                 run.value(&g) <= exact.value(&g) + 1e-9,
                 "{algorithm} exceeded the optimum"

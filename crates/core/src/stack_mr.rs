@@ -32,7 +32,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use smr_graph::{BipartiteGraph, Capacities, EdgeId, Matching, NodeId};
 use smr_mapreduce::flow::FlowContext;
-use smr_mapreduce::{Emitter, Mapper, Reducer};
+use smr_mapreduce::{Emitter, Mapper, Reducer, RoundState};
 use smr_storage::impl_codec_struct;
 
 use crate::config::{MarkingStrategy, StackMrConfig};
@@ -375,17 +375,17 @@ impl StackMr {
         &self.config
     }
 
-    /// Runs the algorithm.
-    pub fn run(&self, graph: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
-        let flow = FlowContext::new(self.config.job.clone());
-        self.run_with_flow(graph, caps, &flow)
-    }
-
     /// Runs the algorithm with every job of every phase — coverage, the
     /// four maximal-matching stages, push, pop — built through `flow`:
     /// the flow's `JobConfig` governs the engine and all jobs report into
     /// the flow's [`smr_mapreduce::FlowReport`].
-    pub fn run_with_flow(
+    ///
+    /// Between rounds the surviving node records live in [`RoundState`]s
+    /// — on disk in the flow's side store by default
+    /// ([`crate::StackMrConfig::round_state`]), with covered-out nodes
+    /// retired via tombstones — so no phase of the run holds the full
+    /// candidate edge list in memory between rounds.
+    pub fn run(
         &self,
         graph: &BipartiteGraph,
         caps: &Capacities,
@@ -398,55 +398,59 @@ impl StackMr {
         let jobs_start = flow.num_jobs();
         let mut value_per_round = Vec::new();
         let mut rounds = 0usize;
+        let mut max_round_state_bytes = 0u64;
 
         // ------------------------------------------------------------------
         // Push phase.
         // ------------------------------------------------------------------
-        let mut records: Vec<(NodeId, StackNodeRecord)> = build_node_records(graph, caps)
-            .into_iter()
-            .map(|(node, r)| {
-                (
-                    node,
-                    StackNodeRecord {
-                        node: r.node,
-                        capacity: r.capacity,
-                        dual: 0.0,
-                        adjacency: r.adjacency,
-                    },
-                )
-            })
-            .collect();
+        let mut push_state: RoundState<NodeId, StackNodeRecord> =
+            flow.round_state("stack-push", self.config.round_state);
+        push_state.seed(
+            build_node_records(graph, caps)
+                .into_iter()
+                .map(|(node, r)| {
+                    (
+                        node,
+                        StackNodeRecord {
+                            node: r.node,
+                            capacity: r.capacity,
+                            dual: 0.0,
+                            adjacency: r.adjacency,
+                        },
+                    )
+                })
+                .collect(),
+        );
         let weak_factor = self.config.weak_coverage_factor();
         let mut layers: Vec<Vec<EdgeId>> = Vec::new();
 
         for push_round in 0..self.config.max_push_rounds {
-            // (1) Remove weakly covered edges.
-            let covered = flow
-                .dataset(records)
+            flow.mark_round();
+            // (1) Remove weakly covered edges; covered-out nodes retire
+            // from the round state via tombstones.
+            let covered = push_state
+                .dataset()
                 .map_with(DualExchangeMapper)
                 .named(format!("coverage-{push_round}"))
                 .reduce_with(CoverageReducer { weak_factor })
                 .collect();
-            records = covered
-                .into_iter()
-                .filter(|(_, r)| !r.adjacency.is_empty())
-                .collect();
-            if records.is_empty() {
+            push_state.absorb(covered, |_, r| !r.adjacency.is_empty());
+            if push_state.is_empty() {
                 break;
             }
             rounds += 1;
             value_per_round.push(0.0);
 
             // (2) Maximal b-matching with layer capacities max(1, ⌈ε·b(v)⌉).
-            let matcher_input: Vec<(NodeId, NodeRecord)> = records
-                .iter()
-                .map(|(node, r)| {
+            let layer_config = self.config.clone();
+            let matcher_input: Vec<(NodeId, NodeRecord)> = push_state
+                .dataset_with(move |node, r| {
                     (
-                        *node,
+                        node,
                         NodeRecord::new(
                             r.node,
-                            self.config.layer_capacity(r.capacity),
-                            r.adjacency.clone(),
+                            layer_config.layer_capacity(r.capacity),
+                            r.adjacency,
                         ),
                     )
                 })
@@ -454,14 +458,15 @@ impl StackMr {
             let matcher = MaximalMatcher {
                 strategy: self.config.marking,
                 seed: self.config.seed.wrapping_add(push_round as u64),
-                // `job` only matters for the standalone `compute()` path;
-                // under `compute_with_flow` every stage job takes its
-                // config (and name) from the FlowContext.
+                // `job` only matters for the standalone in-memory path;
+                // under a shared flow every stage job takes its config
+                // (and name) from the FlowContext.
                 job: flow.config().clone(),
                 max_iterations: self.config.max_maximal_iterations,
+                round_state: self.config.round_state,
             };
-            let maximal =
-                matcher.compute_with_flow(&matcher_input, flow, &format!("maximal-{push_round}"));
+            let maximal = matcher.compute(&matcher_input, flow, &format!("maximal-{push_round}"));
+            max_round_state_bytes = max_round_state_bytes.max(maximal.max_round_state_bytes);
             let layer: HashSet<EdgeId> = maximal.edges.iter().copied().collect();
             if layer.is_empty() {
                 // No further progress is possible (should not happen while
@@ -471,41 +476,52 @@ impl StackMr {
 
             // (3) Push the layer: raise the duals of its edges.
             let layer_arc = Arc::new(layer);
-            records = flow
-                .dataset(records)
+            let pushed = push_state
+                .dataset()
                 .map_with(DualExchangeMapper)
                 .named(format!("push-{push_round}"))
                 .reduce_with(PushReducer {
                     layer: Arc::clone(&layer_arc),
                 })
                 .collect();
+            push_state.absorb(pushed, |_, _| true);
             layers.push(maximal.edges);
         }
+        max_round_state_bytes = max_round_state_bytes.max(push_state.max_state_bytes());
+        push_state.clear();
 
         // ------------------------------------------------------------------
         // Pop phase: one job per layer, from the top of the stack.
         // ------------------------------------------------------------------
         let mut matching = Matching::new(graph.num_edges());
-        let mut pop_records: Vec<(NodeId, PopNodeRecord)> = build_node_records(graph, caps)
-            .into_iter()
-            .map(|(node, r)| {
-                (
-                    node,
-                    PopNodeRecord {
-                        node: r.node,
-                        residual: r.capacity as i64,
-                        adjacency: r.adjacency,
-                    },
-                )
-            })
-            .collect();
+        let mut pop_state: RoundState<NodeId, PopOutput> =
+            flow.round_state("stack-pop", self.config.round_state);
+        pop_state.seed(
+            build_node_records(graph, caps)
+                .into_iter()
+                .map(|(node, r)| {
+                    (
+                        node,
+                        PopOutput {
+                            record: PopNodeRecord {
+                                node: r.node,
+                                residual: r.capacity as i64,
+                                adjacency: r.adjacency,
+                            },
+                            included: Vec::new(),
+                        },
+                    )
+                })
+                .collect(),
+        );
         let mut included_so_far: HashSet<EdgeId> = HashSet::new();
 
         for (layer_idx, layer) in layers.iter().enumerate().rev() {
+            flow.mark_round();
             let layer_set: Arc<HashSet<EdgeId>> = Arc::new(layer.iter().copied().collect());
             let included_arc = Arc::new(included_so_far.clone());
-            let popped = flow
-                .dataset(pop_records)
+            let popped = pop_state
+                .dataset_with(|node, out| (node, out.record))
                 .map_with(PopMapper {
                     layer: layer_set,
                     already_included: included_arc,
@@ -515,18 +531,19 @@ impl StackMr {
                 .collect();
             rounds += 1;
 
-            let mut next_records = Vec::new();
-            for (node, output) in popped {
-                for e in output.included {
-                    if matching.insert(e) {
-                        included_so_far.insert(e);
+            let matching_ref = &mut matching;
+            let included_ref = &mut included_so_far;
+            pop_state.absorb(popped, |_, output| {
+                for &e in &output.included {
+                    if matching_ref.insert(e) {
+                        included_ref.insert(e);
                     }
                 }
-                next_records.push((node, output.record));
-            }
-            pop_records = next_records;
+                true
+            });
             value_per_round.push(matching.value(graph));
         }
+        max_round_state_bytes = max_round_state_bytes.max(pop_state.max_state_bytes());
 
         let job_metrics = flow.jobs_from(jobs_start);
         let mr_jobs = job_metrics.len();
@@ -537,7 +554,30 @@ impl StackMr {
             rounds,
             value_per_round,
             job_metrics,
+            max_round_state_bytes,
         }
+    }
+
+    /// Runs the algorithm under a throwaway flow created from the config's
+    /// own [`crate::StackMrConfig::job`].
+    #[deprecated(
+        note = "use `run` with an explicit `FlowContext` (the one flow-first entry point); \
+                this convenience wrapper remains for one release"
+    )]
+    pub fn run_in_memory(&self, graph: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
+        let flow = FlowContext::new(self.config.job.clone());
+        self.run(graph, caps, &flow)
+    }
+
+    /// Former name of [`StackMr::run`].
+    #[deprecated(note = "renamed to `run`; this alias remains for one release")]
+    pub fn run_with_flow(
+        &self,
+        graph: &BipartiteGraph,
+        caps: &Capacities,
+        flow: &FlowContext,
+    ) -> MatchingRun {
+        self.run(graph, caps, flow)
     }
 }
 
@@ -552,6 +592,13 @@ mod tests {
         StackMrConfig::default()
             .with_seed(seed)
             .with_job(JobConfig::named("stack-mr-test").with_threads(2))
+    }
+
+    /// Test helper: run under a throwaway flow built from the config's job
+    /// (keeps the deprecated convenience wrapper exercised until removal).
+    #[allow(deprecated)]
+    fn run(alg: StackMr, g: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
+        alg.run_in_memory(g, caps)
     }
 
     fn random_graph(items: usize, consumers: usize, keep_mod: usize) -> BipartiteGraph {
@@ -577,7 +624,7 @@ mod tests {
         let g = random_graph(6, 8, 3);
         let caps = Capacities::uniform(&g, 2, 2);
         let config = test_config(13);
-        let run = StackMr::new(config.clone()).run(&g, &caps);
+        let run = run(StackMr::new(config.clone()), &g, &caps);
         assert!(!run.matching.is_empty());
         // Per-node violation is bounded by ε = 1: degree ≤ (1+ε)·b = 2b.
         let max_violation = run.matching.max_violation(&g, &caps);
@@ -592,7 +639,7 @@ mod tests {
     fn achieves_the_approximation_guarantee_on_small_instances() {
         let g = random_graph(5, 6, 4);
         let caps = Capacities::uniform(&g, 2, 1);
-        let run = StackMr::new(test_config(7)).run(&g, &caps);
+        let run = run(StackMr::new(test_config(7)), &g, &caps);
         let opt = optimal_matching(&g, &caps);
         let guarantee = 1.0 / (6.0 + 1.0);
         assert!(
@@ -607,7 +654,7 @@ mod tests {
     fn stack_greedy_variant_reports_its_own_algorithm_kind() {
         let g = random_graph(4, 4, 5);
         let caps = Capacities::uniform(&g, 1, 1);
-        let run = StackMr::new(test_config(3).stack_greedy()).run(&g, &caps);
+        let run = run(StackMr::new(test_config(3).stack_greedy()), &g, &caps);
         assert_eq!(run.algorithm, AlgorithmKind::StackGreedyMr);
         assert!(!run.matching.is_empty());
     }
@@ -616,8 +663,8 @@ mod tests {
     fn runs_are_reproducible_for_a_fixed_seed() {
         let g = random_graph(5, 5, 3);
         let caps = Capacities::uniform(&g, 2, 2);
-        let a = StackMr::new(test_config(21)).run(&g, &caps);
-        let b = StackMr::new(test_config(21)).run(&g, &caps);
+        let a = run(StackMr::new(test_config(21)), &g, &caps);
+        let b = run(StackMr::new(test_config(21)), &g, &caps);
         assert_eq!(a.matching.to_edge_vec(), b.matching.to_edge_vec());
         assert_eq!(a.mr_jobs, b.mr_jobs);
     }
@@ -626,10 +673,10 @@ mod tests {
     fn shared_flow_reports_every_job_of_every_phase() {
         let g = random_graph(5, 6, 3);
         let caps = Capacities::uniform(&g, 2, 2);
-        let baseline = StackMr::new(test_config(17)).run(&g, &caps);
+        let baseline = run(StackMr::new(test_config(17)), &g, &caps);
 
         let flow = FlowContext::new(JobConfig::named("stack-mr-test").with_threads(2));
-        let run = StackMr::new(test_config(17)).run_with_flow(&g, &caps, &flow);
+        let run = StackMr::new(test_config(17)).run(&g, &caps, &flow);
 
         assert_eq!(run.matching.to_edge_vec(), baseline.matching.to_edge_vec());
         assert_eq!(run.mr_jobs, baseline.mr_jobs);
@@ -650,8 +697,16 @@ mod tests {
     fn spilled_and_in_memory_runs_agree_on_the_matching() {
         let g = random_graph(6, 7, 3);
         let caps = Capacities::uniform(&g, 2, 2);
-        let in_memory = StackMr::new(test_config(21).with_memory_budget(None)).run(&g, &caps);
-        let spilled = StackMr::new(test_config(21).with_memory_budget(Some(256))).run(&g, &caps);
+        let in_memory = run(
+            StackMr::new(test_config(21).with_memory_budget(None)),
+            &g,
+            &caps,
+        );
+        let spilled = run(
+            StackMr::new(test_config(21).with_memory_budget(Some(256))),
+            &g,
+            &caps,
+        );
         assert_eq!(
             spilled.matching.to_edge_vec(),
             in_memory.matching.to_edge_vec()
@@ -671,7 +726,7 @@ mod tests {
     fn counts_jobs_for_every_phase() {
         let g = random_graph(4, 5, 3);
         let caps = Capacities::uniform(&g, 1, 2);
-        let run = StackMr::new(test_config(5)).run(&g, &caps);
+        let run = run(StackMr::new(test_config(5)), &g, &caps);
         // At least one coverage job, four maximal-matching jobs, one push
         // job and one pop job.
         assert!(
@@ -688,7 +743,7 @@ mod tests {
     fn empty_graph_terminates_with_no_layers() {
         let g = BipartiteGraph::from_edges(3, 3, vec![]);
         let caps = Capacities::uniform(&g, 1, 1);
-        let run = StackMr::new(test_config(1)).run(&g, &caps);
+        let run = run(StackMr::new(test_config(1)), &g, &caps);
         assert!(run.matching.is_empty());
         assert_eq!(run.rounds, 0);
     }
@@ -697,8 +752,8 @@ mod tests {
     fn smaller_epsilon_never_violates_more() {
         let g = random_graph(6, 6, 4);
         let caps = Capacities::uniform(&g, 3, 3);
-        let loose = StackMr::new(test_config(9).with_epsilon(1.0)).run(&g, &caps);
-        let tight = StackMr::new(test_config(9).with_epsilon(0.25)).run(&g, &caps);
+        let loose = run(StackMr::new(test_config(9).with_epsilon(1.0)), &g, &caps);
+        let tight = run(StackMr::new(test_config(9).with_epsilon(0.25)), &g, &caps);
         let loose_violation = loose.matching.max_violation(&g, &caps);
         let tight_violation = tight.matching.max_violation(&g, &caps);
         assert!(loose_violation <= 1.0 + 1e-9);
@@ -709,7 +764,7 @@ mod tests {
     fn single_edge_graph_matches_it() {
         let g = BipartiteGraph::from_edges(1, 1, vec![Edge::new(ItemId(0), ConsumerId(0), 5.0)]);
         let caps = Capacities::uniform(&g, 1, 1);
-        let run = StackMr::new(test_config(2)).run(&g, &caps);
+        let run = run(StackMr::new(test_config(2)), &g, &caps);
         assert_eq!(run.matching.to_edge_vec(), vec![0]);
         assert!((run.value(&g) - 5.0).abs() < 1e-9);
     }

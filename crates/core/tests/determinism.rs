@@ -8,7 +8,7 @@
 //! even the engine counters are scheduling-invariant).
 
 use smr_graph::{BipartiteGraph, Capacities, ConsumerId, GraphBuilder, ItemId};
-use smr_mapreduce::JobConfig;
+use smr_mapreduce::{FlowContext, JobConfig};
 use smr_matching::{GreedyMr, GreedyMrConfig, StackMr, StackMrConfig};
 
 /// A dense-ish deterministic instance with plenty of equal-capacity
@@ -38,11 +38,12 @@ fn greedy_mr_is_deterministic_across_20_runs_with_varying_thread_counts() {
     let (graph, caps) = instance();
     let thread_counts = [1usize, 2, 3, 4, 8];
     let run_with = |threads: usize| {
-        GreedyMr::new(
-            GreedyMrConfig::default()
-                .with_job(JobConfig::named("determinism").with_threads(threads)),
+        let job = JobConfig::named("determinism").with_threads(threads);
+        GreedyMr::new(GreedyMrConfig::default().with_job(job.clone())).run(
+            &graph,
+            &caps,
+            &FlowContext::new(job),
         )
-        .run(&graph, &caps)
     };
     let baseline = run_with(1);
     assert!(!baseline.matching.is_empty());
@@ -71,18 +72,25 @@ fn greedy_mr_per_round_shuffle_counters_are_budget_invariant() {
     // the identical matching (GreedyMR runs no combiner, so the spill
     // path moves bytes without changing a single record).
     let (graph, caps) = instance();
-    let in_memory = GreedyMr::new(
-        GreedyMrConfig::default()
-            .with_job(JobConfig::named("ab").with_threads(4))
-            .with_memory_budget(None),
-    )
-    .run(&graph, &caps);
-    let spilled = GreedyMr::new(
-        GreedyMrConfig::default()
-            .with_job(JobConfig::named("ab").with_threads(4))
-            .with_memory_budget(Some(512)),
-    )
-    .run(&graph, &caps);
+    // The flow's JobConfig governs the rounds, so the budget override
+    // (beating any SMR_MEMORY_BUDGET ambient in the environment) has to
+    // live there, not only on the matcher config.
+    let unlimited = JobConfig::named("ab")
+        .with_threads(4)
+        .with_memory_budget(None);
+    let in_memory = GreedyMr::new(GreedyMrConfig::default().with_job(unlimited.clone())).run(
+        &graph,
+        &caps,
+        &FlowContext::new(unlimited),
+    );
+    let budgeted = JobConfig::named("ab")
+        .with_threads(4)
+        .with_memory_budget(Some(512));
+    let spilled = GreedyMr::new(GreedyMrConfig::default().with_job(budgeted.clone())).run(
+        &graph,
+        &caps,
+        &FlowContext::new(budgeted),
+    );
     assert_eq!(
         spilled.matching.to_edge_vec(),
         in_memory.matching.to_edge_vec()
@@ -108,12 +116,12 @@ fn greedy_mr_per_round_shuffle_counters_are_budget_invariant() {
 fn seeded_stack_mr_is_deterministic_across_thread_counts() {
     let (graph, caps) = instance();
     let run_with = |threads: usize| {
-        StackMr::new(
-            StackMrConfig::default()
-                .with_seed(99)
-                .with_job(JobConfig::named("determinism-stack").with_threads(threads)),
+        let job = JobConfig::named("determinism-stack").with_threads(threads);
+        StackMr::new(StackMrConfig::default().with_seed(99).with_job(job.clone())).run(
+            &graph,
+            &caps,
+            &FlowContext::new(job),
         )
-        .run(&graph, &caps)
     };
     let baseline = run_with(1);
     for threads in [2usize, 4, 8] {

@@ -1,0 +1,149 @@
+//! Property tests locking the out-of-core matching rounds byte-identical
+//! to the in-memory round path.
+//!
+//! The tentpole invariant of the disk-backed round state: for any
+//! instance, any engine memory budget (unlimited, 4 KiB, or a pathological
+//! 64 B that spills every run) and any thread count, GreedyMR and StackMR
+//! produce exactly the same matching, the same round count, the same
+//! any-time value trace and the same shuffle volume whether the
+//! inter-round state lives on disk (`RoundStateMode::DiskBacked`, the
+//! default) or in memory (`RoundStateMode::InMemory`, the historical
+//! behaviour).
+
+use proptest::prelude::*;
+
+use smr_graph::{BipartiteGraph, Capacities, ConsumerId, Edge, ItemId};
+use smr_mapreduce::{FlowContext, JobConfig, RoundStateMode};
+use smr_matching::{GreedyMr, GreedyMrConfig, MatchingRun, StackMr, StackMrConfig};
+
+/// A random small b-matching instance: a bipartite graph with up to
+/// 6 × 6 nodes, random edges with positive weights, and random capacities.
+fn instance_strategy() -> impl Strategy<Value = (BipartiteGraph, Capacities)> {
+    (2usize..6, 2usize..6)
+        .prop_flat_map(|(items, consumers)| {
+            let edge_strategy = proptest::collection::vec(
+                (0..items as u32, 0..consumers as u32, 0.01f64..1.0),
+                1..(items * consumers + 1),
+            );
+            let item_caps = proptest::collection::vec(1u64..4, items);
+            let consumer_caps = proptest::collection::vec(1u64..4, consumers);
+            (
+                Just(items),
+                Just(consumers),
+                edge_strategy,
+                item_caps,
+                consumer_caps,
+            )
+        })
+        .prop_map(|(items, consumers, raw_edges, item_caps, consumer_caps)| {
+            // Deduplicate parallel edges; the raw vector is non-empty, so
+            // the graph always keeps at least one edge.
+            let mut seen = std::collections::HashSet::new();
+            let edges: Vec<Edge> = raw_edges
+                .into_iter()
+                .filter(|(t, c, _)| seen.insert((*t, *c)))
+                .map(|(t, c, w)| Edge::new(ItemId(t), ConsumerId(c), w))
+                .collect();
+            let graph = BipartiteGraph::from_edges(items, consumers, edges);
+            let caps = Capacities::from_vectors(item_caps, consumer_caps);
+            (graph, caps)
+        })
+}
+
+/// The budget × thread grid every equivalence case sweeps: unlimited,
+/// a realistic 4 KiB and a pathological 64 B budget, single-threaded and
+/// heavily parallel.
+fn configs() -> Vec<(Option<u64>, usize)> {
+    let mut grid = Vec::new();
+    for budget in [None, Some(4 * 1024), Some(64)] {
+        for threads in [1usize, 8] {
+            grid.push((budget, threads));
+        }
+    }
+    grid
+}
+
+fn job(name: &str, budget: Option<u64>, threads: usize) -> JobConfig {
+    JobConfig::named(name)
+        .with_threads(threads)
+        .with_memory_budget(budget)
+}
+
+fn assert_equivalent(disk: &MatchingRun, memory: &MatchingRun, context: &str) {
+    assert_eq!(
+        disk.matching.to_edge_vec(),
+        memory.matching.to_edge_vec(),
+        "{context}: matchings diverged"
+    );
+    assert_eq!(disk.rounds, memory.rounds, "{context}: rounds diverged");
+    assert_eq!(
+        disk.mr_jobs, memory.mr_jobs,
+        "{context}: job counts diverged"
+    );
+    assert_eq!(
+        disk.value_per_round, memory.value_per_round,
+        "{context}: any-time traces diverged"
+    );
+    assert_eq!(
+        disk.total_shuffled_records(),
+        memory.total_shuffled_records(),
+        "{context}: shuffle volumes diverged"
+    );
+    // Only the disk-backed run reports a round-state footprint.
+    assert!(disk.max_round_state_bytes > 0, "{context}: no round state");
+    assert_eq!(memory.max_round_state_bytes, 0, "{context}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn greedy_mr_disk_rounds_match_in_memory_rounds_at_any_budget(
+        (graph, caps) in instance_strategy()
+    ) {
+        for (budget, threads) in configs() {
+            let run_with = |mode: RoundStateMode| {
+                let job = job("greedy-equiv", budget, threads);
+                GreedyMr::new(
+                    GreedyMrConfig::default()
+                        .with_job(job.clone())
+                        .with_round_state(mode),
+                )
+                .run(&graph, &caps, &FlowContext::new(job))
+            };
+            let disk = run_with(RoundStateMode::DiskBacked);
+            let memory = run_with(RoundStateMode::InMemory);
+            assert_equivalent(
+                &disk,
+                &memory,
+                &format!("GreedyMR budget={budget:?} threads={threads}"),
+            );
+        }
+    }
+
+    #[test]
+    fn stack_mr_disk_rounds_match_in_memory_rounds_at_any_budget(
+        (graph, caps) in instance_strategy(),
+        seed in 0u64..1000
+    ) {
+        for (budget, threads) in configs() {
+            let run_with = |mode: RoundStateMode| {
+                let job = job("stack-equiv", budget, threads);
+                StackMr::new(
+                    StackMrConfig::default()
+                        .with_seed(seed)
+                        .with_job(job.clone())
+                        .with_round_state(mode),
+                )
+                .run(&graph, &caps, &FlowContext::new(job))
+            };
+            let disk = run_with(RoundStateMode::DiskBacked);
+            let memory = run_with(RoundStateMode::InMemory);
+            assert_equivalent(
+                &disk,
+                &memory,
+                &format!("StackMR budget={budget:?} threads={threads}"),
+            );
+        }
+    }
+}

@@ -27,6 +27,9 @@
 //!   `flickr-large` and `yahoo-answers`,
 //! * [`random_graph`] — direct generation of weighted candidate-edge
 //!   graphs (bypassing the similarity join) for fast benchmarking,
+//! * [`stream`] — streaming generation: documents flow straight into a
+//!   disk-backed [`smr_storage::DatasetStore`] (`generate_to_store`)
+//!   instead of accumulating in RAM,
 //! * [`pathological`] — adversarial instances (the increasing-weight path
 //!   that forces GreedyMR into a linear number of rounds, the greedy
 //!   tightness example).
@@ -41,12 +44,14 @@ pub mod powerlaw;
 pub mod presets;
 pub mod random_graph;
 pub mod social;
+pub mod stream;
 
 pub use answers::AnswersGenerator;
 pub use flickr::FlickrGenerator;
 pub use presets::{DatasetPreset, PresetInstance};
 pub use random_graph::{RandomGraphConfig, WeightDistribution};
 pub use social::SocialDataset;
+pub use stream::{DocumentSink, StoreDocumentSink, StreamedDataset};
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -57,4 +62,5 @@ pub mod prelude {
     pub use crate::presets::{DatasetPreset, PresetInstance};
     pub use crate::random_graph::{RandomGraphConfig, WeightDistribution};
     pub use crate::social::SocialDataset;
+    pub use crate::stream::{DocumentSink, StoreDocumentSink, StreamedDataset};
 }

@@ -3,15 +3,16 @@
 //! | Preset | Paper size (|T| / |C| / |E|) | This preset (|T| / |C|) |
 //! |---|---|---|
 //! | `flickr-small`   | 2 817 / 526 / 550 667            | 300 / 80   |
-//! | `flickr-large`   | 373 373 / 32 707 / 1 995 123 827 | 3 600 / 560 |
-//! | `yahoo-answers`  | 4 852 689 / 1 149 714 / 18 847 281 236 | 2 200 / 700 |
-//! | `flickr-xl`      | — (scale tier)                   | 12 000 / 1 800 |
+//! | `flickr-large`   | 373 373 / 32 707 / 1 995 123 827 | 4 200 / 640 |
+//! | `yahoo-answers`  | 4 852 689 / 1 149 714 / 18 847 281 236 | 2 600 / 820 |
+//! | `flickr-xl`      | — (scale tier)                   | 13 500 / 2 000 |
 //!
 //! `flickr-large` and `yahoo-answers` grow a notch toward the paper's
-//! sizes with every scaling PR (they were 2 500 / 400 and 1 500 / 500
-//! before the streaming similarity join landed); the sweeps stay
-//! laptop-scale because the join no longer materializes its candidate set
-//! in RAM.
+//! sizes with every scaling PR (3 600 / 560 and 2 200 / 700 before the
+//! matching rounds went out-of-core, 2 500 / 400 and 1 500 / 500 before
+//! the streaming similarity join landed); the sweeps stay laptop-scale
+//! because neither the join's candidate set nor the matchers' round state
+//! is materialized in RAM any more.
 //!
 //! The absolute sizes are scaled down by orders of magnitude so that the
 //! full pipeline (similarity join + matching + parameter sweeps) runs on a
@@ -107,9 +108,9 @@ impl DatasetPreset {
             }
             .generate(),
             DatasetPreset::FlickrLarge => FlickrGenerator {
-                num_photos: 3_600,
-                num_users: 560,
-                vocabulary: 1_100,
+                num_photos: 4_200,
+                num_users: 640,
+                vocabulary: 1_250,
                 interests_per_user: 10,
                 tags_per_photo: 6,
                 topicality: 0.7,
@@ -122,18 +123,18 @@ impl DatasetPreset {
             }
             .generate(),
             DatasetPreset::YahooAnswers => AnswersGenerator {
-                num_questions: 2_200,
-                num_users: 700,
-                vocabulary: 1_500,
-                num_topics: 36,
+                num_questions: 2_600,
+                num_users: 820,
+                vocabulary: 1_700,
+                num_topics: 40,
                 seed,
                 ..AnswersGenerator::default()
             }
             .generate(),
             DatasetPreset::FlickrXl => FlickrGenerator {
-                num_photos: 12_000,
-                num_users: 1_800,
-                vocabulary: 2_000,
+                num_photos: 13_500,
+                num_users: 2_000,
+                vocabulary: 2_200,
                 interests_per_user: 10,
                 tags_per_photo: 6,
                 topicality: 0.7,

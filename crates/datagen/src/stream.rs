@@ -1,0 +1,206 @@
+//! Streaming generation: documents flow straight into a disk-backed
+//! [`DatasetStore`] instead of accumulating in a `Vec<Document>`.
+//!
+//! At the paper's real magnitudes the generated corpora are the first
+//! thing that stops fitting in RAM, long before the similarity join or the
+//! matching rounds see them.  The generators therefore produce documents
+//! through a [`DocumentSink`]: the convenience `generate()` methods sink
+//! into vectors (the historical behaviour, byte-identical by construction
+//! since both paths share one generation core), while `generate_to_store`
+//! sinks into run files so at most one buffered batch of documents is
+//! resident at any time.  The small per-node side channels
+//! (`item_quality`, `consumer_activity` — one `u64` per node) stay in
+//! memory; only the documents, whose total size scales with text length,
+//! are streamed.
+
+use smr_graph::Capacities;
+use smr_storage::{DatasetStore, StorageError};
+use smr_text::Document;
+
+use crate::social::{ItemCapacityPolicy, SocialDataset};
+
+/// Receives generated documents one at a time, in generation order.
+pub trait DocumentSink {
+    /// Accepts the next document.
+    fn push(&mut self, doc: Document) -> Result<(), StorageError>;
+}
+
+/// The in-memory sink: collect everything (what `generate()` uses).
+impl DocumentSink for Vec<Document> {
+    fn push(&mut self, doc: Document) -> Result<(), StorageError> {
+        Vec::push(self, doc);
+        Ok(())
+    }
+}
+
+/// How many documents a [`StoreDocumentSink`] buffers between appends.
+///
+/// Bounds resident memory at one batch while amortizing the per-append
+/// header validation of [`DatasetStore::append`].
+pub const STORE_SINK_BATCH: usize = 256;
+
+/// A sink that appends documents to a named dataset in a [`DatasetStore`],
+/// holding at most [`STORE_SINK_BATCH`] documents in memory.
+///
+/// Call [`StoreDocumentSink::finish`] to flush the final partial batch;
+/// dropping an unfinished sink loses the buffered tail (never silently —
+/// `finish` is the only way to learn the final count).
+#[derive(Debug)]
+pub struct StoreDocumentSink<'a> {
+    store: &'a DatasetStore,
+    name: String,
+    buffer: Vec<Document>,
+    written: usize,
+}
+
+impl<'a> StoreDocumentSink<'a> {
+    /// Creates a sink writing the dataset `name`, replacing any previous
+    /// dataset of that name.
+    pub fn create(store: &'a DatasetStore, name: impl Into<String>) -> Self {
+        let name = name.into();
+        store.remove(&name);
+        StoreDocumentSink {
+            store,
+            name,
+            buffer: Vec::with_capacity(STORE_SINK_BATCH),
+            written: 0,
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        self.store.append(&self.name, &self.buffer)?;
+        self.written += self.buffer.len();
+        self.buffer.clear();
+        Ok(())
+    }
+
+    /// Flushes the tail batch and returns the number of documents written.
+    pub fn finish(mut self) -> Result<usize, StorageError> {
+        self.flush()?;
+        Ok(self.written)
+    }
+}
+
+impl DocumentSink for StoreDocumentSink<'_> {
+    fn push(&mut self, doc: Document) -> Result<(), StorageError> {
+        self.buffer.push(doc);
+        if self.buffer.len() >= STORE_SINK_BATCH {
+            self.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// A dataset whose documents live in a [`DatasetStore`] rather than in
+/// memory: the handle returned by the generators' `generate_to_store`.
+///
+/// Carries the store-resident dataset names plus the small per-node side
+/// channels; [`StreamedDataset::load`] materializes the equivalent
+/// [`SocialDataset`] (exactly what `generate()` would have produced) and
+/// the reader accessors stream the documents without materializing them.
+#[derive(Debug, Clone)]
+pub struct StreamedDataset {
+    /// Dataset name (used in experiment reports).
+    pub name: String,
+    /// Store dataset holding the item documents, in item-id order.
+    pub items: String,
+    /// Store dataset holding the consumer documents, in consumer-id order.
+    pub consumers: String,
+    /// Number of item documents written.
+    pub num_items: usize,
+    /// Number of consumer documents written.
+    pub num_consumers: usize,
+    /// Quality signal per item (favourites for flickr, constant for
+    /// answers).
+    pub item_quality: Vec<u64>,
+    /// Activity proxy per consumer.
+    pub consumer_activity: Vec<u64>,
+    /// Which item-capacity formula applies to this dataset.
+    pub item_capacity_policy: ItemCapacityPolicy,
+}
+
+impl StreamedDataset {
+    /// Opens a streaming reader over the item documents.
+    pub fn item_reader(
+        &self,
+        store: &DatasetStore,
+    ) -> Result<smr_storage::RunReader<Document>, StorageError> {
+        store.open_reader(&self.items)
+    }
+
+    /// Opens a streaming reader over the consumer documents.
+    pub fn consumer_reader(
+        &self,
+        store: &DatasetStore,
+    ) -> Result<smr_storage::RunReader<Document>, StorageError> {
+        store.open_reader(&self.consumers)
+    }
+
+    /// Builds the capacities for activity factor α (no document access —
+    /// capacities only need the per-node side channels).
+    pub fn capacities(&self, alpha: f64) -> Capacities {
+        self.as_social(Vec::new(), Vec::new()).capacities(alpha)
+    }
+
+    /// Materializes the full in-memory [`SocialDataset`].
+    pub fn load(&self, store: &DatasetStore) -> Result<SocialDataset, StorageError> {
+        let dataset = self.as_social(store.read(&self.items)?, store.read(&self.consumers)?);
+        debug_assert!(dataset.validate().is_ok());
+        Ok(dataset)
+    }
+
+    fn as_social(&self, items: Vec<Document>, consumers: Vec<Document>) -> SocialDataset {
+        SocialDataset {
+            name: self.name.clone(),
+            items,
+            consumers,
+            item_quality: self.item_quality.clone(),
+            consumer_activity: self.consumer_activity.clone(),
+            item_capacity_policy: self.item_capacity_policy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> DatasetStore {
+        let root =
+            std::env::temp_dir().join(format!("smr-datagen-stream-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        DatasetStore::open(root).expect("store")
+    }
+
+    #[test]
+    fn store_sink_batches_and_counts() {
+        let store = store("batches");
+        let mut sink = StoreDocumentSink::create(&store, "docs");
+        let n = STORE_SINK_BATCH + 7;
+        for i in 0..n {
+            sink.push(Document::new(format!("d{i}"), "text")).unwrap();
+        }
+        assert_eq!(sink.finish().unwrap(), n);
+        let read: Vec<Document> = store.read("docs").unwrap();
+        assert_eq!(read.len(), n);
+        assert_eq!(read[0].id, "d0");
+        assert_eq!(read[n - 1].id, format!("d{}", n - 1));
+    }
+
+    #[test]
+    fn store_sink_replaces_previous_dataset() {
+        let store = store("replaces");
+        let mut sink = StoreDocumentSink::create(&store, "docs");
+        sink.push(Document::new("old", "text")).unwrap();
+        sink.finish().unwrap();
+        let mut sink = StoreDocumentSink::create(&store, "docs");
+        sink.push(Document::new("new", "text")).unwrap();
+        assert_eq!(sink.finish().unwrap(), 1);
+        let read: Vec<Document> = store.read("docs").unwrap();
+        assert_eq!(read.len(), 1);
+        assert_eq!(read[0].id, "new");
+    }
+}

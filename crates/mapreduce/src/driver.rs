@@ -6,6 +6,16 @@
 //! and accumulates per-round metrics so that the experiments can report the
 //! "number of MapReduce iterations" series of Figures 1–3 and the
 //! per-iteration solution values of Figure 5.
+//!
+//! The inter-round state of a driven job lives in a
+//! [`RoundState`](crate::flow::RoundState): in its default disk-backed
+//! mode, the records surviving between rounds sit in the flow's side
+//! store as run files (with retirees tombstoned away at read time), so
+//! the driver's loop never requires the full record set in RAM between
+//! rounds.  Jobs mark round boundaries with
+//! [`FlowContext::mark_round`](crate::flow::FlowContext::mark_round) so
+//! a [`FlowReport`](crate::flow::FlowReport) can attribute jobs to rounds
+//! without aliasing.
 
 use crate::metrics::JobMetrics;
 
@@ -192,6 +202,51 @@ mod tests {
         assert_eq!(summary.jobs, 0);
         assert!(summary.job_metrics.is_empty());
         assert_eq!(summary.total_shuffled_records(), 0);
+    }
+
+    #[test]
+    fn driver_runs_a_disk_backed_round_state_job_out_of_core() {
+        use crate::config::JobConfig;
+        use crate::flow::{FlowContext, RoundState, RoundStateMode};
+
+        // An iterative job whose only inter-round state is a disk-backed
+        // RoundState: counters drain by one per round and retire at zero.
+        struct Drain {
+            state: RoundState<u32, u64>,
+            flow: FlowContext,
+        }
+        impl IterativeJob for Drain {
+            fn run_round(&mut self, _round: usize) -> (RoundOutcome, Vec<JobMetrics>) {
+                self.flow.mark_round();
+                let output: Vec<(u32, u64)> = self
+                    .state
+                    .dataset()
+                    .collect()
+                    .into_iter()
+                    .map(|(k, c)| (k, c - 1))
+                    .collect();
+                self.state.absorb(output, |_, c| *c > 0);
+                let outcome = if self.state.is_empty() {
+                    RoundOutcome::Converged
+                } else {
+                    RoundOutcome::Continue
+                };
+                (outcome, Vec::new())
+            }
+        }
+
+        let flow = FlowContext::new(JobConfig::named("driver-rs"));
+        let mut state = flow.round_state("drain", RoundStateMode::DiskBacked);
+        state.seed(vec![(1u32, 2u64), (2, 4), (3, 1)]);
+        let mut job = Drain {
+            state,
+            flow: flow.clone(),
+        };
+        let summary = IterativeDriver::new(100).run(&mut job);
+        assert!(summary.converged);
+        assert_eq!(summary.rounds, 4, "the deepest counter holds 4 rounds");
+        assert_eq!(flow.report().num_rounds(), 4);
+        assert!(job.state.max_state_bytes() > 0);
     }
 
     #[test]

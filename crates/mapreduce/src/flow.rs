@@ -67,6 +67,8 @@
 //! ```
 
 use std::any::Any;
+use std::collections::HashSet;
+use std::marker::PhantomData;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -157,13 +159,17 @@ pub struct FlowReport {
     /// Accumulated totals over all jobs.
     pub totals: JobMetrics,
     /// Persistence errors the flow swallowed to keep a pipeline running
-    /// (e.g. [`FlowContext::load`] on a type-mismatched path).  A healthy
-    /// run has none; anything here is a pipeline bug surfacing.
+    /// (e.g. [`FlowContext::load_path`] on a type-mismatched path).  A
+    /// healthy run has none; anything here is a pipeline bug surfacing.
     pub errors: Vec<FlowError>,
+    /// Job indices at which iterative rounds started (recorded by
+    /// [`FlowContext::mark_round`]), in order.  Empty for non-iterative
+    /// flows.
+    pub round_starts: Vec<usize>,
 }
 
 impl FlowReport {
-    fn new(jobs: Vec<JobMetrics>, errors: Vec<FlowError>) -> Self {
+    fn new(jobs: Vec<JobMetrics>, errors: Vec<FlowError>, round_starts: Vec<usize>) -> Self {
         let mut totals = JobMetrics {
             job_name: "totals".to_string(),
             ..JobMetrics::default()
@@ -175,6 +181,7 @@ impl FlowReport {
             jobs,
             totals,
             errors,
+            round_starts,
         }
     }
 
@@ -193,6 +200,43 @@ impl FlowReport {
     pub fn job_names(&self) -> Vec<&str> {
         self.jobs.iter().map(|m| m.job_name.as_str()).collect()
     }
+
+    /// The metrics of every job executed at or after job index `start`
+    /// (mirrors [`FlowContext::jobs_from`] on a snapshot).
+    pub fn jobs_from(&self, start: usize) -> &[JobMetrics] {
+        self.jobs.get(start..).unwrap_or_default()
+    }
+
+    /// Number of iterative rounds the flow recorded (see
+    /// [`FlowContext::mark_round`]).
+    pub fn num_rounds(&self) -> usize {
+        self.round_starts.len()
+    }
+
+    /// The metrics of exactly the jobs of round `round` — a *round-local*
+    /// view: jobs of other rounds (and pre-round jobs like a similarity
+    /// join sharing the flow) never alias into it.  Empty when the round
+    /// was never recorded.
+    pub fn round_jobs(&self, round: usize) -> &[JobMetrics] {
+        let Some(&start) = self.round_starts.get(round) else {
+            return &[];
+        };
+        let end = self
+            .round_starts
+            .get(round + 1)
+            .copied()
+            .unwrap_or(self.jobs.len());
+        self.jobs.get(start..end).unwrap_or_default()
+    }
+
+    /// The job names of round `round`, round-local like
+    /// [`FlowReport::round_jobs`].
+    pub fn round_job_names(&self, round: usize) -> Vec<&str> {
+        self.round_jobs(round)
+            .iter()
+            .map(|m| m.job_name.as_str())
+            .collect()
+    }
 }
 
 struct FlowInner {
@@ -201,6 +245,8 @@ struct FlowInner {
     store: FlowStore,
     errors: Mutex<Vec<FlowError>>,
     anonymous_jobs: AtomicUsize,
+    /// Job indices at which iterative rounds started.
+    round_starts: Mutex<Vec<usize>>,
     /// Lazily created side-data store (see [`FlowContext::side_store`]).
     side: Mutex<Option<DatasetStore>>,
 }
@@ -270,6 +316,7 @@ impl FlowContext {
                 store,
                 errors: Mutex::new(Vec::new()),
                 anonymous_jobs: AtomicUsize::new(0),
+                round_starts: Mutex::new(Vec::new()),
                 side: Mutex::new(None),
             }),
         }
@@ -299,12 +346,23 @@ impl FlowContext {
         jobs.get(start..).unwrap_or_default().to_vec()
     }
 
+    /// Marks the start of an iterative round: every job executed from now
+    /// until the next mark belongs to this round.  The recorded boundaries
+    /// make [`FlowReport::round_jobs`] / [`FlowReport::round_job_names`]
+    /// round-local, so per-round metrics never alias across rounds (or
+    /// into pre-round jobs of a shared flow).
+    pub fn mark_round(&self) {
+        let jobs = self.inner.jobs.lock().len();
+        self.inner.round_starts.lock().push(jobs);
+    }
+
     /// Snapshot of every executed job plus accumulated totals and any
     /// swallowed persistence errors.
     pub fn report(&self) -> FlowReport {
         FlowReport::new(
             self.inner.jobs.lock().clone(),
             self.inner.errors.lock().clone(),
+            self.inner.round_starts.lock().clone(),
         )
     }
 
@@ -317,16 +375,16 @@ impl FlowContext {
         }
     }
 
-    /// Creates a dataset that lazily reads the records persisted at `path`
-    /// (see [`Dataset::persist`]).  Reading a missing path yields an empty
-    /// dataset, mirroring [`KvStore::read`] on a missing dataset — but a
-    /// path persisted with a **different record type** is a pipeline bug:
-    /// the typed [`FlowError`] is logged and recorded in the flow's
-    /// [`FlowReport::errors`] (the dataset still materializes empty so the
-    /// chain keeps running).  Callers that want the error in hand use
-    /// [`FlowContext::read_persisted`].
-    pub fn load<K: Key, V: Value>(&self, path: &str) -> Dataset<K, V> {
-        let path = path.to_string();
+    /// Creates a dataset that lazily reads the records behind a typed
+    /// [`PersistedDataset`] handle (see [`Dataset::persist`]).  Because
+    /// the handle carries the record type the dataset was persisted with,
+    /// a type mismatch is unrepresentable — the runtime
+    /// [`FlowError::TypeMismatch`] of the stringly-typed
+    /// [`FlowContext::load_path`] cannot happen here.  A handle whose
+    /// backing dataset has been removed from the store reads as empty,
+    /// mirroring a missing path.
+    pub fn load<K: Key, V: Value>(&self, persisted: &PersistedDataset<K, V>) -> Dataset<K, V> {
+        let path = persisted.path().to_string();
         Dataset {
             ctx: self.clone(),
             thunk: Box::new(move |ctx| match ctx.read_persisted(&path) {
@@ -339,6 +397,27 @@ impl FlowContext {
                 }
             }),
         }
+    }
+
+    /// Stringly-typed variant of [`FlowContext::load`]: reads whatever is
+    /// persisted at `path`, with the record type re-asserted by the caller.
+    /// Reading a missing path yields an empty dataset, mirroring
+    /// [`KvStore::read`] on a missing dataset — but a path persisted with a
+    /// **different record type** is a pipeline bug: the typed [`FlowError`]
+    /// is logged and recorded in the flow's [`FlowReport::errors`] (the
+    /// dataset still materializes empty so the chain keeps running).
+    /// Callers that want the error in hand use
+    /// [`FlowContext::read_persisted`].
+    #[deprecated(
+        note = "use the typed handle returned by `Dataset::persist` with `FlowContext::load`; \
+                this path-based shim remains for one release"
+    )]
+    pub fn load_path<K: Key, V: Value>(&self, path: &str) -> Dataset<K, V> {
+        self.load(&PersistedDataset {
+            path: path.to_string(),
+            records: 0,
+            _marker: PhantomData,
+        })
     }
 
     /// Reads a persisted dataset back out of the flow's store, with typed
@@ -418,6 +497,37 @@ impl FlowContext {
         store
     }
 
+    /// Creates a [`RoundState`] for an iterative computation driven
+    /// through this flow: the record set that survives from one round to
+    /// the next.  In [`RoundStateMode::DiskBacked`] mode (the default of
+    /// the matching algorithms) the records live in the flow's
+    /// [`FlowContext::side_store`] as run files between rounds, with
+    /// retired records dropped by a tombstone-aware reader at load time;
+    /// [`RoundStateMode::InMemory`] keeps the reference `Vec` semantics.
+    /// Both modes yield byte-identical round inputs.
+    pub fn round_state<K: Key, V: Value>(
+        &self,
+        name: impl Into<String>,
+        mode: RoundStateMode,
+    ) -> RoundState<K, V> {
+        static ROUND_STATE_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let seq = ROUND_STATE_SEQ.fetch_add(1, Ordering::Relaxed);
+        RoundState {
+            ctx: self.clone(),
+            name: format!("rs{seq}-{}", name.into()),
+            round: 0,
+            max_state_bytes: 0,
+            slot: match mode {
+                RoundStateMode::InMemory => RoundSlot::Memory(Vec::new()),
+                RoundStateMode::DiskBacked => RoundSlot::Disk {
+                    file: None,
+                    live: 0,
+                    tombstones: Arc::new(HashSet::new()),
+                },
+            },
+        }
+    }
+
     /// The paths of every persisted dataset, sorted.
     pub fn persisted_paths(&self) -> Vec<String> {
         match &self.inner.store {
@@ -458,6 +568,289 @@ impl FlowContext {
                 let n = self.inner.anonymous_jobs.fetch_add(1, Ordering::Relaxed);
                 format!("{}-job-{n}", self.inner.config.name)
             }
+        }
+    }
+}
+
+/// A typed handle to a dataset persisted in a flow's store, returned by
+/// [`Dataset::persist`] and accepted by [`FlowContext::load`].
+///
+/// The handle remembers the record type `(K, V)` the dataset was written
+/// with, so loading it back cannot mismatch types — the stringly-typed
+/// [`FlowContext::load_path`] runtime error is unrepresentable through
+/// this API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistedDataset<K, V> {
+    path: String,
+    records: usize,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: Key, V: Value> PersistedDataset<K, V> {
+    /// The path the dataset is persisted under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Number of records persisted.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// Whether the persisted dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+}
+
+/// Where the surviving records of an iterative computation live between
+/// rounds (see [`FlowContext::round_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundStateMode {
+    /// Survivors stay in a `Vec` in RAM between rounds — the reference
+    /// semantics the disk-backed mode is locked against.
+    InMemory,
+    /// Round outputs are written to run files in the flow's side store and
+    /// streamed back as the next round's input; retired records are
+    /// tombstoned and skipped at read time instead of being rewritten.
+    /// No round's full record set is retained in RAM between rounds.
+    #[default]
+    DiskBacked,
+}
+
+/// The inter-round state of an iterative job chain: the `(K, V)` records
+/// that survive from one round to the next.
+///
+/// The contract both storage modes satisfy identically:
+///
+/// * [`RoundState::seed`] installs the round-0 records;
+/// * [`RoundState::dataset_with`] exposes the current live records — in
+///   seeding order, minus retirees — as a lazy [`Dataset`] source;
+/// * [`RoundState::absorb`] takes a round's output (whose keys must be
+///   unique, as reducer outputs keyed by node are), calls `keep` on every
+///   record *in output order*, and retires the records `keep` rejects.
+///
+/// In [`RoundStateMode::DiskBacked`] mode the absorbed output is written
+/// to a run file in the flow's [`FlowContext::side_store`] exactly as the
+/// round emitted it; retirement is applied by a tombstone-aware
+/// [`smr_storage::RunReader`] while streaming the file back, so the
+/// survivor list is never rewritten wholesale.  Round files are removed as
+/// soon as they are superseded (and on drop).
+pub struct RoundState<K: Key, V: Value> {
+    ctx: FlowContext,
+    name: String,
+    round: usize,
+    max_state_bytes: u64,
+    slot: RoundSlot<K, V>,
+}
+
+enum RoundSlot<K, V> {
+    Memory(Records<K, V>),
+    Disk {
+        /// Side-store dataset holding the latest absorbed round output
+        /// (`None` before seeding).
+        file: Option<String>,
+        /// Records in the file minus tombstoned ones.
+        live: usize,
+        /// Keys retired from the current file.
+        tombstones: Arc<HashSet<K>>,
+    },
+}
+
+impl<K: Key, V: Value> std::fmt::Debug for RoundState<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundState")
+            .field("name", &self.name)
+            .field("round", &self.round)
+            .field("live", &self.len())
+            .finish()
+    }
+}
+
+impl<K: Key, V: Value> RoundState<K, V> {
+    /// Installs the round-0 records, replacing any current state.
+    pub fn seed(&mut self, records: Records<K, V>) {
+        match &mut self.slot {
+            RoundSlot::Memory(current) => *current = records,
+            RoundSlot::Disk { .. } => {
+                let file = self.file_name(self.round);
+                let live = records.len();
+                self.write_round_file(&file, &records);
+                self.replace_disk_slot(Some(file), live, HashSet::new());
+            }
+        }
+    }
+
+    /// Number of live (non-retired) records.
+    pub fn len(&self) -> usize {
+        match &self.slot {
+            RoundSlot::Memory(records) => records.len(),
+            RoundSlot::Disk { live, .. } => *live,
+        }
+    }
+
+    /// Whether no live records remain — the usual convergence signal.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rounds absorbed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Largest on-disk round file this state has held, in bytes — what the
+    /// in-memory path would have kept resident between rounds.  Zero in
+    /// [`RoundStateMode::InMemory`] mode.
+    pub fn max_state_bytes(&self) -> u64 {
+        self.max_state_bytes
+    }
+
+    /// The current live records as a lazy [`Dataset`] source, projected
+    /// through `proj` record by record (e.g. unwrapping a round-output
+    /// envelope into the next round's mapper input).  Live records arrive
+    /// in their original output order; in disk-backed mode they are
+    /// streamed from the round file with retirees skipped, never
+    /// materializing the raw file contents as a whole.
+    pub fn dataset_with<K2, V2, F>(&self, proj: F) -> Dataset<K2, V2>
+    where
+        K2: Key,
+        V2: Value,
+        F: Fn(K, V) -> (K2, V2) + 'static,
+    {
+        match &self.slot {
+            RoundSlot::Memory(records) => {
+                let records = records.clone();
+                Dataset {
+                    ctx: self.ctx.clone(),
+                    thunk: Box::new(move |_| {
+                        records.into_iter().map(|(k, v)| proj(k, v)).collect()
+                    }),
+                }
+            }
+            RoundSlot::Disk {
+                file,
+                live,
+                tombstones,
+            } => {
+                let file = file.clone();
+                let expect = *live;
+                let tombstones = Arc::clone(tombstones);
+                let store = self.ctx.side_store();
+                Dataset {
+                    ctx: self.ctx.clone(),
+                    thunk: Box::new(move |_| {
+                        let Some(file) = file else {
+                            return Vec::new();
+                        };
+                        let reader = store
+                            .open_reader::<(K, V)>(&file)
+                            .unwrap_or_else(|e| panic!("failed to open round state `{file}`: {e}"));
+                        let mut records = Vec::with_capacity(expect);
+                        let mut retained =
+                            reader.retained(move |(k, _): &(K, V)| !tombstones.contains(k));
+                        while let Some((k, v)) = retained.next_record().unwrap_or_else(|e| {
+                            panic!("failed to stream round state `{file}`: {e}")
+                        }) {
+                            records.push(proj(k, v));
+                        }
+                        records
+                    }),
+                }
+            }
+        }
+    }
+
+    /// The current live records, unprojected.
+    pub fn dataset(&self) -> Dataset<K, V> {
+        self.dataset_with(|k, v| (k, v))
+    }
+
+    /// Absorbs a round's output as the next round's state.  `keep` is
+    /// called once per output record, in output order (side effects like
+    /// collecting matched edges are deterministic); records it rejects are
+    /// retired.  Keys must be unique within `output` — true for reducer
+    /// outputs keyed by node — since retirement is tracked per key.
+    pub fn absorb<F>(&mut self, output: Records<K, V>, mut keep: F)
+    where
+        F: FnMut(&K, &V) -> bool,
+    {
+        self.round += 1;
+        match &mut self.slot {
+            RoundSlot::Memory(current) => {
+                let mut survivors = Vec::with_capacity(output.len());
+                for (k, v) in output {
+                    if keep(&k, &v) {
+                        survivors.push((k, v));
+                    }
+                }
+                *current = survivors;
+            }
+            RoundSlot::Disk { .. } => {
+                let mut tombstones = HashSet::new();
+                for (k, v) in &output {
+                    if !keep(k, v) {
+                        tombstones.insert(k.clone());
+                    }
+                }
+                let live = output.len() - tombstones.len();
+                let file = self.file_name(self.round);
+                self.write_round_file(&file, &output);
+                self.replace_disk_slot(Some(file), live, tombstones);
+            }
+        }
+    }
+
+    /// Drops the state (and its disk file) explicitly.
+    pub fn clear(&mut self) {
+        match &mut self.slot {
+            RoundSlot::Memory(records) => records.clear(),
+            RoundSlot::Disk { .. } => self.replace_disk_slot(None, 0, HashSet::new()),
+        }
+    }
+
+    fn file_name(&self, round: usize) -> String {
+        format!("{}-r{round}", self.name)
+    }
+
+    fn write_round_file(&mut self, file: &str, records: &Records<K, V>) {
+        let store = self.ctx.side_store();
+        // A failed round-state write is an environment failure (disk
+        // full, permissions), like a failed persist.
+        store
+            .write(file, records)
+            .unwrap_or_else(|e| panic!("failed to write round state `{file}`: {e}"));
+        self.max_state_bytes = self.max_state_bytes.max(store.file_size(file));
+    }
+
+    /// Installs a new disk slot, removing the superseded round file.
+    fn replace_disk_slot(&mut self, file: Option<String>, live: usize, tombstones: HashSet<K>) {
+        let RoundSlot::Disk {
+            file: old_file,
+            live: old_live,
+            tombstones: old_tombstones,
+        } = &mut self.slot
+        else {
+            unreachable!("replace_disk_slot on an in-memory slot");
+        };
+        if let Some(old) = old_file.take() {
+            if file.as_deref() != Some(old.as_str()) {
+                self.ctx.side_store().remove(&old);
+            }
+        }
+        *old_file = file;
+        *old_live = live;
+        *old_tombstones = Arc::new(tombstones);
+    }
+}
+
+impl<K: Key, V: Value> Drop for RoundState<K, V> {
+    fn drop(&mut self) {
+        if let RoundSlot::Disk {
+            file: Some(file), ..
+        } = &self.slot
+        {
+            self.ctx.side_store().remove(file);
         }
     }
 }
@@ -544,12 +937,28 @@ impl<K: Key, V: Value> Dataset<K, V> {
     }
 
     /// Terminal: executes the chain and persists the final records in the
-    /// flow's [`KvStore`] under `path` (readable again with
-    /// [`FlowContext::load`]).  Returns the number of records persisted.
-    pub fn persist(self, path: &str) -> usize {
+    /// flow's store under `path`.  Returns a typed [`PersistedDataset`]
+    /// handle that [`FlowContext::load`] reads back without any chance of
+    /// a record-type mismatch.
+    pub fn persist(self, path: &str) -> PersistedDataset<K, V> {
         let Dataset { ctx, thunk } = self;
         let records = thunk(&ctx);
-        ctx.persist_records(path, records)
+        let count = ctx.persist_records(path, records);
+        PersistedDataset {
+            path: path.to_string(),
+            records: count,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Terminal: like [`Dataset::persist`], but returns only the record
+    /// count, discarding the typed handle.
+    #[deprecated(
+        note = "use `Dataset::persist`, which returns a typed `PersistedDataset` handle; \
+                this count-only shim remains for one release"
+    )]
+    pub fn persist_path(self, path: &str) -> usize {
+        self.persist(path).len()
     }
 }
 
@@ -873,25 +1282,28 @@ mod tests {
 
     /// The persist/load contract is identical for both store backends.
     fn check_persist_and_load(flow: FlowContext) {
-        let written = flow
+        let counts = flow
             .dataset(input())
             .map_with(SplitWords)
             .reduce_with(SumCounts)
             .persist("iteration-0/counts");
-        assert!(written > 0);
+        assert!(!counts.is_empty());
+        assert_eq!(counts.path(), "iteration-0/counts");
         assert_eq!(
             flow.persisted_paths(),
             vec!["iteration-0/counts".to_string()]
         );
 
-        let reloaded: Vec<(String, u64)> = flow.load("iteration-0/counts").collect();
-        assert_eq!(reloaded.len(), written);
+        // The typed handle reads back without any type re-assertion.
+        let reloaded = flow.load(&counts).collect();
+        assert_eq!(reloaded.len(), counts.len());
         let the = reloaded.iter().find(|(w, _)| w == "the").expect("the");
         assert_eq!(the.1, 3);
 
         // Missing paths read as empty (like an empty part-file directory)
         // and are NOT recorded as errors…
-        let missing: Vec<(String, u64)> = flow.load("nope").collect();
+        #[allow(deprecated)]
+        let missing: Vec<(String, u64)> = flow.load_path("nope").collect();
         assert!(missing.is_empty());
         assert!(flow.report().errors.is_empty());
         assert!(matches!(
@@ -899,13 +1311,15 @@ mod tests {
             Err(FlowError::MissingDataset { .. })
         ));
 
-        // …but a type-mismatched load is a surfaced pipeline bug: typed
-        // error from read_persisted, recorded in the report by load.
+        // …but a type-mismatched path-based load is a surfaced pipeline
+        // bug: typed error from read_persisted, recorded in the report by
+        // load_path.  (The typed-handle `load` cannot express this.)
         assert!(matches!(
             flow.read_persisted::<u64, u64>("iteration-0/counts"),
             Err(FlowError::TypeMismatch { .. })
         ));
-        let wrong_type: Vec<(u64, u64)> = flow.load("iteration-0/counts").collect();
+        #[allow(deprecated)]
+        let wrong_type: Vec<(u64, u64)> = flow.load_path("iteration-0/counts").collect();
         assert!(wrong_type.is_empty());
         let errors = flow.report().errors;
         assert_eq!(errors.len(), 1, "{errors:?}");
@@ -1069,6 +1483,117 @@ mod tests {
                 .collect();
         }
         assert_eq!(flow.report().job_names(), vec!["anon-job-0", "anon-job-1"]);
+    }
+
+    #[test]
+    fn persist_path_shim_returns_the_record_count() {
+        let flow = FlowContext::new(config());
+        #[allow(deprecated)]
+        let written = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .reduce_with(SumCounts)
+            .persist_path("counts");
+        assert_eq!(written, 6, "six distinct words");
+    }
+
+    #[test]
+    fn mark_round_gives_round_local_job_views() {
+        let flow = FlowContext::new(config());
+        // A pre-round job, like a similarity join sharing the flow.
+        let _ = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .named("pre")
+            .reduce_with(SumCounts)
+            .collect();
+        for round in 0..2 {
+            flow.mark_round();
+            let _ = flow
+                .dataset(input())
+                .map_with(SplitWords)
+                .named(format!("round-{round}"))
+                .reduce_with(SumCounts)
+                .collect();
+        }
+        let report = flow.report();
+        assert_eq!(report.num_rounds(), 2);
+        assert_eq!(report.round_starts, vec![1, 2]);
+        // Round-local: neither the pre-round job nor the other round's job
+        // aliases into a round's view.
+        assert_eq!(report.round_job_names(0), vec!["flow-test-round-0"]);
+        assert_eq!(report.round_job_names(1), vec!["flow-test-round-1"]);
+        assert!(report.round_jobs(2).is_empty());
+        // The job-index slice mirrors FlowContext::jobs_from.
+        assert_eq!(report.jobs_from(1).len(), 2);
+        assert_eq!(report.jobs_from(99).len(), 0);
+    }
+
+    /// Runs the same two-round retire-and-continue workload through both
+    /// round-state modes and returns what each round's job consumed.
+    fn drive_round_state(mode: RoundStateMode) -> (Vec<Records<String, u64>>, usize, u64) {
+        let flow = FlowContext::new(config());
+        let mut state: RoundState<String, u64> = flow.round_state("words", mode);
+        let seed: Records<String, u64> = flow
+            .dataset(input())
+            .map_with(SplitWords)
+            .reduce_with(SumCounts)
+            .collect();
+        state.seed(seed);
+
+        let mut inputs = Vec::new();
+        while !state.is_empty() {
+            // The "round job": decrement each count, doubling the key
+            // through the projection to prove it is applied.
+            let round_input: Records<String, u64> =
+                state.dataset_with(|w, c| (format!("{w}!"), c)).collect();
+            inputs.push(round_input.clone());
+            let output: Records<String, u64> = round_input
+                .into_iter()
+                .map(|(w, c)| (w.trim_end_matches('!').to_string(), c - 1))
+                .collect();
+            // Retire words whose count reached zero — the tombstone path.
+            state.absorb(output, |_, c| *c > 0);
+        }
+        (inputs, state.round(), state.max_state_bytes())
+    }
+
+    #[test]
+    fn disk_backed_round_state_is_byte_identical_to_in_memory() {
+        let (memory_inputs, memory_rounds, memory_bytes) =
+            drive_round_state(RoundStateMode::InMemory);
+        let (disk_inputs, disk_rounds, disk_bytes) = drive_round_state(RoundStateMode::DiskBacked);
+        assert_eq!(memory_inputs, disk_inputs, "round inputs must not differ");
+        assert_eq!(memory_rounds, disk_rounds);
+        assert!(memory_inputs.len() >= 2, "the workload must iterate");
+        assert_eq!(memory_bytes, 0, "in-memory mode holds no disk state");
+        assert!(disk_bytes > 0, "disk mode must report its round files");
+    }
+
+    #[test]
+    fn disk_round_state_keeps_one_file_and_cleans_up() {
+        let flow = FlowContext::new(config());
+        let side = flow.side_store();
+        let mut state: RoundState<u32, u64> = flow.round_state("s", RoundStateMode::DiskBacked);
+        state.seed(vec![(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(side.paths().len(), 1, "seed writes one round file");
+        state.absorb(vec![(1, 11), (2, 21), (3, 31)], |k, _| *k != 2);
+        assert_eq!(
+            side.paths().len(),
+            1,
+            "the superseded round file is removed"
+        );
+        assert_eq!(state.len(), 2, "one record was tombstoned");
+        // The tombstoned record is dropped at read time, order preserved.
+        assert_eq!(state.dataset().collect(), vec![(1, 11), (3, 31)]);
+        let file = side.paths()[0].clone();
+        assert_eq!(
+            side.record_count(&file),
+            3,
+            "the file keeps every output record; retirement is read-side"
+        );
+        drop(state);
+        assert!(side.paths().is_empty(), "drop removes the round file");
     }
 
     #[test]

@@ -150,7 +150,9 @@ pub use config::JobConfig;
 pub use counters::{Counter, Counters};
 pub use driver::{IterativeDriver, IterativeJob, RoundOutcome, RunSummary};
 pub use executor::{Job, JobResult};
-pub use flow::{Dataset, FlowContext, FlowError, FlowReport};
+pub use flow::{
+    Dataset, FlowContext, FlowError, FlowReport, PersistedDataset, RoundState, RoundStateMode,
+};
 pub use metrics::{JobMetrics, PhaseTimings};
 pub use partition::{CombiningPartitionBuffer, HashPartitioner, Partitioner};
 pub use shuffle::merge_runs;
@@ -164,7 +166,9 @@ pub mod prelude {
     pub use crate::counters::Counters;
     pub use crate::driver::{IterativeDriver, IterativeJob, RoundOutcome, RunSummary};
     pub use crate::executor::{Job, JobResult};
-    pub use crate::flow::{Dataset, FlowContext, FlowError, FlowReport};
+    pub use crate::flow::{
+        Dataset, FlowContext, FlowError, FlowReport, PersistedDataset, RoundState, RoundStateMode,
+    };
     pub use crate::metrics::JobMetrics;
     pub use crate::partition::{HashPartitioner, Partitioner};
     pub use crate::store::{KvStore, RecordStore};

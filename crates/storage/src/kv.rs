@@ -160,6 +160,14 @@ impl DatasetStore {
             .unwrap_or(0)
     }
 
+    /// On-disk size of the dataset at `name` in bytes (header included).
+    /// Zero when the dataset is missing.
+    pub fn file_size(&self, name: &str) -> u64 {
+        std::fs::metadata(self.file_for(name))
+            .map(|m| m.len())
+            .unwrap_or(0)
+    }
+
     /// Whether a dataset exists at `name`.
     pub fn exists(&self, name: &str) -> bool {
         self.file_for(name).exists()

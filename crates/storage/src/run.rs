@@ -392,6 +392,20 @@ impl<R: Codec> RunReader<R> {
         Ok(Some(record))
     }
 
+    /// Wraps the reader in a retirement-aware view: records the `live`
+    /// predicate rejects are skipped (and counted) instead of yielded.
+    ///
+    /// This is how iterative consumers drop retired records without
+    /// rewriting the run: the file keeps every record the producing round
+    /// emitted, and retirement is applied while streaming it back.
+    pub fn retained<F: FnMut(&R) -> bool>(self, live: F) -> RetainedRecords<R, F> {
+        RetainedRecords {
+            reader: self,
+            live,
+            skipped: 0,
+        }
+    }
+
     /// Reads the remaining records into a vector.
     pub fn read_to_end(mut self) -> Result<Vec<R>, StorageError> {
         let remaining = usize::try_from(self.expected - self.read).unwrap_or(usize::MAX);
@@ -426,6 +440,48 @@ impl<R: Codec> Iterator for RunReader<R> {
     fn size_hint(&self) -> (usize, Option<usize>) {
         let remaining = usize::try_from(self.expected.saturating_sub(self.read)).unwrap_or(0);
         (remaining, Some(remaining))
+    }
+}
+
+/// A streaming, retirement-aware view over a run file: records rejected by
+/// the `live` predicate are decoded (the frame must still be consumed) but
+/// never yielded.  Built by [`RunReader::retained`].
+#[derive(Debug)]
+pub struct RetainedRecords<R, F> {
+    reader: RunReader<R>,
+    live: F,
+    skipped: u64,
+}
+
+impl<R: Codec, F: FnMut(&R) -> bool> RetainedRecords<R, F> {
+    /// Records skipped as retired so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Reads the next live record; `Ok(None)` at a clean end of file.
+    pub fn next_record(&mut self) -> Result<Option<R>, StorageError> {
+        while let Some(record) = self.reader.next_record()? {
+            if (self.live)(&record) {
+                return Ok(Some(record));
+            }
+            self.skipped += 1;
+        }
+        Ok(None)
+    }
+}
+
+impl<R: Codec, F: FnMut(&R) -> bool> Iterator for RetainedRecords<R, F> {
+    type Item = Result<R, StorageError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Every remaining record may yet be retired: only the upper bound
+        // of the underlying reader survives.
+        (0, self.reader.size_hint().1)
     }
 }
 
@@ -468,6 +524,43 @@ mod tests {
         reader.check_type().unwrap();
         assert_eq!(reader.records(), 100);
         assert_eq!(reader.read_to_end().unwrap(), records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn retained_skips_retired_records_and_counts_them() {
+        let path = temp_path("retained.run");
+        let mut writer: RunWriter<(u32, String)> = RunWriter::create(&path).unwrap();
+        for i in 0..20u32 {
+            writer.push(&(i, format!("v{i}"))).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let reader: RunReader<(u32, String)> = RunReader::open(&path).unwrap();
+        let mut retained = reader.retained(|(k, _)| k % 3 != 0);
+        let live: Vec<(u32, String)> = retained.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(
+            live.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            (0..20u32).filter(|k| k % 3 != 0).collect::<Vec<_>>(),
+            "live records keep the file order"
+        );
+        assert_eq!(retained.skipped(), 7, "0, 3, …, 18 are retired");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn retained_with_an_all_dead_predicate_is_empty_but_clean() {
+        let path = temp_path("retained-empty.run");
+        let mut writer: RunWriter<u64> = RunWriter::create(&path).unwrap();
+        for i in 0..5u64 {
+            writer.push(&i).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let reader: RunReader<u64> = RunReader::open(&path).unwrap();
+        let mut retained = reader.retained(|_| false);
+        assert!(retained.next_record().unwrap().is_none());
+        assert_eq!(retained.skipped(), 5);
         std::fs::remove_file(&path).unwrap();
     }
 

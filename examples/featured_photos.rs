@@ -19,7 +19,7 @@ use social_content_matching::datagen::FlickrGenerator;
 use social_content_matching::mapreduce::{FlowContext, JobConfig};
 use social_content_matching::matching::runner::RunnerConfig;
 use social_content_matching::matching::{
-    run_algorithm_with_flow, AlgorithmKind, GreedyMrConfig, StackMrConfig,
+    run_algorithm, AlgorithmKind, GreedyMrConfig, StackMrConfig,
 };
 use social_content_matching::text::TokenizerConfig;
 use social_content_matching::MatchingPipeline;
@@ -75,7 +75,7 @@ fn main() {
     .into_iter()
     .map(|algorithm| {
         let flow = FlowContext::new(JobConfig::named(algorithm.name().to_lowercase()));
-        let run = run_algorithm_with_flow(
+        let run = run_algorithm(
             algorithm,
             &candidate.graph,
             &candidate.capacities,

@@ -6,7 +6,7 @@
 //!
 //! The full run goes through the [`MatchingPipeline`] builder; the
 //! early-stopped run reuses its candidate graph and reruns only the
-//! matching stage through `GreedyMr::run_with_flow` with a round cap.
+//! matching stage through the flow-first `GreedyMr::run` with a round cap.
 //!
 //! ```text
 //! cargo run --release --example question_routing
@@ -74,7 +74,7 @@ fn main() {
     // background" means in the paper.  The candidate graph is already
     // built, so only the matching stage reruns (with its own flow).
     let budget = (full.rounds / 3).max(1);
-    let early = GreedyMr::new(GreedyMrConfig::default().with_max_rounds(budget)).run_with_flow(
+    let early = GreedyMr::new(GreedyMrConfig::default().with_max_rounds(budget)).run(
         &run.graph,
         &run.capacities,
         &FlowContext::named("greedy-early"),

@@ -6,6 +6,7 @@
 //! ```
 
 use social_content_matching::graph::{Capacities, GraphBuilder};
+use social_content_matching::mapreduce::FlowContext;
 use social_content_matching::matching::{
     greedy_matching, optimal_matching, GreedyMr, GreedyMrConfig, StackMr, StackMrConfig,
 };
@@ -55,8 +56,10 @@ fn main() {
     let greedy = greedy_matching(&graph, &caps);
     println!("centralized greedy : value {:.2}", greedy.value(&graph));
 
-    // GreedyMR: the MapReduce greedy.
-    let greedy_mr = GreedyMr::new(GreedyMrConfig::default()).run(&graph, &caps);
+    // GreedyMR: the MapReduce greedy.  All jobs of a run go through one
+    // FlowContext; inter-round state lives in its disk-backed side store.
+    let greedy_mr =
+        GreedyMr::new(GreedyMrConfig::default()).run(&graph, &caps, &FlowContext::named("greedy"));
     println!(
         "GreedyMR           : value {:.2}  ({} MapReduce rounds, feasible: {})",
         greedy_mr.value(&graph),
@@ -65,7 +68,8 @@ fn main() {
     );
 
     // StackMR: the primal-dual stack algorithm (ε = 1).
-    let stack_mr = StackMr::new(StackMrConfig::default()).run(&graph, &caps);
+    let stack_mr =
+        StackMr::new(StackMrConfig::default()).run(&graph, &caps, &FlowContext::named("stack"));
     println!(
         "StackMR            : value {:.2}  ({} MapReduce jobs, avg violation {:.2}%)",
         stack_mr.value(&graph),

@@ -36,9 +36,7 @@ use smr_graph::{BipartiteGraph, Capacities};
 use smr_mapreduce::flow::{FlowContext, FlowReport};
 use smr_mapreduce::JobConfig;
 use smr_matching::runner::RunnerConfig;
-use smr_matching::{
-    run_algorithm_with_flow, AlgorithmKind, GreedyMrConfig, MatchingRun, StackMrConfig,
-};
+use smr_matching::{run_algorithm, AlgorithmKind, GreedyMrConfig, MatchingRun, StackMrConfig};
 use smr_simjoin::mapreduce_similarity_join_flow;
 use smr_text::{Corpus, TokenizerConfig};
 
@@ -228,7 +226,7 @@ impl MatchingPipeline {
         };
         let algorithm = self.algorithm;
         let candidate = self.join_stage(&flow);
-        let matching = run_algorithm_with_flow(
+        let matching = run_algorithm(
             algorithm,
             &candidate.graph,
             &candidate.capacities,

@@ -3,7 +3,7 @@
 
 use social_content_matching::datagen::{AnswersGenerator, DatasetPreset, FlickrGenerator};
 use social_content_matching::graph::Capacities;
-use social_content_matching::mapreduce::JobConfig;
+use social_content_matching::mapreduce::{FlowContext, JobConfig};
 use social_content_matching::matching::{
     greedy_matching, optimal_matching, GreedyMr, GreedyMrConfig, StackMr, StackMrConfig,
 };
@@ -47,8 +47,11 @@ fn flickr_pipeline_produces_a_matchable_graph() {
     );
     assert!(caps.matches(&graph));
 
-    let run = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("e2e-greedy")))
-        .run(&graph, &caps);
+    let run = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("e2e-greedy"))).run(
+        &graph,
+        &caps,
+        &FlowContext::new(quick_job("e2e-greedy")),
+    );
     assert!(run.matching.is_feasible(&graph, &caps));
     assert!(run.value(&graph) > 0.0);
     assert!(run.mr_jobs >= 1);
@@ -58,13 +61,13 @@ fn flickr_pipeline_produces_a_matchable_graph() {
 fn greedy_mr_beats_stack_mr_on_value_and_both_respect_their_guarantees() {
     let (graph, caps) = flickr_pipeline(0.15);
     let greedy_run = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("cmp-greedy")))
-        .run(&graph, &caps);
+        .run(&graph, &caps, &FlowContext::new(quick_job("cmp-greedy")));
     let stack_run = StackMr::new(
         StackMrConfig::default()
             .with_seed(13)
             .with_job(quick_job("cmp-stack")),
     )
-    .run(&graph, &caps);
+    .run(&graph, &caps, &FlowContext::new(quick_job("cmp-stack")));
 
     // The paper's headline comparison: GreedyMR consistently achieves the
     // higher b-matching value (it has the better guarantee too).
@@ -146,7 +149,7 @@ fn preset_sweep_shapes_match_the_paper() {
 
     let run_on = |graph: &social_content_matching::graph::BipartiteGraph| {
         GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("sweep-greedy")))
-            .run(graph, &caps)
+            .run(graph, &caps, &FlowContext::new(quick_job("sweep-greedy")))
             .value(graph)
     };
     let sparse_value = run_on(&sparse);
@@ -160,8 +163,11 @@ fn preset_sweep_shapes_match_the_paper() {
 #[test]
 fn anytime_trace_reaches_95_percent_before_the_last_round() {
     let (graph, caps) = flickr_pipeline(0.12);
-    let run =
-        GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("anytime"))).run(&graph, &caps);
+    let run = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("anytime"))).run(
+        &graph,
+        &caps,
+        &FlowContext::new(quick_job("anytime")),
+    );
     if run.rounds < 4 {
         // Too small to say anything meaningful.
         return;

@@ -47,8 +47,9 @@ fn pipeline_run_is_byte_identical_to_the_pre_redesign_glue() {
             .with_job(quick_job("old")),
     );
     let caps = dataset.capacities(1.0);
-    let old_matching =
-        GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("old"))).run(&join.graph, &caps);
+    #[allow(deprecated)]
+    let old_matching = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("old")))
+        .run_in_memory(&join.graph, &caps);
 
     // --- the new chain ---
     let run = MatchingPipeline::new(dataset)
@@ -122,12 +123,13 @@ fn stack_mr_through_the_pipeline_matches_the_old_wrapper() {
             .with_job(quick_job("old")),
     );
     let caps = dataset.capacities(1.0);
+    #[allow(deprecated)]
     let old = StackMr::new(
         StackMrConfig::default()
             .with_seed(13)
             .with_job(quick_job("old")),
     )
-    .run(&join.graph, &caps);
+    .run_in_memory(&join.graph, &caps);
 
     let run = MatchingPipeline::new(dataset)
         .tokenizer(TokenizerConfig::tags_only())

@@ -76,7 +76,7 @@ proptest! {
         let run = GreedyMr::new(
             GreedyMrConfig::default().with_job(single_thread_job("prop-greedy-mr")),
         )
-        .run(&graph, &caps);
+        .run(&graph, &caps, &FlowContext::new(single_thread_job("prop-greedy-mr")));
         let optimal = optimal_matching(&graph, &caps);
         prop_assert!(run.matching.is_feasible(&graph, &caps));
         prop_assert!(run.value(&graph) <= optimal.value(&graph) + 1e-9);
@@ -96,7 +96,7 @@ proptest! {
                 .with_seed(99)
                 .with_job(single_thread_job("prop-stack-mr")),
         )
-        .run(&graph, &caps);
+        .run(&graph, &caps, &FlowContext::new(single_thread_job("prop-stack-mr")));
         let optimal = optimal_matching(&graph, &caps);
         prop_assert!(run.matching.max_violation(&graph, &caps) <= epsilon + 1e-9);
         prop_assert!(
@@ -185,7 +185,7 @@ proptest! {
         let run = GreedyMr::new(
             GreedyMrConfig::default().with_job(single_thread_job("prop-violation")),
         )
-        .run(&graph, &caps);
+        .run(&graph, &caps, &FlowContext::new(single_thread_job("prop-violation")));
         let feasible = run.matching.is_feasible(&graph, &caps);
         let avg = run.matching.average_violation(&graph, &caps);
         let max = run.matching.max_violation(&graph, &caps);
