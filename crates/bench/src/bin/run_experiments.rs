@@ -4,18 +4,21 @@
 //! run-experiments [EXPERIMENT ...] [--scale smoke|full] [--threads N] [--seed S]
 //!
 //! EXPERIMENT: table1 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7
-//!           | shuffle | spill | join | rounds | all
+//!           | shuffle | spill | join | rounds | serving | all
 //! ```
 //!
-//! `shuffle`, `spill`, `join` and `rounds` are not paper artefacts: `shuffle`
-//! profiles the engine's streaming shuffle (sorted runs + k-way merge,
-//! combine-while-partitioning), `spill` A/Bs memory budgets on the
-//! disk-spilling out-of-core path (output checked byte-identical to the
-//! in-memory run), `rounds` A/Bs memory budgets on the out-of-core
-//! matching rounds (final matching checked byte-identical to the
-//! unlimited-budget run), and `join` profiles the streaming similarity join
-//! (candidates generated vs pruned cheap vs verified exact, per preset
-//! and σ).
+//! `shuffle`, `spill`, `join`, `rounds` and `serving` are not paper
+//! artefacts: `shuffle` profiles the engine's streaming shuffle (sorted
+//! runs + k-way merge, combine-while-partitioning), `spill` A/Bs memory
+//! budgets on the disk-spilling out-of-core path (output checked
+//! byte-identical to the in-memory run), `rounds` A/Bs memory budgets on
+//! the out-of-core matching rounds (final matching checked byte-identical
+//! to the unlimited-budget run), `join` profiles the streaming similarity
+//! join (candidates generated vs pruned cheap vs verified exact, per
+//! preset and σ), and `serving` measures the standing serving index
+//! (point-query latency/throughput, recall vs the batch join — asserted
+//! to be exactly 1.0 — and the incremental assignment's value against
+//! batch GreedyMR).
 
 use std::process::ExitCode;
 
@@ -78,7 +81,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 
 fn usage() -> String {
     "usage: run-experiments \
-     [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|spill|join|rounds|all ...] \
+     [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|spill|join|rounds|serving|all ...] \
      [--scale smoke|full] [--threads N] [--seed S]"
         .to_string()
 }
@@ -114,10 +117,22 @@ fn run_experiment(name: &str, set: &mut ExperimentSet) -> Result<(), String> {
         "spill" => println!("{}", experiments::spill_ablation(set)),
         "join" => println!("{}", experiments::join_ablation(set)),
         "rounds" => println!("{}", experiments::rounds_ablation(set)),
+        "serving" => {
+            let rows = experiments::serving_rows(set);
+            // The serving index shares the batch probe's pruning math and
+            // verifies survivors exactly; anything below perfect recall is
+            // a correctness bug, not a tuning knob — fail the run.
+            if let Some(row) = rows.iter().find(|row| row.recall < 1.0) {
+                return Err(format!(
+                    "serving recall degraded below 1.0 against the batch join: {row:?}"
+                ));
+            }
+            println!("{}", experiments::serving_table(&rows));
+        }
         "all" => {
             let all = [
                 "table1", "fig6", "fig7", "fig1", "fig2", "fig3", "fig4", "fig5", "shuffle",
-                "spill", "join", "rounds",
+                "spill", "join", "rounds", "serving",
             ];
             for exp in all {
                 run_experiment(exp, set)?;
@@ -220,5 +235,11 @@ mod tests {
     fn join_experiment_runs_at_smoke_scale() {
         let mut set = ExperimentSet::new(ExperimentScale::Smoke, 2, 1);
         assert!(run_experiment("join", &mut set).is_ok());
+    }
+
+    #[test]
+    fn serving_experiment_runs_and_enforces_perfect_recall() {
+        let mut set = ExperimentSet::new(ExperimentScale::Smoke, 2, 1);
+        assert!(run_experiment("serving", &mut set).is_ok());
     }
 }

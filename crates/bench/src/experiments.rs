@@ -903,6 +903,192 @@ pub fn rounds_ablation(set: &mut ExperimentSet) -> Table {
     table
 }
 
+// ---------------------------------------------------------------------------
+// Serving (standing index) experiment
+// ---------------------------------------------------------------------------
+
+/// One measured (preset × batch budget) configuration of the serving
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    /// Name of the dataset served.
+    pub dataset: String,
+    /// Memory budget of the *batch* reference join (`None` = unlimited);
+    /// the serving side runs no MapReduce job, so the budget only varies
+    /// the reference the recall is checked against.
+    pub budget: Option<u64>,
+    /// Point queries issued (one per item, in arrival order).
+    pub queries: usize,
+    /// Median `match_one` latency.
+    pub p50: Duration,
+    /// 99th-percentile `match_one` latency.
+    pub p99: Duration,
+    /// Point queries per second over the whole stream.
+    pub queries_per_sec: f64,
+    /// Fraction of the batch join's candidate edges the point queries
+    /// recovered (must be 1.0 — the serving index is exact).
+    pub recall: f64,
+    /// Value of the incremental assignment after replaying every arrival.
+    pub online_value: f64,
+    /// Value of the batch GreedyMR matching on the same instance.
+    pub batch_value: f64,
+    /// Disk reads the serving index performed for the whole query stream
+    /// (cache hits excluded).
+    pub disk_reads: u64,
+}
+
+/// The presets the serving experiment measures at each scale.
+fn serving_presets(scale: ExperimentScale) -> Vec<DatasetPreset> {
+    match scale {
+        ExperimentScale::Smoke => vec![DatasetPreset::FlickrSmall],
+        ExperimentScale::Full => vec![DatasetPreset::FlickrSmall, DatasetPreset::FlickrLarge],
+    }
+}
+
+/// Runs the serving experiment: builds the standing index once per preset,
+/// replays every item as a point query in a seeded arrival order (p50/p99
+/// latency, queries/sec), checks recall against the batch join at the same
+/// σ under each batch budget, and replays the arrivals through the
+/// incremental matcher against batch GreedyMR's value.
+pub fn serving_rows(set: &mut ExperimentSet) -> Vec<ServingRow> {
+    use smr_datagen::ArrivalStream;
+    use smr_matching::IncrementalMatcher;
+    use social_content_matching::MatchingPipeline;
+
+    let alpha = 1.0;
+    let mut rows = Vec::new();
+    for preset in serving_presets(set.scale) {
+        let dataset = preset.generate();
+        let sigma = preset.default_sigma();
+        let serving = MatchingPipeline::new(dataset.clone()).sigma(sigma).serve();
+        let stream = ArrivalStream::new(&dataset, alpha, set.seed);
+
+        // Query phase: one timed point query per arrival.  Vectorization
+        // happens outside the timed section — the index lookup is what the
+        // experiment characterizes.
+        let queries: Vec<_> = stream
+            .arrivals
+            .iter()
+            .map(|a| (a.item, serving.vectorize(&dataset.items[a.item].text)))
+            .collect();
+        let reads_before = serving.index().disk_reads();
+        let mut latencies = Vec::with_capacity(queries.len());
+        let mut served_edges: Vec<(usize, usize)> = Vec::new();
+        let stream_started = std::time::Instant::now();
+        for (item, query) in &queries {
+            let started = std::time::Instant::now();
+            let matches = serving.match_vector(query, usize::MAX);
+            latencies.push(started.elapsed());
+            served_edges.extend(matches.iter().map(|m| (*item, m.consumer)));
+        }
+        let elapsed = stream_started.elapsed();
+        let disk_reads = serving.index().disk_reads() - reads_before;
+        latencies.sort_unstable();
+        let p50 = latencies[latencies.len() / 2];
+        let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+        let queries_per_sec = queries.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        served_edges.sort_unstable();
+
+        // Assignment phase: replay the arrivals through the incremental
+        // matcher (same candidates the queries returned).
+        let caps = dataset.capacities(alpha);
+        let mut matcher = IncrementalMatcher::from_capacities(&caps);
+        for (item, query) in &queries {
+            let candidates: Vec<(usize, f64)> = serving
+                .match_vector(query, usize::MAX)
+                .into_iter()
+                .map(|m| (m.consumer, m.score))
+                .collect();
+            matcher.arrive(*item, &candidates);
+        }
+        let online_value = matcher.total_weight();
+
+        for budget in [None, Some(4 * 1024u64)] {
+            let batch = MatchingPipeline::new(dataset.clone())
+                .sigma(sigma)
+                .job(
+                    set.job()
+                        .with_name(format!("serving-ref-{}", preset.name()))
+                        .with_memory_budget(budget),
+                )
+                .build_graph();
+            let mut batch_edges: Vec<(usize, usize)> = batch
+                .graph
+                .edges()
+                .iter()
+                .map(|e| (e.item.index(), e.consumer.index()))
+                .collect();
+            batch_edges.sort_unstable();
+            let recovered = batch_edges
+                .iter()
+                .filter(|e| served_edges.binary_search(e).is_ok())
+                .count();
+            let recall = if batch_edges.is_empty() {
+                1.0
+            } else {
+                recovered as f64 / batch_edges.len() as f64
+            };
+            let batch_run = set.run(AlgorithmKind::GreedyMr, &batch.graph, &caps, 1.0);
+            rows.push(ServingRow {
+                dataset: preset.name().to_string(),
+                budget,
+                queries: queries.len(),
+                p50,
+                p99,
+                queries_per_sec,
+                recall,
+                online_value,
+                batch_value: batch_run.value(&batch.graph),
+                disk_reads,
+            });
+        }
+    }
+    rows
+}
+
+/// Serving experiment: point-query latency and throughput of the standing
+/// index, recall against the batch join, and the incremental assignment's
+/// value against batch GreedyMR.
+pub fn serving_ablation(set: &mut ExperimentSet) -> Table {
+    serving_table(&serving_rows(set))
+}
+
+/// Renders pre-computed serving rows (lets drivers inspect the rows — the
+/// CLI fails the run on recall < 1.0 — before printing).
+pub fn serving_table(rows: &[ServingRow]) -> Table {
+    let mut table = Table::new(
+        "Serving: standing-index point queries + incremental assignment \
+         (recall vs the batch join at the same sigma)",
+        &[
+            "dataset",
+            "batch-budget",
+            "queries",
+            "p50",
+            "p99",
+            "queries/s",
+            "recall",
+            "online-value",
+            "greedy-mr-value",
+            "disk-reads",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.dataset.clone(),
+            budget_name(row.budget),
+            row.queries.to_string(),
+            format!("{:.2?}", row.p50),
+            format!("{:.2?}", row.p99),
+            format!("{:.0}", row.queries_per_sec),
+            fmt_f(row.recall, 3),
+            fmt_f(row.online_value, 2),
+            fmt_f(row.batch_value, 2),
+            row.disk_reads.to_string(),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1129,5 +1315,26 @@ mod tests {
         assert!(rows
             .windows(2)
             .all(|w| w[0].records_shuffled == w[1].records_shuffled));
+    }
+
+    #[test]
+    fn serving_recall_is_perfect_and_the_online_value_stays_in_the_envelope() {
+        let mut set = smoke_set();
+        let rows = serving_rows(&mut set);
+        assert_eq!(rows.len(), 2, "1 preset x 2 batch budgets");
+        for row in &rows {
+            // The serving index is exact: every batch candidate edge is
+            // recovered by the point queries under every batch budget.
+            assert_eq!(row.recall, 1.0, "{row:?}");
+            assert!(row.queries > 0 && row.queries_per_sec > 0.0, "{row:?}");
+            assert!(row.p50 <= row.p99, "{row:?}");
+            assert!(row.disk_reads > 0, "the index is disk-backed: {row:?}");
+            // The shared 1/2 guarantee envelope of greedy matching.
+            assert!(row.online_value >= 0.5 * row.batch_value - 1e-9, "{row:?}");
+            assert!(row.batch_value > 0.0, "{row:?}");
+        }
+        let table = serving_ablation(&mut set).render();
+        assert!(table.contains("flickr-small"));
+        assert!(table.contains("recall"));
     }
 }

@@ -28,7 +28,5 @@ pub mod pipeline;
 pub mod report;
 
 pub use experiments::{ExperimentScale, ExperimentSet};
-#[allow(deprecated)] // re-exported for one release alongside MatchingPipeline
-pub use pipeline::build_candidate_graph;
 pub use pipeline::DatasetInstance;
 pub use report::Table;

@@ -6,7 +6,6 @@
 use smr_datagen::{DatasetPreset, SocialDataset};
 use smr_graph::{BipartiteGraph, Capacities};
 use smr_mapreduce::{FlowReport, JobConfig};
-use smr_simjoin::{mapreduce_similarity_join, SimJoinConfig, SimJoinResult};
 use smr_text::TokenizerConfig;
 use social_content_matching::MatchingPipeline;
 
@@ -67,21 +66,6 @@ impl DatasetInstance {
     }
 }
 
-/// Runs the MapReduce similarity join for a dataset at threshold σ.
-#[deprecated(
-    note = "build the candidate graph with `MatchingPipeline::build_graph` instead; \
-            this wrapper remains for one release"
-)]
-pub fn build_candidate_graph(dataset: &SocialDataset, sigma: f64, job: JobConfig) -> SimJoinResult {
-    use smr_text::Corpus;
-    let items = Corpus::build(dataset.items.clone(), &TokenizerConfig::tags_only());
-    let consumers = Corpus::build(dataset.consumers.clone(), &TokenizerConfig::tags_only());
-    let config = SimJoinConfig::default()
-        .with_threshold(sigma)
-        .with_job(job.with_name(format!("simjoin-{}", dataset.name)));
-    mapreduce_similarity_join(&items, &consumers, &config)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,13 +115,5 @@ mod tests {
         let instance = DatasetInstance::generate(DatasetPreset::FlickrSmall, quick_job());
         let caps = instance.capacities(1.0);
         assert!(caps.matches(&instance.base_graph));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_agrees_with_the_pipeline() {
-        let instance = DatasetInstance::generate(DatasetPreset::FlickrSmall, quick_job());
-        let wrapped = build_candidate_graph(&instance.dataset, instance.base_sigma, quick_job());
-        assert_eq!(wrapped.graph.num_edges(), instance.base_graph.num_edges());
     }
 }

@@ -269,28 +269,6 @@ impl GreedyMr {
             max_round_state_bytes: rounds.state.max_state_bytes(),
         }
     }
-
-    /// Runs GreedyMR under a throwaway flow created from the config's own
-    /// [`crate::GreedyMrConfig::job`].
-    #[deprecated(
-        note = "use `run` with an explicit `FlowContext` (the one flow-first entry point); \
-                this convenience wrapper remains for one release"
-    )]
-    pub fn run_in_memory(&self, graph: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
-        let flow = FlowContext::new(self.config.job.clone());
-        self.run(graph, caps, &flow)
-    }
-
-    /// Former name of [`GreedyMr::run`].
-    #[deprecated(note = "renamed to `run`; this alias remains for one release")]
-    pub fn run_with_flow(
-        &self,
-        graph: &BipartiteGraph,
-        caps: &Capacities,
-        flow: &FlowContext,
-    ) -> MatchingRun {
-        self.run(graph, caps, flow)
-    }
 }
 
 /// The per-round state of a GreedyMR run, driven by [`IterativeDriver`].
@@ -351,11 +329,10 @@ mod tests {
         GreedyMrConfig::default().with_job(JobConfig::named("greedy-mr-test").with_threads(2))
     }
 
-    /// Test helper: run under a throwaway flow built from the config's job
-    /// (keeps the deprecated convenience wrapper exercised until removal).
-    #[allow(deprecated)]
+    /// Test helper: run under a throwaway flow built from the config's job.
     fn run(alg: GreedyMr, g: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
-        alg.run_in_memory(g, caps)
+        let flow = FlowContext::new(alg.config.job.clone());
+        alg.run(g, caps, &flow)
     }
 
     fn small_instance() -> (BipartiteGraph, Capacities) {

@@ -18,6 +18,7 @@
 //! | StackGreedyMR | [`stack_mr`] (greedy marking) | as StackMR, better values in practice | poly-logarithmic w.h.p. |
 //! | Maximal b-matching | [`maximal`] | maximality (Garrido et al. subroutine) | O(log³ n) expected |
 //! | Exact solver | [`exact`] | optimal (min-cost max-flow) | — (small instances) |
+//! | Incremental (online) | [`incremental`] | ½-competitive with free disposal | — (per-arrival) |
 //!
 //! The MapReduce algorithms are written against the
 //! [`smr_mapreduce`] engine using the node-centric graph representation of
@@ -58,6 +59,7 @@ pub mod config;
 pub mod exact;
 pub mod greedy;
 pub mod greedy_mr;
+pub mod incremental;
 pub mod maximal;
 pub mod repair;
 pub mod result;
@@ -70,12 +72,11 @@ pub use config::{GreedyMrConfig, MarkingStrategy, StackMrConfig};
 pub use exact::optimal_matching;
 pub use greedy::greedy_matching;
 pub use greedy_mr::GreedyMr;
+pub use incremental::IncrementalMatcher;
 pub use maximal::{maximal_b_matching_centralized, MaximalMatcher};
 pub use repair::{repair_violations, RepairReport};
 pub use result::{AlgorithmKind, MatchingRun};
 pub use runner::run_algorithm;
-#[allow(deprecated)]
-pub use runner::{run_algorithm_in_memory, run_algorithm_with_flow};
 pub use stack::stack_matching;
 pub use stack_mr::StackMr;
 
@@ -85,12 +86,11 @@ pub mod prelude {
     pub use crate::exact::optimal_matching;
     pub use crate::greedy::greedy_matching;
     pub use crate::greedy_mr::GreedyMr;
+    pub use crate::incremental::IncrementalMatcher;
     pub use crate::maximal::{maximal_b_matching_centralized, MaximalMatcher};
     pub use crate::repair::{repair_violations, RepairReport};
     pub use crate::result::{AlgorithmKind, MatchingRun};
     pub use crate::runner::run_algorithm;
-    #[allow(deprecated)]
-    pub use crate::runner::{run_algorithm_in_memory, run_algorithm_with_flow};
     pub use crate::stack::stack_matching;
     pub use crate::stack_mr::StackMr;
 }

@@ -688,28 +688,6 @@ impl MaximalMatcher {
         result.edges.dedup();
         result
     }
-
-    /// Computes the maximal b-matching under a throwaway flow created
-    /// from the matcher's own [`MaximalMatcher::job`].
-    #[deprecated(
-        note = "use `compute` with an explicit `FlowContext` (the one flow-first entry point); \
-                this convenience wrapper remains for one release"
-    )]
-    pub fn compute_in_memory(&self, records: &[(NodeId, NodeRecord)]) -> MaximalResult {
-        let flow = FlowContext::new(self.job.clone());
-        self.compute(records, &flow, "")
-    }
-
-    /// Former name of [`MaximalMatcher::compute`].
-    #[deprecated(note = "renamed to `compute`; this alias remains for one release")]
-    pub fn compute_with_flow(
-        &self,
-        records: &[(NodeId, NodeRecord)],
-        flow: &FlowContext,
-        stage_prefix: &str,
-    ) -> MaximalResult {
-        self.compute(records, flow, stage_prefix)
-    }
 }
 
 /// A simple centralized maximal b-matching (greedy scan) used as a
@@ -796,11 +774,10 @@ mod tests {
         )
     }
 
-    /// Test helper: run under a throwaway flow built from the matcher's job
-    /// (keeps the deprecated convenience wrapper exercised until removal).
-    #[allow(deprecated)]
+    /// Test helper: run under a throwaway flow built from the matcher's job.
     fn compute(m: &MaximalMatcher, records: &[(NodeId, NodeRecord)]) -> MaximalResult {
-        m.compute_in_memory(records)
+        let flow = FlowContext::new(m.job.clone());
+        m.compute(records, &flow, "")
     }
 
     #[test]

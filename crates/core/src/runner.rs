@@ -49,38 +49,6 @@ pub fn run_algorithm(
     }
 }
 
-/// Runs the requested algorithm under a throwaway flow created from the
-/// algorithm's own `JobConfig`.
-#[deprecated(
-    note = "use `run_algorithm` with an explicit `FlowContext` (the one flow-first entry \
-            point); this convenience wrapper remains for one release"
-)]
-pub fn run_algorithm_in_memory(
-    algorithm: AlgorithmKind,
-    graph: &BipartiteGraph,
-    caps: &Capacities,
-    config: &RunnerConfig,
-) -> MatchingRun {
-    let job = match algorithm {
-        AlgorithmKind::GreedyMr => config.greedy_mr.job.clone(),
-        _ => config.stack_mr.job.clone(),
-    };
-    let flow = FlowContext::new(job);
-    run_algorithm(algorithm, graph, caps, config, &flow)
-}
-
-/// Former name of [`run_algorithm`] (which is now flow-first).
-#[deprecated(note = "merged into `run_algorithm`; this alias remains for one release")]
-pub fn run_algorithm_with_flow(
-    algorithm: AlgorithmKind,
-    graph: &BipartiteGraph,
-    caps: &Capacities,
-    config: &RunnerConfig,
-    flow: &FlowContext,
-) -> MatchingRun {
-    run_algorithm(algorithm, graph, caps, config, flow)
-}
-
 fn run_centralized(
     algorithm: AlgorithmKind,
     graph: &BipartiteGraph,
@@ -130,16 +98,20 @@ mod tests {
         (g, caps)
     }
 
-    /// Test helper: run under a throwaway flow (keeps the deprecated
-    /// convenience wrapper exercised until removal).
-    #[allow(deprecated)]
+    /// Test helper: run under a throwaway flow built from the algorithm's
+    /// own `JobConfig`.
     fn run(
         algorithm: AlgorithmKind,
         g: &BipartiteGraph,
         caps: &Capacities,
         config: &RunnerConfig,
     ) -> MatchingRun {
-        run_algorithm_in_memory(algorithm, g, caps, config)
+        let job = match algorithm {
+            AlgorithmKind::GreedyMr => config.greedy_mr.job.clone(),
+            _ => config.stack_mr.job.clone(),
+        };
+        let flow = FlowContext::new(job);
+        run_algorithm(algorithm, g, caps, config, &flow)
     }
 
     fn runner_config() -> RunnerConfig {

@@ -557,28 +557,6 @@ impl StackMr {
             max_round_state_bytes,
         }
     }
-
-    /// Runs the algorithm under a throwaway flow created from the config's
-    /// own [`crate::StackMrConfig::job`].
-    #[deprecated(
-        note = "use `run` with an explicit `FlowContext` (the one flow-first entry point); \
-                this convenience wrapper remains for one release"
-    )]
-    pub fn run_in_memory(&self, graph: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
-        let flow = FlowContext::new(self.config.job.clone());
-        self.run(graph, caps, &flow)
-    }
-
-    /// Former name of [`StackMr::run`].
-    #[deprecated(note = "renamed to `run`; this alias remains for one release")]
-    pub fn run_with_flow(
-        &self,
-        graph: &BipartiteGraph,
-        caps: &Capacities,
-        flow: &FlowContext,
-    ) -> MatchingRun {
-        self.run(graph, caps, flow)
-    }
 }
 
 #[cfg(test)]
@@ -594,11 +572,10 @@ mod tests {
             .with_job(JobConfig::named("stack-mr-test").with_threads(2))
     }
 
-    /// Test helper: run under a throwaway flow built from the config's job
-    /// (keeps the deprecated convenience wrapper exercised until removal).
-    #[allow(deprecated)]
+    /// Test helper: run under a throwaway flow built from the config's job.
     fn run(alg: StackMr, g: &BipartiteGraph, caps: &Capacities) -> MatchingRun {
-        alg.run_in_memory(g, caps)
+        let flow = FlowContext::new(alg.config.job.clone());
+        alg.run(g, caps, &flow)
     }
 
     fn random_graph(items: usize, consumers: usize, keep_mod: usize) -> BipartiteGraph {

@@ -1,0 +1,111 @@
+//! Arrival streams: the serving-time view of a dataset, where items show
+//! up one at a time instead of all at once.
+//!
+//! The batch pipeline sees every item up front; the serving pipeline
+//! (`MatchingPipeline::serve` in the facade crate) answers point queries
+//! as items *arrive*.  [`ArrivalStream`] fixes a deterministic arrival
+//! order over a generated dataset — a seeded shuffle, so arrival order is
+//! decorrelated from generation order but reproducible — and carries each
+//! arrival's capacity, derived from the full dataset's capacity formula so
+//! that replaying the whole stream exercises exactly the batch instance.
+
+use smr_graph::Capacities;
+
+use crate::social::SocialDataset;
+
+/// One item arriving at the serving pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemArrival {
+    /// Index of the item in the source dataset (`dataset.items[item]` is
+    /// its document).
+    pub item: usize,
+    /// The item's capacity under the dataset's capacity policy.
+    pub capacity: u64,
+}
+
+/// A deterministic arrival order over a dataset's items.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    /// Every item of the dataset, in arrival order.
+    pub arrivals: Vec<ItemArrival>,
+}
+
+impl ArrivalStream {
+    /// Fixes the arrival order for `dataset`: a seeded shuffle of all
+    /// items, with capacities taken from [`SocialDataset::capacities`] at
+    /// the given `alpha` (so the stream replays the batch instance, just
+    /// incrementally).
+    pub fn new(dataset: &SocialDataset, alpha: f64, seed: u64) -> Self {
+        Self::with_capacities(&dataset.capacities(alpha), seed)
+    }
+
+    /// Fixes the arrival order from pre-computed capacities.
+    pub fn with_capacities(caps: &Capacities, seed: u64) -> Self {
+        let mut arrivals: Vec<ItemArrival> = caps
+            .item_capacities()
+            .iter()
+            .enumerate()
+            .map(|(item, &capacity)| ItemArrival { item, capacity })
+            .collect();
+        // Fisher–Yates with a splitmix-style generator: cheap, seeded,
+        // dependency-free.
+        let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..arrivals.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            arrivals.swap(i, j);
+        }
+        ArrivalStream { arrivals }
+    }
+
+    /// Number of arrivals (always the full item count).
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::DatasetPreset;
+
+    #[test]
+    fn streams_are_permutations_with_batch_capacities() {
+        let dataset = DatasetPreset::FlickrSmall.generate();
+        let caps = dataset.capacities(1.0);
+        let stream = ArrivalStream::new(&dataset, 1.0, 7);
+        assert_eq!(stream.len(), dataset.num_items());
+        let mut seen: Vec<usize> = stream.arrivals.iter().map(|a| a.item).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..dataset.num_items()).collect::<Vec<_>>());
+        for a in &stream.arrivals {
+            assert_eq!(a.capacity, caps.item_capacities()[a.item]);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_order_and_seeds_differ() {
+        let dataset = DatasetPreset::FlickrSmall.generate();
+        let a = ArrivalStream::new(&dataset, 1.0, 7);
+        let b = ArrivalStream::new(&dataset, 1.0, 7);
+        let c = ArrivalStream::new(&dataset, 1.0, 8);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_ne!(a.arrivals, c.arrivals, "different seed, different order");
+        assert_ne!(
+            a.arrivals.iter().map(|x| x.item).collect::<Vec<_>>(),
+            (0..dataset.num_items()).collect::<Vec<_>>(),
+            "arrival order must not be generation order"
+        );
+    }
+}

@@ -30,6 +30,8 @@
 //! * [`stream`] — streaming generation: documents flow straight into a
 //!   disk-backed [`smr_storage::DatasetStore`] (`generate_to_store`)
 //!   instead of accumulating in RAM,
+//! * [`arrivals`] — deterministic item-arrival orders for the serving
+//!   pipeline (seeded shuffles carrying per-arrival capacities),
 //! * [`pathological`] — adversarial instances (the increasing-weight path
 //!   that forces GreedyMR into a linear number of rounds, the greedy
 //!   tightness example).
@@ -38,6 +40,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod answers;
+pub mod arrivals;
 pub mod flickr;
 pub mod pathological;
 pub mod powerlaw;
@@ -47,6 +50,7 @@ pub mod social;
 pub mod stream;
 
 pub use answers::AnswersGenerator;
+pub use arrivals::{ArrivalStream, ItemArrival};
 pub use flickr::FlickrGenerator;
 pub use presets::{DatasetPreset, PresetInstance};
 pub use random_graph::{RandomGraphConfig, WeightDistribution};
@@ -56,6 +60,7 @@ pub use stream::{DocumentSink, StoreDocumentSink, StreamedDataset};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::answers::AnswersGenerator;
+    pub use crate::arrivals::{ArrivalStream, ItemArrival};
     pub use crate::flickr::FlickrGenerator;
     pub use crate::pathological;
     pub use crate::powerlaw::{PowerLawSampler, ZipfSampler};

@@ -74,7 +74,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use smr_storage::{DatasetStore, StorageError};
+use smr_storage::{DatasetStore, RunReader, StorageError};
 
 use crate::config::JobConfig;
 use crate::counters::Counters;
@@ -159,8 +159,10 @@ pub struct FlowReport {
     /// Accumulated totals over all jobs.
     pub totals: JobMetrics,
     /// Persistence errors the flow swallowed to keep a pipeline running
-    /// (e.g. [`FlowContext::load_path`] on a type-mismatched path).  A
-    /// healthy run has none; anything here is a pipeline bug surfacing.
+    /// (e.g. [`FlowContext::load`] of a handle whose path has since been
+    /// rewritten with a different record type, or a storage failure while
+    /// reading a persisted dataset back).  A healthy run has none;
+    /// anything here is a pipeline bug surfacing.
     pub errors: Vec<FlowError>,
     /// Job indices at which iterative rounds started (recorded by
     /// [`FlowContext::mark_round`]), in order.  Empty for non-iterative
@@ -376,13 +378,15 @@ impl FlowContext {
     }
 
     /// Creates a dataset that lazily reads the records behind a typed
-    /// [`PersistedDataset`] handle (see [`Dataset::persist`]).  Because
-    /// the handle carries the record type the dataset was persisted with,
-    /// a type mismatch is unrepresentable — the runtime
-    /// [`FlowError::TypeMismatch`] of the stringly-typed
-    /// [`FlowContext::load_path`] cannot happen here.  A handle whose
-    /// backing dataset has been removed from the store reads as empty,
-    /// mirroring a missing path.
+    /// [`PersistedDataset`] handle (see [`Dataset::persist`]).  The handle
+    /// carries the record type the dataset was persisted with, so a
+    /// mistyped load is a compile error, not a runtime
+    /// [`FlowError::TypeMismatch`] — that error remains reachable only
+    /// when the path behind a handle is later rewritten at a different
+    /// type, in which case the load materializes empty and the error is
+    /// recorded in [`FlowReport::errors`].  A handle whose backing dataset
+    /// has been removed from the store reads as empty, mirroring a missing
+    /// path.
     pub fn load<K: Key, V: Value>(&self, persisted: &PersistedDataset<K, V>) -> Dataset<K, V> {
         let path = persisted.path().to_string();
         Dataset {
@@ -397,27 +401,6 @@ impl FlowContext {
                 }
             }),
         }
-    }
-
-    /// Stringly-typed variant of [`FlowContext::load`]: reads whatever is
-    /// persisted at `path`, with the record type re-asserted by the caller.
-    /// Reading a missing path yields an empty dataset, mirroring
-    /// [`KvStore::read`] on a missing dataset — but a path persisted with a
-    /// **different record type** is a pipeline bug: the typed [`FlowError`]
-    /// is logged and recorded in the flow's [`FlowReport::errors`] (the
-    /// dataset still materializes empty so the chain keeps running).
-    /// Callers that want the error in hand use
-    /// [`FlowContext::read_persisted`].
-    #[deprecated(
-        note = "use the typed handle returned by `Dataset::persist` with `FlowContext::load`; \
-                this path-based shim remains for one release"
-    )]
-    pub fn load_path<K: Key, V: Value>(&self, path: &str) -> Dataset<K, V> {
-        self.load(&PersistedDataset {
-            path: path.to_string(),
-            records: 0,
-            _marker: PhantomData,
-        })
     }
 
     /// Reads a persisted dataset back out of the flow's store, with typed
@@ -523,6 +506,7 @@ impl FlowContext {
                     file: None,
                     live: 0,
                     tombstones: Arc::new(HashSet::new()),
+                    handle: None,
                 },
             },
         }
@@ -576,9 +560,9 @@ impl FlowContext {
 /// [`Dataset::persist`] and accepted by [`FlowContext::load`].
 ///
 /// The handle remembers the record type `(K, V)` the dataset was written
-/// with, so loading it back cannot mismatch types — the stringly-typed
-/// [`FlowContext::load_path`] runtime error is unrepresentable through
-/// this API.
+/// with, so loading it back cannot mismatch types — the runtime
+/// type-mismatch error of the removed stringly-typed path accessors is
+/// unrepresentable through this API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PersistedDataset<K, V> {
     path: String,
@@ -654,6 +638,11 @@ enum RoundSlot<K, V> {
         live: usize,
         /// Keys retired from the current file.
         tombstones: Arc<HashSet<K>>,
+        /// The round file's descriptor, kept open from the moment the file
+        /// is installed: re-reads dup it (`try_clone`) instead of paying a
+        /// path open per round.  `None` when the open failed (the reader
+        /// falls back to opening by name) or before seeding.
+        handle: Option<Arc<std::fs::File>>,
     },
 }
 
@@ -732,10 +721,12 @@ impl<K: Key, V: Value> RoundState<K, V> {
                 file,
                 live,
                 tombstones,
+                handle,
             } => {
                 let file = file.clone();
                 let expect = *live;
                 let tombstones = Arc::clone(tombstones);
+                let handle = handle.clone();
                 let store = self.ctx.side_store();
                 Dataset {
                     ctx: self.ctx.clone(),
@@ -743,16 +734,40 @@ impl<K: Key, V: Value> RoundState<K, V> {
                         let Some(file) = file else {
                             return Vec::new();
                         };
-                        let reader = store
-                            .open_reader::<(K, V)>(&file)
+                        // Re-reads go through the descriptor opened when the
+                        // round file was installed: `try_clone` + rewind is
+                        // cheaper than a path lookup + open per round.  The
+                        // dup shares the file offset, so collects of one
+                        // round must stay sequential (they do: the driver
+                        // collects a round's dataset exactly once at a time).
+                        let reader = match &handle {
+                            Some(handle) => handle
+                                .try_clone()
+                                .map_err(StorageError::from)
+                                .and_then(RunReader::<(K, V)>::from_file)
+                                .and_then(|r| r.check_type().map(|()| r)),
+                            None => store.open_reader::<(K, V)>(&file),
+                        };
+                        let mut reader = reader
                             .unwrap_or_else(|e| panic!("failed to open round state `{file}`: {e}"));
                         let mut records = Vec::with_capacity(expect);
-                        let mut retained =
-                            reader.retained(move |(k, _): &(K, V)| !tombstones.contains(k));
-                        while let Some((k, v)) = retained.next_record().unwrap_or_else(|e| {
-                            panic!("failed to stream round state `{file}`: {e}")
-                        }) {
-                            records.push(proj(k, v));
+                        if tombstones.is_empty() {
+                            // Nothing is retired yet (every record of a fresh
+                            // seed or a fully-kept round survives): stream the
+                            // file without the per-record tombstone lookup.
+                            while let Some((k, v)) = reader.next_record().unwrap_or_else(|e| {
+                                panic!("failed to stream round state `{file}`: {e}")
+                            }) {
+                                records.push(proj(k, v));
+                            }
+                        } else {
+                            let mut retained =
+                                reader.retained(move |(k, _): &(K, V)| !tombstones.contains(k));
+                            while let Some((k, v)) = retained.next_record().unwrap_or_else(|e| {
+                                panic!("failed to stream round state `{file}`: {e}")
+                            }) {
+                                records.push(proj(k, v));
+                            }
                         }
                         records
                     }),
@@ -823,24 +838,34 @@ impl<K: Key, V: Value> RoundState<K, V> {
         self.max_state_bytes = self.max_state_bytes.max(store.file_size(file));
     }
 
-    /// Installs a new disk slot, removing the superseded round file.
+    /// Installs a new disk slot, removing the superseded round file and
+    /// keeping the new file's descriptor open for the round's re-reads.
     fn replace_disk_slot(&mut self, file: Option<String>, live: usize, tombstones: HashSet<K>) {
+        let store = self.ctx.side_store();
+        // A failed open only costs the keep-open optimization: readers
+        // fall back to opening the file by name.
+        let handle = file
+            .as_deref()
+            .and_then(|name| store.open_file(name).ok())
+            .map(Arc::new);
         let RoundSlot::Disk {
             file: old_file,
             live: old_live,
             tombstones: old_tombstones,
+            handle: old_handle,
         } = &mut self.slot
         else {
             unreachable!("replace_disk_slot on an in-memory slot");
         };
         if let Some(old) = old_file.take() {
             if file.as_deref() != Some(old.as_str()) {
-                self.ctx.side_store().remove(&old);
+                store.remove(&old);
             }
         }
         *old_file = file;
         *old_live = live;
         *old_tombstones = Arc::new(tombstones);
+        *old_handle = handle;
     }
 }
 
@@ -949,16 +974,6 @@ impl<K: Key, V: Value> Dataset<K, V> {
             records: count,
             _marker: PhantomData,
         }
-    }
-
-    /// Terminal: like [`Dataset::persist`], but returns only the record
-    /// count, discarding the typed handle.
-    #[deprecated(
-        note = "use `Dataset::persist`, which returns a typed `PersistedDataset` handle; \
-                this count-only shim remains for one release"
-    )]
-    pub fn persist_path(self, path: &str) -> usize {
-        self.persist(path).len()
     }
 }
 
@@ -1300,10 +1315,14 @@ mod tests {
         let the = reloaded.iter().find(|(w, _)| w == "the").expect("the");
         assert_eq!(the.1, 3);
 
-        // Missing paths read as empty (like an empty part-file directory)
-        // and are NOT recorded as errors…
-        #[allow(deprecated)]
-        let missing: Vec<(String, u64)> = flow.load_path("nope").collect();
+        // A handle whose backing dataset is gone reads as empty (like an
+        // empty part-file directory) and is NOT recorded as an error…
+        let gone: PersistedDataset<String, u64> = PersistedDataset {
+            path: "nope".to_string(),
+            records: 0,
+            _marker: PhantomData,
+        };
+        let missing: Vec<(String, u64)> = flow.load(&gone).collect();
         assert!(missing.is_empty());
         assert!(flow.report().errors.is_empty());
         assert!(matches!(
@@ -1311,16 +1330,18 @@ mod tests {
             Err(FlowError::MissingDataset { .. })
         ));
 
-        // …but a type-mismatched path-based load is a surfaced pipeline
-        // bug: typed error from read_persisted, recorded in the report by
-        // load_path.  (The typed-handle `load` cannot express this.)
+        // …but a handle whose path has since been rewritten at a
+        // different record type is a surfaced pipeline bug: the load
+        // materializes empty and the typed error lands in the report.
         assert!(matches!(
             flow.read_persisted::<u64, u64>("iteration-0/counts"),
             Err(FlowError::TypeMismatch { .. })
         ));
-        #[allow(deprecated)]
-        let wrong_type: Vec<(u64, u64)> = flow.load_path("iteration-0/counts").collect();
-        assert!(wrong_type.is_empty());
+        let _ = flow
+            .dataset(vec![(1u64, 2u64)])
+            .persist("iteration-0/counts");
+        let stale: Vec<(String, u64)> = flow.load(&counts).collect();
+        assert!(stale.is_empty());
         let errors = flow.report().errors;
         assert_eq!(errors.len(), 1, "{errors:?}");
         assert!(matches!(&errors[0], FlowError::TypeMismatch { path, .. }
@@ -1486,15 +1507,14 @@ mod tests {
     }
 
     #[test]
-    fn persist_path_shim_returns_the_record_count() {
+    fn persist_reports_the_record_count() {
         let flow = FlowContext::new(config());
-        #[allow(deprecated)]
         let written = flow
             .dataset(input())
             .map_with(SplitWords)
             .reduce_with(SumCounts)
-            .persist_path("counts");
-        assert_eq!(written, 6, "six distinct words");
+            .persist("counts");
+        assert_eq!(written.len(), 6, "six distinct words");
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod counter {
 /// conservative (a pair at exactly σ always survives to exact
 /// verification) while remaining far below any meaningful similarity
 /// difference of unit-normalized vectors.
-const PRUNE_SLACK: f64 = 1e-9;
+pub(crate) const PRUNE_SLACK: f64 = 1e-9;
 
 /// Configuration of the MapReduce similarity join.
 #[derive(Debug, Clone)]
@@ -220,41 +220,40 @@ struct ProbeMapper {
     counters: Counters,
 }
 
-impl ProbeMapper {
-    /// Accumulates this item's partial products against one index
-    /// partition.  Both the query slice and the partition's postings lists
-    /// are sorted by term id; iterate whichever side is shorter and look
-    /// the term up on the other — and skip terms with empty postings
-    /// before ever entering the posting loop.
-    fn probe_partition(
-        partition: &IndexPartition,
-        query: &[(TermId, f64)],
-        scores: &mut HashMap<usize, PartialScore>,
-    ) {
-        let accumulate =
-            |weight: f64, postings: &[Posting], scores: &mut HashMap<usize, PartialScore>| {
-                for posting in postings {
-                    let entry = scores.entry(posting.doc).or_insert(PartialScore {
-                        score: 0.0,
-                        remainder: posting.bound,
-                    });
-                    entry.score += weight * posting.weight;
-                }
-            };
-        if partition.num_terms() < query.len() {
-            for (term, postings) in partition.terms() {
-                if let Ok(i) = query.binary_search_by_key(&TermId(*term), |&(t, _)| t) {
-                    accumulate(query[i].1, postings, scores);
-                }
+/// Accumulates a query's partial products against one index partition —
+/// the shared core of the batch probe mapper and the serving-time
+/// [`crate::serving::ServingIndex`] point query.  Both the query slice and
+/// the partition's postings lists are sorted by term id; iterate whichever
+/// side is shorter and look the term up on the other — and skip terms with
+/// empty postings before ever entering the posting loop.
+pub(crate) fn probe_partition(
+    partition: &IndexPartition,
+    query: &[(TermId, f64)],
+    scores: &mut HashMap<usize, PartialScore>,
+) {
+    let accumulate =
+        |weight: f64, postings: &[Posting], scores: &mut HashMap<usize, PartialScore>| {
+            for posting in postings {
+                let entry = scores.entry(posting.doc).or_insert(PartialScore {
+                    score: 0.0,
+                    remainder: posting.bound,
+                });
+                entry.score += weight * posting.weight;
             }
-        } else {
-            for &(term, weight) in query {
-                let postings = partition.postings(term.0);
-                if postings.is_empty() {
-                    continue;
-                }
-                accumulate(weight, postings, scores);
+        };
+    if partition.num_terms() < query.len() {
+        for (term, postings) in partition.terms() {
+            if let Ok(i) = query.binary_search_by_key(&TermId(*term), |&(t, _)| t) {
+                accumulate(query[i].1, postings, scores);
             }
+        }
+    } else {
+        for &(term, weight) in query {
+            let postings = partition.postings(term.0);
+            if postings.is_empty() {
+                continue;
+            }
+            accumulate(weight, postings, scores);
         }
     }
 }
@@ -285,7 +284,7 @@ impl Mapper for ProbeMapper {
             }
             let partition = self.index.partition(p);
             if !partition.is_empty() {
-                Self::probe_partition(&partition, &entries[start..end], &mut scores);
+                probe_partition(&partition, &entries[start..end], &mut scores);
             }
             start = end;
         }
@@ -597,7 +596,7 @@ pub fn mapreduce_similarity_join_vectors_flow(
 /// Global term order for prefix filtering: rarest terms first, measured by
 /// how many vectors (on either side) contain the term.  Returns, for each
 /// term id, its rank in that order.
-fn rarest_first_rank(
+pub(crate) fn rarest_first_rank(
     items: &[SparseVector],
     consumers: &[SparseVector],
     vocab_size: usize,

@@ -18,7 +18,10 @@
 //! * [`join`] — the two-MapReduce-job join (index construction, then
 //!   partial-product probing with suffix-bound pruning + exact
 //!   verification) producing a [`smr_graph::BipartiteGraph`]; see
-//!   `docs/simjoin.md` for the filter math and the dataflow.
+//!   `docs/simjoin.md` for the filter math and the dataflow,
+//! * [`serving`] — the index kept alive after the batch build: point
+//!   queries ([`ServingIndex::match_one`]) and micro-batch appends against
+//!   the same on-disk partitions; see `docs/serving.md`.
 //!
 //! # Example
 //!
@@ -53,6 +56,7 @@ pub mod baseline;
 pub mod index;
 pub mod join;
 pub mod prefix;
+pub mod serving;
 pub mod store;
 
 pub use baseline::baseline_similarity_join;
@@ -62,6 +66,7 @@ pub use join::{
     mapreduce_similarity_join_vectors_flow, PartialScore, SimJoinConfig, SimJoinResult,
 };
 pub use prefix::{prefix_length, suffix_remainder_bound, term_max_weights};
+pub use serving::{ScoredMatch, ServingIndex};
 pub use store::{DiskVectorStore, IndexPartition, PartitionedIndex};
 
 /// Convenience re-exports.
@@ -74,5 +79,6 @@ pub mod prelude {
         SimJoinConfig, SimJoinResult,
     };
     pub use crate::prefix::{prefix_length, suffix_remainder_bound, term_max_weights};
+    pub use crate::serving::{ScoredMatch, ServingIndex};
     pub use crate::store::{DiskVectorStore, IndexPartition, PartitionedIndex};
 }

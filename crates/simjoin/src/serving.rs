@@ -1,0 +1,419 @@
+//! A standing serving index: point queries and micro-updates against the
+//! persisted similarity-join index.
+//!
+//! The batch join builds its pruned inverted index, probes it once with
+//! every item, and throws it away.  [`ServingIndex`] keeps the same
+//! structure alive — the term-range [`PartitionedIndex`] plus the chunked
+//! consumer [`DiskVectorStore`] — and answers two requests the batch path
+//! cannot:
+//!
+//! * [`ServingIndex::match_one`] — "a new item just arrived: who are its
+//!   candidate consumers right now?"  One query runs exactly the batch
+//!   probe per partition (partial products over shared indexed terms, the
+//!   suffix-remainder prune at `σ − slack`), then verifies the survivors
+//!   with exact dot products from the vector chunks.  No corpus scan: the
+//!   query only opens the partitions its terms fall into.
+//! * [`ServingIndex::append_batch`] — "these consumers just joined the
+//!   corpus."  Each new vector's prefix postings are **appended** to the
+//!   partition files their terms route to (cost proportional to the new
+//!   postings, not the index), and only the touched cache entries are
+//!   invalidated; untouched partitions keep serving from cache.
+//!
+//! **Exactness.**  A query probes the same postings the batch probe mapper
+//! would see and prunes with the same bound at the same slack, and both
+//! paths accept a pair only after an exact dot product reaches σ.  So for
+//! any query vector whose per-term weights stay within the query-side
+//! maxima the index was built with, `match_one` returns *exactly* the
+//! batch join's candidate set for that query (proptest-locked in
+//! `tests/serving_equivalence.rs`).  Queries with heavier terms than the
+//! declared maxima may miss pairs — the prefix bound they were indexed
+//! under no longer covers such a query — which is why builders take the
+//! maxima explicitly.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use smr_storage::DatasetStore;
+use smr_text::SparseVector;
+
+use crate::index::Posting;
+use crate::join::{probe_partition, rarest_first_rank, PartialScore, PRUNE_SLACK};
+use crate::prefix::{prefix_length, suffix_remainder_bound, term_max_weights};
+use crate::store::{DiskVectorStore, PartitionedIndex};
+
+/// One serving-time candidate: a consumer whose exact similarity with the
+/// query reached σ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredMatch {
+    /// Dense index of the consumer in the serving corpus.
+    pub consumer: usize,
+    /// Exact dot product with the query (always ≥ σ).
+    pub score: f64,
+}
+
+/// A standing, disk-backed similarity index over a consumer corpus,
+/// answering point queries and absorbing micro-batches of new consumers.
+#[derive(Debug)]
+pub struct ServingIndex {
+    index: PartitionedIndex,
+    consumers: DiskVectorStore,
+    sigma: f64,
+    /// Global prefix-filter term order (rarest first), as built.
+    term_order_rank: Vec<u32>,
+    /// Per-term query-side maxima the prefix bounds were computed against.
+    max_weights: Vec<f64>,
+    len: usize,
+}
+
+impl ServingIndex {
+    /// Builds a serving index over `consumers` in `store` under `prefix`,
+    /// with every knob explicit:
+    ///
+    /// * `query_max_weights` — per-term upper bounds on the weight any
+    ///   future query may carry; the prefix of each consumer is pruned
+    ///   against these, so they are the exactness contract of the index.
+    /// * `term_order_rank` — the global term order for prefix filtering
+    ///   (see [`rarest_first_rank`][crate::mapreduce_similarity_join]'s
+    ///   rarest-first order in the batch join).
+    /// * `sigma` — the similarity threshold served.
+    ///
+    /// The postings written are identical to what the batch join's job 1
+    /// indexes for the same inputs.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is not strictly positive.
+    pub fn build(
+        store: &DatasetStore,
+        prefix: &str,
+        consumers: &[SparseVector],
+        query_max_weights: Vec<f64>,
+        term_order_rank: Vec<u32>,
+        sigma: f64,
+    ) -> Self {
+        assert!(sigma > 0.0, "threshold must be positive");
+        let vocab_size = query_max_weights.len().max(term_order_rank.len());
+        let mut postings: Vec<(u32, Posting)> = Vec::new();
+        for (doc, vector) in consumers.iter().enumerate() {
+            emit_prefix_postings(
+                doc,
+                vector,
+                &term_order_rank,
+                &query_max_weights,
+                sigma,
+                &mut postings,
+            );
+        }
+        let index =
+            PartitionedIndex::write(store, &format!("{prefix}/index"), postings, vocab_size);
+        let vectors = DiskVectorStore::write(store, &format!("{prefix}/consumers"), consumers);
+        ServingIndex {
+            index,
+            consumers: vectors,
+            sigma,
+            term_order_rank,
+            max_weights: query_max_weights,
+            len: consumers.len(),
+        }
+    }
+
+    /// Builds a serving index sized for a known query corpus: the
+    /// query-side maxima and the rarest-first term order are derived from
+    /// `items` and `consumers` exactly as the batch join derives them, so
+    /// `match_one` with any of the `items` reproduces the batch join's
+    /// candidates for that item.
+    pub fn for_corpora(
+        store: &DatasetStore,
+        prefix: &str,
+        items: &[SparseVector],
+        consumers: &[SparseVector],
+        sigma: f64,
+    ) -> Self {
+        let vocab_size = items
+            .iter()
+            .chain(consumers.iter())
+            .flat_map(|v| v.entries().iter().map(|(t, _)| t.index() + 1))
+            .max()
+            .unwrap_or(0);
+        let max_weights = term_max_weights(items, vocab_size);
+        let rank = rarest_first_rank(items, consumers, vocab_size);
+        Self::build(store, prefix, consumers, max_weights, rank, sigma)
+    }
+
+    /// The similarity threshold this index serves.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Number of consumers currently indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no consumers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of `(term, doc)` postings currently indexed.
+    pub fn num_postings(&self) -> usize {
+        self.index.num_entries()
+    }
+
+    /// Number of term-range partitions behind the index.
+    pub fn num_partitions(&self) -> usize {
+        self.index.num_partitions()
+    }
+
+    /// Disk reads performed so far (index partitions + vector chunks) —
+    /// cache hits and coalesced concurrent misses excluded.
+    pub fn disk_reads(&self) -> u64 {
+        self.index.disk_reads() + self.consumers.disk_reads()
+    }
+
+    /// Answers one point query: the top-`k` consumers whose exact dot
+    /// product with `query` reaches σ, heaviest first (ties broken toward
+    /// the lower consumer index, the batch join's candidate order).
+    ///
+    /// The query opens only the index partitions its terms fall into,
+    /// accumulates partial products per candidate, prunes candidates whose
+    /// score plus suffix-remainder bound cannot reach σ, and fetches
+    /// vectors for exact verification of the survivors only.
+    pub fn match_one(&self, query: &SparseVector, k: usize) -> Vec<ScoredMatch> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut matches = self.candidates(query);
+        matches.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("similarities are finite")
+                .then(a.consumer.cmp(&b.consumer))
+        });
+        matches.truncate(k);
+        matches
+    }
+
+    /// Every consumer whose exact dot product with `query` reaches σ, in
+    /// consumer order — the batch join's candidate set for this query,
+    /// unranked and untruncated.
+    pub fn candidates(&self, query: &SparseVector) -> Vec<ScoredMatch> {
+        let entries = query.entries();
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        // Probe each partition some query term routes to, in term order —
+        // the same run-grouping the batch probe mapper uses, so partial
+        // products accumulate in the same floating-point order.
+        let mut scores: HashMap<usize, PartialScore> = HashMap::new();
+        let mut start = 0;
+        while start < entries.len() {
+            let p = self.index.partition_of(entries[start].0);
+            let mut end = start + 1;
+            while end < entries.len() && self.index.partition_of(entries[end].0) == p {
+                end += 1;
+            }
+            let partition = self.index.partition(p);
+            if !partition.is_empty() {
+                probe_partition(&partition, &entries[start..end], &mut scores);
+            }
+            start = end;
+        }
+        let mut candidates: Vec<(usize, PartialScore)> = scores.into_iter().collect();
+        candidates.sort_unstable_by_key(|(doc, _)| *doc);
+        let mut matches = Vec::new();
+        for (doc, partial) in candidates {
+            if partial.score + partial.remainder < self.sigma - PRUNE_SLACK {
+                continue;
+            }
+            let score = self.consumers.with_vector(doc, |y| query.dot(y));
+            if score >= self.sigma {
+                matches.push(ScoredMatch {
+                    consumer: doc,
+                    score,
+                });
+            }
+        }
+        matches
+    }
+
+    /// Absorbs a micro-batch of new consumers, returning the dense indices
+    /// they were assigned.  Each vector's prefix postings are appended to
+    /// the partitions its terms route to and the vectors join the chunked
+    /// store; only the touched partition/chunk cache entries are
+    /// invalidated, so queries keep hitting warm cache everywhere else.
+    pub fn append_batch(&mut self, batch: &[SparseVector]) -> Range<usize> {
+        let assigned = self.len..self.len + batch.len();
+        if batch.is_empty() {
+            return assigned;
+        }
+        let mut postings: Vec<(u32, Posting)> = Vec::new();
+        for (offset, vector) in batch.iter().enumerate() {
+            emit_prefix_postings(
+                self.len + offset,
+                vector,
+                &self.term_order_rank,
+                &self.max_weights,
+                self.sigma,
+                &mut postings,
+            );
+        }
+        self.index.append(postings);
+        self.consumers.append(batch);
+        self.len += batch.len();
+        assigned
+    }
+}
+
+/// Computes one consumer's prefix postings exactly as the batch join's
+/// index mapper does: terms in global order, prefix cut where the suffix
+/// bound drops below σ, every posting carrying the suffix-remainder bound.
+fn emit_prefix_postings(
+    doc: usize,
+    vector: &SparseVector,
+    term_order_rank: &[u32],
+    max_weights: &[f64],
+    sigma: f64,
+    out: &mut Vec<(u32, Posting)>,
+) {
+    let ordered = vector.terms_in_order(term_order_rank);
+    let plen = prefix_length(vector, &ordered, max_weights, sigma);
+    let bound = suffix_remainder_bound(vector, &ordered, plen, max_weights);
+    for term in &ordered[..plen] {
+        out.push((
+            term.0,
+            Posting {
+                doc,
+                weight: vector.weight(*term),
+                bound,
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_text::TermId;
+
+    fn temp_store(tag: &str) -> DatasetStore {
+        let root = std::env::temp_dir().join(format!("smr-serving-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        DatasetStore::open(root).unwrap()
+    }
+
+    fn vec_of(entries: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(entries.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    fn small_corpora() -> (Vec<SparseVector>, Vec<SparseVector>) {
+        let items = vec![
+            vec_of(&[(0, 0.9), (1, 0.2)]),
+            vec_of(&[(1, 0.8), (2, 0.4)]),
+            vec_of(&[(2, 0.6), (3, 0.6)]),
+        ];
+        let consumers = vec![
+            vec_of(&[(0, 0.7), (2, 0.5)]),
+            vec_of(&[(1, 0.5), (3, 0.5)]),
+            vec_of(&[(0, 0.1), (3, 0.9)]),
+        ];
+        (items, consumers)
+    }
+
+    #[test]
+    fn point_queries_return_exactly_the_thresholded_pairs() {
+        let store = temp_store("point");
+        let (items, consumers) = small_corpora();
+        let sigma = 0.3;
+        let serving = ServingIndex::for_corpora(&store, "serve", &items, &consumers, sigma);
+        for item in &items {
+            let got = serving.candidates(item);
+            for m in &got {
+                let exact = item.dot(&consumers[m.consumer]);
+                assert!((m.score - exact).abs() < 1e-12);
+                assert!(m.score >= sigma);
+            }
+            let expected: Vec<usize> = consumers
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| item.dot(c) >= sigma)
+                .map(|(i, _)| i)
+                .collect();
+            let got_ids: Vec<usize> = got.iter().map(|m| m.consumer).collect();
+            assert_eq!(got_ids, expected);
+        }
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn top_k_ranks_by_score_then_consumer() {
+        let store = temp_store("topk");
+        let consumers = vec![
+            vec_of(&[(0, 0.5)]),
+            vec_of(&[(0, 0.9)]),
+            vec_of(&[(0, 0.9)]),
+            vec_of(&[(0, 0.4)]),
+        ];
+        let query = vec_of(&[(0, 1.0)]);
+        let serving = ServingIndex::for_corpora(
+            &store,
+            "serve",
+            std::slice::from_ref(&query),
+            &consumers,
+            0.45,
+        );
+        let top = serving.match_one(&query, 2);
+        assert_eq!(top.len(), 2);
+        // Equal scores 0.9/0.9: the lower consumer index wins.
+        assert_eq!(top[0].consumer, 1);
+        assert_eq!(top[1].consumer, 2);
+        assert_eq!(serving.match_one(&query, 0), Vec::new());
+        let all = serving.match_one(&query, usize::MAX);
+        assert_eq!(all.len(), 3, "0.4 stays below sigma");
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn append_batch_extends_the_candidate_set_incrementally() {
+        let store = temp_store("append");
+        let (items, consumers) = small_corpora();
+        let sigma = 0.3;
+        let mut serving = ServingIndex::for_corpora(&store, "serve", &items, &consumers, sigma);
+        let query = &items[0];
+        let before = serving.candidates(query).len();
+
+        // A new consumer that strongly matches item 0 arrives.
+        let newcomer = vec_of(&[(0, 0.95), (1, 0.3)]);
+        let assigned = serving.append_batch(std::slice::from_ref(&newcomer));
+        assert_eq!(assigned, 3..4);
+        assert_eq!(serving.len(), 4);
+
+        let after = serving.candidates(query);
+        assert_eq!(after.len(), before + 1);
+        let found = after.iter().find(|m| m.consumer == 3).expect("newcomer");
+        assert!((found.score - query.dot(&newcomer)).abs() < 1e-12);
+
+        // Batch-equivalence after the append: rebuilding from scratch over
+        // the grown corpus yields the same candidates for every item.
+        let mut grown = consumers.clone();
+        grown.push(newcomer);
+        let rebuilt = ServingIndex::for_corpora(&store, "rebuilt", &items, &grown, sigma);
+        for item in &items {
+            assert_eq!(serving.candidates(item), rebuilt.candidates(item));
+        }
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn empty_batches_and_empty_queries_are_no_ops() {
+        let store = temp_store("edge");
+        let (items, consumers) = small_corpora();
+        let mut serving = ServingIndex::for_corpora(&store, "serve", &items, &consumers, 0.3);
+        assert_eq!(serving.append_batch(&[]), 3..3);
+        assert_eq!(serving.len(), 3);
+        assert!(serving.match_one(&SparseVector::default(), 5).is_empty());
+        assert!(!serving.is_empty());
+        assert!(serving.num_postings() > 0);
+        assert!(serving.num_partitions() >= 1);
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+}

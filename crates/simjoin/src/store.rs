@@ -12,13 +12,17 @@
 //!   verify reducer fetches the two vectors of a surviving candidate from
 //!   here instead of holding `Arc` clones of both corpora.
 //!
-//! Both keep a small bounded FIFO cache of decoded partitions/chunks
-//! behind a mutex, so repeated lookups stay cheap while memory stays
-//! bounded at any corpus size.  Caching only affects speed: every lookup
-//! returns exactly what was written, whatever was evicted in between.
+//! Both keep a small bounded LRU cache of decoded partitions/chunks.
+//! Concurrent misses on the same block coalesce into a single disk read
+//! (a per-block in-flight guard; late arrivals wait for the read instead
+//! of repeating it), and a hit refreshes the block's eviction rank, so
+//! hot blocks survive scans of cold ones.  Caching only affects speed:
+//! every lookup returns exactly what was written, whatever was evicted in
+//! between.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use smr_storage::{DatasetStore, DiskKvStore};
 use smr_text::{SparseVector, TermId};
@@ -34,16 +38,37 @@ const VECTOR_CHUNK: usize = 256;
 /// Decoded partitions / chunks kept in memory per handle.
 const MAX_CACHED: usize = 16;
 
-/// A bounded FIFO cache of decoded side-data blocks.
-#[derive(Debug, Default)]
-struct BlockCache<T> {
+/// The blocks and bookkeeping behind a [`SharedCache`], guarded by its
+/// mutex.
+#[derive(Debug)]
+struct CacheState<T> {
     blocks: HashMap<usize, Arc<T>>,
+    /// Eviction order: front is evicted first; a hit moves its key to the
+    /// back, so the front is always the least recently used block.
     order: VecDeque<usize>,
+    /// Keys some thread is currently reading from disk.
+    loading: HashSet<usize>,
 }
 
-impl<T> BlockCache<T> {
-    fn get(&self, key: usize) -> Option<Arc<T>> {
-        self.blocks.get(&key).cloned()
+impl<T> Default for CacheState<T> {
+    fn default() -> Self {
+        CacheState {
+            blocks: HashMap::new(),
+            order: VecDeque::new(),
+            loading: HashSet::new(),
+        }
+    }
+}
+
+impl<T> CacheState<T> {
+    /// Returns the cached block and refreshes its eviction rank.
+    fn touch(&mut self, key: usize) -> Option<Arc<T>> {
+        let block = self.blocks.get(&key).cloned()?;
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key);
+        Some(block)
     }
 
     fn insert(&mut self, key: usize, block: Arc<T>) {
@@ -55,6 +80,81 @@ impl<T> BlockCache<T> {
                 }
             }
         }
+    }
+
+    fn invalidate(&mut self, key: usize) {
+        if self.blocks.remove(&key).is_some() {
+            if let Some(pos) = self.order.iter().position(|&k| k == key) {
+                self.order.remove(pos);
+            }
+        }
+    }
+}
+
+/// A bounded LRU cache of decoded side-data blocks with per-block read
+/// coalescing: when several threads miss on the same key at once, exactly
+/// one performs the disk read and the rest wait for its result.
+#[derive(Debug, Default)]
+struct SharedCache<T> {
+    state: Mutex<CacheState<T>>,
+    loaded: Condvar,
+    disk_reads: AtomicU64,
+}
+
+/// Clears a key's in-flight flag when the loading thread finishes — or
+/// panics — so waiters are never stranded on a flag nobody will clear.
+struct LoadingGuard<'a, T> {
+    cache: &'a SharedCache<T>,
+    key: usize,
+}
+
+impl<T> Drop for LoadingGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut state = self.cache.state.lock().expect("block cache poisoned");
+        state.loading.remove(&self.key);
+        drop(state);
+        self.cache.loaded.notify_all();
+    }
+}
+
+impl<T> SharedCache<T> {
+    /// Returns the block for `key`, running `load` on a miss.  At most one
+    /// thread loads a given key at a time; concurrent misses block until
+    /// the in-flight read lands and then reuse it.
+    fn get_or_load(&self, key: usize, load: impl FnOnce() -> T) -> Arc<T> {
+        let mut state = self.state.lock().expect("block cache poisoned");
+        loop {
+            if let Some(block) = state.touch(key) {
+                return block;
+            }
+            if state.loading.insert(key) {
+                break;
+            }
+            state = self.loaded.wait(state).expect("block cache poisoned");
+        }
+        drop(state);
+        let _inflight = LoadingGuard { cache: self, key };
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        let block = Arc::new(load());
+        self.state
+            .lock()
+            .expect("block cache poisoned")
+            .insert(key, Arc::clone(&block));
+        block
+    }
+
+    /// Drops the cached block for `key`, if any; the next lookup re-reads
+    /// the disk.
+    fn invalidate(&self, key: usize) {
+        self.state
+            .lock()
+            .expect("block cache poisoned")
+            .invalidate(key);
+    }
+
+    /// Number of disk reads performed through this cache so far.
+    fn disk_reads(&self) -> u64 {
+        self.disk_reads.load(Ordering::Relaxed)
     }
 }
 
@@ -69,7 +169,13 @@ pub struct IndexPartition {
 }
 
 impl IndexPartition {
-    fn from_records(records: Vec<(u32, Posting)>) -> Self {
+    fn from_records(mut records: Vec<(u32, Posting)>) -> Self {
+        // Batch writes store each partition term-sorted, but appended
+        // micro-batches land at the end of the run file, so a partition
+        // may interleave term ranges.  The stable sort restores term order
+        // while preserving file order within a term (batch doc order, then
+        // appends in arrival order).
+        records.sort_by_key(|(term, _)| *term);
         let mut terms: Vec<(u32, Vec<Posting>)> = Vec::new();
         for (term, posting) in records {
             match terms.last_mut() {
@@ -114,7 +220,7 @@ pub struct PartitionedIndex {
     span: u32,
     num_partitions: usize,
     num_entries: usize,
-    cache: Mutex<BlockCache<IndexPartition>>,
+    cache: SharedCache<IndexPartition>,
 }
 
 impl PartitionedIndex {
@@ -162,7 +268,7 @@ impl PartitionedIndex {
             span,
             num_partitions,
             num_entries,
-            cache: Mutex::new(BlockCache::default()),
+            cache: SharedCache::default(),
         }
     }
 
@@ -172,18 +278,35 @@ impl PartitionedIndex {
     }
 
     /// Opens (or returns the cached copy of) partition `p`.  Partitions
-    /// with no indexed term read as empty.
+    /// with no indexed term read as empty.  Concurrent misses on the same
+    /// partition share one disk read.
     pub fn partition(&self, p: usize) -> Arc<IndexPartition> {
-        if let Some(partition) = self.cache.lock().expect("index cache poisoned").get(p) {
-            return partition;
+        self.cache.get_or_load(p, || {
+            IndexPartition::from_records(self.store.read(&format!("{}/part-{p}", self.prefix)))
+        })
+    }
+
+    /// Appends postings to the partitions their terms fall into, creating
+    /// missing partition files and invalidating only the touched cache
+    /// entries.  Terms beyond the build-time vocabulary clamp into the
+    /// last partition, exactly as [`PartitionedIndex::partition_of`] routes
+    /// their lookups.
+    pub fn append(&mut self, postings: Vec<(u32, Posting)>) {
+        if postings.is_empty() {
+            return;
         }
-        let records = self.store.read(&format!("{}/part-{p}", self.prefix));
-        let partition = Arc::new(IndexPartition::from_records(records));
-        self.cache
-            .lock()
-            .expect("index cache poisoned")
-            .insert(p, Arc::clone(&partition));
-        partition
+        self.num_entries += postings.len();
+        let mut buckets: HashMap<usize, Vec<(u32, Posting)>> = HashMap::new();
+        for record in postings {
+            let p = ((record.0 / self.span) as usize).min(self.num_partitions - 1);
+            buckets.entry(p).or_default().push(record);
+        }
+        for (p, mut bucket) in buckets {
+            bucket.sort_by_key(|(term, _)| *term);
+            self.store
+                .append(&format!("{}/part-{p}", self.prefix), bucket);
+            self.cache.invalidate(p);
+        }
     }
 
     /// Number of term-range partitions (including empty ones).
@@ -194,6 +317,12 @@ impl PartitionedIndex {
     /// Number of indexed `(term, doc)` entries across all partitions.
     pub fn num_entries(&self) -> usize {
         self.num_entries
+    }
+
+    /// Number of partition reads that actually went to disk (cache misses,
+    /// after coalescing concurrent misses into one read).
+    pub fn disk_reads(&self) -> u64 {
+        self.cache.disk_reads()
     }
 }
 
@@ -208,7 +337,7 @@ pub struct DiskVectorStore {
     store: DiskKvStore<SparseVector>,
     prefix: String,
     len: usize,
-    cache: Mutex<BlockCache<Vec<SparseVector>>>,
+    cache: SharedCache<Vec<SparseVector>>,
 }
 
 impl DiskVectorStore {
@@ -223,8 +352,31 @@ impl DiskVectorStore {
             store: typed,
             prefix: prefix.to_string(),
             len: vectors.len(),
-            cache: Mutex::new(BlockCache::default()),
+            cache: SharedCache::default(),
         }
+    }
+
+    /// Appends `vectors` at the end of the store.  The last chunk is
+    /// rewritten when partial (and its cache entry invalidated); full new
+    /// chunks are written as fresh datasets.
+    pub fn append(&mut self, vectors: &[SparseVector]) {
+        if vectors.is_empty() {
+            return;
+        }
+        let first = self.len / VECTOR_CHUNK;
+        let mut pending = if self.len.is_multiple_of(VECTOR_CHUNK) {
+            Vec::new()
+        } else {
+            self.store.read(&format!("{}/chunk-{first}", self.prefix))
+        };
+        pending.extend_from_slice(vectors);
+        for (offset, chunk) in pending.chunks(VECTOR_CHUNK).enumerate() {
+            let c = first + offset;
+            self.store
+                .write(&format!("{}/chunk-{c}", self.prefix), chunk.to_vec());
+            self.cache.invalidate(c);
+        }
+        self.len += vectors.len();
     }
 
     /// Number of vectors in the store.
@@ -237,16 +389,15 @@ impl DiskVectorStore {
         self.len == 0
     }
 
+    /// Number of chunk reads that actually went to disk (cache misses,
+    /// after coalescing concurrent misses into one read).
+    pub fn disk_reads(&self) -> u64 {
+        self.cache.disk_reads()
+    }
+
     fn chunk(&self, c: usize) -> Arc<Vec<SparseVector>> {
-        if let Some(chunk) = self.cache.lock().expect("vector cache poisoned").get(c) {
-            return chunk;
-        }
-        let chunk = Arc::new(self.store.read(&format!("{}/chunk-{c}", self.prefix)));
         self.cache
-            .lock()
-            .expect("vector cache poisoned")
-            .insert(c, Arc::clone(&chunk));
-        chunk
+            .get_or_load(c, || self.store.read(&format!("{}/chunk-{c}", self.prefix)))
     }
 
     /// Calls `f` with the vector at dense index `i`.
@@ -332,6 +483,31 @@ mod tests {
     }
 
     #[test]
+    fn appended_postings_land_in_their_partition_and_refresh_the_cache() {
+        let store = temp_store("append-index");
+        let postings = vec![(0, posting(0, 0.9)), (7, posting(1, 0.5))];
+        let mut index = PartitionedIndex::write(&store, "idx", postings, 10);
+        // Warm the cache so the append has a stale entry to invalidate.
+        let p = index.partition_of(TermId(0));
+        assert_eq!(index.partition(p).postings(0).len(), 1);
+        index.append(vec![
+            (0, posting(5, 0.3)),
+            (3, posting(4, 0.2)),
+            // Beyond the build-time vocabulary: clamps to the last
+            // partition, matching `partition_of` on the lookup side.
+            (1234, posting(6, 0.1)),
+        ]);
+        assert_eq!(index.num_entries(), 5);
+        let part = index.partition(p);
+        assert_eq!(part.postings(0).len(), 2, "append visible after warm read");
+        assert_eq!(part.postings(0)[1].doc, 5, "appends keep arrival order");
+        assert_eq!(part.postings(3).len(), 1);
+        let last = index.partition(index.partition_of(TermId(1234)));
+        assert_eq!(last.postings(1234).len(), 1);
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
     fn vector_store_round_trips_across_chunk_boundaries() {
         let store = temp_store("vectors");
         let vectors: Vec<SparseVector> = (0..VECTOR_CHUNK + 3)
@@ -347,6 +523,33 @@ mod tests {
     }
 
     #[test]
+    fn vector_store_append_rewrites_the_partial_chunk_and_extends() {
+        let store = temp_store("append-vectors");
+        let make = |i: usize| SparseVector::from_entries([(TermId(0), i as f64)]);
+        let initial: Vec<SparseVector> = (0..VECTOR_CHUNK + 3).map(make).collect();
+        let mut disk = DiskVectorStore::write(&store, "v", &initial);
+        // Warm the partial chunk so the append must invalidate it.
+        disk.with_vector(VECTOR_CHUNK + 2, |v| {
+            assert_eq!(v.weight(TermId(0)), (VECTOR_CHUNK + 2) as f64)
+        });
+        let extra: Vec<SparseVector> = (initial.len()..2 * VECTOR_CHUNK + 5).map(make).collect();
+        disk.append(&extra);
+        assert_eq!(disk.len(), 2 * VECTOR_CHUNK + 5);
+        for i in [
+            0,
+            VECTOR_CHUNK + 2,
+            VECTOR_CHUNK + 3,
+            2 * VECTOR_CHUNK,
+            disk.len() - 1,
+        ] {
+            disk.with_vector(i, |v| {
+                assert_eq!(v.weight(TermId(0)), i as f64, "vector {i}")
+            });
+        }
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
     fn caches_stay_bounded_while_reads_stay_correct() {
         let store = temp_store("bounded");
         let vectors: Vec<SparseVector> = (0..(MAX_CACHED + 4) * VECTOR_CHUNK)
@@ -357,8 +560,67 @@ mod tests {
         for i in (0..vectors.len()).step_by(VECTOR_CHUNK) {
             disk.with_vector(i, |v| assert_eq!(v.weight(TermId(0)), i as f64));
         }
-        assert!(disk.cache.lock().unwrap().blocks.len() <= MAX_CACHED);
+        assert!(disk.cache.state.lock().unwrap().blocks.len() <= MAX_CACHED);
         disk.with_vector(0, |v| assert_eq!(v.weight(TermId(0)), 0.0));
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn eviction_is_reuse_aware_not_insertion_order() {
+        let store = temp_store("lru");
+        let vectors: Vec<SparseVector> = (0..(MAX_CACHED + 2) * VECTOR_CHUNK)
+            .map(|i| SparseVector::from_entries([(TermId(0), i as f64)]))
+            .collect();
+        let disk = DiskVectorStore::write(&store, "v", &vectors);
+        // Fill the cache with chunks 0..MAX_CACHED.
+        for c in 0..MAX_CACHED {
+            disk.with_vector(c * VECTOR_CHUNK, |_| ());
+        }
+        assert_eq!(disk.disk_reads(), MAX_CACHED as u64);
+        // Re-touch chunk 0: under FIFO it would still be evicted next;
+        // under LRU the eviction victim becomes chunk 1.
+        disk.with_vector(0, |_| ());
+        disk.with_vector(MAX_CACHED * VECTOR_CHUNK, |_| ());
+        assert_eq!(disk.disk_reads(), MAX_CACHED as u64 + 1);
+        // Chunk 0 survived the eviction...
+        disk.with_vector(0, |_| ());
+        assert_eq!(disk.disk_reads(), MAX_CACHED as u64 + 1);
+        // ...chunk 1 did not.
+        disk.with_vector(VECTOR_CHUNK, |_| ());
+        assert_eq!(disk.disk_reads(), MAX_CACHED as u64 + 2);
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn concurrent_misses_share_one_disk_read_per_partition() {
+        let store = temp_store("stampede");
+        // Terms cover the whole vocabulary so every partition is non-empty.
+        let vocab = 3 * TARGET_ENTRIES_PER_PARTITION;
+        let postings: Vec<(u32, Posting)> =
+            (0..vocab).map(|i| (i as u32, posting(i, 0.5))).collect();
+        let index = PartitionedIndex::write(&store, "idx", postings, vocab);
+        let partitions = index.num_partitions();
+        assert!(partitions > 1 && partitions <= MAX_CACHED);
+
+        let threads = 8;
+        let barrier = std::sync::Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // All threads rush every partition at once: without the
+                    // in-flight guard each miss would decode its own copy.
+                    barrier.wait();
+                    for p in 0..partitions {
+                        assert!(!index.partition(p).is_empty());
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            index.disk_reads(),
+            partitions as u64,
+            "each partition must be read from disk exactly once"
+        );
         std::fs::remove_dir_all(store.root()).unwrap();
     }
 

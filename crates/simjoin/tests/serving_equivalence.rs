@@ -1,0 +1,122 @@
+//! Property tests locking the serving index to the batch join: for random
+//! corpora, the point-query result for *every* item — candidates and
+//! bit-identical scores — equals the batch join's candidate set restricted
+//! to that item, with the batch side run under memory budgets
+//! {4 KiB, unlimited}.  The serving path shares the batch probe's partial
+//! products and suffix-bound prune, so it may never return a different
+//! candidate set.
+
+use proptest::prelude::*;
+use smr_mapreduce::JobConfig;
+use smr_simjoin::{mapreduce_similarity_join_vectors, ServingIndex, SimJoinConfig};
+use smr_storage::DatasetStore;
+use smr_text::{SparseVector, TermId};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_store() -> DatasetStore {
+    let root = std::env::temp_dir().join(format!(
+        "smr-serving-props-{}-{}",
+        std::process::id(),
+        CASE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    DatasetStore::open(root).unwrap()
+}
+
+/// Turns a proptest-generated tag list into a normalized sparse vector
+/// (tags collapse into distinct terms of a shared 24-term space).
+fn vectorize(tags: &[u8]) -> SparseVector {
+    let mut weights = [0.0f64; 24];
+    for &t in tags {
+        weights[t as usize % 24] += 1.0;
+    }
+    SparseVector::from_entries(
+        weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w > 0.0)
+            .map(|(t, w)| (TermId(t as u32), *w)),
+    )
+    .normalized()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn match_one_equals_the_batch_join_for_every_item(
+        item_docs in proptest::collection::vec(
+            proptest::collection::vec(0u8..24, 1..10), 1..12),
+        consumer_docs in proptest::collection::vec(
+            proptest::collection::vec(0u8..24, 1..10), 1..14),
+    ) {
+        let items: Vec<SparseVector> = item_docs.iter().map(|d| vectorize(d)).collect();
+        let consumers: Vec<SparseVector> =
+            consumer_docs.iter().map(|d| vectorize(d)).collect();
+        let names_i: Vec<String> = (0..items.len()).map(|i| format!("t{i}")).collect();
+        let names_c: Vec<String> = (0..consumers.len()).map(|i| format!("c{i}")).collect();
+
+        for sigma in [0.1, 0.35] {
+            let store = temp_store();
+            let serving =
+                ServingIndex::for_corpora(&store, "serve", &items, &consumers, sigma);
+
+            for budget in [Some(4 * 1024u64), None] {
+                let batch = mapreduce_similarity_join_vectors(
+                    &items,
+                    &consumers,
+                    &names_i,
+                    &names_c,
+                    &SimJoinConfig::default().with_threshold(sigma).with_job(
+                        JobConfig::named("serving-props")
+                            .with_threads(2)
+                            .with_memory_budget(budget),
+                    ),
+                );
+                // The batch edge list restricted to each item, with
+                // bit-exact weights.
+                for (t, item) in items.iter().enumerate() {
+                    let mut expected: Vec<(usize, u64)> = batch
+                        .graph
+                        .edges()
+                        .iter()
+                        .filter(|e| e.item.index() == t)
+                        .map(|e| (e.consumer.index(), e.weight.to_bits()))
+                        .collect();
+                    expected.sort_unstable();
+                    let got: Vec<(usize, u64)> = serving
+                        .candidates(item)
+                        .into_iter()
+                        .map(|m| (m.consumer, m.score.to_bits()))
+                        .collect();
+                    prop_assert!(
+                        got == expected,
+                        "item {t} diverged (sigma={sigma} budget={budget:?}): \
+                         serving {got:?} vs batch {expected:?}"
+                    );
+
+                    // Top-k is the k heaviest of that same set, ties toward
+                    // the lower consumer index.
+                    let mut ranked: Vec<(usize, u64)> = expected.clone();
+                    ranked.sort_by(|a, b| {
+                        f64::from_bits(b.1)
+                            .partial_cmp(&f64::from_bits(a.1))
+                            .unwrap()
+                            .then(a.0.cmp(&b.0))
+                    });
+                    let k = 1 + ranked.len() / 2;
+                    let top: Vec<(usize, u64)> = serving
+                        .match_one(item, k)
+                        .into_iter()
+                        .map(|m| (m.consumer, m.score.to_bits()))
+                        .collect();
+                    prop_assert_eq!(&top, &ranked[..k.min(ranked.len())]);
+                }
+            }
+            std::fs::remove_dir_all(store.root()).unwrap();
+        }
+    }
+}

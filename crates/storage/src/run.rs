@@ -284,7 +284,16 @@ pub struct RunReader<R> {
 impl<R: Codec> RunReader<R> {
     /// Opens `path`, validating magic, version and writer completion.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
-        let file = File::open(path.as_ref())?;
+        Self::from_file(File::open(path.as_ref())?)
+    }
+
+    /// Reads a run from an already-open `file`, validating magic, version
+    /// and writer completion.  The handle is rewound first, so a handle
+    /// cloned from a previous reader (whose offset it shares) starts at
+    /// the header again — this lets callers keep one descriptor open
+    /// across repeated re-reads instead of paying a path lookup each time.
+    pub fn from_file(mut file: File) -> Result<Self, StorageError> {
+        file.seek(SeekFrom::Start(0))?;
         let file_len = file.metadata()?.len();
         let mut reader = BufReader::new(file);
         let mut magic = [0u8; 4];

@@ -19,7 +19,10 @@
 //! match — is packaged as the [`MatchingPipeline`] builder ([`pipeline`]),
 //! which runs every MapReduce job of every stage through one
 //! [`mapreduce::FlowContext`] and reports them in one
-//! [`mapreduce::FlowReport`].
+//! [`mapreduce::FlowReport`].  For the online counterpart — a standing
+//! index answering point queries as items arrive, with an incremental
+//! capacity-aware assignment — use [`MatchingPipeline::serve`]
+//! ([`serving`]).
 
 pub use smr_datagen as datagen;
 pub use smr_graph as graph;
@@ -30,5 +33,7 @@ pub use smr_storage as storage;
 pub use smr_text as text;
 
 pub mod pipeline;
+pub mod serving;
 
 pub use pipeline::{CandidateGraph, MatchingPipeline, PipelineRun};
+pub use serving::{ItemAssignment, ServingPipeline};

@@ -247,6 +247,14 @@ impl MatchingPipeline {
         }
     }
 
+    /// Switches to serving mode: builds the standing similarity index and
+    /// the online capacity-aware assignment, and returns the handle that
+    /// answers point queries and absorbs arrivals — no batch matching job
+    /// runs.  See [`crate::serving`] for the serving dataflow.
+    pub fn serve(self) -> crate::serving::ServingPipeline {
+        crate::serving::ServingPipeline::build(self.dataset, self.sigma, self.alpha)
+    }
+
     fn join_stage(self, flow: &FlowContext) -> CandidateGraph {
         let items = Corpus::build(self.dataset.items.clone(), &self.tokenizer);
         let consumers = Corpus::build(self.dataset.consumers.clone(), &self.tokenizer);

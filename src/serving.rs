@@ -1,0 +1,281 @@
+//! The serving side of the pipeline: a standing index plus an online
+//! assignment, fed one arrival at a time.
+//!
+//! [`MatchingPipeline::serve`][crate::MatchingPipeline::serve] ends the
+//! batch world at the point where the similarity index has been built and
+//! the consumer capacities assigned — and instead of running a batch
+//! matching algorithm, hands back a [`ServingPipeline`]:
+//!
+//! * [`ServingPipeline::match_text`] answers "which consumers does this
+//!   new item match at σ?" with a top-k point query against the standing
+//!   [`ServingIndex`] — no corpus scan, no MapReduce job,
+//! * [`ServingPipeline::assign`] additionally commits the arrival into an
+//!   online b-matching ([`IncrementalMatcher`]) that keeps every consumer
+//!   within its capacity, preempting strictly lighter assignments when a
+//!   better match arrives,
+//! * [`ServingPipeline::add_consumers`] absorbs new consumers: their
+//!   prefix postings are appended to the on-disk index partitions and
+//!   they join the assignment with their own capacity.
+//!
+//! The handle vectorizes arriving documents over the same joint
+//! vocabulary the batch join aligns the two corpora with, so a point
+//! query for one of the original items returns exactly the batch join's
+//! candidate edges for it (`tests/serving_equivalence.rs` locks this).
+//! See `docs/serving.md` for the dataflow.
+
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smr_datagen::SocialDataset;
+use smr_matching::IncrementalMatcher;
+use smr_simjoin::{ScoredMatch, ServingIndex};
+use smr_storage::DatasetStore;
+use smr_text::{Corpus, Document, SparseVector, TfIdf, TokenizerConfig, Vocabulary, Weighting};
+
+static SERVE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The outcome of one arrival committed via [`ServingPipeline::assign`].
+#[derive(Debug, Clone)]
+pub struct ItemAssignment {
+    /// Dense index the arrival was registered under in the matcher.
+    pub item: usize,
+    /// The point-query result: every candidate at σ, heaviest first,
+    /// truncated to the query's `k`.
+    pub candidates: Vec<ScoredMatch>,
+    /// The consumers the item was assigned to (some may be preempted by
+    /// later, strictly heavier arrivals).
+    pub assigned: Vec<usize>,
+}
+
+/// A standing serving handle over a dataset: the similarity index kept
+/// alive on disk, the joint vocabulary to vectorize arrivals with, and an
+/// online capacity-aware assignment.
+///
+/// Created by [`crate::MatchingPipeline::serve`]; the on-disk index lives
+/// in a private directory removed when the handle is dropped.
+#[derive(Debug)]
+pub struct ServingPipeline {
+    index: ServingIndex,
+    matcher: IncrementalMatcher,
+    vocab: Vocabulary,
+    consumer_ids: Vec<String>,
+    sigma: f64,
+    store_root: PathBuf,
+}
+
+impl ServingPipeline {
+    /// Builds the serving structures for `dataset` at threshold `sigma`,
+    /// with consumer capacities scaled by `alpha` — the serving-mode
+    /// counterpart of the batch pipeline's join + matching stages.
+    pub(crate) fn build(dataset: SocialDataset, sigma: f64, alpha: f64) -> Self {
+        // The batch join re-vectorizes both corpora over one joint
+        // vocabulary before indexing; serving must vectorize arrivals the
+        // same way or point queries would not line up with batch edges.
+        let mut all_docs: Vec<Document> =
+            Vec::with_capacity(dataset.items.len() + dataset.consumers.len());
+        all_docs.extend(dataset.items.iter().cloned());
+        all_docs.extend(dataset.consumers.iter().cloned());
+        let joint = Corpus::build(all_docs, &TokenizerConfig::default());
+        let item_vectors: Vec<SparseVector> = (0..dataset.items.len())
+            .map(|i| joint.vector(i).clone())
+            .collect();
+        let consumer_vectors: Vec<SparseVector> = (dataset.items.len()..joint.len())
+            .map(|i| joint.vector(i).clone())
+            .collect();
+
+        let store_root = std::env::temp_dir().join(format!(
+            "smr-serve-{}-{}",
+            std::process::id(),
+            SERVE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = DatasetStore::open(&store_root)
+            .unwrap_or_else(|e| panic!("failed to open serving store at {store_root:?}: {e}"));
+        let index =
+            ServingIndex::for_corpora(&store, "serve", &item_vectors, &consumer_vectors, sigma);
+
+        let caps = dataset.capacities(alpha);
+        let matcher = IncrementalMatcher::new(Vec::new(), caps.consumer_capacities().to_vec());
+        let consumer_ids = dataset.consumers.iter().map(|d| d.id.clone()).collect();
+        ServingPipeline {
+            index,
+            matcher,
+            vocab: joint.vocabulary().clone(),
+            consumer_ids,
+            sigma,
+            store_root,
+        }
+    }
+
+    /// Vectorizes a document text exactly as the batch join would have:
+    /// joint vocabulary, tf·idf weights, unit L2 norm.  Terms outside the
+    /// joint vocabulary are dropped (they cannot contribute to any indexed
+    /// similarity).
+    pub fn vectorize(&self, text: &str) -> SparseVector {
+        let tokenizer = smr_text::Tokenizer::new(TokenizerConfig::default());
+        let tokens = tokenizer.tokenize(text);
+        TfIdf::new(&self.vocab, Weighting::TfIdf, true).vectorize(&tokens)
+    }
+
+    /// Point query: the top-`k` consumers matching `text` at σ, heaviest
+    /// first.
+    pub fn match_text(&self, text: &str, k: usize) -> Vec<ScoredMatch> {
+        self.index.match_one(&self.vectorize(text), k)
+    }
+
+    /// Point query over a pre-vectorized arrival (must be in the joint
+    /// term space, e.g. from [`ServingPipeline::vectorize`]).
+    pub fn match_vector(&self, query: &SparseVector, k: usize) -> Vec<ScoredMatch> {
+        self.index.match_one(query, k)
+    }
+
+    /// One item arrives: runs the point query and commits the arrival
+    /// into the online assignment under the item's own `capacity`.
+    pub fn assign(&mut self, text: &str, capacity: u64, k: usize) -> ItemAssignment {
+        let candidates = self.match_text(text, k);
+        let item = self.matcher.add_item(capacity);
+        let edges: Vec<(usize, f64)> = candidates.iter().map(|m| (m.consumer, m.score)).collect();
+        let assigned = self.matcher.arrive(item, &edges);
+        ItemAssignment {
+            item,
+            candidates,
+            assigned,
+        }
+    }
+
+    /// New consumers join the corpus: each is vectorized over the joint
+    /// vocabulary, its prefix postings are appended to the standing index,
+    /// and it enters the assignment with `capacity`.  Returns the dense
+    /// consumer indices assigned.
+    pub fn add_consumers(&mut self, documents: &[Document], capacity: u64) -> Range<usize> {
+        let vectors: Vec<SparseVector> =
+            documents.iter().map(|d| self.vectorize(&d.text)).collect();
+        let range = self.index.append_batch(&vectors);
+        for doc in documents {
+            self.matcher.add_consumer(capacity);
+            self.consumer_ids.push(doc.id.clone());
+        }
+        range
+    }
+
+    /// The similarity threshold served.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Number of consumers currently indexed.
+    pub fn num_consumers(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The external id of a consumer by dense index.
+    pub fn consumer_id(&self, consumer: usize) -> &str {
+        &self.consumer_ids[consumer]
+    }
+
+    /// The standing index (point queries, append stats, disk-read
+    /// counters).
+    pub fn index(&self) -> &ServingIndex {
+        &self.index
+    }
+
+    /// The online assignment (current edges, total weight, residuals).
+    pub fn matcher(&self) -> &IncrementalMatcher {
+        &self.matcher
+    }
+}
+
+impl Drop for ServingPipeline {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.store_root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatchingPipeline;
+    use smr_datagen::FlickrGenerator;
+
+    fn small_dataset() -> SocialDataset {
+        FlickrGenerator {
+            num_photos: 40,
+            num_users: 15,
+            vocabulary: 60,
+            seed: 9,
+            ..FlickrGenerator::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn point_queries_reproduce_the_batch_candidate_edges() {
+        let dataset = small_dataset();
+        let sigma = 0.12;
+        let batch = MatchingPipeline::new(dataset.clone())
+            .sigma(sigma)
+            .job(smr_mapreduce::JobConfig::named("serve-test").with_threads(2))
+            .build_graph();
+        let serving = MatchingPipeline::new(dataset.clone()).sigma(sigma).serve();
+
+        let mut batch_edges: Vec<(usize, usize)> = batch
+            .graph
+            .edges()
+            .iter()
+            .map(|e| (e.item.index(), e.consumer.index()))
+            .collect();
+        batch_edges.sort_unstable();
+        let mut served_edges = Vec::new();
+        for (t, doc) in dataset.items.iter().enumerate() {
+            for m in serving.match_text(&doc.text, usize::MAX) {
+                served_edges.push((t, m.consumer));
+            }
+        }
+        served_edges.sort_unstable();
+        assert_eq!(served_edges, batch_edges);
+    }
+
+    #[test]
+    fn assignment_respects_consumer_capacities() {
+        let dataset = small_dataset();
+        let mut serving = MatchingPipeline::new(dataset.clone()).sigma(0.12).serve();
+        let caps = dataset.capacities(1.0);
+        for doc in &dataset.items {
+            let outcome = serving.assign(&doc.text, 2, 8);
+            assert!(outcome.assigned.len() <= 2);
+            assert!(outcome.assigned.len() <= outcome.candidates.len());
+        }
+        let mut consumer_degree = vec![0u64; serving.num_consumers()];
+        for (_, c, w) in serving.matcher().assignment() {
+            consumer_degree[c] += 1;
+            assert!(w >= serving.sigma());
+        }
+        for (c, d) in consumer_degree.iter().enumerate() {
+            assert!(
+                *d <= caps.consumer_capacities()[c],
+                "consumer {c} over capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn late_consumers_join_the_index_and_the_assignment() {
+        let dataset = small_dataset();
+        let mut serving = MatchingPipeline::new(dataset.clone()).sigma(0.12).serve();
+        let before = serving.num_consumers();
+        // A newcomer sharing an existing item's exact tags must match it.
+        let probe_item = dataset.items[0].clone();
+        let range =
+            serving.add_consumers(&[Document::new("late-user", probe_item.text.clone())], 3);
+        assert_eq!(range, before..before + 1);
+        assert_eq!(serving.num_consumers(), before + 1);
+        assert_eq!(serving.consumer_id(before), "late-user");
+        let matches = serving.match_text(&probe_item.text, usize::MAX);
+        assert!(
+            matches.iter().any(|m| m.consumer == before),
+            "identical tags give similarity 1.0 ≥ σ"
+        );
+        let outcome = serving.assign(&probe_item.text, 1, 4);
+        assert_eq!(outcome.assigned.len(), 1);
+    }
+}

@@ -6,6 +6,7 @@
 //! GreedyMR round) and total shuffled records.
 
 use social_content_matching::datagen::FlickrGenerator;
+use social_content_matching::mapreduce::flow::FlowContext;
 use social_content_matching::mapreduce::JobConfig;
 use social_content_matching::matching::{
     AlgorithmKind, GreedyMr, GreedyMrConfig, StackMr, StackMrConfig,
@@ -47,9 +48,12 @@ fn pipeline_run_is_byte_identical_to_the_pre_redesign_glue() {
             .with_job(quick_job("old")),
     );
     let caps = dataset.capacities(1.0);
-    #[allow(deprecated)]
-    let old_matching = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("old")))
-        .run_in_memory(&join.graph, &caps);
+    let old_flow = FlowContext::new(quick_job("old"));
+    let old_matching = GreedyMr::new(GreedyMrConfig::default().with_job(quick_job("old"))).run(
+        &join.graph,
+        &caps,
+        &old_flow,
+    );
 
     // --- the new chain ---
     let run = MatchingPipeline::new(dataset)
@@ -123,13 +127,13 @@ fn stack_mr_through_the_pipeline_matches_the_old_wrapper() {
             .with_job(quick_job("old")),
     );
     let caps = dataset.capacities(1.0);
-    #[allow(deprecated)]
+    let old_flow = FlowContext::new(quick_job("old"));
     let old = StackMr::new(
         StackMrConfig::default()
             .with_seed(13)
             .with_job(quick_job("old")),
     )
-    .run_in_memory(&join.graph, &caps);
+    .run(&join.graph, &caps, &old_flow);
 
     let run = MatchingPipeline::new(dataset)
         .tokenizer(TokenizerConfig::tags_only())
