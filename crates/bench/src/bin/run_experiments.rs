@@ -4,21 +4,29 @@
 //! run-experiments [EXPERIMENT ...] [--scale smoke|full] [--threads N] [--seed S]
 //!
 //! EXPERIMENT: table1 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7
-//!           | shuffle | spill | join | rounds | serving | all
+//!           | shuffle | spill | join | rounds | serving | distrib | all
 //! ```
 //!
-//! `shuffle`, `spill`, `join`, `rounds` and `serving` are not paper
-//! artefacts: `shuffle` profiles the engine's streaming shuffle (sorted
-//! runs + k-way merge, combine-while-partitioning), `spill` A/Bs memory
-//! budgets on the disk-spilling out-of-core path (output checked
+//! `shuffle`, `spill`, `join`, `rounds`, `serving` and `distrib` are not
+//! paper artefacts: `shuffle` profiles the engine's streaming shuffle
+//! (sorted runs + k-way merge, combine-while-partitioning), `spill` A/Bs
+//! memory budgets on the disk-spilling out-of-core path (output checked
 //! byte-identical to the in-memory run), `rounds` A/Bs memory budgets on
 //! the out-of-core matching rounds (final matching checked byte-identical
 //! to the unlimited-budget run), `join` profiles the streaming similarity
 //! join (candidates generated vs pruned cheap vs verified exact, per
-//! preset and σ), and `serving` measures the standing serving index
+//! preset and σ), `serving` measures the standing serving index
 //! (point-query latency/throughput, recall vs the batch join — asserted
 //! to be exactly 1.0 — and the incremental assignment's value against
-//! batch GreedyMR).
+//! batch GreedyMR), and `distrib` A/Bs the full pipeline across 1/2/4
+//! worker *processes* against the in-process baseline (output asserted
+//! byte-identical at every shard count).
+//!
+//! `distrib` is deliberately excluded from `all`: its workers re-invoke
+//! this binary with the same arguments and replay everything that runs
+//! before the sharded sessions, so bundling it after the other
+//! experiments would re-run the entire suite once per worker.  Run it as
+//! its own invocation: `run-experiments distrib [--scale smoke|full]`.
 
 use std::process::ExitCode;
 
@@ -81,7 +89,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 
 fn usage() -> String {
     "usage: run-experiments \
-     [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|spill|join|rounds|serving|all ...] \
+     [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|spill|join|rounds|serving|distrib|all ...] \
      [--scale smoke|full] [--threads N] [--seed S]"
         .to_string()
 }
@@ -128,6 +136,18 @@ fn run_experiment(name: &str, set: &mut ExperimentSet) -> Result<(), String> {
                 ));
             }
             println!("{}", experiments::serving_table(&rows));
+        }
+        "distrib" => {
+            let rows = experiments::distrib_rows(set, None);
+            // The sharded engine is byte-identical to the in-process one
+            // by construction; any divergence is a correctness bug, not a
+            // measurement — fail the run.
+            if let Some(row) = rows.iter().find(|row| !row.matches_local) {
+                return Err(format!(
+                    "sharded run diverged from the in-process baseline: {row:?}"
+                ));
+            }
+            println!("{}", experiments::distrib_table(&rows));
         }
         "all" => {
             let all = [

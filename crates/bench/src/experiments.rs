@@ -1089,6 +1089,153 @@ pub fn serving_table(rows: &[ServingRow]) -> Table {
     table
 }
 
+// ---------------------------------------------------------------------------
+// Distrib (multi-process shards) experiment
+// ---------------------------------------------------------------------------
+
+/// One measured configuration of the distrib experiment (`shards == 0` is
+/// the in-process baseline).
+#[derive(Debug, Clone)]
+pub struct DistribRow {
+    /// Name of the dataset the pipeline ran on.
+    pub dataset: String,
+    /// Which matcher ran.
+    pub algorithm: AlgorithmKind,
+    /// Worker processes (`0` = in-process baseline, no session).
+    pub shards: usize,
+    /// End-to-end wall clock of the whole pipeline run.
+    pub wall: Duration,
+    /// Records shuffled across every MapReduce job of the run.
+    pub records_shuffled: u64,
+    /// Shuffle bytes across every job — the cross-process exchange volume
+    /// a sharded run moves through run files.
+    pub shuffle_bytes: u64,
+    /// Workers killed and respawned (0 on a fault-free run; only the
+    /// coordinator observes this, workers report 0).
+    pub respawns: u64,
+    /// Whether this run reproduced the baseline byte-for-byte: same
+    /// similarity-join edges, same final matching, same per-job
+    /// shuffled-record profile (always checked, never assumed).
+    pub matches_local: bool,
+}
+
+/// Runs the distrib experiment: the full pipeline in-process, then across
+/// 1, 2 and 4 worker processes, comparing each sharded run byte-for-byte
+/// against the in-process baseline (similarity-join edges, final matching,
+/// per-job shuffle profile).
+///
+/// `worker_args` overrides the argv workers are re-invoked with; the CLI
+/// passes `None` (workers replay the same `run-experiments` invocation),
+/// while a `#[test]` must pass `["--exact", "<test name>", "--nocapture"]`
+/// so the re-invoked test binary replays only the calling test.
+pub fn distrib_rows(set: &mut ExperimentSet, worker_args: Option<Vec<String>>) -> Vec<DistribRow> {
+    use smr_distrib::{is_worker_process, last_session_stats, ShardOptions};
+    use social_content_matching::{MatchingPipeline, PipelineRun};
+
+    let preset = match set.scale {
+        ExperimentScale::Smoke => DatasetPreset::FlickrSmall,
+        ExperimentScale::Full => DatasetPreset::FlickrLarge,
+    };
+    let dataset = preset.generate();
+    let sigma = preset.default_sigma();
+    let algorithm = AlgorithmKind::GreedyMr;
+    let job = set.job().with_name("distrib");
+    let pipeline = || {
+        MatchingPipeline::new(dataset.clone())
+            .sigma(sigma)
+            .algorithm(algorithm)
+            .job(job.clone())
+    };
+    let profile = |run: &PipelineRun| -> Vec<(String, u64)> {
+        run.report
+            .jobs
+            .iter()
+            .map(|j| (j.job_name.clone(), j.shuffle_records))
+            .collect()
+    };
+
+    let started = std::time::Instant::now();
+    let local = pipeline().run();
+    let local_wall = started.elapsed();
+    let row = |run: &PipelineRun, shards: usize, wall: Duration, respawns: u64| DistribRow {
+        dataset: preset.name().to_string(),
+        algorithm,
+        shards,
+        wall,
+        records_shuffled: run.report.total_shuffled_records(),
+        shuffle_bytes: run.report.totals.shuffle_bytes,
+        respawns,
+        matches_local: run.graph.edges() == local.graph.edges()
+            && run.matching.matching == local.matching.matching
+            && profile(run) == profile(&local),
+    };
+
+    let mut rows = vec![row(&local, 0, local_wall, 0)];
+    for shards in [1, 2, 4] {
+        let mut opts = ShardOptions::new(shards).with_session_key(format!("distrib-{shards}"));
+        if let Some(args) = worker_args.clone() {
+            opts = opts.with_worker_args(args);
+        }
+        let started = std::time::Instant::now();
+        let sharded = pipeline().shard_options(opts).run();
+        let wall = started.elapsed();
+        // Session stats exist only in the coordinator; a worker spawned
+        // for a later session replays this code without any.
+        let respawns = if is_worker_process() {
+            0
+        } else {
+            last_session_stats().map(|s| s.respawns).unwrap_or(0)
+        };
+        rows.push(row(&sharded, shards, wall, respawns));
+    }
+    rows
+}
+
+/// Distrib experiment: in-process baseline vs 1/2/4 worker processes, with
+/// a byte-identity check of every sharded run against the baseline.
+pub fn distrib_ablation(set: &mut ExperimentSet) -> Table {
+    distrib_table(&distrib_rows(set, None))
+}
+
+/// Renders pre-computed distrib rows (lets drivers fail the run on a
+/// byte-identity miss before printing).
+pub fn distrib_table(rows: &[DistribRow]) -> Table {
+    let mut table = Table::new(
+        "Distrib: multi-process shards vs in-process (output checked byte-identical)",
+        &[
+            "dataset",
+            "algorithm",
+            "shards",
+            "wall",
+            "shuffled",
+            "shuffle-bytes",
+            "respawns",
+            "identical",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.dataset.clone(),
+            row.algorithm.name().to_string(),
+            if row.shards == 0 {
+                "local".to_string()
+            } else {
+                row.shards.to_string()
+            },
+            format!("{:.2?}", row.wall),
+            row.records_shuffled.to_string(),
+            row.shuffle_bytes.to_string(),
+            row.respawns.to_string(),
+            if row.matches_local {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1289,6 +1436,40 @@ mod tests {
                 "{pair:?}"
             );
             assert_eq!(pair[0].rounds, pair[1].rounds, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn distrib_experiment_is_byte_identical_at_every_shard_count() {
+        let mut set = smoke_set();
+        // The worker replays this test binary; without `--exact` it would
+        // replay the whole suite instead of just this test.
+        let rows = distrib_rows(
+            &mut set,
+            Some(
+                [
+                    "--exact",
+                    "experiments::tests::distrib_experiment_is_byte_identical_at_every_shard_count",
+                    "--nocapture",
+                ]
+                .map(String::from)
+                .to_vec(),
+            ),
+        );
+        assert_eq!(rows.len(), 4, "local baseline + shards 1, 2, 4");
+        assert_eq!(rows[0].shards, 0);
+        for row in &rows {
+            assert!(row.matches_local, "{row:?}");
+            assert!(row.records_shuffled > 0, "{row:?}");
+        }
+        // All shard counts shuffle the same records as the baseline.
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].records_shuffled == w[1].records_shuffled));
+        if !smr_distrib::is_worker_process() {
+            let stats = smr_distrib::last_session_stats().expect("a session just completed");
+            assert_eq!(stats.shards, 4);
+            assert_eq!(stats.respawns, 0, "fault-free run must not respawn");
         }
     }
 

@@ -73,6 +73,17 @@ pub struct JobConfig {
     /// default unless [`SPILL_DIR_ENV`] is set) uses the system temp
     /// directory.
     pub spill_dir: Option<PathBuf>,
+    /// Opt the job into the sharded **multi-process** runtime: when set
+    /// *and* a process-shard runtime is installed (the `smr_distrib` crate
+    /// installs one inside its sharded sessions), the job's map phase is
+    /// split across that many worker OS processes, each running the
+    /// existing map + combine + spill path over a contiguous slice of the
+    /// job's map tasks and shipping sorted runs back through run files;
+    /// the coordinator merges and reduces.  Output is byte-identical to
+    /// the in-process engine for any shard count.  Outside a sharded
+    /// session the flag is inert and the job runs in process.  `None`
+    /// (the default) never delegates.
+    pub process_shards: Option<usize>,
 }
 
 impl Default for JobConfig {
@@ -85,6 +96,7 @@ impl Default for JobConfig {
             combine_buffer_records: DEFAULT_COMBINE_BUFFER_RECORDS,
             memory_budget: env_memory_budget(),
             spill_dir: env_spill_dir(),
+            process_shards: None,
         }
     }
 }
@@ -142,6 +154,15 @@ impl JobConfig {
     /// temp directory).  See [`JobConfig::spill_dir`].
     pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Opts the job into the sharded multi-process runtime with `n`
+    /// worker processes (0 = stay in process).  See
+    /// [`JobConfig::process_shards`]; the shard count actually used inside
+    /// a sharded session is the session's, this flag is the opt-in.
+    pub fn with_process_shards(mut self, n: usize) -> Self {
+        self.process_shards = if n == 0 { None } else { Some(n) };
         self
     }
 

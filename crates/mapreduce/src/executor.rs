@@ -60,13 +60,13 @@ const PARALLEL_MERGE_MIN_RECORDS: usize = 8 * 1024;
 /// merge can order runs deterministically whatever the completion order
 /// was: `(task, seq)` sorts spilled chunks of a task before the task's
 /// final in-memory run, in emission order.
-struct TaggedRun<K, V> {
-    task: usize,
-    seq: usize,
-    source: RunSource<K, V>,
+pub(crate) struct TaggedRun<K, V> {
+    pub(crate) task: usize,
+    pub(crate) seq: usize,
+    pub(crate) source: RunSource<K, V>,
 }
 
-enum RunSource<K, V> {
+pub(crate) enum RunSource<K, V> {
     Memory(Vec<(K, V)>),
     Disk(CompletedRun),
 }
@@ -79,6 +79,9 @@ impl<K, V> RunSource<K, V> {
         }
     }
 }
+
+/// Every sorted run of a job, bucketed by reduce partition.
+pub(crate) type TaggedRuns<K, V> = Vec<Mutex<Vec<TaggedRun<K, V>>>>;
 
 /// The output of a completed job.
 #[derive(Debug, Clone)]
@@ -172,7 +175,6 @@ impl Job {
         R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
         P: Partitioner<M::OutKey>,
     {
-        let num_threads = self.config.effective_threads();
         let num_reduce_tasks = self.config.effective_reduce_tasks();
 
         let mut metrics = JobMetrics {
@@ -188,66 +190,41 @@ impl Job {
         // combining-buffer spills) instead of paying for nothing.
         let combiner = combiner.filter(|c| !c.is_identity());
 
+        // A job opted into process sharding delegates to the installed
+        // multi-process runtime (when a sharded session is active): this
+        // process then plays coordinator or worker.  See `sharded.rs`.
+        if self.config.process_shards.is_some() {
+            if let Some(runtime) = crate::process_shard::current_runtime() {
+                return self.run_process_sharded(
+                    runtime,
+                    mapper,
+                    combiner,
+                    reducer,
+                    partitioner,
+                    input,
+                    counters,
+                    metrics,
+                );
+            }
+        }
+
         // Map + shuffle: one sorted vector of records per reduce partition.
-        let partitions = self.streaming_map_and_merge(
+        let (runs, spill) = self.map_phase(
             mapper,
             combiner,
             partitioner,
             &input,
             &counters,
             &mut metrics,
+            None,
         );
+        let partitions = self.merge_phase(runs, combiner, &counters, &mut metrics);
+        // The merge consumed every disk run: dropping the spill manager
+        // here removes its temp directory before the reduce starts.
+        drop(spill);
 
-        // ------------------------------------------------------------------
-        // Reduce phase (workers pull partitions from a task queue).
-        // ------------------------------------------------------------------
-        let reduce_start = Instant::now();
-        type PartitionResults<K, V> = Mutex<Vec<(usize, Vec<(K, V)>)>>;
-        let partition_results: PartitionResults<R::OutKey, R::OutValue> =
-            Mutex::new(Vec::with_capacity(num_reduce_tasks));
-        let reduce_queue = TaskQueue::unit(num_reduce_tasks);
-        let partitions_ref = &partitions;
-        let reduce_queue_ref = &reduce_queue;
-        let counters_ref = &counters;
-
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..num_threads.min(num_reduce_tasks) {
-                scope.spawn(|_| {
-                    while let Some(task) = reduce_queue_ref.claim() {
-                        let partition = &partitions_ref[task.index];
-                        let mut emitter = Emitter::new();
-                        let mut groups = 0u64;
-                        for (key, values) in group_by_key(partition) {
-                            reducer.reduce(key, &values, &mut emitter);
-                            groups += 1;
-                        }
-                        counters_ref.add(builtin::REDUCE_INPUT_GROUPS, groups);
-                        let out = emitter.into_pairs();
-                        counters_ref.add(builtin::REDUCE_OUTPUT_RECORDS, out.len() as u64);
-                        partition_results.lock().push((task.index, out));
-                    }
-                });
-            }
-        })
-        .expect("reduce worker thread panicked");
-
-        let mut partition_results = partition_results.into_inner();
-        partition_results.sort_unstable_by_key(|(index, _)| *index);
-        let output: Vec<(R::OutKey, R::OutValue)> = partition_results
-            .into_iter()
-            .flat_map(|(_, out)| out)
-            .collect();
-        metrics.timings.reduce = reduce_start.elapsed();
-
-        metrics.map_output_records = counters.get(builtin::MAP_OUTPUT_RECORDS);
-        metrics.shuffle_records = counters.get(builtin::SHUFFLE_RECORDS);
-        metrics.shuffle_bytes = counters.get(builtin::SHUFFLE_BYTES);
-        metrics.merge_runs = counters.get(builtin::MERGE_RUNS);
-        metrics.spill_bytes = counters.get(builtin::SPILL_BYTES);
-        metrics.disk_runs = counters.get(builtin::DISK_RUNS);
-        metrics.reduce_input_groups = counters.get(builtin::REDUCE_INPUT_GROUPS);
-        metrics.reduce_output_records = counters.get(builtin::REDUCE_OUTPUT_RECORDS);
-        metrics.user_counters = counters.snapshot();
+        let output = self.reduce_phase(&partitions, reducer, &counters, &mut metrics);
+        finish_metrics(&counters, &mut metrics);
 
         JobResult {
             output,
@@ -256,11 +233,18 @@ impl Job {
         }
     }
 
-    /// The map + shuffle pipeline: map tasks emit per-partition sorted
-    /// runs (combining while partitioning, spilling to disk under a memory
-    /// budget); the shuffle k-way merges each partition's runs — disk and
-    /// memory uniformly — and combines across them.
-    fn streaming_map_and_merge<M, C, P>(
+    /// The streaming map phase: map tasks emit per-partition sorted runs
+    /// (combining while partitioning, spilling to disk under a memory
+    /// budget).  When `shard` is given, only map tasks whose index falls
+    /// inside that range are executed — the task queue, the task index
+    /// space and every per-task decision (spill points, run sequence
+    /// numbers) are identical to an unsharded run, which is what makes
+    /// runs produced by different processes merge to byte-identical
+    /// output.  Returns the runs and the spill manager whose temp files
+    /// back the disk runs (the caller must keep it alive until the runs
+    /// are consumed).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn map_phase<M, C, P>(
         &self,
         mapper: &M,
         combiner: Option<&C>,
@@ -268,7 +252,8 @@ impl Job {
         input: &[(M::InKey, M::InValue)],
         counters: &Counters,
         metrics: &mut JobMetrics,
-    ) -> Vec<Vec<(M::OutKey, M::OutValue)>>
+        shard: Option<std::ops::Range<usize>>,
+    ) -> (TaggedRuns<M::OutKey, M::OutValue>, Option<SpillManager>)
     where
         M: Mapper,
         C: Combiner<Key = M::OutKey, Value = M::OutValue>,
@@ -280,24 +265,20 @@ impl Job {
 
         // The spill manager exists only under a memory budget; its temp
         // directory is created lazily on the first spill and removed when
-        // it drops at the end of this function (the merge below has
-        // consumed every disk run by then, so no temp files survive the
-        // job either way).
-        let spill = self
+        // it drops (after the merge — or the shard export — has consumed
+        // every disk run, so no temp files survive the job either way).
+        let spill_manager = self
             .config
             .memory_budget
             .map(|budget| SpillManager::new(budget, num_threads, self.config.spill_dir.clone()));
-        let spill = spill.as_ref();
+        let spill = spill_manager.as_ref();
 
-        // ------------------------------------------------------------------
         // Map: pull tasks from the queue, emit sorted runs per
         // (task, partition) — several per task when the task spills.
-        // ------------------------------------------------------------------
         let map_start = Instant::now();
         let queue = TaskQueue::split(input.len(), self.config.effective_map_tasks(input.len()));
         metrics.map_tasks = queue.num_tasks();
 
-        type TaggedRuns<K, V> = Vec<Mutex<Vec<TaggedRun<K, V>>>>;
         let runs: TaggedRuns<M::OutKey, M::OutValue> = (0..num_reduce_tasks)
             .map(|_| Mutex::new(Vec::new()))
             .collect();
@@ -305,6 +286,7 @@ impl Job {
         let queue_ref = &queue;
         let runs_ref = &runs;
         let spills_ref = &spills;
+        let shard_ref = &shard;
 
         crossbeam::thread::scope(|scope| {
             for _ in 0..num_threads.min(queue.num_tasks()) {
@@ -313,6 +295,15 @@ impl Job {
                     let mut map_output = 0u64;
                     let mut combine_output = 0u64;
                     while let Some(task) = queue_ref.claim() {
+                        // A sharded worker claims from the *global* task
+                        // queue but executes only its own slice: skipping
+                        // is cheap and keeps task indices identical to an
+                        // unsharded run.
+                        if let Some(range) = shard_ref {
+                            if !range.contains(&task.index) {
+                                continue;
+                            }
+                        }
                         let mut buffer =
                             CombiningPartitionBuffer::new(num_reduce_tasks, combine_buffer_records);
                         // Spilled chunks of this task get sequence numbers
@@ -376,19 +367,41 @@ impl Job {
         }
         metrics.timings.map = map_start.elapsed();
 
-        // ------------------------------------------------------------------
-        // Shuffle: k-way merge each partition's runs (parallel over
-        // partitions), streaming disk and memory runs uniformly and
-        // combining equal keys that straddle runs.  Small jobs merge
-        // inline: spawning workers costs more than merging a few thousand
-        // records, and the merged result is identical either way (no
-        // ordering decision depends on the execution site).
-        // ------------------------------------------------------------------
+        (runs, spill_manager)
+    }
+
+    /// The shuffle: k-way merge each partition's runs (parallel over
+    /// partitions), streaming disk and memory runs uniformly and
+    /// combining equal keys that straddle runs.  Small jobs merge
+    /// inline: spawning workers costs more than merging a few thousand
+    /// records, and the merged result is identical either way (no
+    /// ordering decision depends on the execution site).
+    ///
+    /// Runs may come from the local map phase or — in a sharded session —
+    /// from run files that worker processes shipped back: the
+    /// `(task, seq)` sort makes the merge indifferent to where a run was
+    /// produced.
+    pub(crate) fn merge_phase<K, V, C>(
+        &self,
+        runs: TaggedRuns<K, V>,
+        combiner: Option<&C>,
+        counters: &Counters,
+        metrics: &mut JobMetrics,
+    ) -> Vec<Vec<(K, V)>>
+    where
+        K: crate::types::Key,
+        V: crate::types::Value,
+        C: Combiner<Key = K, Value = V>,
+    {
+        let num_threads = self.config.effective_threads();
+        let num_reduce_tasks = runs.len();
+        let runs_ref = &runs;
+
         let shuffle_start = Instant::now();
-        let record_bytes = mem::size_of::<(M::OutKey, M::OutValue)>() as u64;
+        let record_bytes = mem::size_of::<(K, V)>() as u64;
         let merge_queue = TaskQueue::unit(num_reduce_tasks);
         type MergedPartitions<K, V> = Vec<Mutex<Vec<(K, V)>>>;
-        let merged: MergedPartitions<M::OutKey, M::OutValue> = (0..num_reduce_tasks)
+        let merged: MergedPartitions<K, V> = (0..num_reduce_tasks)
             .map(|_| Mutex::new(Vec::new()))
             .collect();
         let merge_queue_ref = &merge_queue;
@@ -401,7 +414,7 @@ impl Job {
                 let mut partition_runs = mem::take(&mut *runs_ref[task.index].lock());
                 partition_runs.sort_unstable_by_key(|run| (run.task, run.seq));
                 runs_merged += partition_runs.len() as u64;
-                let streams: Vec<RunStream<M::OutKey, M::OutValue>> = partition_runs
+                let streams: Vec<RunStream<K, V>> = partition_runs
                     .into_iter()
                     .map(|run| match run.source {
                         RunSource::Memory(records) => RunStream::Memory(records.into_iter()),
@@ -452,6 +465,77 @@ impl Job {
 
         merged.into_iter().map(Mutex::into_inner).collect()
     }
+
+    /// The reduce phase: workers pull sorted partitions from a task
+    /// queue, group by key and run the reducer; output is concatenated in
+    /// partition order.
+    pub(crate) fn reduce_phase<K, V, R>(
+        &self,
+        partitions: &[Vec<(K, V)>],
+        reducer: &R,
+        counters: &Counters,
+        metrics: &mut JobMetrics,
+    ) -> Vec<(R::OutKey, R::OutValue)>
+    where
+        K: crate::types::Key,
+        V: crate::types::Value,
+        R: Reducer<Key = K, InValue = V>,
+    {
+        let num_threads = self.config.effective_threads();
+        let num_reduce_tasks = partitions.len();
+
+        let reduce_start = Instant::now();
+        type PartitionResults<K, V> = Mutex<Vec<(usize, Vec<(K, V)>)>>;
+        let partition_results: PartitionResults<R::OutKey, R::OutValue> =
+            Mutex::new(Vec::with_capacity(num_reduce_tasks));
+        let reduce_queue = TaskQueue::unit(num_reduce_tasks);
+        let reduce_queue_ref = &reduce_queue;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..num_threads.min(num_reduce_tasks) {
+                scope.spawn(|_| {
+                    while let Some(task) = reduce_queue_ref.claim() {
+                        let partition = &partitions[task.index];
+                        let mut emitter = Emitter::new();
+                        let mut groups = 0u64;
+                        for (key, values) in group_by_key(partition) {
+                            reducer.reduce(key, &values, &mut emitter);
+                            groups += 1;
+                        }
+                        counters.add(builtin::REDUCE_INPUT_GROUPS, groups);
+                        let out = emitter.into_pairs();
+                        counters.add(builtin::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+                        partition_results.lock().push((task.index, out));
+                    }
+                });
+            }
+        })
+        .expect("reduce worker thread panicked");
+
+        let mut partition_results = partition_results.into_inner();
+        partition_results.sort_unstable_by_key(|(index, _)| *index);
+        let output: Vec<(R::OutKey, R::OutValue)> = partition_results
+            .into_iter()
+            .flat_map(|(_, out)| out)
+            .collect();
+        metrics.timings.reduce = reduce_start.elapsed();
+        output
+    }
+}
+
+/// Copies the end-of-job counter totals into the metrics struct — the
+/// epilogue every execution path (local, sharded coordinator, sharded
+/// worker) shares.
+pub(crate) fn finish_metrics(counters: &Counters, metrics: &mut JobMetrics) {
+    metrics.map_output_records = counters.get(builtin::MAP_OUTPUT_RECORDS);
+    metrics.shuffle_records = counters.get(builtin::SHUFFLE_RECORDS);
+    metrics.shuffle_bytes = counters.get(builtin::SHUFFLE_BYTES);
+    metrics.merge_runs = counters.get(builtin::MERGE_RUNS);
+    metrics.spill_bytes = counters.get(builtin::SPILL_BYTES);
+    metrics.disk_runs = counters.get(builtin::DISK_RUNS);
+    metrics.reduce_input_groups = counters.get(builtin::REDUCE_INPUT_GROUPS);
+    metrics.reduce_output_records = counters.get(builtin::REDUCE_OUTPUT_RECORDS);
+    metrics.user_counters = counters.snapshot();
 }
 
 /// Drains `buffer` into sorted runs and writes every non-empty one to a

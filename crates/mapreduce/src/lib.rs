@@ -141,6 +141,8 @@ pub mod executor;
 pub mod flow;
 pub mod metrics;
 pub mod partition;
+pub mod process_shard;
+mod sharded;
 pub mod shuffle;
 pub mod store;
 pub mod task_queue;
@@ -155,6 +157,7 @@ pub use flow::{
 };
 pub use metrics::{JobMetrics, PhaseTimings};
 pub use partition::{CombiningPartitionBuffer, HashPartitioner, Partitioner};
+pub use process_shard::{ProcessShardRuntime, ShardJob, ShardJobCheck, ShardRole};
 pub use shuffle::merge_runs;
 pub use store::{KvStore, RecordStore};
 pub use task_queue::{Task, TaskQueue};

@@ -32,6 +32,7 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use smr_storage::DatasetStore;
 use smr_text::SparseVector;
@@ -62,6 +63,10 @@ pub struct ServingIndex {
     term_order_rank: Vec<u32>,
     /// Per-term query-side maxima the prefix bounds were computed against.
     max_weights: Vec<f64>,
+    /// Queries seen so far that carried some term heavier than its
+    /// build-time maximum — queries the exactness contract no longer
+    /// covers (see [`ServingIndex::maxima_exceeded`]).
+    maxima_exceeded: AtomicU64,
     len: usize,
 }
 
@@ -112,6 +117,7 @@ impl ServingIndex {
             sigma,
             term_order_rank,
             max_weights: query_max_weights,
+            maxima_exceeded: AtomicU64::new(0),
             len: consumers.len(),
         }
     }
@@ -170,6 +176,26 @@ impl ServingIndex {
         self.index.disk_reads() + self.consumers.disk_reads()
     }
 
+    /// How many queries so far carried some term **strictly heavier** than
+    /// the per-term maximum the index was built with.  Such queries fall
+    /// outside the exactness contract — the consumers' prefixes were cut
+    /// against the declared maxima, so a heavier query may miss pairs.  A
+    /// non-zero count is the signal that the workload has drifted past the
+    /// build assumptions and the index should be rebuilt with fresh maxima
+    /// (surfaced as `needs_rebuild` on the serving pipeline).
+    pub fn maxima_exceeded(&self) -> u64 {
+        self.maxima_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Whether `query` carries some term heavier than its build-time
+    /// maximum (a missing vocabulary entry counts as maximum 0): the
+    /// per-query predicate behind [`ServingIndex::maxima_exceeded`].
+    pub fn query_exceeds_maxima(&self, query: &SparseVector) -> bool {
+        query.entries().iter().any(|&(term, weight)| {
+            weight > self.max_weights.get(term.index()).copied().unwrap_or(0.0)
+        })
+    }
+
     /// Answers one point query: the top-`k` consumers whose exact dot
     /// product with `query` reaches σ, heaviest first (ties broken toward
     /// the lower consumer index, the batch join's candidate order).
@@ -200,6 +226,9 @@ impl ServingIndex {
         let entries = query.entries();
         if entries.is_empty() {
             return Vec::new();
+        }
+        if self.query_exceeds_maxima(query) {
+            self.maxima_exceeded.fetch_add(1, Ordering::Relaxed);
         }
         // Probe each partition some query term routes to, in term order —
         // the same run-grouping the batch probe mapper uses, so partial
@@ -400,6 +429,43 @@ mod tests {
         for item in &items {
             assert_eq!(serving.candidates(item), rebuilt.candidates(item));
         }
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn queries_beyond_the_declared_maxima_are_counted() {
+        let store = temp_store("maxima");
+        let (items, consumers) = small_corpora();
+        let serving = ServingIndex::for_corpora(&store, "serve", &items, &consumers, 0.3);
+        assert_eq!(serving.maxima_exceeded(), 0);
+
+        // Every build-corpus item is covered by construction: the maxima
+        // are derived from exactly these vectors.
+        for item in &items {
+            assert!(!serving.query_exceeds_maxima(item));
+            let _ = serving.candidates(item);
+        }
+        assert_eq!(serving.maxima_exceeded(), 0);
+
+        // Term 0's maximum is 0.9 (item 0); equal weight is still covered,
+        // anything strictly heavier is not.
+        let at_limit = vec_of(&[(0, 0.9)]);
+        let _ = serving.candidates(&at_limit);
+        assert_eq!(serving.maxima_exceeded(), 0);
+
+        let heavier = vec_of(&[(0, 0.95)]);
+        assert!(serving.query_exceeds_maxima(&heavier));
+        let _ = serving.candidates(&heavier);
+        assert_eq!(serving.maxima_exceeded(), 1);
+
+        // A term the build corpus never saw has maximum 0.
+        let unseen_term = vec_of(&[(9, 0.01)]);
+        let _ = serving.match_one(&unseen_term, 3);
+        assert_eq!(serving.maxima_exceeded(), 2);
+
+        // Covered queries keep not counting afterwards.
+        let _ = serving.candidates(&items[1]);
+        assert_eq!(serving.maxima_exceeded(), 2);
         std::fs::remove_dir_all(store.root()).unwrap();
     }
 

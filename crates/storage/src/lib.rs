@@ -19,6 +19,10 @@
 //! * [`DatasetStore`] / [`DiskKvStore`] — file-backed named datasets with
 //!   per-dataset type tags, backing the flow layer's `persist`/`load` and
 //!   mirroring the in-memory `KvStore` persistence surface.
+//! * [`ShardManifest`] — the length-prefixed, checksummed commit record a
+//!   sharded worker process leaves beside its run files so the
+//!   multi-process runtime (`smr_distrib`) can treat the run format as a
+//!   wire format (see `docs/distrib.md`).
 //!
 //! The crate is deliberately dependency-free (std only) and sits below the
 //! engine: `smr_mapreduce` builds its disk-spilling shuffle and file-backed
@@ -29,10 +33,12 @@
 
 pub mod codec;
 pub mod kv;
+pub mod manifest;
 pub mod run;
 pub mod spill;
 
 pub use codec::{Codec, CodecError};
 pub use kv::{DatasetStore, DiskKvStore};
+pub use manifest::{ManifestRun, ShardManifest, MANIFEST_VERSION};
 pub use run::{CompletedRun, RetainedRecords, RunReader, RunWriter, StorageError, FORMAT_VERSION};
 pub use spill::SpillManager;

@@ -13,7 +13,11 @@
 //! * [`datagen`] — synthetic dataset generators standing in for the paper's
 //!   flickr and Yahoo! Answers crawls,
 //! * [`storage`] — the out-of-core layer: binary record codec, spill-run
-//!   files, the spill manager and disk-backed dataset stores.
+//!   files, the spill manager and disk-backed dataset stores,
+//! * [`distrib`] — multi-process sharded execution: a coordinator that
+//!   splits each job's map phase across worker OS processes exchanging
+//!   run files, with supervision and byte-identical output (see
+//!   `docs/distrib.md`).
 //!
 //! The end-to-end chain — tokenize, similarity-join, assign capacities,
 //! match — is packaged as the [`MatchingPipeline`] builder ([`pipeline`]),
@@ -25,6 +29,7 @@
 //! ([`serving`]).
 
 pub use smr_datagen as datagen;
+pub use smr_distrib as distrib;
 pub use smr_graph as graph;
 pub use smr_mapreduce as mapreduce;
 pub use smr_matching as matching;

@@ -32,6 +32,7 @@
 //! ```
 
 use smr_datagen::SocialDataset;
+use smr_distrib::{run_sharded, ShardOptions};
 use smr_graph::{BipartiteGraph, Capacities};
 use smr_mapreduce::flow::{FlowContext, FlowReport};
 use smr_mapreduce::JobConfig;
@@ -53,6 +54,7 @@ pub struct MatchingPipeline {
     seed: u64,
     epsilon: f64,
     max_rounds: Option<usize>,
+    shard: Option<ShardOptions>,
 }
 
 /// The candidate-edge stage of a pipeline run: everything up to (and
@@ -121,6 +123,7 @@ impl MatchingPipeline {
             seed: 42,
             epsilon: 1.0,
             max_rounds: None,
+            shard: None,
         }
     }
 
@@ -179,6 +182,35 @@ impl MatchingPipeline {
         self
     }
 
+    /// Runs every MapReduce job of the pipeline across `n` worker OS
+    /// processes (0 = stay in process): [`MatchingPipeline::run`] and
+    /// [`MatchingPipeline::build_graph`] wrap the whole pipeline in a
+    /// `smr_distrib` sharded session, so each job's map phase is split
+    /// across the workers and the output stays **byte-identical** to the
+    /// in-process run.  The session key defaults to the job config's
+    /// name — give concurrent pipelines distinct names.  For full control
+    /// of the session (worker arguments inside a test harness, timeouts,
+    /// fault injection) use [`MatchingPipeline::shard_options`].
+    pub fn process_shards(self, n: usize) -> Self {
+        if n == 0 {
+            let mut this = self;
+            this.shard = None;
+            this.job = this.job.with_process_shards(0);
+            return this;
+        }
+        let key = self.job.name.clone();
+        self.shard_options(ShardOptions::new(n).with_session_key(key))
+    }
+
+    /// Like [`MatchingPipeline::process_shards`] with explicit session
+    /// options (shard count, session key, worker arguments, timeouts,
+    /// fault injection).
+    pub fn shard_options(mut self, opts: ShardOptions) -> Self {
+        self.job = self.job.with_process_shards(opts.shards);
+        self.shard = Some(opts);
+        self
+    }
+
     /// Sets the seed of the stack algorithms' randomized subroutine.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -203,13 +235,30 @@ impl MatchingPipeline {
     /// that sweep σ or run several algorithms over one candidate graph
     /// (the experiment harness).
     pub fn build_graph(self) -> CandidateGraph {
+        match self.shard.clone() {
+            Some(opts) => run_sharded(opts, move || self.build_graph_inner()),
+            None => self.build_graph_inner(),
+        }
+    }
+
+    fn build_graph_inner(self) -> CandidateGraph {
         let flow = FlowContext::new(self.job.clone());
         self.join_stage(&flow)
     }
 
     /// Runs the complete pipeline: candidate graph, then the selected
-    /// matching algorithm, every job through one flow.
+    /// matching algorithm, every job through one flow.  With
+    /// [`MatchingPipeline::process_shards`] set this is a sharded
+    /// session: the map phase of every job — similarity join and every
+    /// matching round — executes across the worker processes.
     pub fn run(self) -> PipelineRun {
+        match self.shard.clone() {
+            Some(opts) => run_sharded(opts, move || self.run_inner()),
+            None => self.run_inner(),
+        }
+    }
+
+    fn run_inner(self) -> PipelineRun {
         let flow = FlowContext::new(self.job.clone());
         // Only the algorithm-level knobs matter here: in flow mode the
         // engine configuration (threads, shuffle, names) comes from the

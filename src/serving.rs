@@ -173,6 +173,19 @@ impl ServingPipeline {
         &self.consumer_ids[consumer]
     }
 
+    /// Whether the standing index has served queries it can no longer
+    /// answer exactly: some arrival carried a term **heavier** than the
+    /// per-term maximum the index's prefixes were pruned against, so its
+    /// candidate set may have missed pairs.  Once this fires the workload
+    /// has drifted past the build assumptions and the index should be
+    /// rebuilt (a fresh [`crate::MatchingPipeline::serve`] over the grown
+    /// corpus); the raw count is
+    /// [`maxima_exceeded`][ServingIndex::maxima_exceeded] on
+    /// [`ServingPipeline::index`].
+    pub fn needs_rebuild(&self) -> bool {
+        self.index.maxima_exceeded() > 0
+    }
+
     /// The standing index (point queries, append stats, disk-read
     /// counters).
     pub fn index(&self) -> &ServingIndex {
@@ -256,6 +269,31 @@ mod tests {
                 "consumer {c} over capacity"
             );
         }
+    }
+
+    #[test]
+    fn drifted_arrivals_flip_needs_rebuild() {
+        let dataset = small_dataset();
+        let serving = MatchingPipeline::new(dataset.clone()).sigma(0.12).serve();
+        assert!(!serving.needs_rebuild());
+
+        // The original items are the corpus the maxima were derived from:
+        // serving them never trips the detector.
+        for doc in &dataset.items {
+            let _ = serving.match_text(&doc.text, 4);
+        }
+        assert!(!serving.needs_rebuild());
+
+        // An arrival carrying more mass on a term than any build-time item
+        // did (unit vectors bound every build maximum by 1.0) falls outside
+        // the exactness contract.
+        let item_vec = serving.vectorize(&dataset.items[0].text);
+        let (term, _) = item_vec.entries()[0];
+        let heavy = SparseVector::from_entries([(term, 2.0)]);
+        assert!(serving.index().query_exceeds_maxima(&heavy));
+        let _ = serving.match_vector(&heavy, 4);
+        assert!(serving.needs_rebuild());
+        assert_eq!(serving.index().maxima_exceeded(), 1);
     }
 
     #[test]
