@@ -4,18 +4,22 @@
 //! run-experiments [EXPERIMENT ...] [--scale smoke|full] [--threads N] [--seed S]
 //!
 //! EXPERIMENT: table1 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7
-//!           | shuffle | spill | join | rounds | serving | distrib | all
+//!           | shuffle | spill | join | sketch | rounds | serving | distrib | all
 //! ```
 //!
-//! `shuffle`, `spill`, `join`, `rounds`, `serving` and `distrib` are not
-//! paper artefacts: `shuffle` profiles the engine's streaming shuffle
-//! (sorted runs + k-way merge, combine-while-partitioning), `spill` A/Bs
-//! memory budgets on the disk-spilling out-of-core path (output checked
-//! byte-identical to the in-memory run), `rounds` A/Bs memory budgets on
-//! the out-of-core matching rounds (final matching checked byte-identical
-//! to the unlimited-budget run), `join` profiles the streaming similarity
-//! join (candidates generated vs pruned cheap vs verified exact, per
-//! preset and σ), `serving` measures the standing serving index
+//! `shuffle`, `spill`, `join`, `sketch`, `rounds`, `serving` and `distrib`
+//! are not paper artefacts: `shuffle` profiles the engine's streaming
+//! shuffle (sorted runs + k-way merge, combine-while-partitioning),
+//! `spill` A/Bs memory budgets on the disk-spilling out-of-core path
+//! (output checked byte-identical to the in-memory run), `rounds` A/Bs
+//! memory budgets on the out-of-core matching rounds (final matching
+//! checked byte-identical to the unlimited-budget run), `join` profiles
+//! the streaming similarity join (candidates generated vs pruned cheap vs
+//! verified exact, per preset and σ), `sketch` sweeps the pluggable
+//! candidate generators (exact prefix join, DISCO sampling, MinHash/LSH
+//! banding) and prints their recall-vs-shuffle-cost frontier (exact
+//! asserted at recall 1.0, DISCO asserted to shuffle strictly fewer
+//! records than exact somewhere), `serving` measures the standing serving index
 //! (point-query latency/throughput, recall vs the batch join — asserted
 //! to be exactly 1.0 — and the incremental assignment's value against
 //! batch GreedyMR), and `distrib` A/Bs the full pipeline across 1/2/4
@@ -89,8 +93,8 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 
 fn usage() -> String {
     "usage: run-experiments \
-     [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|spill|join|rounds|serving|distrib|all ...] \
-     [--scale smoke|full] [--threads N] [--seed S]"
+     [table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|shuffle|spill|join|sketch|rounds|serving|distrib\
+     |all ...] [--scale smoke|full] [--threads N] [--seed S]"
         .to_string()
 }
 
@@ -137,6 +141,40 @@ fn run_experiment(name: &str, set: &mut ExperimentSet) -> Result<(), String> {
             }
             println!("{}", experiments::serving_table(&rows));
         }
+        "sketch" => {
+            let rows = experiments::sketch_rows(set);
+            // The exact prefix join IS the reference; its recall is 1.0 by
+            // construction, and a sketch generator that keeps no edges at
+            // all produced an empty frontier point — both are bugs, not
+            // tuning artefacts.
+            if let Some(row) = rows.iter().find(|row| row.is_exact && row.recall != 1.0) {
+                return Err(format!(
+                    "exact generator must have recall 1.0 in the sketch frontier: {row:?}"
+                ));
+            }
+            if let Some(row) = rows.iter().find(|row| !row.is_exact && row.edges == 0) {
+                return Err(format!(
+                    "sketch generator recovered no edges (unpopulated frontier point): {row:?}"
+                ));
+            }
+            // DISCO's whole point is trading recall for shuffle volume; if
+            // no DISCO row shuffles strictly fewer records than its
+            // preset's exact join, the sampler is not sampling.
+            let disco_saves = rows.iter().any(|row| {
+                row.generator.starts_with("disco")
+                    && rows.iter().any(|exact| {
+                        exact.is_exact
+                            && exact.preset == row.preset
+                            && row.records_shuffled < exact.records_shuffled
+                    })
+            });
+            if !disco_saves {
+                return Err(
+                    "no DISCO row shuffled strictly fewer records than the exact join".to_string(),
+                );
+            }
+            println!("{}", experiments::sketch_frontier(&rows));
+        }
         "distrib" => {
             let rows = experiments::distrib_rows(set, None);
             // The sharded engine is byte-identical to the in-process one
@@ -152,7 +190,7 @@ fn run_experiment(name: &str, set: &mut ExperimentSet) -> Result<(), String> {
         "all" => {
             let all = [
                 "table1", "fig6", "fig7", "fig1", "fig2", "fig3", "fig4", "fig5", "shuffle",
-                "spill", "join", "rounds", "serving",
+                "spill", "join", "sketch", "rounds", "serving",
             ];
             for exp in all {
                 run_experiment(exp, set)?;
@@ -255,6 +293,12 @@ mod tests {
     fn join_experiment_runs_at_smoke_scale() {
         let mut set = ExperimentSet::new(ExperimentScale::Smoke, 2, 1);
         assert!(run_experiment("join", &mut set).is_ok());
+    }
+
+    #[test]
+    fn sketch_experiment_runs_and_enforces_its_frontier_invariants() {
+        let mut set = ExperimentSet::new(ExperimentScale::Smoke, 2, 1);
+        assert!(run_experiment("sketch", &mut set).is_ok());
     }
 
     #[test]

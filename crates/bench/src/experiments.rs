@@ -623,6 +623,133 @@ pub fn join_ablation(set: &mut ExperimentSet) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Sketch candidate-generation frontier (recall vs shuffle cost)
+// ---------------------------------------------------------------------------
+
+/// One generator × preset point of the sketch recall/cost frontier.
+#[derive(Debug, Clone)]
+pub struct SketchFrontierRow {
+    /// Dataset preset the generator ran on.
+    pub preset: DatasetPreset,
+    /// Similarity threshold σ (the preset's default).
+    pub sigma: f64,
+    /// The generator's tag (`exact`, `disco-λ`, `lsh-BxR`).
+    pub generator: String,
+    /// Whether this is the exact reference row of its preset.
+    pub is_exact: bool,
+    /// Edges the generator kept (every one exactly verified at σ).
+    pub edges: usize,
+    /// Fraction of the exact join's edges recovered.
+    pub recall: f64,
+    /// Candidate pairs generated before pruning/verification.
+    pub candidates: u64,
+    /// Candidates that cost an exact dot product.
+    pub verified_exact: u64,
+    /// Records shuffled across the generator's two jobs.
+    pub records_shuffled: u64,
+    /// Bytes shuffled across the generator's two jobs.
+    pub shuffle_bytes: u64,
+}
+
+/// Sweeps the candidate generators — the exact prefix-filter join
+/// (recall = 1 reference), DISCO sampling at λ ∈ {4, 16} and MinHash/LSH
+/// banding at (bands × rows) ∈ {16×2, 8×4} — over the flickr presets at
+/// their default σ, with each preset's well-known sketch seed.  Every
+/// generator ends in exact verification, so a sketch's edge set is a
+/// subset of the exact join's with bit-identical weights and recall is
+/// simply the edge-count ratio.
+pub fn sketch_rows(set: &mut ExperimentSet) -> Vec<SketchFrontierRow> {
+    use smr_sketch::{CandidateGenerator, DiscoSampler, ExactPrefixJoin, LshBander};
+    use smr_text::{Corpus, TokenizerConfig};
+
+    let presets = match set.scale {
+        ExperimentScale::Smoke => vec![DatasetPreset::FlickrSmall],
+        // The frontier is the paper's small/large flickr contrast (what
+        // EXPERIMENTS.md records); yahoo-answers adds runtime, not signal.
+        ExperimentScale::Full => vec![DatasetPreset::FlickrSmall, DatasetPreset::FlickrLarge],
+    };
+    let mut rows = Vec::new();
+    for preset in presets {
+        let sigma = preset.default_sigma();
+        let seed = preset.sketch_seed();
+        let dataset = preset.generate();
+        let tokenizer = TokenizerConfig::tags_only();
+        let items = Corpus::build(dataset.items, &tokenizer);
+        let consumers = Corpus::build(dataset.consumers, &tokenizer);
+        let generators: Vec<Box<dyn CandidateGenerator>> = vec![
+            Box::new(ExactPrefixJoin::new()),
+            Box::new(DiscoSampler::new(seed, 4.0)),
+            Box::new(DiscoSampler::new(seed, 16.0)),
+            Box::new(LshBander::new(seed, 16, 2)),
+            Box::new(LshBander::new(seed, 8, 4)),
+        ];
+        let mut exact_edges: Option<usize> = None;
+        for generator in &generators {
+            let flow = FlowContext::new(set.job().with_name(format!(
+                "sketch-{}-{}",
+                preset.name(),
+                generator.name()
+            )));
+            let result = generator.generate(&items, &consumers, sigma, &flow);
+            let edges = result.graph.num_edges();
+            let is_exact = exact_edges.is_none();
+            let reference = *exact_edges.get_or_insert(edges);
+            rows.push(SketchFrontierRow {
+                preset,
+                sigma,
+                generator: result.generator,
+                is_exact,
+                edges,
+                recall: if reference == 0 {
+                    1.0
+                } else {
+                    edges as f64 / reference as f64
+                },
+                candidates: result.candidate_pairs as u64,
+                verified_exact: result.verify_exact as u64,
+                records_shuffled: result.shuffled_records,
+                shuffle_bytes: result.shuffled_bytes,
+            });
+        }
+    }
+    rows
+}
+
+/// The recall-vs-shuffle-cost frontier: one row per generator × preset,
+/// exact first as the recall = 1 reference.
+pub fn sketch_frontier(rows: &[SketchFrontierRow]) -> Table {
+    let mut table = Table::new(
+        "Sketch frontier: recall vs shuffle cost per candidate generator \
+         (every kept edge exactly verified at σ)",
+        &[
+            "dataset",
+            "sigma",
+            "generator",
+            "edges",
+            "recall",
+            "candidates",
+            "verified-exact",
+            "shuffled",
+            "shuffle-bytes",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.preset.name().to_string(),
+            fmt_f(row.sigma, 2),
+            row.generator.clone(),
+            row.edges.to_string(),
+            fmt_f(row.recall, 3),
+            row.candidates.to_string(),
+            row.verified_exact.to_string(),
+            row.records_shuffled.to_string(),
+            row.shuffle_bytes.to_string(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Spill (out-of-core) ablation
 // ---------------------------------------------------------------------------
 

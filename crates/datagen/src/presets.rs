@@ -87,6 +87,17 @@ impl DatasetPreset {
         self.sigma_sweep()[self.sigma_sweep().len() / 2]
     }
 
+    /// The signature/sampling seed the sketch candidate generators use on
+    /// this preset — one well-known value per preset, so the `sketch`
+    /// experiment, the recall regression guard and any ad-hoc run all
+    /// sample identically and their numbers are comparable.
+    pub fn sketch_seed(self) -> u64 {
+        // Disjoint from the dataset generation seed (2011) on purpose:
+        // reusing one seed for both data and sketches would correlate the
+        // sampled coordinates with the generated term assignments.
+        0x5e7c_0000 + self as u64
+    }
+
     /// Generates the documents, activity and quality signals of the
     /// preset.
     pub fn generate(self) -> SocialDataset {

@@ -72,8 +72,14 @@ pub mod counter {
 /// two can differ in the last bits; the slack keeps the prune strictly
 /// conservative (a pair at exactly σ always survives to exact
 /// verification) while remaining far below any meaningful similarity
-/// difference of unit-normalized vectors.
-pub(crate) const PRUNE_SLACK: f64 = 1e-9;
+/// difference of unit-normalized vectors.  Public so every candidate
+/// generator prunes with the same conservativeness.
+pub const PRUNE_SLACK: f64 = 1e-9;
+
+/// Generator tag of the exact prefix-filter join in [`SimJoinResult`]
+/// (recall = 1.0 by construction — it is the reference every sketch
+/// generator is measured against).
+pub const EXACT_GENERATOR: &str = "exact";
 
 /// Configuration of the MapReduce similarity join.
 #[derive(Debug, Clone)]
@@ -112,9 +118,39 @@ impl SimJoinConfig {
     }
 }
 
+/// Shuffle volume of one MapReduce stage of a candidate generator — the
+/// same two fields for every stage of every generator, so a frontier table
+/// can read generators' communication costs uniformly instead of fishing
+/// in probe-path-specific counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageShuffle {
+    /// The stage's job name (from the generator's `Dataset` chain).
+    pub job_name: String,
+    /// Records that crossed this stage's shuffle.
+    pub records: u64,
+    /// Bytes that crossed this stage's shuffle.
+    pub bytes: u64,
+}
+
+/// The per-stage shuffle counters of a job sequence, in execution order.
+pub fn stage_shuffles(job_metrics: &[JobMetrics]) -> Vec<StageShuffle> {
+    job_metrics
+        .iter()
+        .map(|m| StageShuffle {
+            job_name: m.job_name.clone(),
+            records: m.shuffle_records,
+            bytes: m.shuffle_bytes,
+        })
+        .collect()
+}
+
 /// Result of the MapReduce similarity join.
 #[derive(Debug, Clone)]
 pub struct SimJoinResult {
+    /// Short tag of the candidate generator that produced this result
+    /// (`"exact"` for the prefix-filter join; sketch generators tag their
+    /// own — see the `smr_sketch` crate).
+    pub generator: String,
     /// The candidate-edge graph (items × consumers, weights = similarity).
     pub graph: BipartiteGraph,
     /// Number of candidate pairs generated by probing, before any pruning
@@ -126,24 +162,95 @@ pub struct SimJoinResult {
     /// Candidates that reached exact verification (a vector fetch and a
     /// dot product each).
     pub verify_exact: usize,
-    /// Term-range partitions the inverted index was persisted into.
+    /// Term-range partitions the inverted index was persisted into (zero
+    /// for generators that do not build an inverted index).
     pub index_partitions: usize,
     /// Number of (term, document) entries indexed by job 1 (after prefix
-    /// pruning).
+    /// pruning); for sketch generators, the size of whatever standing
+    /// structure job 1 built (e.g. MinHash band postings).
     pub indexed_entries: usize,
-    /// Metrics of the two MapReduce jobs.
+    /// Per-stage shuffle volume, uniform across generators (derived from
+    /// [`SimJoinResult::job_metrics`]).
+    pub stage_shuffles: Vec<StageShuffle>,
+    /// Total records shuffled across the generator's jobs.
+    pub shuffled_records: u64,
+    /// Total bytes shuffled across the generator's jobs.
+    pub shuffled_bytes: u64,
+    /// Metrics of the generator's MapReduce jobs.
     pub job_metrics: Vec<JobMetrics>,
+}
+
+impl SimJoinResult {
+    /// Assembles a result from a generator's outputs, deriving the uniform
+    /// per-stage and total shuffle counters from `job_metrics` — the one
+    /// construction path shared by the exact join and every sketch
+    /// generator, so the counters mean the same thing in every row of a
+    /// frontier table.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        generator: impl Into<String>,
+        graph: BipartiteGraph,
+        candidate_pairs: usize,
+        candidates_pruned: usize,
+        verify_exact: usize,
+        index_partitions: usize,
+        indexed_entries: usize,
+        job_metrics: Vec<JobMetrics>,
+    ) -> Self {
+        let stage_shuffles = stage_shuffles(&job_metrics);
+        let shuffled_records = stage_shuffles.iter().map(|s| s.records).sum();
+        let shuffled_bytes = stage_shuffles.iter().map(|s| s.bytes).sum();
+        SimJoinResult {
+            generator: generator.into(),
+            graph,
+            candidate_pairs,
+            candidates_pruned,
+            verify_exact,
+            index_partitions,
+            indexed_entries,
+            stage_shuffles,
+            shuffled_records,
+            shuffled_bytes,
+            job_metrics,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Job 1: indexing
 // ---------------------------------------------------------------------------
 
-struct IndexMapper {
+/// Job 1's mapper: emits each consumer's prefix postings (terms in the
+/// global rarest-first order, prefix cut where the suffix bound drops
+/// below σ, every posting carrying the suffix-remainder bound).  Public so
+/// alternative candidate generators (the `smr_sketch` crate) can reuse the
+/// exact index stage and differ only in how they probe it.
+pub struct IndexMapper {
     consumers: Arc<[SparseVector]>,
     term_order_rank: Arc<Vec<u32>>,
     max_weights: Arc<Vec<f64>>,
     sigma: f64,
+}
+
+impl IndexMapper {
+    /// Creates the index mapper over a shared consumer corpus.
+    ///
+    /// `term_order_rank` is the global prefix-filter term order (see
+    /// [`rarest_first_rank`]); `max_weights` the per-term maxima of the
+    /// *query* side the prefixes are pruned against.
+    pub fn new(
+        consumers: Arc<[SparseVector]>,
+        term_order_rank: Arc<Vec<u32>>,
+        max_weights: Arc<Vec<f64>>,
+        sigma: f64,
+    ) -> Self {
+        IndexMapper {
+            consumers,
+            term_order_rank,
+            max_weights,
+            sigma,
+        }
+    }
 }
 
 impl Mapper for IndexMapper {
@@ -174,7 +281,8 @@ impl Mapper for IndexMapper {
 /// deterministic — map tasks cover contiguous input ranges and runs merge
 /// in task order — so the grouped postings already arrive in ascending doc
 /// order; re-sorting (or cloning into per-term lists) would be pure waste.
-struct IndexReducer;
+#[derive(Debug, Default)]
+pub struct IndexReducer;
 
 impl Reducer for IndexReducer {
     type Key = u32;
@@ -309,7 +417,8 @@ impl Mapper for ProbeMapper {
 /// max), so however the engine slices a pair's records across buffers,
 /// spills and runs, exactly one accumulated record per candidate reaches
 /// the reducer, carrying the full prefix score.
-struct PartialScoreCombiner;
+#[derive(Debug, Default)]
+pub struct PartialScoreCombiner;
 
 impl Combiner for PartialScoreCombiner {
     type Key = (usize, usize);
@@ -332,12 +441,33 @@ impl Combiner for PartialScoreCombiner {
 /// in-memory copy of either corpus: the accumulated score is thresholded
 /// first (a pair that cannot reach σ is dropped without any fetch), and
 /// only survivors cost a chunked read from the [`DiskVectorStore`]s plus
-/// one exact dot product.
-struct VerifyReducer {
+/// one exact dot product.  Public so sketch generators can close their
+/// chains with the same exact-verification stage (emitted candidates
+/// carry true, bit-identical scores whatever generated them).
+pub struct VerifyReducer {
     items: DiskVectorStore,
     consumers: DiskVectorStore,
     sigma: f64,
     counters: Counters,
+}
+
+impl VerifyReducer {
+    /// Creates a verify reducer fetching survivor vectors from the two
+    /// chunked disk stores, reporting [`counter::VERIFY_EXACT`] /
+    /// [`counter::CANDIDATES_PRUNED`] into `counters`.
+    pub fn new(
+        items: DiskVectorStore,
+        consumers: DiskVectorStore,
+        sigma: f64,
+        counters: Counters,
+    ) -> Self {
+        VerifyReducer {
+            items,
+            consumers,
+            sigma,
+            counters,
+        }
+    }
 }
 
 impl Reducer for VerifyReducer {
@@ -582,21 +712,26 @@ pub fn mapreduce_similarity_join_vectors_flow(
         );
     }
 
-    SimJoinResult {
-        graph: builder.build(),
+    SimJoinResult::assemble(
+        EXACT_GENERATOR,
+        builder.build(),
         candidate_pairs,
         candidates_pruned,
         verify_exact,
         index_partitions,
-        indexed_entries: indexed_entries.load(Ordering::Relaxed),
+        indexed_entries.load(Ordering::Relaxed),
         job_metrics,
-    }
+    )
 }
 
 /// Global term order for prefix filtering: rarest terms first, measured by
 /// how many vectors (on either side) contain the term.  Returns, for each
 /// term id, its rank in that order.
-pub(crate) fn rarest_first_rank(
+///
+/// Public so alternative candidate generators can build the *same* index
+/// job 1 builds — identical prefixes, identical postings — and differ only
+/// downstream.
+pub fn rarest_first_rank(
     items: &[SparseVector],
     consumers: &[SparseVector],
     vocab_size: usize,
@@ -617,8 +752,11 @@ pub(crate) fn rarest_first_rank(
 }
 
 /// Re-vectorizes the two corpora over a shared vocabulary so that their dot
-/// products are meaningful, returning the aligned vectors.
-fn align_vector_spaces(
+/// products are meaningful, returning the aligned vectors.  This is the
+/// alignment every candidate generator must apply before joining corpora
+/// (the sketch generators reuse it so their vectors — and therefore their
+/// exact-verified scores — are bit-identical to the exact join's).
+pub fn align_vector_spaces(
     items: &Corpus,
     consumers: &Corpus,
 ) -> (Vec<SparseVector>, Vec<SparseVector>) {
@@ -638,14 +776,20 @@ fn align_vector_spaces(
     (item_vectors, consumer_vectors)
 }
 
-fn item_labels(corpus: &Corpus) -> Vec<String> {
+/// The document ids of a corpus, in dense index order — the node labels a
+/// candidate generator hands to the graph builder.
+pub fn corpus_labels(corpus: &Corpus) -> Vec<String> {
     (0..corpus.len())
         .map(|i| corpus.document(i).id.clone())
         .collect()
 }
 
+fn item_labels(corpus: &Corpus) -> Vec<String> {
+    corpus_labels(corpus)
+}
+
 fn consumer_labels(corpus: &Corpus) -> Vec<String> {
-    item_labels(corpus)
+    corpus_labels(corpus)
 }
 
 #[cfg(test)]

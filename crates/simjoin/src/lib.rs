@@ -62,8 +62,10 @@ pub mod store;
 pub use baseline::baseline_similarity_join;
 pub use index::{InvertedIndex, Posting};
 pub use join::{
-    mapreduce_similarity_join, mapreduce_similarity_join_flow, mapreduce_similarity_join_vectors,
-    mapreduce_similarity_join_vectors_flow, PartialScore, SimJoinConfig, SimJoinResult,
+    align_vector_spaces, corpus_labels, mapreduce_similarity_join, mapreduce_similarity_join_flow,
+    mapreduce_similarity_join_vectors, mapreduce_similarity_join_vectors_flow, rarest_first_rank,
+    stage_shuffles, IndexMapper, IndexReducer, PartialScore, PartialScoreCombiner, SimJoinConfig,
+    SimJoinResult, StageShuffle, VerifyReducer, EXACT_GENERATOR, PRUNE_SLACK,
 };
 pub use prefix::{prefix_length, suffix_remainder_bound, term_max_weights};
 pub use serving::{ScoredMatch, ServingIndex};

@@ -1,0 +1,92 @@
+//! Plumbing shared by the sketch generators: every generator aligns with
+//! the exact join on its side-data layout (chunked vector stores in the
+//! flow's side store, reclaimed once the chain has run) and on how the
+//! final candidate-edge graph is assembled, so results differ only in the
+//! candidate set itself.
+
+use smr_graph::{BipartiteGraph, GraphBuilder};
+use smr_mapreduce::flow::FlowContext;
+use smr_simjoin::DiskVectorStore;
+use smr_storage::DatasetStore;
+use smr_text::SparseVector;
+
+/// The implicit vocabulary size of two aligned vector sets (one past the
+/// highest term id on either side) — identical to the exact join's.
+pub(crate) fn vocab_size(items: &[SparseVector], consumers: &[SparseVector]) -> usize {
+    items
+        .iter()
+        .chain(consumers.iter())
+        .flat_map(|v| v.entries().iter().map(|(t, _)| t.index() + 1))
+        .max()
+        .unwrap_or(0)
+}
+
+/// A generator's transient side data: the flow's side store plus the two
+/// chunked vector stores the verify stage fetches survivor vectors from.
+pub(crate) struct SideData {
+    pub side: DatasetStore,
+    pub prefix: String,
+    pub item_store: DiskVectorStore,
+    pub consumer_store: DiskVectorStore,
+}
+
+/// Persists both corpora as chunked vector datasets under a
+/// generator-unique prefix in the flow's side store.
+pub(crate) fn open_side(
+    flow: &FlowContext,
+    tag: &str,
+    jobs_start: usize,
+    items: &[SparseVector],
+    consumers: &[SparseVector],
+) -> SideData {
+    let side = flow.side_store();
+    // Unique per generator invocation within this flow, so chained joins
+    // (or mixed generators in one pipeline) never collide.
+    let prefix = format!("{tag}-{jobs_start}");
+    let item_store = DiskVectorStore::write(&side, &format!("{prefix}/items"), items);
+    let consumer_store = DiskVectorStore::write(&side, &format!("{prefix}/consumers"), consumers);
+    SideData {
+        side,
+        prefix,
+        item_store,
+        consumer_store,
+    }
+}
+
+/// Reclaims everything written under a generator's prefix — the side data
+/// is dead once the chain has run.  Free-standing (rather than a method)
+/// because generators move the vector stores out of [`SideData`] into
+/// their verify stage before cleaning up.
+pub(crate) fn cleanup_side(side: &DatasetStore, prefix: &str) {
+    let dataset_prefix = format!("{prefix}/");
+    for path in side.paths() {
+        if path.starts_with(&dataset_prefix) {
+            side.remove(&path);
+        }
+    }
+}
+
+/// Assembles the candidate-edge graph from verified `(item, consumer) →
+/// similarity` records, exactly as the exact join does (same node order,
+/// same edge order, same weights).
+pub(crate) fn build_graph(
+    item_names: &[String],
+    consumer_names: &[String],
+    verified: Vec<((usize, usize), f64)>,
+) -> BipartiteGraph {
+    let mut builder = GraphBuilder::new();
+    for name in item_names {
+        builder.add_item(name.clone());
+    }
+    for name in consumer_names {
+        builder.add_consumer(name.clone());
+    }
+    for ((item, consumer), similarity) in verified {
+        builder.add_edge(
+            smr_graph::ItemId(item as u32),
+            smr_graph::ConsumerId(consumer as u32),
+            similarity,
+        );
+    }
+    builder.build()
+}

@@ -1,0 +1,76 @@
+//! Stateless deterministic hashing for the sketch generators.
+//!
+//! Both [`crate::DiscoSampler`] and [`crate::LshBander`] must produce
+//! identical output for any thread count, memory budget or shard layout.
+//! That rules out any stateful RNG (whose stream depends on which worker
+//! draws first): every pseudo-random decision here is a *pure function* of
+//! the seed and the record's own coordinates (term id, document indices,
+//! hash-function index), computed with the splitmix64 finalizer — cheap,
+//! well-mixed, and identical wherever the record is mapped.
+
+/// The splitmix64 mixing step: advances `z` by the golden-ratio increment
+/// and applies the two-round finalizer.  Every hash in this crate is built
+/// by folding words through this function.
+#[inline]
+pub fn splitmix64(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Folds a sequence of words into one well-mixed 64-bit hash, starting
+/// from `seed`.  Order-sensitive: `hash_words(s, &[a, b])` and
+/// `hash_words(s, &[b, a])` are unrelated.
+#[inline]
+pub fn hash_words(seed: u64, words: &[u64]) -> u64 {
+    let mut h = splitmix64(seed);
+    for &w in words {
+        h = splitmix64(h ^ w);
+    }
+    h
+}
+
+/// Maps a hash to a uniform `f64` in `[0, 1)` using its top 53 bits, so
+/// `hash_unit(h) < p` happens with probability `p` for uniform `h`.
+#[inline]
+pub fn hash_unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixes() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // Adjacent inputs differ in many bits.
+        let d = (splitmix64(41) ^ splitmix64(42)).count_ones();
+        assert!(d > 16, "poor avalanche: {d} differing bits");
+    }
+
+    #[test]
+    fn hash_words_is_order_sensitive() {
+        assert_ne!(hash_words(7, &[1, 2]), hash_words(7, &[2, 1]));
+        assert_ne!(hash_words(7, &[1, 2]), hash_words(8, &[1, 2]));
+        assert_eq!(hash_words(7, &[1, 2]), hash_words(7, &[1, 2]));
+    }
+
+    #[test]
+    fn hash_unit_lands_in_the_half_open_interval() {
+        for x in [0u64, 1, u64::MAX, 0xdead_beef] {
+            let u = hash_unit(splitmix64(x));
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+        assert_eq!(hash_unit(0), 0.0);
+    }
+
+    #[test]
+    fn hash_unit_is_roughly_uniform() {
+        let n = 4096;
+        let mean: f64 = (0..n).map(|i| hash_unit(splitmix64(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

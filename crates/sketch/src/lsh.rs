@@ -1,0 +1,342 @@
+//! MinHash/LSH banding as a candidate-generation job pair.
+//!
+//! Instead of probing an inverted index, consumers are summarized by
+//! MinHash signatures over their term *sets*: `sig[i] = min_t h_i(t)`
+//! over the vector's terms, for `bands × rows` seeded hash functions.
+//! Two documents agree on `sig[i]` with probability equal to their
+//! Jaccard similarity, so hashing the signature in bands of `rows`
+//! values buckets similar documents together: a pair lands in the same
+//! bucket of at least one band with probability `1 − (1 − j^rows)^bands`
+//! — the classic LSH S-curve, steep around `(1/bands)^(1/rows)`.
+//!
+//! * **Job 1 — banding**: every consumer emits `(band key, doc)` for each
+//!   of its bands; the reducer streams the grouped band postings through,
+//!   and the chain's `then` materializes them as a sorted bucket list that
+//!   the probe mappers share (the distributed-cache role the partitioned
+//!   index plays for the exact join).
+//! * **Job 2 — bucket probe + verification**: every item computes its own
+//!   signature with the *same* seeded hash functions, looks up its band
+//!   keys, and emits each distinct co-bucketed consumer once.  A dedicated
+//!   verify reducer fetches the pair's vectors from the chunked
+//!   [`DiskVectorStore`]s and keeps the pair only if the exact dot product
+//!   reaches σ — so, as with DISCO, the output is a subset of the exact
+//!   join's edges with bit-identical scores.
+//!
+//! MinHash approximates *Jaccard* while the join thresholds *cosine*; the
+//! two agree on direction (shared terms) but not on weights, which is
+//! precisely the recall the frontier table measures.  All hashing is
+//! stateless ([`crate::hash`]), so the generator is deterministic for any
+//! thread count, memory budget or shard layout.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use smr_mapreduce::flow::FlowContext;
+use smr_mapreduce::{Counters, Emitter, Mapper, Reducer};
+use smr_simjoin::join::counter as sj_counter;
+use smr_simjoin::{DiskVectorStore, SimJoinResult};
+use smr_text::SparseVector;
+
+use crate::common::{build_graph, cleanup_side, open_side, vocab_size, SideData};
+use crate::hash::hash_words;
+use crate::CandidateGenerator;
+
+/// The MinHash/LSH banding generator.
+///
+/// `bands × rows` is the signature length.  More rows per band make a
+/// band agreement stricter (higher precision, lower recall); more bands
+/// give a pair more chances to collide (higher recall, more candidates).
+#[derive(Debug, Clone, Copy)]
+pub struct LshBander {
+    seed: u64,
+    bands: usize,
+    rows: usize,
+}
+
+impl LshBander {
+    /// Creates a bander with the given seed and banding shape.
+    ///
+    /// # Panics
+    /// Panics if `bands` or `rows` is zero.
+    pub fn new(seed: u64, bands: usize, rows: usize) -> Self {
+        assert!(bands > 0, "bands must be positive");
+        assert!(rows > 0, "rows must be positive");
+        LshBander { seed, bands, rows }
+    }
+
+    /// The signature seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of bands.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Rows (signature values) per band.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// The MinHash signature of a vector's term set: `bands × rows` minima of
+/// seeded term hashes.  Items and consumers must use the same `(seed,
+/// bands, rows)` so their band keys are comparable.
+fn signature(vector: &SparseVector, seed: u64, bands: usize, rows: usize) -> Vec<u64> {
+    let mut sig = vec![u64::MAX; bands * rows];
+    for &(term, _) in vector.entries() {
+        for (i, slot) in sig.iter_mut().enumerate() {
+            let h = hash_words(seed, &[i as u64, term.0 as u64]);
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    }
+    sig
+}
+
+/// The bucket key of one band: the band index folded with its `rows`
+/// signature values, so equal keys mean equal band slices (up to hash
+/// collision — which only ever *adds* candidates, all exactly verified).
+fn band_key(seed: u64, band: usize, rows: &[u64]) -> u64 {
+    let mut words = Vec::with_capacity(rows.len() + 1);
+    words.push(band as u64);
+    words.extend_from_slice(rows);
+    hash_words(seed ^ 0x5bd1_e995_9d1b_54a5, &words)
+}
+
+/// Job 1's mapper: each consumer's `bands` band keys.
+struct BandMapper {
+    consumers: Arc<[SparseVector]>,
+    seed: u64,
+    bands: usize,
+    rows: usize,
+}
+
+impl Mapper for BandMapper {
+    type InKey = usize; // consumer dense index
+    type InValue = usize; // ditto
+    type OutKey = u64; // band bucket key
+    type OutValue = u32; // consumer dense index
+
+    fn map(&self, doc: &usize, _: &usize, out: &mut Emitter<u64, u32>) {
+        let vector = &self.consumers[*doc];
+        if vector.entries().is_empty() {
+            return;
+        }
+        let sig = signature(vector, self.seed, self.bands, self.rows);
+        for band in 0..self.bands {
+            let key = band_key(
+                self.seed,
+                band,
+                &sig[band * self.rows..(band + 1) * self.rows],
+            );
+            out.emit(key, *doc as u32);
+        }
+    }
+}
+
+/// Streams each bucket's members through unchanged (the engine's merge
+/// already groups them per key, in doc order).
+#[derive(Debug, Default)]
+struct BandReducer;
+
+impl Reducer for BandReducer {
+    type Key = u64;
+    type InValue = u32;
+    type OutKey = u64;
+    type OutValue = u32;
+
+    fn reduce(&self, key: &u64, docs: &[u32], out: &mut Emitter<u64, u32>) {
+        for doc in docs {
+            out.emit(*key, *doc);
+        }
+    }
+}
+
+/// Job 2's mapper: an item's band keys, looked up in the shared sorted
+/// bucket list; every distinct co-bucketed consumer becomes exactly one
+/// emitted candidate pair (deduplicated across bands locally, so a pair
+/// costs one shuffle record however many bands it collides in).
+struct BucketProbeMapper {
+    items: Arc<[SparseVector]>,
+    buckets: Arc<Vec<(u64, Vec<u32>)>>,
+    seed: u64,
+    bands: usize,
+    rows: usize,
+}
+
+impl Mapper for BucketProbeMapper {
+    type InKey = usize; // item dense index
+    type InValue = usize; // ditto
+    type OutKey = (usize, usize); // (item, consumer) candidate pair
+    type OutValue = ();
+
+    fn map(&self, item: &usize, _: &usize, out: &mut Emitter<(usize, usize), ()>) {
+        let vector = &self.items[*item];
+        if vector.entries().is_empty() {
+            return;
+        }
+        let sig = signature(vector, self.seed, self.bands, self.rows);
+        let mut candidates: BTreeSet<u32> = BTreeSet::new();
+        for band in 0..self.bands {
+            let key = band_key(
+                self.seed,
+                band,
+                &sig[band * self.rows..(band + 1) * self.rows],
+            );
+            if let Ok(i) = self.buckets.binary_search_by_key(&key, |(k, _)| *k) {
+                candidates.extend(self.buckets[i].1.iter().copied());
+            }
+        }
+        for consumer in candidates {
+            out.emit((*item, consumer as usize), ());
+        }
+    }
+}
+
+/// Verifies every candidate pair exactly: one chunked vector fetch per
+/// side and one dot product, keeping the pair only at `similarity ≥ σ`.
+/// Unlike the exact join's verify stage there is no partial score to
+/// pre-threshold — LSH candidates arrive with no evidence beyond the
+/// collision itself.
+struct BucketVerifyReducer {
+    items: DiskVectorStore,
+    consumers: DiskVectorStore,
+    sigma: f64,
+    counters: Counters,
+}
+
+impl Reducer for BucketVerifyReducer {
+    type Key = (usize, usize);
+    type InValue = ();
+    type OutKey = (usize, usize);
+    type OutValue = f64;
+
+    fn reduce(&self, pair: &(usize, usize), _: &[()], out: &mut Emitter<(usize, usize), f64>) {
+        let (item, consumer) = *pair;
+        self.counters.add(sj_counter::VERIFY_EXACT, 1);
+        let similarity = self
+            .items
+            .with_vector(item, |x| self.consumers.with_vector(consumer, |y| x.dot(y)));
+        if similarity >= self.sigma {
+            out.emit(*pair, similarity);
+        }
+    }
+}
+
+impl CandidateGenerator for LshBander {
+    fn name(&self) -> String {
+        format!("lsh-{}x{}", self.bands, self.rows)
+    }
+
+    fn generate_vectors(
+        &self,
+        item_vectors: &[SparseVector],
+        consumer_vectors: &[SparseVector],
+        item_names: &[String],
+        consumer_names: &[String],
+        sigma: f64,
+        flow: &FlowContext,
+    ) -> SimJoinResult {
+        assert_eq!(item_vectors.len(), item_names.len());
+        assert_eq!(consumer_vectors.len(), consumer_names.len());
+        assert!(sigma > 0.0, "threshold must be positive");
+
+        // The banding jobs never look at term weights, but the vocabulary
+        // check keeps misuse loud: a term id beyond either side's space
+        // would mean the corpora were not aligned.
+        let _ = vocab_size(item_vectors, consumer_vectors);
+        let items: Arc<[SparseVector]> = item_vectors.into();
+        let consumers: Arc<[SparseVector]> = consumer_vectors.into();
+
+        let jobs_start = flow.num_jobs();
+        let SideData {
+            side,
+            prefix,
+            item_store,
+            consumer_store,
+        } = open_side(flow, "lsh", jobs_start, item_vectors, consumer_vectors);
+
+        let counters = Counters::new();
+        let indexed_entries = Arc::new(AtomicUsize::new(0));
+        let indexed_entries_probe = Arc::clone(&indexed_entries);
+
+        let band_input: Vec<(usize, usize)> = (0..consumers.len()).map(|i| (i, i)).collect();
+        let probe_input: Vec<(usize, usize)> = (0..items.len()).map(|i| (i, i)).collect();
+        let probe_items = Arc::clone(&items);
+        let probe_counters = counters.clone();
+        let (seed, bands, rows) = (self.seed, self.bands, self.rows);
+
+        let verified = flow
+            .dataset(band_input)
+            .map_with(BandMapper {
+                consumers: Arc::clone(&consumers),
+                seed,
+                bands,
+                rows,
+            })
+            .named("lsh-bands")
+            .reduce_with(BandReducer)
+            .then(move |postings, flow| {
+                // Job 1's output becomes job 2's side data.  Each bucket
+                // arrives as one contiguous run (one reduce group, members
+                // in doc order), but runs are ordered by reduce partition,
+                // not globally by key — so group by adjacency, then sort
+                // the buckets so probe lookups are binary searches and the
+                // list is identical under every partition layout.
+                indexed_entries_probe.store(postings.len(), Ordering::Relaxed);
+                let mut buckets: Vec<(u64, Vec<u32>)> = Vec::new();
+                for (key, doc) in postings {
+                    match buckets.last_mut() {
+                        Some((k, docs)) if *k == key => docs.push(doc),
+                        _ => buckets.push((key, vec![doc])),
+                    }
+                }
+                buckets.sort_unstable_by_key(|(key, _)| *key);
+                probe_counters.add(crate::counter::BAND_BUCKETS, buckets.len() as u64);
+                let buckets = Arc::new(buckets);
+                flow.dataset(probe_input)
+                    .map_with(BucketProbeMapper {
+                        items: probe_items,
+                        buckets,
+                        seed,
+                        bands,
+                        rows,
+                    })
+                    .named("lsh-probe")
+                    .with_counters(probe_counters.clone())
+                    .reduce_with(BucketVerifyReducer {
+                        items: item_store,
+                        consumers: consumer_store,
+                        sigma,
+                        counters: probe_counters,
+                    })
+            })
+            .collect();
+
+        cleanup_side(&side, &prefix);
+
+        let job_metrics = flow.jobs_from(jobs_start);
+        let verify_exact = counters.get(sj_counter::VERIFY_EXACT) as usize;
+        // Every candidate is verified — LSH has no pre-verification prune,
+        // so generated candidates are exactly the reduce-input groups.
+        let candidate_pairs = job_metrics
+            .last()
+            .map(|m| m.reduce_input_groups as usize)
+            .unwrap_or(0);
+
+        SimJoinResult::assemble(
+            self.name(),
+            build_graph(item_names, consumer_names, verified),
+            candidate_pairs,
+            0,
+            verify_exact,
+            0,
+            indexed_entries.load(Ordering::Relaxed),
+            job_metrics,
+        )
+    }
+}

@@ -8,6 +8,9 @@
 //! * [`graph`] — bipartite item/consumer graphs, capacities and matchings,
 //! * [`text`] — vector-space representation (tokenization, tf·idf),
 //! * [`simjoin`] — prefix-filtering similarity join building candidate edges,
+//! * [`sketch`] — pluggable sketch-based candidate generation (DISCO
+//!   sampling, MinHash/LSH banding) behind the
+//!   [`sketch::CandidateGenerator`] abstraction (see `docs/sketch.md`),
 //! * [`matching`] — the paper's algorithms: GreedyMR, StackMR,
 //!   StackGreedyMR, centralized greedy/stack and an exact solver,
 //! * [`datagen`] — synthetic dataset generators standing in for the paper's
@@ -34,6 +37,7 @@ pub use smr_graph as graph;
 pub use smr_mapreduce as mapreduce;
 pub use smr_matching as matching;
 pub use smr_simjoin as simjoin;
+pub use smr_sketch as sketch;
 pub use smr_storage as storage;
 pub use smr_text as text;
 

@@ -31,6 +31,8 @@
 //! );
 //! ```
 
+use std::sync::Arc;
+
 use smr_datagen::SocialDataset;
 use smr_distrib::{run_sharded, ShardOptions};
 use smr_graph::{BipartiteGraph, Capacities};
@@ -38,7 +40,8 @@ use smr_mapreduce::flow::{FlowContext, FlowReport};
 use smr_mapreduce::JobConfig;
 use smr_matching::runner::RunnerConfig;
 use smr_matching::{run_algorithm, AlgorithmKind, GreedyMrConfig, MatchingRun, StackMrConfig};
-use smr_simjoin::mapreduce_similarity_join_flow;
+use smr_simjoin::StageShuffle;
+use smr_sketch::{CandidateGenerator, ExactPrefixJoin};
 use smr_text::{Corpus, TokenizerConfig};
 
 /// Builder for the paper's end-to-end pipeline: tokenize → similarity
@@ -55,6 +58,7 @@ pub struct MatchingPipeline {
     epsilon: f64,
     max_rounds: Option<usize>,
     shard: Option<ShardOptions>,
+    generator: Arc<dyn CandidateGenerator>,
 }
 
 /// The candidate-edge stage of a pipeline run: everything up to (and
@@ -75,8 +79,20 @@ pub struct CandidateGraph {
     /// Candidates that cost an exact dot product against the disk-backed
     /// vector store.
     pub verify_exact: usize,
-    /// `(term, document)` entries indexed after prefix pruning.
+    /// `(term, document)` entries indexed after prefix pruning (for
+    /// sketch generators, the size of whatever standing structure their
+    /// first job built).
     pub indexed_entries: usize,
+    /// Tag of the candidate generator that produced the graph (`"exact"`
+    /// unless [`MatchingPipeline::candidate_generator`] was set).
+    pub generator: String,
+    /// Per-stage shuffle volume of the generator's jobs, uniform across
+    /// generators.
+    pub stage_shuffles: Vec<StageShuffle>,
+    /// Total records the generator's jobs shuffled.
+    pub shuffled_records: u64,
+    /// Total bytes the generator's jobs shuffled.
+    pub shuffled_bytes: u64,
     /// MapReduce jobs the similarity join ran (always 2).
     pub simjoin_jobs: usize,
     /// Metrics of every job executed so far.
@@ -100,6 +116,12 @@ pub struct PipelineRun {
     pub verify_exact: usize,
     /// `(term, document)` entries indexed after prefix pruning.
     pub indexed_entries: usize,
+    /// Tag of the candidate generator that produced the graph.
+    pub generator: String,
+    /// Total records the generator's jobs shuffled.
+    pub shuffled_records: u64,
+    /// Total bytes the generator's jobs shuffled.
+    pub shuffled_bytes: u64,
     /// MapReduce jobs the similarity join ran (always 2).
     pub simjoin_jobs: usize,
     /// The matching algorithm's result (matching, rounds, per-round trace).
@@ -124,7 +146,20 @@ impl MatchingPipeline {
             epsilon: 1.0,
             max_rounds: None,
             shard: None,
+            generator: Arc::new(ExactPrefixJoin::new()),
         }
+    }
+
+    /// Swaps the candidate-generation strategy (default: the exact
+    /// prefix-filter join, byte-identical to calling the join directly).
+    /// Sketch generators — [`smr_sketch::DiscoSampler`],
+    /// [`smr_sketch::LshBander`] — trade bounded recall for shuffle
+    /// volume; whatever generator runs, emitted edges always carry exact
+    /// similarities ≥ σ, so everything downstream (capacities, matching)
+    /// is unchanged.
+    pub fn candidate_generator(mut self, generator: impl CandidateGenerator + 'static) -> Self {
+        self.generator = Arc::new(generator);
+        self
     }
 
     /// Sets the tokenizer both corpora are built with.
@@ -290,6 +325,9 @@ impl MatchingPipeline {
             candidates_pruned: candidate.candidates_pruned,
             verify_exact: candidate.verify_exact,
             indexed_entries: candidate.indexed_entries,
+            generator: candidate.generator,
+            shuffled_records: candidate.shuffled_records,
+            shuffled_bytes: candidate.shuffled_bytes,
             simjoin_jobs: candidate.simjoin_jobs,
             matching,
             report: flow.report(),
@@ -307,7 +345,9 @@ impl MatchingPipeline {
     fn join_stage(self, flow: &FlowContext) -> CandidateGraph {
         let items = Corpus::build(self.dataset.items.clone(), &self.tokenizer);
         let consumers = Corpus::build(self.dataset.consumers.clone(), &self.tokenizer);
-        let join = mapreduce_similarity_join_flow(&items, &consumers, self.sigma, flow);
+        let join = self
+            .generator
+            .generate(&items, &consumers, self.sigma, flow);
         let capacities = self.dataset.capacities(self.alpha);
         CandidateGraph {
             dataset: self.dataset,
@@ -317,6 +357,10 @@ impl MatchingPipeline {
             candidates_pruned: join.candidates_pruned,
             verify_exact: join.verify_exact,
             indexed_entries: join.indexed_entries,
+            generator: join.generator,
+            stage_shuffles: join.stage_shuffles,
+            shuffled_records: join.shuffled_records,
+            shuffled_bytes: join.shuffled_bytes,
             simjoin_jobs: join.job_metrics.len(),
             report: flow.report(),
         }

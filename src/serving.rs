@@ -26,10 +26,11 @@
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use smr_datagen::SocialDataset;
 use smr_matching::IncrementalMatcher;
-use smr_simjoin::{ScoredMatch, ServingIndex};
+use smr_simjoin::{rarest_first_rank, term_max_weights, ScoredMatch, ServingIndex};
 use smr_storage::DatasetStore;
 use smr_text::{Corpus, Document, SparseVector, TfIdf, TokenizerConfig, Vocabulary, Weighting};
 
@@ -61,7 +62,20 @@ pub struct ServingPipeline {
     vocab: Vocabulary,
     consumer_ids: Vec<String>,
     sigma: f64,
+    store: DatasetStore,
     store_root: PathBuf,
+    /// The corpora behind the standing index, kept current as consumers
+    /// arrive — what [`ServingPipeline::rebuild`] rebuilds from.
+    item_vectors: Vec<SparseVector>,
+    consumer_vectors: Vec<SparseVector>,
+    /// Elementwise maxima of every query vector served so far.  A rebuild
+    /// folds these into the item-side maxima, so the fresh index's
+    /// exactness contract covers the drifted workload, not just the
+    /// original corpus.  Behind a mutex because queries take `&self`.
+    observed_query_max: Mutex<Vec<f64>>,
+    /// Rebuild epoch, used to give each rebuilt index a fresh dataset
+    /// prefix in the store.
+    epoch: u64,
 }
 
 impl ServingPipeline {
@@ -103,7 +117,12 @@ impl ServingPipeline {
             vocab: joint.vocabulary().clone(),
             consumer_ids,
             sigma,
+            store,
             store_root,
+            item_vectors,
+            consumer_vectors,
+            observed_query_max: Mutex::new(Vec::new()),
+            epoch: 0,
         }
     }
 
@@ -120,13 +139,33 @@ impl ServingPipeline {
     /// Point query: the top-`k` consumers matching `text` at σ, heaviest
     /// first.
     pub fn match_text(&self, text: &str, k: usize) -> Vec<ScoredMatch> {
-        self.index.match_one(&self.vectorize(text), k)
+        self.match_vector(&self.vectorize(text), k)
     }
 
     /// Point query over a pre-vectorized arrival (must be in the joint
     /// term space, e.g. from [`ServingPipeline::vectorize`]).
     pub fn match_vector(&self, query: &SparseVector, k: usize) -> Vec<ScoredMatch> {
+        self.observe_query(query);
         self.index.match_one(query, k)
+    }
+
+    /// Records a served query's per-term weights into the observed maxima,
+    /// so a later [`ServingPipeline::rebuild`] can cover the workload that
+    /// actually arrived.
+    fn observe_query(&self, query: &SparseVector) {
+        let mut observed = self
+            .observed_query_max
+            .lock()
+            .expect("observed-maxima lock poisoned");
+        for &(term, weight) in query.entries() {
+            let t = term.index();
+            if observed.len() <= t {
+                observed.resize(t + 1, 0.0);
+            }
+            if weight > observed[t] {
+                observed[t] = weight;
+            }
+        }
     }
 
     /// One item arrives: runs the point query and commits the arrival
@@ -151,6 +190,7 @@ impl ServingPipeline {
         let vectors: Vec<SparseVector> =
             documents.iter().map(|d| self.vectorize(&d.text)).collect();
         let range = self.index.append_batch(&vectors);
+        self.consumer_vectors.extend(vectors);
         for doc in documents {
             self.matcher.add_consumer(capacity);
             self.consumer_ids.push(doc.id.clone());
@@ -184,6 +224,72 @@ impl ServingPipeline {
     /// [`ServingPipeline::index`].
     pub fn needs_rebuild(&self) -> bool {
         self.index.maxima_exceeded() > 0
+    }
+
+    /// Rebuilds the standing index from the current corpora when
+    /// [`ServingPipeline::needs_rebuild`] fires, and swaps it in.  Returns
+    /// whether a rebuild ran (`false` = the index is still exact for
+    /// everything it has served; nothing happens).
+    ///
+    /// The fresh index covers the *drifted* workload, not just the build
+    /// corpus: its per-term query maxima are the elementwise max of the
+    /// item-side maxima and every query weight observed so far, so the
+    /// very arrivals that tripped the detector are inside the new
+    /// exactness contract.  Consumers added via
+    /// [`ServingPipeline::add_consumers`] are re-indexed from scratch
+    /// (their prefixes are re-cut against the widened maxima), the drift
+    /// counter resets to zero, and the old index's datasets are reclaimed
+    /// from the store.
+    pub fn rebuild(&mut self) -> bool {
+        if !self.needs_rebuild() {
+            return false;
+        }
+        let observed = self
+            .observed_query_max
+            .lock()
+            .expect("observed-maxima lock poisoned")
+            .clone();
+        let corpus_vocab = self
+            .item_vectors
+            .iter()
+            .chain(self.consumer_vectors.iter())
+            .flat_map(|v| v.entries().iter().map(|(t, _)| t.index() + 1))
+            .max()
+            .unwrap_or(0);
+        let vocab_size = corpus_vocab.max(observed.len());
+        let mut max_weights = term_max_weights(&self.item_vectors, vocab_size);
+        for (term, &weight) in observed.iter().enumerate() {
+            if weight > max_weights[term] {
+                max_weights[term] = weight;
+            }
+        }
+        let rank = rarest_first_rank(&self.item_vectors, &self.consumer_vectors, vocab_size);
+        let old_prefix = format!("{}/", self.rebuild_prefix());
+        self.epoch += 1;
+        self.index = ServingIndex::build(
+            &self.store,
+            &self.rebuild_prefix(),
+            &self.consumer_vectors,
+            max_weights,
+            rank,
+            self.sigma,
+        );
+        for path in self.store.paths() {
+            if path.starts_with(&old_prefix) {
+                self.store.remove(&path);
+            }
+        }
+        true
+    }
+
+    /// The store prefix of the current epoch's index datasets ("serve"
+    /// for the original build, "serve-N" for the N-th rebuild).
+    fn rebuild_prefix(&self) -> String {
+        if self.epoch == 0 {
+            "serve".to_string()
+        } else {
+            format!("serve-{}", self.epoch)
+        }
     }
 
     /// The standing index (point queries, append stats, disk-read
@@ -294,6 +400,90 @@ mod tests {
         let _ = serving.match_vector(&heavy, 4);
         assert!(serving.needs_rebuild());
         assert_eq!(serving.index().maxima_exceeded(), 1);
+    }
+
+    #[test]
+    fn rebuild_restores_exactness_after_drift() {
+        let dataset = small_dataset();
+        let mut serving = MatchingPipeline::new(dataset.clone()).sigma(0.12).serve();
+        assert!(!serving.rebuild(), "no drift ⇒ no rebuild");
+
+        // Drive the drift counter well past the rebuild threshold: unit
+        // vectors bound every build-time maximum by 1.0, so weight 2.0 on
+        // an indexed term is strictly heavier than anything declared.
+        let item_vec = serving.vectorize(&dataset.items[0].text);
+        let (term, _) = item_vec.entries()[0];
+        let heavy = SparseVector::from_entries([(term, 2.0)]);
+        for _ in 0..3 {
+            let _ = serving.match_vector(&heavy, 4);
+        }
+        assert_eq!(serving.index().maxima_exceeded(), 3);
+        assert!(serving.needs_rebuild());
+
+        assert!(serving.rebuild());
+        assert!(!serving.needs_rebuild(), "the drift counter must reset");
+        assert_eq!(serving.num_consumers(), dataset.consumers.len());
+
+        // The very query that tripped the detector is now inside the
+        // exactness contract — served without re-flagging drift, and
+        // returning exactly the brute-force thresholded candidates.
+        assert!(!serving.index().query_exceeds_maxima(&heavy));
+        let matches = serving.match_vector(&heavy, usize::MAX);
+        assert!(!serving.needs_rebuild());
+        let mut got: Vec<usize> = matches.iter().map(|m| m.consumer).collect();
+        got.sort_unstable();
+        let expected: Vec<usize> = dataset
+            .consumers
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| heavy.dot(&serving.vectorize(&d.text)) >= serving.sigma())
+            .map(|(c, _)| c)
+            .collect();
+        assert_eq!(got, expected);
+
+        // Original items keep their batch candidates after the rebuild
+        // (widening maxima only loosens prefixes, never drops pairs).
+        let batch = MatchingPipeline::new(dataset.clone())
+            .sigma(0.12)
+            .job(smr_mapreduce::JobConfig::named("rebuild-test").with_threads(2))
+            .build_graph();
+        let mut batch_edges: Vec<(usize, usize)> = batch
+            .graph
+            .edges()
+            .iter()
+            .map(|e| (e.item.index(), e.consumer.index()))
+            .collect();
+        batch_edges.sort_unstable();
+        let mut served_edges = Vec::new();
+        for (t, doc) in dataset.items.iter().enumerate() {
+            for m in serving.match_text(&doc.text, usize::MAX) {
+                served_edges.push((t, m.consumer));
+            }
+        }
+        served_edges.sort_unstable();
+        assert_eq!(served_edges, batch_edges);
+    }
+
+    #[test]
+    fn rebuild_reindexes_consumers_added_after_the_build() {
+        let dataset = small_dataset();
+        let mut serving = MatchingPipeline::new(dataset.clone()).sigma(0.12).serve();
+        let probe_item = dataset.items[0].clone();
+        let late = serving.num_consumers();
+        serving.add_consumers(&[Document::new("late-user", probe_item.text.clone())], 3);
+
+        // Trip the detector, rebuild, and check the late consumer survived
+        // the from-scratch re-index.
+        let item_vec = serving.vectorize(&probe_item.text);
+        let (term, _) = item_vec.entries()[0];
+        let _ = serving.match_vector(&SparseVector::from_entries([(term, 2.0)]), 1);
+        assert!(serving.rebuild());
+        assert_eq!(serving.num_consumers(), late + 1);
+        let matches = serving.match_text(&probe_item.text, usize::MAX);
+        assert!(
+            matches.iter().any(|m| m.consumer == late),
+            "identical tags give similarity 1.0 ≥ σ after the rebuild"
+        );
     }
 
     #[test]
