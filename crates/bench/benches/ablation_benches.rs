@@ -101,7 +101,7 @@ fn bench_threads(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     let (graph, caps) = bench_graph(3_000, 17);
-    for &threads in &[1usize, 2, 4] {
+    for &threads in &[1usize, 2, 8] {
         group.bench_with_input(
             BenchmarkId::new("greedymr_threads", threads),
             &threads,

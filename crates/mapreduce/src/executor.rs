@@ -56,6 +56,14 @@ use crate::types::{Combiner, Emitter, Mapper, Reducer};
 /// thread: spawning merge workers costs more than the merge itself.
 const PARALLEL_MERGE_MIN_RECORDS: usize = 8 * 1024;
 
+/// Caps how many run files a merge worker holds open at once.  A tiny
+/// memory budget over a large input spills thousands of runs per
+/// partition; opening them all simultaneously exhausts the process file
+/// descriptor limit (`EMFILE`).  Partitions with more runs than this merge
+/// hierarchically: batches of at most this many runs collapse into
+/// in-memory intermediate runs until one final merge remains.
+const MAX_MERGE_FAN_IN: usize = 64;
+
 /// One sorted run of a reduce partition, tagged with its origin so the
 /// merge can order runs deterministically whatever the completion order
 /// was: `(task, seq)` sorts spilled chunks of a task before the task's
@@ -414,20 +422,9 @@ impl Job {
                 let mut partition_runs = mem::take(&mut *runs_ref[task.index].lock());
                 partition_runs.sort_unstable_by_key(|run| (run.task, run.seq));
                 runs_merged += partition_runs.len() as u64;
-                let streams: Vec<RunStream<K, V>> = partition_runs
-                    .into_iter()
-                    .map(|run| match run.source {
-                        RunSource::Memory(records) => RunStream::Memory(records.into_iter()),
-                        RunSource::Disk(run) => RunStream::Disk(
-                            RunReader::open(&run.path)
-                                .unwrap_or_else(|e| panic!("spilled run unreadable: {e}")),
-                        ),
-                    })
-                    .collect();
-                let combined = match combiner {
-                    Some(combiner) => merge_streams_combining(streams, combiner),
-                    None => merge_streams(streams),
-                };
+                let sources: Vec<RunSource<K, V>> =
+                    partition_runs.into_iter().map(|run| run.source).collect();
+                let combined = merge_sources(sources, MAX_MERGE_FAN_IN, combiner);
                 shuffled += combined.len() as u64;
                 *merged_ref[task.index].lock() = combined;
             }
@@ -536,6 +533,66 @@ pub(crate) fn finish_metrics(counters: &Counters, metrics: &mut JobMetrics) {
     metrics.reduce_input_groups = counters.get(builtin::REDUCE_INPUT_GROUPS);
     metrics.reduce_output_records = counters.get(builtin::REDUCE_OUTPUT_RECORDS);
     metrics.user_counters = counters.snapshot();
+}
+
+/// Merges a reduce partition's runs (already in `(task, seq)` order) into
+/// one sorted, combined vector, holding at most `fan_in` run files open at
+/// a time.
+///
+/// When the partition has more runs than `fan_in`, batches of `fan_in`
+/// consecutive runs collapse into in-memory intermediate runs, pass after
+/// pass, until a single final merge remains — `⌈log_fan_in(runs)⌉` passes,
+/// in practice two.  Intermediate passes merge **without** combining: a
+/// pure merge keeps equal keys in exactly the run order of a flat merge,
+/// so the one combining pass at the end folds values in the same order
+/// however many passes ran, and the output stays byte-identical to the
+/// unbounded merge without assuming anything about the combiner beyond the
+/// engine's usual contract.
+fn merge_sources<K, V, C>(
+    sources: Vec<RunSource<K, V>>,
+    fan_in: usize,
+    combiner: Option<&C>,
+) -> Vec<(K, V)>
+where
+    K: crate::types::Key,
+    V: crate::types::Value,
+    C: Combiner<Key = K, Value = V>,
+{
+    fn open<K, V>(source: RunSource<K, V>) -> RunStream<K, V>
+    where
+        K: crate::types::Key,
+        V: crate::types::Value,
+    {
+        match source {
+            RunSource::Memory(records) => RunStream::Memory(records.into_iter()),
+            RunSource::Disk(run) => RunStream::Disk(
+                RunReader::open(&run.path)
+                    .unwrap_or_else(|e| panic!("spilled run unreadable: {e}")),
+            ),
+        }
+    }
+
+    let fan_in = fan_in.max(2);
+    let mut sources = sources;
+    while sources.len() > fan_in {
+        let mut next = Vec::with_capacity(sources.len().div_ceil(fan_in));
+        let mut batch = Vec::with_capacity(fan_in);
+        for source in sources {
+            batch.push(open(source));
+            if batch.len() == fan_in {
+                next.push(RunSource::Memory(merge_streams(mem::take(&mut batch))));
+            }
+        }
+        if !batch.is_empty() {
+            next.push(RunSource::Memory(merge_streams(batch)));
+        }
+        sources = next;
+    }
+    let streams: Vec<RunStream<K, V>> = sources.into_iter().map(open).collect();
+    match combiner {
+        Some(combiner) => merge_streams_combining(streams, combiner),
+        None => merge_streams(streams),
+    }
 }
 
 /// Drains `buffer` into sorted runs and writes every non-empty one to a
@@ -965,6 +1022,75 @@ mod tests {
             "no temp files may outlive the job"
         );
         std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    /// Sorted runs with overlapping keys: run `r` holds keys
+    /// `r, r+1, ..., r+9`, value `r` — so every key appears in several
+    /// runs and value order across runs is observable.
+    fn overlapping_runs(count: usize) -> Vec<RunSource<u64, u64>> {
+        (0..count as u64)
+            .map(|r| RunSource::Memory((r..r + 10).map(|k| (k, r)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn bounded_fan_in_merge_is_byte_identical_to_flat_merge() {
+        let flat = merge_sources(
+            overlapping_runs(9),
+            usize::MAX,
+            None::<&IdentityCombiner<u64, u64>>,
+        );
+        for fan_in in [2, 3, 4, 8] {
+            let bounded = merge_sources(
+                overlapping_runs(9),
+                fan_in,
+                None::<&IdentityCombiner<u64, u64>>,
+            );
+            assert_eq!(bounded, flat, "fan-in {fan_in} diverged from flat merge");
+        }
+        // Equal keys must still come out in run order, not batch order.
+        let values_for_key_5: Vec<u64> = flat
+            .iter()
+            .filter(|(k, _)| *k == 5)
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(values_for_key_5, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bounded_fan_in_merge_combines_once_at_the_final_pass() {
+        struct SumU64;
+        impl Combiner for SumU64 {
+            type Key = u64;
+            type Value = u64;
+            fn combine(&self, _k: &u64, vs: &[u64]) -> Vec<u64> {
+                vec![vs.iter().sum()]
+            }
+        }
+        let flat = merge_sources(overlapping_runs(11), usize::MAX, Some(&SumU64));
+        let bounded = merge_sources(overlapping_runs(11), 2, Some(&SumU64));
+        assert_eq!(bounded, flat);
+        // Each key's combined value is the sum over every run containing it.
+        let (_, total) = *flat.iter().find(|(k, _)| *k == 10).unwrap();
+        assert_eq!(total, (1..=10).sum::<u64>());
+    }
+
+    #[test]
+    fn bounded_fan_in_merge_streams_disk_runs_in_batches() {
+        let manager = SpillManager::new(1024, 1, None);
+        let sources: Vec<RunSource<u64, u64>> = (0..9u64)
+            .map(|r| {
+                let records: Vec<(u64, u64)> = (r..r + 10).map(|k| (k, r)).collect();
+                RunSource::Disk(manager.write_run(&records).unwrap())
+            })
+            .collect();
+        let merged = merge_sources(sources, 2, None::<&IdentityCombiner<u64, u64>>);
+        let flat = merge_sources(
+            overlapping_runs(9),
+            usize::MAX,
+            None::<&IdentityCombiner<u64, u64>>,
+        );
+        assert_eq!(merged, flat);
     }
 
     #[test]

@@ -7,9 +7,21 @@
 //! already-sorted runs — `O(n log k)` comparisons instead of an
 //! `O(n log n)` full re-sort, and no concatenated intermediate copy.  The
 //! merge is *external*: disk runs and in-memory runs (the two arms of the
-//! crate-internal `RunStream`) stream through the same heap one record at
-//! a time, so a partition whose runs live on disk is merged without ever
-//! materializing more than one record per run.
+//! crate-internal `RunStream`) stream through the same tournament one
+//! record at a time, so a partition whose runs live on disk is merged
+//! without ever materializing more than one record per run.
+//!
+//! The merge core is a **loser tree** — a tournament where each internal
+//! node remembers the *loser* of its match, so replacing the winner's head
+//! record replays only the winner's root path (`log k` comparisons, where
+//! a binary heap's pop-then-push pays roughly three times that).  On top
+//! of it sits a "winner stays" fast path: the tree caches the runner-up
+//! leaf, and when a refilled stream's next record still beats that
+//! runner-up — the common case for runs with long sorted stretches — the
+//! emit costs a single comparison and no replay at all.
+//! [`merge_runs_reference`] keeps the straightforward heap merge as an
+//! executable model; property tests pin the tournament byte-identical to
+//! it.
 //!
 //! Determinism: runs are merged in **(task index, spill sequence) order**
 //! and the merge breaks key ties by run position, so records with equal
@@ -17,6 +29,8 @@
 //! would produce — regardless of which worker thread ran which task and of
 //! where each run's bytes live.
 
+use std::cell::Cell;
+use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use smr_storage::RunReader;
@@ -57,38 +71,144 @@ impl<K: Key, V: Value> Iterator for RunStream<K, V> {
     }
 }
 
-/// A record travelling through the merge heap: ordered by `(key, run)`,
-/// **reversed** so that `BinaryHeap` (a max-heap) pops the smallest key
-/// first.  The record is moved into the heap and moved out again — keys
-/// are never cloned, which matters for heap-carrying key types like
-/// `String` on the shuffle's hot path.
-struct HeapEntry<K, V> {
-    key: K,
-    value: V,
-    run: usize,
+/// Sentinel for [`LoserTree::runner_up`]: no cached runner-up, the next
+/// pop must replay.
+const NO_RUNNER_UP: usize = usize::MAX;
+
+/// The tournament at the heart of the merge.
+///
+/// Streams occupy the leaves (padded to a power of two; padding leaves
+/// hold a permanently-exhausted head).  Internal node `n` stores the leaf
+/// that *lost* the match played there, and `losers[0]` holds the overall
+/// winner.  Emitting the winner therefore replays only the winner's
+/// leaf-to-root path: at each node the new contender plays the stored
+/// loser, swapping in when it loses.  Heads compare by `(exhausted, key,
+/// leaf index)` — exhausted streams sort last, and the leaf-index
+/// tie-break is exactly the run-position determinism contract.
+///
+/// The replay also tracks the minimum over the path's losers, which after
+/// a full replay *is* the global runner-up (the second-best head must have
+/// lost its last match to the winner, so it sits on the winner's path).
+/// That cached runner-up powers the fast path in [`LoserTree::pop`].
+struct LoserTree<K, V, I> {
+    streams: Vec<I>,
+    /// Head record of each leaf; `None` = exhausted (or padding).
+    heads: Vec<Option<(K, V)>>,
+    /// `losers[0]`: the winning leaf.  `losers[1..]`: per-node losers.
+    losers: Vec<usize>,
+    /// Leaf count — `streams.len()` padded to a power of two.
+    capacity: usize,
+    /// Best non-winner leaf, or [`NO_RUNNER_UP`] when not cached.
+    runner_up: usize,
 }
 
-impl<K: Ord, V> PartialEq for HeapEntry<K, V> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.run == other.run
+impl<K: Ord, V, I: Iterator<Item = (K, V)>> LoserTree<K, V, I> {
+    fn new(streams: Vec<I>) -> Self {
+        let mut streams = streams;
+        let capacity = streams.len().next_power_of_two().max(1);
+        let mut heads: Vec<Option<(K, V)>> = Vec::with_capacity(capacity);
+        for stream in streams.iter_mut() {
+            heads.push(stream.next());
+        }
+        heads.resize_with(capacity, || None);
+        let mut tree = LoserTree {
+            streams,
+            heads,
+            losers: vec![0; capacity],
+            capacity,
+            runner_up: NO_RUNNER_UP,
+        };
+        tree.build();
+        tree
     }
-}
 
-impl<K: Ord, V> Eq for HeapEntry<K, V> {}
-
-impl<K: Ord, V> PartialOrd for HeapEntry<K, V> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+    /// Plays the full tournament bottom-up, filling every node's loser.
+    fn build(&mut self) {
+        // winner[n] for the implicit tree with leaves at capacity..2*capacity.
+        let mut winner: Vec<usize> = vec![0; 2 * self.capacity];
+        for leaf in 0..self.capacity {
+            winner[self.capacity + leaf] = leaf;
+        }
+        for node in (1..self.capacity).rev() {
+            let (a, b) = (winner[2 * node], winner[2 * node + 1]);
+            if self.beats(a, b) {
+                winner[node] = a;
+                self.losers[node] = b;
+            } else {
+                winner[node] = b;
+                self.losers[node] = a;
+            }
+        }
+        self.losers[0] = winner[1];
     }
-}
 
-impl<K: Ord, V> Ord for HeapEntry<K, V> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: the max-heap must surface the smallest (key, run).
-        other
-            .key
-            .cmp(&self.key)
-            .then_with(|| other.run.cmp(&self.run))
+    /// Whether leaf `a`'s head wins against leaf `b`'s: present beats
+    /// exhausted, then smaller key, then smaller leaf index (run order).
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (&self.heads[a], &self.heads[b]) {
+            (Some((ka, _)), Some((kb, _))) => match ka.cmp(kb) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Emits the smallest head, refills its stream and restores the
+    /// tournament — via the one-comparison fast path when the refilled
+    /// record still beats the cached runner-up.
+    fn pop(&mut self) -> Option<(K, V)> {
+        let winner = self.losers[0];
+        // The `?` must fire before touching `streams`: an exhausted
+        // tournament can be won by a padding leaf with no stream behind it.
+        let record = self.heads[winner].take()?;
+        self.heads[winner] = self.streams[winner].next();
+        if self.runner_up == NO_RUNNER_UP || !self.beats(winner, self.runner_up) {
+            self.replay(winner);
+        }
+        // else: winner stays — no other head changed, so the cached
+        // runner-up is still the best of the rest.
+        Some(record)
+    }
+
+    /// Replays `leaf`'s path to the root, swapping with stored losers,
+    /// and re-caches the runner-up when it can.
+    ///
+    /// The runner-up cache is only valid when `leaf` itself wins the
+    /// replay: then every match the winner ever won lies on this path, so
+    /// the path's best loser is the global second-best — a second walk of
+    /// the path computes it, paid only when the winner stayed (exactly the
+    /// streak case the fast path then turns into one comparison per
+    /// record).  When some other leaf takes over mid-path, the true
+    /// runner-up may sit on the part of the *new* winner's path this
+    /// replay never visited — the cache is dropped and the next pop
+    /// replays unconditionally, keeping the no-streak replay at one
+    /// comparison per level.
+    fn replay(&mut self, leaf: usize) {
+        let mut winner = leaf;
+        let mut node = (self.capacity + leaf) / 2;
+        while node >= 1 {
+            if self.beats(self.losers[node], winner) {
+                std::mem::swap(&mut self.losers[node], &mut winner);
+            }
+            node /= 2;
+        }
+        self.losers[0] = winner;
+        if winner == leaf {
+            let mut runner_up = NO_RUNNER_UP;
+            let mut node = (self.capacity + leaf) / 2;
+            while node >= 1 {
+                if runner_up == NO_RUNNER_UP || self.beats(self.losers[node], runner_up) {
+                    runner_up = self.losers[node];
+                }
+                node /= 2;
+            }
+            self.runner_up = runner_up;
+        } else {
+            self.runner_up = NO_RUNNER_UP;
+        }
     }
 }
 
@@ -99,7 +219,7 @@ impl<K: Ord, V> Ord for HeapEntry<K, V> {
 /// records of `runs[0]` come before records of `runs[1]`, and so on — the
 /// caller passes runs in task-index order to make the merge deterministic.
 /// (Within one run the order is preserved automatically: at most one entry
-/// per run lives in the heap at a time.)
+/// per run lives in the tournament at a time.)
 pub fn merge_runs<K: Ord, V>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
     if runs.len() <= 1 {
         return runs.into_iter().next().unwrap_or_default();
@@ -114,7 +234,48 @@ pub(crate) fn merge_streams<K: Ord, V, I>(streams: Vec<I>) -> Vec<(K, V)>
 where
     I: Iterator<Item = (K, V)>,
 {
-    let mut iters = streams;
+    let total: usize = streams.iter().map(|i| i.size_hint().0).sum();
+    let mut tree = LoserTree::new(streams);
+    let mut merged = Vec::with_capacity(total);
+    while let Some(record) = tree.pop() {
+        merged.push(record);
+    }
+    merged
+}
+
+/// The straightforward binary-heap merge the loser tree replaced, kept as
+/// the executable model: property tests assert the tournament merge is
+/// byte-identical to it (same `(key, run)` tie-break), and the perf
+/// harness measures the tournament against it.  Not part of the public
+/// API surface.
+#[doc(hidden)]
+pub fn merge_runs_reference<K: Ord, V>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    struct HeapEntry<K, V> {
+        key: K,
+        value: V,
+        run: usize,
+    }
+    impl<K: Ord, V> PartialEq for HeapEntry<K, V> {
+        fn eq(&self, other: &Self) -> bool {
+            self.key == other.key && self.run == other.run
+        }
+    }
+    impl<K: Ord, V> Eq for HeapEntry<K, V> {}
+    impl<K: Ord, V> PartialOrd for HeapEntry<K, V> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<K: Ord, V> Ord for HeapEntry<K, V> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: the max-heap must surface the smallest (key, run).
+            other
+                .key
+                .cmp(&self.key)
+                .then_with(|| other.run.cmp(&self.run))
+        }
+    }
+    let mut iters: Vec<_> = runs.into_iter().map(Vec::into_iter).collect();
     let total: usize = iters.iter().map(|i| i.size_hint().0).sum();
     let mut heap: BinaryHeap<HeapEntry<K, V>> = BinaryHeap::with_capacity(iters.len());
     for (run, iter) in iters.iter_mut().enumerate() {
@@ -136,9 +297,43 @@ where
     merged
 }
 
+thread_local! {
+    /// Key clones taken by the combine fan-out on this thread.  The merge
+    /// paths move keys instead of cloning them wherever they can; this
+    /// counter is the executable proof — tests assert it stays at zero
+    /// for single-output combiners (the overwhelmingly common kind).
+    static KEY_CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Key clones the combine fan-out paths have taken on the calling thread
+/// so far.  Test/bench instrumentation, not public API.
+#[doc(hidden)]
+pub fn key_clones_on_this_thread() -> u64 {
+    KEY_CLONES.with(Cell::get)
+}
+
+/// Clones a key for a multi-output combiner fan-out, counting it.
+fn clone_key_counted<K: Clone>(key: &K) -> K {
+    KEY_CLONES.with(|count| count.set(count.get() + 1));
+    key.clone()
+}
+
+/// Emits a combiner's outputs for one group, moving the key into the last
+/// output and cloning it only for the outputs before it — zero clones for
+/// the usual one-output combiner.
+fn emit_combined<K: Clone, V>(key: K, mut outputs: Vec<V>, out: &mut Vec<(K, V)>) {
+    let last = outputs.pop();
+    for value in outputs {
+        out.push((clone_key_counted(&key), value));
+    }
+    if let Some(value) = last {
+        out.push((key, value));
+    }
+}
+
 /// Merges sorted record streams and applies `combiner` to every key group
-/// in one fused pass: records stream from the heap straight into per-key
-/// groups, with no intermediate merged vector and no second scan.
+/// in one fused pass: records stream from the tournament straight into
+/// per-key groups, with no intermediate merged vector and no second scan.
 ///
 /// A group holding a single value passes through untouched — it is
 /// already the output of a map-side combine, so re-applying the combiner
@@ -152,14 +347,8 @@ pub(crate) fn merge_streams_combining<C: Combiner, I>(
 where
     I: Iterator<Item = (C::Key, C::Value)>,
 {
-    let mut iters = streams;
-    let total: usize = iters.iter().map(|i| i.size_hint().0).sum();
-    let mut heap: BinaryHeap<HeapEntry<C::Key, C::Value>> = BinaryHeap::with_capacity(iters.len());
-    for (run, iter) in iters.iter_mut().enumerate() {
-        if let Some((key, value)) = iter.next() {
-            heap.push(HeapEntry { key, value, run });
-        }
-    }
+    let total: usize = streams.iter().map(|i| i.size_hint().0).sum();
+    let mut tree = LoserTree::new(streams);
     let mut combined = Vec::with_capacity(total);
     let mut group: Option<(C::Key, Vec<C::Value>)> = None;
     let flush = |group: Option<(C::Key, Vec<C::Value>)>, out: &mut Vec<_>| {
@@ -167,25 +356,17 @@ where
             if values.len() == 1 {
                 out.push((key, values.pop().expect("one value")));
             } else {
-                for value in combiner.combine(&key, &values) {
-                    out.push((key.clone(), value));
-                }
+                let outputs = combiner.combine(&key, &values);
+                emit_combined(key, outputs, out);
             }
         }
     };
-    while let Some(entry) = heap.pop() {
-        if let Some((key, value)) = iters[entry.run].next() {
-            heap.push(HeapEntry {
-                key,
-                value,
-                run: entry.run,
-            });
-        }
+    while let Some((key, value)) = tree.pop() {
         match &mut group {
-            Some((key, values)) if *key == entry.key => values.push(entry.value),
+            Some((group_key, values)) if *group_key == key => values.push(value),
             _ => {
                 flush(group.take(), &mut combined);
-                group = Some((entry.key, vec![entry.value]));
+                group = Some((key, vec![value]));
             }
         }
     }
@@ -194,8 +375,8 @@ where
 }
 
 /// Applies a combiner to a key-sorted sequence in one pass, consuming the
-/// input (keys and values are moved, not cloned, except for the one key
-/// clone per extra combiner output value).
+/// input.  Keys and values are moved, not cloned — a multi-output
+/// combiner clones its key only for the outputs before the last.
 ///
 /// Every group goes through the combiner exactly once — including
 /// singleton groups, matching the legacy per-task combine.  Used for
@@ -211,9 +392,8 @@ pub(crate) fn combine_sorted_groups<C: Combiner>(
         while iter.peek().is_some_and(|(next_key, _)| *next_key == key) {
             values.push(iter.next().expect("peeked").1);
         }
-        for value in combiner.combine(&key, &values) {
-            combined.push((key.clone(), value));
-        }
+        let outputs = combiner.combine(&key, &values);
+        emit_combined(key, outputs, &mut combined);
     }
     combined
 }
@@ -343,6 +523,31 @@ mod tests {
                 concat_and_sort(&runs),
                 "runs={runs:?}"
             );
+            assert_eq!(
+                merge_runs(runs.clone()),
+                merge_runs_reference(runs.clone()),
+                "tournament diverged from the heap model: runs={runs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tournament_matches_the_heap_model_on_non_power_of_two_run_counts() {
+        // 3, 5, 6 and 7 runs exercise the padding leaves (permanently
+        // exhausted heads) the power-of-two tree adds.
+        for num_runs in [3usize, 5, 6, 7] {
+            let runs: Vec<Vec<(u32, u32)>> = (0..num_runs)
+                .map(|r| {
+                    (0..10u32)
+                        .map(|i| (i * (r as u32 + 1) % 7, r as u32))
+                        .collect::<Vec<_>>()
+                })
+                .map(|mut run| {
+                    run.sort_by_key(|record| record.0);
+                    run
+                })
+                .collect();
+            assert_eq!(merge_runs(runs.clone()), merge_runs_reference(runs));
         }
     }
 
@@ -416,6 +621,45 @@ mod tests {
             merge_runs_combining(single, &SumCombiner),
             vec![(1, 3), (2, 5)]
         );
+    }
+
+    #[test]
+    fn single_output_combiners_never_clone_keys() {
+        let runs = vec![
+            vec![(1u32, 1u64), (1, 2), (4, 4)],
+            vec![(0, 9), (1, 3), (4, 1)],
+        ];
+        let before = key_clones_on_this_thread();
+        let fused = merge_runs_combining(runs, &SumCombiner);
+        assert_eq!(fused, vec![(0, 9), (1, 6), (4, 5)]);
+        let sorted =
+            combine_sorted_groups(vec![(1u32, 1u64), (1, 2), (2, 5), (3, 7)], &SumCombiner);
+        assert_eq!(sorted, vec![(1, 3), (2, 5), (3, 7)]);
+        assert_eq!(
+            key_clones_on_this_thread(),
+            before,
+            "a one-output combiner must move its key, never clone it"
+        );
+    }
+
+    /// A combiner that fans each group out to one output per value —
+    /// exercises the clone-all-but-last path.
+    struct FanOutCombiner;
+    impl Combiner for FanOutCombiner {
+        type Key = u32;
+        type Value = u64;
+        fn combine(&self, _k: &u32, vs: &[u64]) -> Vec<u64> {
+            vs.to_vec()
+        }
+    }
+
+    #[test]
+    fn multi_output_combiners_clone_one_key_less_than_their_outputs() {
+        let before = key_clones_on_this_thread();
+        // One group of three values → three outputs → exactly two clones.
+        let combined = combine_sorted_groups(vec![(7u32, 1u64), (7, 2), (7, 3)], &FanOutCombiner);
+        assert_eq!(combined, vec![(7, 1), (7, 2), (7, 3)]);
+        assert_eq!(key_clones_on_this_thread(), before + 2);
     }
 
     #[test]

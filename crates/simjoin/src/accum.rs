@@ -1,0 +1,270 @@
+//! Open-addressed partial-score accumulation for the probe hot loop.
+//!
+//! Every probe — batch [`crate::join`], serving point queries, sampled
+//! sketch generators — folds `(doc, weight · weight)` products into a
+//! per-query score table and then drains it sorted by doc.  The std
+//! `HashMap` paid SipHash plus an occupied-entry branch chain per posting;
+//! this table keys directly on the dense doc index with a Fibonacci
+//! multiplicative hash and linear probing over three parallel arrays, so
+//! the accumulate step is a handful of arithmetic ops and (usually) one
+//! cache line.
+//!
+//! Determinism: the table only changes *where* a doc's running sum lives,
+//! never the order products are added to it (that is the caller's term
+//! order), and [`ScoreAccumulator::drain_sorted`] emits candidates sorted
+//! by doc exactly as the previous `collect`-then-`sort_unstable_by_key`
+//! did — so switching accumulators is byte-identical on the wire.
+
+use crate::join::PartialScore;
+
+/// Sentinel marking an empty slot; dense doc indices never reach it.
+const EMPTY: usize = usize::MAX;
+
+/// The Fibonacci multiplier `2^64 / φ`, spreading consecutive doc indices
+/// across the table.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// An open-addressed `doc -> PartialScore` accumulation table.
+///
+/// Semantics match the `HashMap<usize, PartialScore>` it replaced:
+/// [`ScoreAccumulator::accumulate`] adds a product to the doc's running
+/// score, and the remainder bound is captured from the doc's **first**
+/// posting (every posting of a doc carries the same bound, so first-wins
+/// and max-wins agree; first-wins is what `or_insert` did).
+#[derive(Debug)]
+pub struct ScoreAccumulator {
+    /// Slot keys (doc indices), `EMPTY` when vacant.
+    keys: Vec<usize>,
+    /// Running `Σ product` per slot, parallel to `keys`.
+    scores: Vec<f64>,
+    /// The doc's suffix remainder bound, parallel to `keys`.
+    remainders: Vec<f64>,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+impl Default for ScoreAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoreAccumulator {
+    /// An empty accumulator with a small initial table.
+    pub fn new() -> Self {
+        Self::with_capacity(8)
+    }
+
+    /// An empty accumulator sized to hold `docs` distinct docs without
+    /// growing.
+    pub fn with_capacity(docs: usize) -> Self {
+        let slots = (docs.max(4) * 2).next_power_of_two();
+        ScoreAccumulator {
+            keys: vec![EMPTY; slots],
+            scores: vec![0.0; slots],
+            remainders: vec![0.0; slots],
+            len: 0,
+        }
+    }
+
+    /// Number of distinct docs accumulated so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The slot where `doc` lives or would be inserted: Fibonacci hash of
+    /// the doc index, then linear probing.  The table always keeps vacant
+    /// slots (load factor ≤ 1/2), so the probe terminates.
+    fn slot_of(keys: &[usize], doc: usize) -> usize {
+        let mask = keys.len() - 1;
+        let shift = 64 - keys.len().trailing_zeros();
+        let mut slot = ((doc as u64).wrapping_mul(FIB) >> shift) as usize;
+        loop {
+            let key = keys[slot];
+            if key == doc || key == EMPTY {
+                return slot;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Doubles the table and re-places every occupied slot.
+    fn grow(&mut self) {
+        let slots = self.keys.len() * 2;
+        let mut keys = vec![EMPTY; slots];
+        let mut scores = vec![0.0; slots];
+        let mut remainders = vec![0.0; slots];
+        for from in 0..self.keys.len() {
+            let doc = self.keys[from];
+            if doc == EMPTY {
+                continue;
+            }
+            let to = Self::slot_of(&keys, doc);
+            keys[to] = doc;
+            scores[to] = self.scores[from];
+            remainders[to] = self.remainders[from];
+        }
+        self.keys = keys;
+        self.scores = scores;
+        self.remainders = remainders;
+    }
+
+    /// Adds `product` to `doc`'s running score; on the doc's first
+    /// appearance, records `bound` as its remainder.
+    #[inline]
+    pub fn accumulate(&mut self, doc: usize, product: f64, bound: f64) {
+        debug_assert_ne!(doc, EMPTY, "doc index collides with the vacancy sentinel");
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let slot = Self::slot_of(&self.keys, doc);
+        if self.keys[slot] == EMPTY {
+            self.keys[slot] = doc;
+            // Stale values from before a drain may linger in the value
+            // columns; a slot's state is defined at insertion.
+            self.scores[slot] = 0.0;
+            self.remainders[slot] = bound;
+            self.len += 1;
+        }
+        self.scores[slot] += product;
+    }
+
+    /// Empties the table into `(doc, PartialScore)` candidates sorted by
+    /// doc, leaving the accumulator ready for reuse at its current
+    /// capacity.
+    pub fn drain_sorted(&mut self) -> Vec<(usize, PartialScore)> {
+        let mut out = Vec::with_capacity(self.len);
+        for slot in 0..self.keys.len() {
+            let doc = self.keys[slot];
+            if doc == EMPTY {
+                continue;
+            }
+            out.push((
+                doc,
+                PartialScore {
+                    score: self.scores[slot],
+                    remainder: self.remainders[slot],
+                },
+            ));
+            self.keys[slot] = EMPTY;
+        }
+        self.len = 0;
+        out.sort_unstable_by_key(|(doc, _)| *doc);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn accumulates_like_the_hashmap_it_replaced() {
+        let postings = [
+            (3usize, 0.5, 0.9),
+            (1, 0.25, 0.7),
+            (3, 0.125, 0.9),
+            (8, 1.0, 0.2),
+            (1, 0.0625, 0.7),
+        ];
+        let mut table = ScoreAccumulator::new();
+        let mut model: HashMap<usize, PartialScore> = HashMap::new();
+        for (doc, product, bound) in postings {
+            table.accumulate(doc, product, bound);
+            let entry = model.entry(doc).or_insert(PartialScore {
+                score: 0.0,
+                remainder: bound,
+            });
+            entry.score += product;
+        }
+        let mut expected: Vec<(usize, PartialScore)> = model.into_iter().collect();
+        expected.sort_unstable_by_key(|(doc, _)| *doc);
+        assert_eq!(table.drain_sorted(), expected);
+    }
+
+    #[test]
+    fn first_bound_wins_for_a_doc() {
+        let mut table = ScoreAccumulator::new();
+        table.accumulate(5, 1.0, 0.25);
+        table.accumulate(5, 1.0, 0.75);
+        let drained = table.drain_sorted();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].1.remainder, 0.25);
+        assert_eq!(drained[0].1.score, 2.0);
+    }
+
+    #[test]
+    fn growth_preserves_every_running_sum() {
+        let mut table = ScoreAccumulator::with_capacity(2);
+        for doc in 0..1000usize {
+            table.accumulate(doc % 257, 1.0, doc as f64);
+        }
+        let drained = table.drain_sorted();
+        assert_eq!(drained.len(), 257);
+        let total: f64 = drained.iter().map(|(_, p)| p.score).sum();
+        assert_eq!(total, 1000.0);
+        // Sorted by doc and each doc's bound is from its first posting.
+        for (i, (doc, partial)) in drained.iter().enumerate() {
+            assert_eq!(*doc, i);
+            assert_eq!(partial.remainder, *doc as f64);
+        }
+    }
+
+    #[test]
+    fn drain_resets_for_reuse() {
+        let mut table = ScoreAccumulator::new();
+        table.accumulate(1, 1.0, 0.0);
+        assert_eq!(table.len(), 1);
+        table.drain_sorted();
+        assert!(table.is_empty());
+        table.accumulate(2, 3.0, 0.5);
+        assert_eq!(
+            table.drain_sorted(),
+            vec![(
+                2,
+                PartialScore {
+                    score: 3.0,
+                    remainder: 0.5
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn reusing_a_slot_after_drain_starts_from_zero() {
+        // The same doc lands in the same slot across queries; its stale
+        // score and bound from the previous query must not leak.
+        let mut table = ScoreAccumulator::new();
+        table.accumulate(5, 10.0, 0.9);
+        table.drain_sorted();
+        table.accumulate(5, 1.0, 0.1);
+        assert_eq!(
+            table.drain_sorted(),
+            vec![(
+                5,
+                PartialScore {
+                    score: 1.0,
+                    remainder: 0.1
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn adversarial_doc_indices_still_probe_to_distinct_slots() {
+        // Doc indices a power-of-two stride apart defeat masked identity
+        // hashing; the Fibonacci multiply must still spread them.
+        let mut table = ScoreAccumulator::new();
+        for i in 0..64usize {
+            table.accumulate(i << 32, 1.0, 0.0);
+        }
+        assert_eq!(table.len(), 64);
+        assert_eq!(table.drain_sorted().len(), 64);
+    }
+}

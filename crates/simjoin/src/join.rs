@@ -30,7 +30,6 @@
 //! matching algorithms, byte-identical to an exact all-pairs join
 //! thresholded at σ.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -41,9 +40,10 @@ use smr_mapreduce::{Combiner, Counters, Emitter, JobConfig, JobMetrics, Mapper, 
 use smr_storage::impl_codec_struct;
 use smr_text::{Corpus, SparseVector, TermId};
 
+use crate::accum::ScoreAccumulator;
 use crate::index::Posting;
 use crate::prefix::{prefix_length, suffix_remainder_bound, term_max_weights};
-use crate::store::{DiskVectorStore, IndexPartition, PartitionedIndex};
+use crate::store::{DiskVectorStore, IndexPartition, PartitionedIndex, PostingsRef};
 
 /// Names of the join's domain counters, reported in the probe job's
 /// [`JobMetrics::user_counters`].
@@ -329,30 +329,34 @@ struct ProbeMapper {
 }
 
 /// Accumulates a query's partial products against one index partition —
-/// the shared core of the batch probe mapper and the serving-time
-/// [`crate::serving::ServingIndex`] point query.  Both the query slice and
-/// the partition's postings lists are sorted by term id; iterate whichever
-/// side is shorter and look the term up on the other — and skip terms with
-/// empty postings before ever entering the posting loop.
-pub(crate) fn probe_partition(
+/// the shared core of the batch probe mapper, the serving-time
+/// [`crate::serving::ServingIndex`] point query, and the perf harness's
+/// probe lane.  Both the query slice and the partition's term ranges are
+/// sorted by term id; iterate whichever side is shorter and look the term
+/// up on the other — and skip terms with empty postings before ever
+/// entering the posting loop.  The inner loop walks the partition's
+/// struct-of-arrays posting columns directly (see
+/// [`crate::store::PostingsRef`]), folding into the open-addressed
+/// [`ScoreAccumulator`].
+#[doc(hidden)]
+pub fn probe_partition(
     partition: &IndexPartition,
     query: &[(TermId, f64)],
-    scores: &mut HashMap<usize, PartialScore>,
+    scores: &mut ScoreAccumulator,
 ) {
-    let accumulate =
-        |weight: f64, postings: &[Posting], scores: &mut HashMap<usize, PartialScore>| {
-            for posting in postings {
-                let entry = scores.entry(posting.doc).or_insert(PartialScore {
-                    score: 0.0,
-                    remainder: posting.bound,
-                });
-                entry.score += weight * posting.weight;
-            }
-        };
+    fn accumulate(weight: f64, postings: PostingsRef<'_>, scores: &mut ScoreAccumulator) {
+        for i in 0..postings.docs.len() {
+            scores.accumulate(
+                postings.docs[i],
+                weight * postings.weights[i],
+                postings.bounds[i],
+            );
+        }
+    }
     if partition.num_terms() < query.len() {
-        for (term, postings) in partition.terms() {
-            if let Ok(i) = query.binary_search_by_key(&TermId(*term), |&(t, _)| t) {
-                accumulate(query[i].1, postings, scores);
+        for (i, term) in partition.term_ids().iter().enumerate() {
+            if let Ok(q) = query.binary_search_by_key(&TermId(*term), |&(t, _)| t) {
+                accumulate(query[q].1, partition.postings_at(i), scores);
             }
         }
     } else {
@@ -382,7 +386,7 @@ impl Mapper for ProbeMapper {
         // floating-point sum is scheduling-independent) and the
         // suffix-bound prune can run on *complete* scores before anything
         // is emitted: a pruned candidate never crosses the shuffle.
-        let mut scores: HashMap<usize, PartialScore> = HashMap::new();
+        let mut scores = ScoreAccumulator::new();
         let mut start = 0;
         while start < entries.len() {
             let p = self.index.partition_of(entries[start].0);
@@ -396,8 +400,7 @@ impl Mapper for ProbeMapper {
             }
             start = end;
         }
-        let mut candidates: Vec<(usize, PartialScore)> = scores.into_iter().collect();
-        candidates.sort_unstable_by_key(|(doc, _)| *doc);
+        let candidates = scores.drain_sorted();
         let mut pruned = 0u64;
         for (doc, partial) in candidates {
             if partial.score + partial.remainder >= self.sigma - PRUNE_SLACK {

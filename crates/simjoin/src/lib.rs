@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod accum;
 pub mod baseline;
 pub mod index;
 pub mod join;
@@ -59,6 +60,7 @@ pub mod prefix;
 pub mod serving;
 pub mod store;
 
+pub use accum::ScoreAccumulator;
 pub use baseline::baseline_similarity_join;
 pub use index::{InvertedIndex, Posting};
 pub use join::{
@@ -69,7 +71,7 @@ pub use join::{
 };
 pub use prefix::{prefix_length, suffix_remainder_bound, term_max_weights};
 pub use serving::{ScoredMatch, ServingIndex};
-pub use store::{DiskVectorStore, IndexPartition, PartitionedIndex};
+pub use store::{DiskVectorStore, IndexPartition, PartitionedIndex, PostingsRef};
 
 /// Convenience re-exports.
 pub mod prelude {

@@ -30,15 +30,15 @@
 //! under no longer covers such a query — which is why builders take the
 //! maxima explicitly.
 
-use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use smr_storage::DatasetStore;
 use smr_text::SparseVector;
 
+use crate::accum::ScoreAccumulator;
 use crate::index::Posting;
-use crate::join::{probe_partition, rarest_first_rank, PartialScore, PRUNE_SLACK};
+use crate::join::{probe_partition, rarest_first_rank, PRUNE_SLACK};
 use crate::prefix::{prefix_length, suffix_remainder_bound, term_max_weights};
 use crate::store::{DiskVectorStore, PartitionedIndex};
 
@@ -233,7 +233,7 @@ impl ServingIndex {
         // Probe each partition some query term routes to, in term order —
         // the same run-grouping the batch probe mapper uses, so partial
         // products accumulate in the same floating-point order.
-        let mut scores: HashMap<usize, PartialScore> = HashMap::new();
+        let mut scores = ScoreAccumulator::new();
         let mut start = 0;
         while start < entries.len() {
             let p = self.index.partition_of(entries[start].0);
@@ -247,8 +247,7 @@ impl ServingIndex {
             }
             start = end;
         }
-        let mut candidates: Vec<(usize, PartialScore)> = scores.into_iter().collect();
-        candidates.sort_unstable_by_key(|(doc, _)| *doc);
+        let candidates = scores.drain_sorted();
         let mut matches = Vec::new();
         for (doc, partial) in candidates {
             if partial.score + partial.remainder < self.sigma - PRUNE_SLACK {

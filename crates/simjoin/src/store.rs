@@ -162,46 +162,152 @@ impl<T> SharedCache<T> {
 // Partitioned inverted index
 // ---------------------------------------------------------------------------
 
-/// One decoded term-range partition: postings lists sorted by term id.
+/// One term's postings, borrowed from a partition's column arrays.
+///
+/// The columns are parallel slices of equal length: posting `i` is
+/// `(docs[i], weights[i], bounds[i])`.  Scan loops index the columns they
+/// actually touch — the accumulate-and-prune hot loop reads `docs` and
+/// `weights` every iteration but `bounds` only on a candidate's first
+/// appearance, which the one-array-of-structs layout forced through the
+/// cache anyway.
+#[derive(Debug, Clone, Copy)]
+pub struct PostingsRef<'a> {
+    /// Dense consumer indices, in the index's deterministic doc order.
+    pub docs: &'a [usize],
+    /// Term weights, parallel to `docs`.
+    pub weights: &'a [f64],
+    /// Suffix-remainder bounds, parallel to `docs`.
+    pub bounds: &'a [f64],
+}
+
+impl<'a> PostingsRef<'a> {
+    /// A postings list with nothing in it.
+    pub const EMPTY: PostingsRef<'static> = PostingsRef {
+        docs: &[],
+        weights: &[],
+        bounds: &[],
+    };
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the list holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The `i`-th posting, materialized.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn get(&self, i: usize) -> Posting {
+        Posting {
+            doc: self.docs[i],
+            weight: self.weights[i],
+            bound: self.bounds[i],
+        }
+    }
+
+    /// Iterates the postings, materializing each.
+    pub fn iter(&self) -> impl Iterator<Item = Posting> + 'a {
+        let (docs, weights, bounds) = (self.docs, self.weights, self.bounds);
+        (0..docs.len()).map(move |i| Posting {
+            doc: docs[i],
+            weight: weights[i],
+            bound: bounds[i],
+        })
+    }
+}
+
+/// One decoded term-range partition in struct-of-arrays layout: the
+/// distinct term ids (ascending) with offsets into three parallel posting
+/// columns (doc, weight, bound).  A term's postings are one contiguous
+/// range of each column, so the probe's accumulate loop walks flat `f64`
+/// and `usize` arrays instead of hopping across per-term `Vec<Posting>`
+/// allocations — branch-light and friendly to both the prefetcher and
+/// auto-vectorization.
 #[derive(Debug, Default)]
 pub struct IndexPartition {
-    terms: Vec<(u32, Vec<Posting>)>,
+    /// Distinct indexed term ids, ascending.
+    terms: Vec<u32>,
+    /// `starts[i]..starts[i + 1]` is term `i`'s range in the columns;
+    /// `terms.len() + 1` entries.
+    starts: Vec<u32>,
+    docs: Vec<usize>,
+    weights: Vec<f64>,
+    bounds: Vec<f64>,
 }
 
 impl IndexPartition {
-    fn from_records(mut records: Vec<(u32, Posting)>) -> Self {
-        // Batch writes store each partition term-sorted, but appended
-        // micro-batches land at the end of the run file, so a partition
-        // may interleave term ranges.  The stable sort restores term order
-        // while preserving file order within a term (batch doc order, then
-        // appends in arrival order).
+    /// Builds a partition from raw `(term, posting)` records.
+    ///
+    /// Batch writes store each partition term-sorted, but appended
+    /// micro-batches land at the end of the run file, so a partition may
+    /// interleave term ranges.  The stable sort restores term order while
+    /// preserving file order within a term (batch doc order, then appends
+    /// in arrival order).  Public so benchmarks and alternative probe
+    /// implementations can build partitions without a disk round trip.
+    pub fn from_records(mut records: Vec<(u32, Posting)>) -> Self {
         records.sort_by_key(|(term, _)| *term);
-        let mut terms: Vec<(u32, Vec<Posting>)> = Vec::new();
+        let mut partition = IndexPartition {
+            terms: Vec::new(),
+            starts: Vec::new(),
+            docs: Vec::with_capacity(records.len()),
+            weights: Vec::with_capacity(records.len()),
+            bounds: Vec::with_capacity(records.len()),
+        };
         for (term, posting) in records {
-            match terms.last_mut() {
-                Some((last, list)) if *last == term => list.push(posting),
-                _ => terms.push((term, vec![posting])),
+            if partition.terms.last() != Some(&term) {
+                partition.terms.push(term);
+                partition.starts.push(partition.docs.len() as u32);
             }
+            partition.docs.push(posting.doc);
+            partition.weights.push(posting.weight);
+            partition.bounds.push(posting.bound);
         }
-        IndexPartition { terms }
+        partition.starts.push(partition.docs.len() as u32);
+        partition
     }
 
     /// The postings of `term` (empty when the term is not indexed).
-    pub fn postings(&self, term: u32) -> &[Posting] {
+    pub fn postings(&self, term: u32) -> PostingsRef<'_> {
         self.terms
-            .binary_search_by_key(&term, |(t, _)| *t)
-            .map(|i| self.terms[i].1.as_slice())
-            .unwrap_or(&[])
+            .binary_search(&term)
+            .map(|i| self.postings_at(i))
+            .unwrap_or(PostingsRef::EMPTY)
     }
 
-    /// The postings lists of this partition, sorted by term id.
-    pub fn terms(&self) -> &[(u32, Vec<Posting>)] {
+    /// The postings of the `i`-th distinct term (see
+    /// [`IndexPartition::term_ids`]).
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn postings_at(&self, i: usize) -> PostingsRef<'_> {
+        let start = self.starts[i] as usize;
+        let end = self.starts[i + 1] as usize;
+        PostingsRef {
+            docs: &self.docs[start..end],
+            weights: &self.weights[start..end],
+            bounds: &self.bounds[start..end],
+        }
+    }
+
+    /// The distinct indexed term ids, ascending — index-aligned with
+    /// [`IndexPartition::postings_at`].
+    pub fn term_ids(&self) -> &[u32] {
         &self.terms
     }
 
     /// Number of distinct indexed terms in this partition.
     pub fn num_terms(&self) -> usize {
         self.terms.len()
+    }
+
+    /// Number of postings across all terms of this partition.
+    pub fn num_postings(&self) -> usize {
+        self.docs.len()
     }
 
     /// Whether the partition indexes nothing.
@@ -447,8 +553,8 @@ mod tests {
         let p0 = index.partition(index.partition_of(TermId(0)));
         assert_eq!(p0.postings(0).len(), 2);
         // Doc order within a term is preserved, not re-sorted.
-        assert_eq!(p0.postings(0)[0].doc, 0);
-        assert_eq!(p0.postings(0)[1].doc, 2);
+        assert_eq!(p0.postings(0).get(0).doc, 0);
+        assert_eq!(p0.postings(0).get(1).doc, 2);
         let p9 = index.partition(index.partition_of(TermId(9)));
         assert_eq!(p9.postings(9).len(), 1);
         assert!(p9.postings(3).is_empty());
@@ -500,7 +606,7 @@ mod tests {
         assert_eq!(index.num_entries(), 5);
         let part = index.partition(p);
         assert_eq!(part.postings(0).len(), 2, "append visible after warm read");
-        assert_eq!(part.postings(0)[1].doc, 5, "appends keep arrival order");
+        assert_eq!(part.postings(0).get(1).doc, 5, "appends keep arrival order");
         assert_eq!(part.postings(3).len(), 1);
         let last = index.partition(index.partition_of(TermId(1234)));
         assert_eq!(last.postings(1234).len(), 1);

@@ -24,7 +24,6 @@
 //! count, memory budget or shard layout — the engine's determinism
 //! contract holds for the sketch path exactly as for the exact path.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -33,7 +32,8 @@ use smr_mapreduce::{Counters, Emitter, Mapper};
 use smr_simjoin::join::counter as sj_counter;
 use smr_simjoin::{
     rarest_first_rank, term_max_weights, IndexMapper, IndexReducer, PartialScore,
-    PartialScoreCombiner, PartitionedIndex, SimJoinResult, VerifyReducer, PRUNE_SLACK,
+    PartialScoreCombiner, PartitionedIndex, ScoreAccumulator, SimJoinResult, VerifyReducer,
+    PRUNE_SLACK,
 };
 use smr_text::SparseVector;
 
@@ -104,7 +104,7 @@ impl Mapper for SampledProbeMapper {
         // (term-range partitions visited in order, terms in order within
         // each), so the floating-point estimate is scheduling-independent
         // and the suffix-bound prune runs on complete estimates.
-        let mut scores: HashMap<usize, PartialScore> = HashMap::new();
+        let mut scores = ScoreAccumulator::new();
         let mut sampled_out = 0u64;
         let mut start = 0;
         while start < entries.len() {
@@ -124,32 +124,30 @@ impl Mapper for SampledProbeMapper {
                     // the term's entire (prefix-pruned) posting list and
                     // n_t is a global property of the index.
                     let keep = (self.lambda / postings.len() as f64).min(1.0);
-                    for posting in postings {
+                    for i in 0..postings.len() {
+                        let doc = postings.docs[i];
                         if keep < 1.0 {
-                            let h = hash_words(
-                                self.seed,
-                                &[term.0 as u64, *item as u64, posting.doc as u64],
-                            );
+                            let h =
+                                hash_words(self.seed, &[term.0 as u64, *item as u64, doc as u64]);
                             if hash_unit(h) >= keep {
                                 sampled_out += 1;
                                 continue;
                             }
                         }
-                        let entry = scores.entry(posting.doc).or_insert(PartialScore {
-                            score: 0.0,
-                            remainder: posting.bound,
-                        });
                         // Inverse-probability scaling keeps the estimate
                         // unbiased, so the σ prune below is a noisy but
                         // centred version of the exact prune.
-                        entry.score += weight * posting.weight / keep;
+                        scores.accumulate(
+                            doc,
+                            weight * postings.weights[i] / keep,
+                            postings.bounds[i],
+                        );
                     }
                 }
             }
             start = end;
         }
-        let mut candidates: Vec<(usize, PartialScore)> = scores.into_iter().collect();
-        candidates.sort_unstable_by_key(|(doc, _)| *doc);
+        let candidates = scores.drain_sorted();
         let mut pruned = 0u64;
         for (doc, partial) in candidates {
             if partial.score + partial.remainder >= self.sigma - PRUNE_SLACK {

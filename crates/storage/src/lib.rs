@@ -40,5 +40,8 @@ pub mod spill;
 pub use codec::{Codec, CodecError};
 pub use kv::{DatasetStore, DiskKvStore};
 pub use manifest::{ManifestRun, ShardManifest, MANIFEST_VERSION};
-pub use run::{CompletedRun, RetainedRecords, RunReader, RunWriter, StorageError, FORMAT_VERSION};
+pub use run::{
+    CompletedRun, RetainedRecords, RunReader, RunWriter, StorageError, FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
+};
 pub use spill::SpillManager;

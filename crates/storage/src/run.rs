@@ -1,17 +1,27 @@
-//! Sorted run files: length-prefixed record frames behind a versioned
+//! Sorted run files: block-framed record batches behind a versioned
 //! header.
 //!
 //! A *run file* holds a sequence of [`Codec`]-encoded records — in the
 //! engine, one sorted run of `(key, value)` pairs spilled by a map task,
-//! or one persisted flow dataset.  The on-disk layout is:
+//! or one persisted flow dataset.  The current (version 2) on-disk layout
+//! batches record frames into blocks:
 //!
 //! ```text
 //! ┌──────────────────────────── header ────────────────────────────┐
 //! │ magic "SMRF" │ version u16 │ record count u64 │ type tag string │
-//! ├──────────────────────────── frames ────────────────────────────┤
-//! │ payload_len u32 │ payload (Codec encoding of one record) │ ...  │
+//! ├──────────────────────────── blocks ────────────────────────────┤
+//! │ block_len u32 │ n_records u32 │ frames (≈64 KiB of them) │ ...  │
 //! └────────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! where each *frame* is `payload_len u32` followed by the [`Codec`]
+//! encoding of one record, exactly as in the version-1 layout (which had
+//! no block level: frames followed the header directly).  Blocks are the
+//! format's hot-path lever: the writer accumulates frames in one reusable
+//! buffer and hands the OS ~64 KiB at a time, and the reader slurps a
+//! whole block with a single `read_exact` and then decodes straight out
+//! of the contiguous buffer — no per-record syscalls, no per-record
+//! allocations on either side.
 //!
 //! All integers are little-endian.  The record count is written as
 //! [`COUNT_PENDING`] while the file is open and patched in place by
@@ -19,6 +29,11 @@
 //! [`RunReader`] rejects as truncated instead of silently yielding a
 //! prefix.  The type tag records `std::any::type_name` of the record type;
 //! readers may check it to reject datasets read back at the wrong type.
+//!
+//! [`RunReader`] reads both versions; files of any *other* version are
+//! rejected with a clean [`StorageError::VersionMismatch`] (a version-1
+//! reader rejects version-2 files the same way — the header layout is
+//! shared, only the framing after it differs).
 
 use std::fmt;
 use std::fs::File;
@@ -31,14 +46,23 @@ use crate::codec::{Codec, CodecError};
 /// File magic of every smr_storage file.
 pub const MAGIC: [u8; 4] = *b"SMRF";
 
-/// Current format version.  Readers reject any other version.
-pub const FORMAT_VERSION: u16 = 1;
+/// Current format version (block-framed).  Readers accept this and
+/// [`LEGACY_FORMAT_VERSION`]; writers produce this unless appending to a
+/// legacy file.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The original per-record-frame layout.  Still readable (and appendable)
+/// so datasets written by older builds keep working.
+pub const LEGACY_FORMAT_VERSION: u16 = 1;
 
 /// Sentinel record count of a file whose writer has not finished.
 pub const COUNT_PENDING: u64 = u64::MAX;
 
 /// Byte offset of the record count inside the header (magic + version).
 const COUNT_OFFSET: u64 = (MAGIC.len() + std::mem::size_of::<u16>()) as u64;
+
+/// Frame bytes a version-2 writer accumulates before flushing a block.
+const BLOCK_TARGET_BYTES: usize = 64 * 1024;
 
 /// An error raised by the storage layer.
 #[derive(Debug)]
@@ -125,7 +149,12 @@ impl From<CodecError> for StorageError {
     }
 }
 
-/// Writes one run file: header first, then a frame per record.
+/// Writes one run file: header first, then frames batched into blocks.
+///
+/// Records are encoded directly into the writer's reusable block buffer —
+/// no per-record allocation — and the buffer is flushed as one block
+/// whenever it passes the ~64 KiB target (and once more on
+/// [`RunWriter::finish`] for the partial tail).
 ///
 /// Dropping a writer without calling [`RunWriter::finish`] leaves the
 /// record count at [`COUNT_PENDING`], which readers reject — a half-written
@@ -134,9 +163,15 @@ impl From<CodecError> for StorageError {
 pub struct RunWriter<R> {
     writer: BufWriter<File>,
     path: PathBuf,
+    version: u16,
     records: u64,
     bytes: u64,
-    scratch: Vec<u8>,
+    /// Frames accumulated for the current block (version 1: at most the
+    /// one frame being built, flushed frame by frame without block
+    /// headers).
+    block: Vec<u8>,
+    /// Records in the current block.
+    block_records: u32,
     _marker: PhantomData<fn(&R)>,
 }
 
@@ -149,11 +184,29 @@ impl<R: Codec> RunWriter<R> {
 
     /// Creates the file with an explicit type tag.
     pub fn create_tagged(path: impl Into<PathBuf>, type_tag: &str) -> Result<Self, StorageError> {
+        Self::create_versioned(path, type_tag, FORMAT_VERSION)
+    }
+
+    /// Test/bench support: creates a writer producing the **version-1**
+    /// per-record-frame layout exactly as builds before the block-framed
+    /// format wrote it.  The current reader accepts both versions; this
+    /// exists so compatibility tests and the perf harness can produce
+    /// legacy files on demand.
+    #[doc(hidden)]
+    pub fn create_legacy_v1(path: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        Self::create_versioned(path, std::any::type_name::<R>(), LEGACY_FORMAT_VERSION)
+    }
+
+    fn create_versioned(
+        path: impl Into<PathBuf>,
+        type_tag: &str,
+        version: u16,
+    ) -> Result<Self, StorageError> {
         let path = path.into();
         let file = File::create(&path)?;
         let mut writer = BufWriter::new(file);
         writer.write_all(&MAGIC)?;
-        writer.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        writer.write_all(&version.to_le_bytes())?;
         writer.write_all(&COUNT_PENDING.to_le_bytes())?;
         let mut tag = Vec::new();
         type_tag.to_string().encode(&mut tag);
@@ -161,69 +214,130 @@ impl<R: Codec> RunWriter<R> {
         Ok(RunWriter {
             writer,
             path,
+            version,
             records: 0,
             bytes: 0,
-            scratch: Vec::new(),
+            block: Vec::new(),
+            block_records: 0,
             _marker: PhantomData,
         })
     }
 
     /// Opens an existing, finished run file to append more frames, without
-    /// reading or rewriting the records already there.
+    /// reading or rewriting the records already there.  The file keeps the
+    /// format version it was created with, so appends to legacy files stay
+    /// legacy-readable.
     ///
     /// The header is validated first (magic, version, completed count).
     /// The stored record count stays untouched until [`RunWriter::finish`]
     /// patches in the new total — so a crash mid-append leaves the file
-    /// readable at its *old* count (any partial trailing frame is beyond
+    /// readable at its *old* count (any partial trailing block is beyond
     /// the count and ignored), and this method truncates such leftovers
     /// away before appending.
     pub fn append_to(path: impl Into<PathBuf>) -> Result<Self, StorageError> {
         let path = path.into();
-        let existing = RunReader::<R>::open(&path)?.records();
+        let reader = RunReader::<R>::open(&path)?;
+        let existing = reader.records();
+        let version = reader.version();
+        drop(reader);
         let mut file = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
             .open(&path)?;
-        // Walk the frame lengths to the end of the `existing` committed
-        // frames; anything after that is debris from a crashed append.
+        // Walk the committed frames (v1) or blocks (v2) to the end of the
+        // `existing` records; anything after that is debris from a crashed
+        // append.
         let mut pos = {
             file.seek(SeekFrom::Start((MAGIC.len() + 2 + 8) as u64))?;
             let mut tag_len = [0u8; 8];
             file.read_exact(&mut tag_len)?;
             (MAGIC.len() + 2 + 8 + 8) as u64 + u64::from_le_bytes(tag_len)
         };
-        for _ in 0..existing {
-            file.seek(SeekFrom::Start(pos))?;
-            let mut len = [0u8; 4];
-            file.read_exact(&mut len)?;
-            pos += 4 + u64::from(u32::from_le_bytes(len));
+        if version == LEGACY_FORMAT_VERSION {
+            for _ in 0..existing {
+                file.seek(SeekFrom::Start(pos))?;
+                let mut len = [0u8; 4];
+                file.read_exact(&mut len)?;
+                pos += 4 + u64::from(u32::from_le_bytes(len));
+            }
+        } else {
+            // `finish` always flushes the partial block, so a committed
+            // count lands exactly on a block boundary.
+            let mut seen = 0u64;
+            while seen < existing {
+                file.seek(SeekFrom::Start(pos))?;
+                let mut header = [0u8; 8];
+                file.read_exact(&mut header)?;
+                let block_len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+                let n_records = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+                seen += u64::from(n_records);
+                pos += 8 + u64::from(block_len);
+            }
+            if seen != existing {
+                return Err(StorageError::Truncated {
+                    expected: existing,
+                    found: seen,
+                });
+            }
         }
         file.set_len(pos)?;
         file.seek(SeekFrom::Start(pos))?;
         Ok(RunWriter {
             writer: BufWriter::new(file),
             path,
+            version,
             records: existing,
             bytes: 0,
-            scratch: Vec::new(),
+            block: Vec::new(),
+            block_records: 0,
             _marker: PhantomData,
         })
     }
 
-    /// Appends one record frame.
+    /// Appends one record frame, encoding straight into the block buffer.
     pub fn push(&mut self, record: &R) -> Result<(), StorageError> {
-        self.scratch.clear();
-        record.encode(&mut self.scratch);
-        let len = u32::try_from(self.scratch.len()).map_err(|_| {
-            StorageError::Codec(CodecError::InvalidData(format!(
-                "record of {} bytes exceeds the 4 GiB frame limit",
-                self.scratch.len()
-            )))
-        })?;
-        self.writer.write_all(&len.to_le_bytes())?;
-        self.writer.write_all(&self.scratch)?;
+        let start = self.block.len();
+        self.block.reserve(4 + record.encoded_len());
+        self.block.extend_from_slice(&[0u8; 4]);
+        record.encode(&mut self.block);
+        let payload = self.block.len() - start - 4;
+        let len = u32::try_from(payload)
+            .ok()
+            .filter(|len| *len <= u32::MAX - 8)
+            .ok_or_else(|| {
+                StorageError::Codec(CodecError::InvalidData(format!(
+                    "record of {payload} bytes exceeds the 4 GiB frame limit"
+                )))
+            })?;
+        self.block[start..start + 4].copy_from_slice(&len.to_le_bytes());
         self.records += 1;
+        self.block_records += 1;
         self.bytes += 4 + u64::from(len);
+        if self.version == LEGACY_FORMAT_VERSION || self.block.len() >= BLOCK_TARGET_BYTES {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the accumulated block (with its block header on version 2)
+    /// and resets the buffer.
+    fn flush_block(&mut self) -> Result<(), StorageError> {
+        if self.block_records == 0 {
+            return Ok(());
+        }
+        if self.version != LEGACY_FORMAT_VERSION {
+            let block_len = u32::try_from(self.block.len()).map_err(|_| {
+                StorageError::Codec(CodecError::InvalidData(format!(
+                    "block of {} bytes exceeds the 4 GiB limit",
+                    self.block.len()
+                )))
+            })?;
+            self.writer.write_all(&block_len.to_le_bytes())?;
+            self.writer.write_all(&self.block_records.to_le_bytes())?;
+        }
+        self.writer.write_all(&self.block)?;
+        self.block.clear();
+        self.block_records = 0;
         Ok(())
     }
 
@@ -232,14 +346,16 @@ impl<R: Codec> RunWriter<R> {
         self.records
     }
 
-    /// Frame bytes written so far (headers excluded).
+    /// Frame bytes written so far (file header and block headers excluded).
     pub fn bytes(&self) -> u64 {
         self.bytes
     }
 
-    /// Flushes, patches the record count into the header and returns a
-    /// handle describing the completed run.
+    /// Flushes (including the partial tail block), patches the record
+    /// count into the header and returns a handle describing the completed
+    /// run.
     pub fn finish(mut self) -> Result<CompletedRun, StorageError> {
+        self.flush_block()?;
         self.writer.flush()?;
         let file = self.writer.get_mut();
         file.seek(SeekFrom::Start(COUNT_OFFSET))?;
@@ -260,24 +376,33 @@ pub struct CompletedRun {
     /// Records in the file (including pre-existing ones after an
     /// [`RunWriter::append_to`]).
     pub records: u64,
-    /// Frame bytes written by *this* writer (header and pre-existing
+    /// Frame bytes written by *this* writer (headers and pre-existing
     /// frames excluded).
     pub bytes: u64,
 }
 
 /// Streams the records of a run file back, validating the header up front
 /// and the record count at the end.
+///
+/// Version-2 files are read a block at a time: one `read_exact` fills the
+/// reusable block buffer and records decode from the contiguous slice.
+/// Version-1 files fall back to the original frame-by-frame path.
 #[derive(Debug)]
 pub struct RunReader<R> {
     reader: BufReader<File>,
     type_tag: String,
+    version: u16,
     expected: u64,
     read: u64,
     /// Bytes of the file left past what has been consumed — bounds every
-    /// frame before any allocation, so a corrupt frame length cannot
+    /// frame and block before any allocation, so a corrupt length cannot
     /// force a multi-gigabyte `resize`.
     remaining_bytes: u64,
+    /// Version 2: the current decoded-from block.  Version 1: the current
+    /// record's payload.
     payload: Vec<u8>,
+    /// Read position inside `payload` (version 2 only).
+    cursor: usize,
     _marker: PhantomData<fn() -> R>,
 }
 
@@ -304,7 +429,7 @@ impl<R: Codec> RunReader<R> {
         let mut version = [0u8; 2];
         read_exact_or_truncated(&mut reader, &mut version)?;
         let version = u16::from_le_bytes(version);
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != LEGACY_FORMAT_VERSION {
             return Err(StorageError::VersionMismatch {
                 found: version,
                 expected: FORMAT_VERSION,
@@ -336,10 +461,12 @@ impl<R: Codec> RunReader<R> {
         Ok(RunReader {
             reader,
             type_tag,
+            version,
             expected,
             read: 0,
             remaining_bytes: file_len.saturating_sub(header_len),
             payload: Vec::new(),
+            cursor: 0,
             _marker: PhantomData,
         })
     }
@@ -347,6 +474,11 @@ impl<R: Codec> RunReader<R> {
     /// The type tag the writer stored.
     pub fn type_tag(&self) -> &str {
         &self.type_tag
+    }
+
+    /// The format version the file was written with.
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Errors unless the stored type tag equals the record type's
@@ -372,16 +504,68 @@ impl<R: Codec> RunReader<R> {
         if self.read == self.expected {
             return Ok(None);
         }
+        if self.version == LEGACY_FORMAT_VERSION {
+            return self.next_record_v1();
+        }
+        if self.cursor == self.payload.len() {
+            self.load_block()?;
+        }
+        if self.payload.len() - self.cursor < 4 {
+            return Err(self.truncated());
+        }
+        let len = u32::from_le_bytes(
+            self.payload[self.cursor..self.cursor + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        self.cursor += 4;
+        if self.payload.len() - self.cursor < len {
+            return Err(self.truncated());
+        }
+        let mut slice = &self.payload[self.cursor..self.cursor + len];
+        let record = R::decode(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(StorageError::Codec(CodecError::InvalidData(format!(
+                "{} trailing bytes in frame",
+                slice.len()
+            ))));
+        }
+        self.cursor += len;
+        self.read += 1;
+        Ok(Some(record))
+    }
+
+    /// Pulls the next block into the reusable buffer with one `read_exact`.
+    fn load_block(&mut self) -> Result<(), StorageError> {
+        let mut header = [0u8; 8];
+        self.read_frame_bytes(&mut header)?;
+        let block_len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as u64;
+        // A block cannot be empty (the writer never flushes one) nor
+        // longer than what is left of the file: reject corrupt lengths
+        // *before* allocating the block buffer.
+        if block_len == 0 || block_len + 8 > self.remaining_bytes {
+            return Err(self.truncated());
+        }
+        self.remaining_bytes -= block_len + 8;
+        self.payload.resize(block_len as usize, 0);
+        let mut payload = std::mem::take(&mut self.payload);
+        let result = self.read_frame_bytes(&mut payload);
+        self.payload = payload;
+        result?;
+        self.cursor = 0;
+        Ok(())
+    }
+
+    /// The original version-1 path: one length read and one payload read
+    /// per record.
+    fn next_record_v1(&mut self) -> Result<Option<R>, StorageError> {
         let mut len = [0u8; 4];
         self.read_frame_bytes(&mut len)?;
         let len = u32::from_le_bytes(len) as usize;
         // A frame cannot be longer than what is left of the file: reject
         // corrupt lengths *before* allocating the payload buffer.
         if (len as u64) + 4 > self.remaining_bytes {
-            return Err(StorageError::Truncated {
-                expected: self.expected,
-                found: self.read,
-            });
+            return Err(self.truncated());
         }
         self.remaining_bytes -= len as u64 + 4;
         self.payload.resize(len, 0);
@@ -418,25 +602,48 @@ impl<R: Codec> RunReader<R> {
     /// Reads the remaining records into a vector.
     pub fn read_to_end(mut self) -> Result<Vec<R>, StorageError> {
         let remaining = usize::try_from(self.expected - self.read).unwrap_or(usize::MAX);
-        let mut records = Vec::with_capacity(remaining.min(1 << 20));
+        let cap = read_reserve_cap(remaining, self.remaining_bytes, std::mem::size_of::<R>());
+        let mut records = Vec::with_capacity(cap);
         while let Some(record) = self.next_record()? {
             records.push(record);
         }
         Ok(records)
     }
 
+    fn truncated(&self) -> StorageError {
+        StorageError::Truncated {
+            expected: self.expected,
+            found: self.read,
+        }
+    }
+
     fn read_frame_bytes(&mut self, buf: &mut [u8]) -> Result<(), StorageError> {
+        let (expected, read) = (self.expected, self.read);
         self.reader.read_exact(buf).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {
                 StorageError::Truncated {
-                    expected: self.expected,
-                    found: self.read,
+                    expected,
+                    found: read,
                 }
             } else {
                 StorageError::Io(e)
             }
         })
     }
+}
+
+/// How many records [`RunReader::read_to_end`] pre-reserves: bounded by
+/// the declared remainder, by what the bytes left on disk could possibly
+/// frame (≥ 4 bytes per record), and by a flat byte budget on the
+/// *in-memory* size — so a header declaring millions of records, or a
+/// wide record type, never over-reserves.  The vector still grows to the
+/// true size on demand; only the up-front reservation is capped.
+fn read_reserve_cap(remaining_records: usize, remaining_bytes: u64, elem_size: usize) -> usize {
+    /// Up-front reservation budget, in in-memory bytes.
+    const RESERVE_BYTE_BUDGET: usize = 16 << 20;
+    let disk_bound = usize::try_from(remaining_bytes / 4).unwrap_or(usize::MAX);
+    let budget_bound = (RESERVE_BYTE_BUDGET / elem_size.max(1)).max(1);
+    remaining_records.min(disk_bound).min(budget_bound)
 }
 
 impl<R: Codec> Iterator for RunReader<R> {
@@ -532,7 +739,85 @@ mod tests {
         let reader: RunReader<(u32, String)> = RunReader::open(&path).unwrap();
         reader.check_type().unwrap();
         assert_eq!(reader.records(), 100);
+        assert_eq!(reader.version(), FORMAT_VERSION);
         assert_eq!(reader.read_to_end().unwrap(), records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn multi_block_runs_round_trip() {
+        let path = temp_path("multi-block.run");
+        // Each record is ~1 KiB, so 256 of them span several 64 KiB blocks.
+        let records: Vec<(u64, String)> = (0..256).map(|i| (i, "x".repeat(1000))).collect();
+        let mut writer: RunWriter<(u64, String)> = RunWriter::create(&path).unwrap();
+        for r in &records {
+            writer.push(r).unwrap();
+        }
+        writer.finish().unwrap();
+        let reader: RunReader<(u64, String)> = RunReader::open(&path).unwrap();
+        assert_eq!(reader.read_to_end().unwrap(), records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_files_read_back_through_the_current_reader() {
+        let path = temp_path("legacy-v1.run");
+        let records: Vec<(u32, String)> = (0..50).map(|i| (i, format!("v{i}"))).collect();
+        let mut writer: RunWriter<(u32, String)> = RunWriter::create_legacy_v1(&path).unwrap();
+        for r in &records {
+            writer.push(r).unwrap();
+        }
+        let run = writer.finish().unwrap();
+        assert_eq!(run.records, 50);
+        let reader: RunReader<(u32, String)> = RunReader::open(&path).unwrap();
+        assert_eq!(reader.version(), LEGACY_FORMAT_VERSION);
+        assert_eq!(reader.read_to_end().unwrap(), records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appends_to_legacy_files_stay_in_the_legacy_format() {
+        let path = temp_path("legacy-append.run");
+        let mut writer: RunWriter<u64> = RunWriter::create_legacy_v1(&path).unwrap();
+        writer.push(&1).unwrap();
+        writer.finish().unwrap();
+        let mut appender: RunWriter<u64> = RunWriter::append_to(&path).unwrap();
+        appender.push(&2).unwrap();
+        appender.finish().unwrap();
+        let reader: RunReader<u64> = RunReader::open(&path).unwrap();
+        assert_eq!(reader.version(), LEGACY_FORMAT_VERSION);
+        assert_eq!(reader.read_to_end().unwrap(), vec![1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_truncates_crash_debris_behind_the_committed_count() {
+        let path = temp_path("append-debris.run");
+        let mut writer: RunWriter<u64> = RunWriter::create(&path).unwrap();
+        for i in 0..10u64 {
+            writer.push(&i).unwrap();
+        }
+        writer.finish().unwrap();
+        // Simulate a crashed append: whole extra blocks and a partial
+        // trailing one, none of them reflected in the committed count.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            file.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]).unwrap();
+        }
+        let mut appender: RunWriter<u64> = RunWriter::append_to(&path).unwrap();
+        appender.push(&99).unwrap();
+        let run = appender.finish().unwrap();
+        assert_eq!(run.records, 11);
+        assert!(std::fs::metadata(&path).unwrap().len() > clean_len);
+        let reader: RunReader<u64> = RunReader::open(&path).unwrap();
+        let mut expected: Vec<u64> = (0..10).collect();
+        expected.push(99);
+        assert_eq!(reader.read_to_end().unwrap(), expected);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -619,6 +904,23 @@ mod tests {
     }
 
     #[test]
+    fn current_files_carry_a_version_older_readers_reject() {
+        // The version-1 reader's header check was `version != 1` →
+        // VersionMismatch.  A block-framed file must therefore store a
+        // version field those builds reject cleanly, rather than a layout
+        // they would misparse as frames.
+        let path = temp_path("forward-version.run");
+        let mut writer: RunWriter<u64> = RunWriter::create(&path).unwrap();
+        writer.push(&1).unwrap();
+        writer.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let stored = u16::from_le_bytes([bytes[4], bytes[5]]);
+        assert_eq!(stored, FORMAT_VERSION);
+        assert_ne!(stored, LEGACY_FORMAT_VERSION);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let path = temp_path("magic.run");
         std::fs::write(&path, b"NOPE....").unwrap();
@@ -644,18 +946,36 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_frame_length_is_rejected_before_allocating() {
+    fn corrupt_block_length_is_rejected_before_allocating() {
         let path = temp_path("corrupt-len.run");
         let mut writer: RunWriter<String> = RunWriter::create(&path).unwrap();
         writer.push(&"payload".to_string()).unwrap();
         writer.finish().unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
-        // The first frame's length prefix sits right after the header.
+        // The first block's length prefix sits right after the header.
+        let block_len_at = 4 + 2 + 8 + 8 + std::any::type_name::<String>().len();
+        bytes[block_len_at..block_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let mut reader: RunReader<String> = RunReader::open(&path).unwrap();
+        // Must fail with a typed error (never attempt a ~4 GiB resize).
+        assert!(matches!(
+            reader.next_record(),
+            Err(StorageError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_v1_frame_length_is_rejected_before_allocating() {
+        let path = temp_path("corrupt-len-v1.run");
+        let mut writer: RunWriter<String> = RunWriter::create_legacy_v1(&path).unwrap();
+        writer.push(&"payload".to_string()).unwrap();
+        writer.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
         let frame_len_at = 4 + 2 + 8 + 8 + std::any::type_name::<String>().len();
         bytes[frame_len_at..frame_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         std::fs::write(&path, bytes).unwrap();
         let mut reader: RunReader<String> = RunReader::open(&path).unwrap();
-        // Must fail with a typed error (never attempt a ~4 GiB resize).
         assert!(matches!(
             reader.next_record(),
             Err(StorageError::Truncated { .. })
@@ -671,7 +991,7 @@ mod tests {
         writer.push(&"second".to_string()).unwrap();
         writer.finish().unwrap();
         let bytes = std::fs::read(&path).unwrap();
-        // Cut the file anywhere inside the frame section: the reader must
+        // Cut the file anywhere inside the block section: the reader must
         // error (never silently yield a prefix).
         let frames_start = 4 + 2 + 8 + 8 + std::any::type_name::<String>().len();
         for cut in frames_start..bytes.len() {
@@ -691,5 +1011,29 @@ mod tests {
             assert!(failed, "cut at {cut} silently succeeded");
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_to_end_reservation_is_byte_budgeted() {
+        // The declared remainder no longer bounds the reservation alone:
+        // wide records clamp to the in-memory byte budget, and a lying
+        // header clamps to what the file's bytes could possibly frame.
+        let cap = read_reserve_cap(usize::MAX, 40, 8);
+        assert_eq!(cap, 10, "a 40-byte file frames at most 10 records");
+        let wide = read_reserve_cap(1 << 30, u64::MAX, 1 << 16);
+        assert_eq!(
+            wide,
+            (16 << 20) / (1 << 16),
+            "wide records hit the byte budget"
+        );
+        assert_eq!(
+            read_reserve_cap(3, u64::MAX, 8),
+            3,
+            "small reads reserve exactly"
+        );
+        assert!(
+            read_reserve_cap(10, u64::MAX, usize::MAX) >= 1,
+            "degenerate sizes still reserve"
+        );
     }
 }

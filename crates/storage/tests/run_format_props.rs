@@ -1,0 +1,129 @@
+//! Property tests locking the block-framed (version 2) run format to its
+//! compatibility contract:
+//!
+//! - files written by the **legacy version-1** writer read back
+//!   byte-identically through the current reader (read compatibility with
+//!   existing run files on disk);
+//! - files of any *other* version are rejected with a clean
+//!   [`StorageError::VersionMismatch`] carrying the version found — never
+//!   misparsed as frames or surfaced as a decode panic.  This is also the
+//!   forward contract: a version-1 reader's header check (`version != 1`)
+//!   rejects version-2 files the same way, because block-framed files
+//!   genuinely store `2` in the shared header layout;
+//! - appends preserve the file's original version, and read back as the
+//!   exact concatenation, whichever version the file started at.
+
+use proptest::prelude::*;
+use smr_storage::{RunReader, RunWriter, StorageError, FORMAT_VERSION, LEGACY_FORMAT_VERSION};
+use std::path::PathBuf;
+
+fn temp_path(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smr-run-props-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{case}.run"))
+}
+
+fn records_from(lens: &[u16]) -> Vec<(u64, String)> {
+    lens.iter()
+        .enumerate()
+        .map(|(i, len)| (i as u64, "x".repeat(*len as usize % 512)))
+        .collect()
+}
+
+fn write_with(path: &PathBuf, records: &[(u64, String)], version: u16) -> Result<(), StorageError> {
+    let mut writer: RunWriter<(u64, String)> = if version == LEGACY_FORMAT_VERSION {
+        RunWriter::create_legacy_v1(path)?
+    } else {
+        RunWriter::create(path)?
+    };
+    for record in records {
+        writer.push(record)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn both_format_versions_round_trip_identically(
+        case in 0u64..u64::MAX,
+        lens in proptest::collection::vec(0u16..1024, 0..120),
+    ) {
+        let records = records_from(&lens);
+        for version in [LEGACY_FORMAT_VERSION, FORMAT_VERSION] {
+            let path = temp_path("round-trip", case ^ u64::from(version));
+            write_with(&path, &records, version).unwrap();
+            let reader: RunReader<(u64, String)> = RunReader::open(&path).unwrap();
+            prop_assert_eq!(reader.version(), version);
+            prop_assert_eq!(reader.records(), records.len() as u64);
+            let read = reader.read_to_end().unwrap();
+            prop_assert!(read == records, "version {version} diverged");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_cleanly(
+        case in 0u64..u64::MAX,
+        bogus in 0u16..u16::MAX,
+        lens in proptest::collection::vec(0u16..64, 1..10),
+    ) {
+        // Readers must reject any version they do not speak with a typed
+        // VersionMismatch naming what they found — the same clean failure
+        // a version-1 reader produces when handed a version-2 file.
+        let bogus = if bogus == LEGACY_FORMAT_VERSION || bogus == FORMAT_VERSION {
+            0xbeef
+        } else {
+            bogus
+        };
+        let path = temp_path("version", case);
+        write_with(&path, &records_from(&lens), FORMAT_VERSION).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..6].copy_from_slice(&bogus.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        match RunReader::<(u64, String)>::open(&path) {
+            Err(StorageError::VersionMismatch { found, expected }) => {
+                prop_assert_eq!(found, bogus);
+                prop_assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => {
+                std::fs::remove_file(&path).unwrap();
+                return Err(TestCaseError::fail(format!(
+                    "expected VersionMismatch, got {other:?}"
+                )));
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appends_preserve_the_version_and_the_records(
+        case in 0u64..u64::MAX,
+        first in proptest::collection::vec(0u16..256, 0..40),
+        second in proptest::collection::vec(0u16..256, 1..40),
+    ) {
+        let head = records_from(&first);
+        let tail = records_from(&second);
+        for version in [LEGACY_FORMAT_VERSION, FORMAT_VERSION] {
+            let path = temp_path("append", case ^ u64::from(version));
+            write_with(&path, &head, version).unwrap();
+            let mut appender: RunWriter<(u64, String)> = RunWriter::append_to(&path).unwrap();
+            for record in &tail {
+                appender.push(record).unwrap();
+            }
+            appender.finish().unwrap();
+            let reader: RunReader<(u64, String)> = RunReader::open(&path).unwrap();
+            prop_assert!(
+                reader.version() == version,
+                "append switched the file's format version: {} != {version}",
+                reader.version()
+            );
+            let mut expected = head.clone();
+            expected.extend(tail.iter().cloned());
+            prop_assert_eq!(reader.read_to_end().unwrap(), expected);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+}
